@@ -1,0 +1,1 @@
+bench/exp_binding_path.ml: Api Err Exp_common Legion_net List Loid System Well_known

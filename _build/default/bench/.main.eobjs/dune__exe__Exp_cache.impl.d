@@ -1,0 +1,1 @@
+bench/exp_cache.ml: Api Array Err Exp_common Legion_naming List Printf Prng Runtime System Value Well_known

@@ -1,0 +1,1 @@
+bench/exp_clone.ml: Api Err Exp_common Legion_core List Loid Printf Stdlib String System Well_known

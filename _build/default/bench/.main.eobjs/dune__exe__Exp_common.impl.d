@@ -1,0 +1,1 @@
+bench/exp_common.ml: Legion Legion_core Legion_naming Legion_rt Legion_util Legion_wire List Printf Stdlib String

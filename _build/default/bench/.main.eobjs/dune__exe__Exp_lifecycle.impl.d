@@ -1,0 +1,1 @@
+bench/exp_lifecycle.ml: Api Err Exp_common Legion_core Legion_store Loid Printf Stats System Value Well_known

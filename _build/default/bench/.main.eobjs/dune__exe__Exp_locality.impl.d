@@ -1,0 +1,1 @@
+bench/exp_locality.ml: Api Array Exp_common Legion_net List Printf Prng Stats System Value Well_known

@@ -1,0 +1,1 @@
+bench/exp_replication.ml: Api Exp_common Legion_core Legion_naming Legion_net Legion_repl Legion_sec List Printf Runtime Stats System Value Well_known

@@ -1,0 +1,1 @@
+bench/exp_scale.ml: Api Array Err Exp_common Legion_net List Printf Prng Runtime System Value Well_known

@@ -1,0 +1,1 @@
+bench/exp_sched.ml: Api Exp_common Legion_net Legion_sched List Loid Printf Runtime Stdlib String System Well_known

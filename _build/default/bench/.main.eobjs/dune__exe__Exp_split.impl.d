@@ -1,0 +1,1 @@
+bench/exp_split.ml: Api Array Exp_common Legion_util List Loid Printf Stdlib String System Value Well_known

@@ -1,0 +1,1 @@
+bench/exp_stale.ml: Api Array Exp_common List Loid Printf Prng Stats System Value Well_known

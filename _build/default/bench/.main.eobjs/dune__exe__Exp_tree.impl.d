@@ -1,0 +1,1 @@
+bench/exp_tree.ml: Api Err Exp_common Legion Legion_naming Legion_net Legion_sec List Loid Printf Runtime Stdlib String System Well_known

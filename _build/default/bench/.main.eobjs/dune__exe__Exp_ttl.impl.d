@@ -1,0 +1,1 @@
+bench/exp_ttl.ml: Api Array Exp_common Printf Prng Runtime Stats System Value Well_known

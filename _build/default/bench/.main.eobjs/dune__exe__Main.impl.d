@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_binding_path Exp_cache Exp_clone Exp_lifecycle Exp_locality Exp_replication Exp_scale Exp_sched Exp_split Exp_stale Exp_tree Exp_ttl List Micro Printf String Sys Unix

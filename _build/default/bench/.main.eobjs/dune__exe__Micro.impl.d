@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Int64 Legion_core Legion_idl Legion_naming Legion_net Legion_rt Legion_sec Legion_sim Legion_util Legion_wire List Printf Staged Sys Test Time Toolkit

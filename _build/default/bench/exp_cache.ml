@@ -1,0 +1,131 @@
+(* E2 — Object-to-Binding-Agent traffic vs comm-cache size (§5.2.1).
+
+   "Each Legion object will maintain a cache of bindings. Therefore, an
+   object's Binding Agent will only be consulted on a local cache miss,
+   or when a stale binding is encountered."
+
+   One client with comm-cache capacity c issues N invocations over o
+   pre-activated objects with Zipf(0.9)-skewed popularity. We report
+   Binding Agent requests per invocation and the client cache hit rate
+   as c sweeps from 0 (no cache) to unbounded.
+
+   Expected shape: agent traffic per invocation starts at 1.0 (every
+   call consults the agent) and falls monotonically towards 0 as the
+   cache covers the working set; with an unbounded cache only the o
+   compulsory misses remain. *)
+
+open Exp_common
+module Cache = Legion_naming.Cache
+
+let n_objects = 64
+let n_invocations = 4000
+
+let run_one ~capacity =
+  register_units ();
+  let sys = System.boot ~seed:3L ~sites:[ ("site", 4) ] () in
+  let setup_ctx = System.client sys () in
+  let cls = make_counter_class sys setup_ctx () in
+  let objects =
+    Array.init n_objects (fun _ ->
+        Api.create_object_exn sys setup_ctx ~cls ~eager:true ())
+  in
+  (* A dedicated measurement client with the bounded comm cache. *)
+  let site = System.site sys 0 in
+  let loid = System.fresh_instance_loid sys ~of_class:Well_known.legion_object in
+  let client =
+    Runtime.spawn (System.rt sys)
+      ~host:(List.nth site.System.net_hosts 1)
+      ~loid ~kind:"bench_client" ?cache_capacity:capacity
+      ~binding_agent:site.System.agent_address
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "client")))
+      ()
+  in
+  let ctx = { Runtime.rt = System.rt sys; self = client } in
+  let prng = Prng.create ~seed:99L in
+  let pick = zipf_sampler prng ~n:n_objects ~s:0.9 in
+  let before = snapshot sys in
+  for _ = 1 to n_invocations do
+    let target = objects.(pick ()) in
+    ignore (Api.call sys ctx ~dst:target ~meth:"Increment" ~args:[ Value.Int 1 ])
+  done;
+  let after = snapshot sys in
+  let agent_requests = delta_group before after Well_known.kind_binding_agent in
+  let cache = Runtime.cache_of client in
+  let label =
+    match capacity with None -> "unbounded" | Some c -> string_of_int c
+  in
+  [
+    label;
+    fmt_i n_invocations;
+    fmt_i agent_requests;
+    fmt_f (float_of_int agent_requests /. float_of_int n_invocations);
+    fmt_f (Cache.hit_rate cache);
+  ]
+
+(* The second tier of the cache hierarchy: disable client caches and
+   sweep the Binding Agent's own capacity; its misses fall through to
+   the class object (§5.2.2's "won't commonly used classes become a
+   bottleneck?"). *)
+let run_agent_tier ~capacity =
+  register_units ();
+  let sys =
+    System.boot ~seed:3L ?agent_cache_capacity:capacity ~sites:[ ("site", 4) ] ()
+  in
+  let setup_ctx = System.client sys () in
+  let cls = make_counter_class sys setup_ctx () in
+  let objects =
+    Array.init n_objects (fun _ ->
+        Api.create_object_exn sys setup_ctx ~cls ~eager:true ())
+  in
+  let site = System.site sys 0 in
+  let loid = System.fresh_instance_loid sys ~of_class:Well_known.legion_object in
+  let client =
+    Runtime.spawn (System.rt sys)
+      ~host:(List.nth site.System.net_hosts 1)
+      ~loid ~kind:"bench_client" ~cache_capacity:0
+      ~binding_agent:site.System.agent_address
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "client")))
+      ()
+  in
+  let ctx = { Runtime.rt = System.rt sys; self = client } in
+  let prng = Prng.create ~seed:99L in
+  let pick = zipf_sampler prng ~n:n_objects ~s:0.9 in
+  let n_inv = n_invocations / 4 in
+  let before = snapshot sys in
+  for _ = 1 to n_inv do
+    let target = objects.(pick ()) in
+    ignore (Api.call sys ctx ~dst:target ~meth:"Increment" ~args:[ Value.Int 1 ])
+  done;
+  let after = snapshot sys in
+  let class_rq = delta_group before after Well_known.kind_class in
+  let label = match capacity with None -> "unbounded" | Some c -> string_of_int c in
+  [
+    label;
+    fmt_i n_inv;
+    fmt_i class_rq;
+    fmt_f (float_of_int class_rq /. float_of_int n_inv);
+  ]
+
+let run () =
+  let rows =
+    List.map
+      (fun capacity -> run_one ~capacity)
+      [ Some 0; Some 4; Some 16; Some 64; None ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E2  Object->Agent traffic vs cache size (Zipf 0.9 over %d objects)"
+         n_objects)
+    ~header:[ "cache cap"; "invocations"; "agent rq"; "agent rq/inv"; "client hit rate" ]
+    rows;
+  let rows2 =
+    List.map
+      (fun capacity -> run_agent_tier ~capacity)
+      [ Some 0; Some 16; Some 64; None ]
+  in
+  print_table
+    ~title:
+      "E2b Agent cache capacity vs class traffic (client caches disabled)"
+    ~header:[ "agent cap"; "invocations"; "class rq"; "class rq/inv" ]
+    rows2

@@ -1,0 +1,81 @@
+(* E4 — Relieving a hot class by cloning (§5.2.2).
+
+   "The problem of popular class objects becoming bottlenecks can be
+   alleviated by 'cloning' class objects when they become heavily used.
+   New instantiation and derivation requests are passed to the cloned
+   object, making it responsible for the new objects."
+
+   A burst of 240 Create requests is spread round-robin over n ∈ {1, 2,
+   4, 8} clones of one class. The §5 metric is the request count on the
+   most-loaded class object.
+
+   Expected shape: max requests per class object falls as ~1/n, while
+   total work is constant. *)
+
+open Exp_common
+
+let n_creates = 240
+
+let run_one ~n_clones =
+  register_units ();
+  let sys = System.boot ~seed:9L ~sites:[ ("a", 4); ("b", 4) ] () in
+  let ctx = System.client sys () in
+  let base = make_counter_class sys ctx () in
+  let clones =
+    base
+    :: List.init (n_clones - 1) (fun _ ->
+           match Api.call sys ctx ~dst:base ~meth:"Clone" ~args:[] with
+           | Ok v -> (
+               match Legion_core.Convert.loid_field v "loid" with
+               | Ok l -> l
+               | Error e -> failwith e)
+           | Error e -> failwith (Err.to_string e))
+  in
+  let before = snapshot sys in
+  for i = 0 to n_creates - 1 do
+    let cls = List.nth clones (i mod n_clones) in
+    match Api.create_object sys ctx ~cls () with
+    | Ok _ -> ()
+    | Error e -> failwith ("create: " ^ Err.to_string e)
+  done;
+  let after = snapshot sys in
+  (* Max requests on any single class object (the bottleneck metric),
+     restricted to the clone family. *)
+  let clone_names =
+    List.map (fun c -> Loid.to_string c ^ "@") clones
+  in
+  let is_clone n =
+    List.exists
+      (fun p -> String.length n >= String.length p && String.sub n 0 (String.length p) = p)
+      clone_names
+  in
+  let value_of snap name =
+    List.fold_left
+      (fun acc (g, n, v) -> if g = Well_known.kind_class && n = name then acc + v else acc)
+      0 snap
+  in
+  let max_rq, total_rq =
+    List.fold_left
+      (fun (mx, tot) (g, n, v) ->
+        if g = Well_known.kind_class && is_clone n then
+          let d = v - value_of before n in
+          (Stdlib.max mx d, tot + d)
+        else (mx, tot))
+      (0, 0) after
+  in
+  [
+    fmt_i n_clones;
+    fmt_i n_creates;
+    fmt_i total_rq;
+    fmt_i max_rq;
+    fmt_f (float_of_int max_rq /. float_of_int (Stdlib.max 1 total_rq));
+  ]
+
+let run () =
+  let rows = List.map (fun n -> run_one ~n_clones:n) [ 1; 2; 4; 8 ] in
+  print_table
+    ~title:
+      (Printf.sprintf "E4  Class cloning spreads a hot class (%d Create requests)"
+         n_creates)
+    ~header:[ "clones"; "creates"; "family rq"; "max rq/object"; "max share" ]
+    rows

@@ -1,0 +1,121 @@
+(* Shared machinery for the experiment harness: a counter-class fixture,
+   workload generation, counter snapshots, and table rendering.
+
+   Every experiment prints a self-contained table; EXPERIMENTS.md maps
+   each to the claim in the paper it regenerates. *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Counter = Legion_util.Counter
+module Prng = Legion_util.Prng
+module Stats = Legion_util.Stats
+module Impl = Legion_core.Impl
+module Well_known = Legion_core.Well_known
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module System = Legion.System
+module Api = Legion.Api
+
+(* --- The benchmark application unit: a counter. --- *)
+
+let counter_unit = "bench.counter"
+
+let counter_factory (_ctx : Runtime.ctx) : Impl.part =
+  let n = ref 0 in
+  let increment _ctx args _env k =
+    match args with
+    | [ Value.Int d ] ->
+        n := !n + d;
+        k (Ok (Value.Int !n))
+    | _ -> Impl.bad_args k "Increment expects one int"
+  in
+  let get _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Value.Int !n))
+    | _ -> Impl.bad_args k "Get takes no arguments"
+  in
+  Impl.part
+    ~methods:[ ("Increment", increment); ("Get", get) ]
+    ~save:(fun () -> Value.Int !n)
+    ~restore:(fun v ->
+      match v with
+      | Value.Int i ->
+          n := i;
+          Ok ()
+      | _ -> Error "counter state must be an int")
+    counter_unit
+
+let register_units () = Impl.register counter_unit counter_factory
+
+let counter_idl = "interface Counter { Increment(d: int): int; Get(): int; }"
+
+let make_counter_class sys ctx ?(name = "Counter") () =
+  Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name
+    ~units:[ counter_unit ] ~idl:counter_idl ()
+
+(* --- Counter-registry snapshots: the §5 instrument. --- *)
+
+type snapshot = (string * string * int) list  (* group, name, value *)
+
+let snapshot sys : snapshot =
+  List.map
+    (fun c -> (Counter.group c, Counter.name c, Counter.value c))
+    (Counter.Registry.all (System.registry sys))
+
+let delta_group (before : snapshot) (after : snapshot) group =
+  let value_of snap g n =
+    match List.find_opt (fun (g', n', _) -> g = g' && n = n') snap with
+    | Some (_, _, v) -> v
+    | None -> 0
+  in
+  List.fold_left
+    (fun acc (g, n, v) -> if g = group then acc + v - value_of before g n else acc)
+    0 after
+
+let max_delta_group (before : snapshot) (after : snapshot) group =
+  let value_of snap g n =
+    match List.find_opt (fun (g', n', _) -> g = g' && n = n') snap with
+    | Some (_, _, v) -> v
+    | None -> 0
+  in
+  List.fold_left
+    (fun acc (g, n, v) ->
+      if g = group then Stdlib.max acc (v - value_of before g n) else acc)
+    0 after
+
+(* --- Zipf-distributed target selection (popularity skew). --- *)
+
+let zipf_sampler prng ~n ~s =
+  let z = Legion_util.Sampler.zipf prng ~n ~s in
+  fun () -> Legion_util.Sampler.zipf_draw z
+
+(* --- Table rendering. --- *)
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad c s = s ^ String.make (List.nth widths c - String.length s) ' ' in
+  let line ch =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths) ^ "+"
+  in
+  let render row =
+    "| " ^ String.concat " | " (List.mapi pad row) ^ " |"
+  in
+  Printf.printf "\n%s\n%s\n%s\n%s\n" title (line '-') (render header) (line '-');
+  List.iter (fun r -> print_endline (render r)) rows;
+  print_endline (line '-')
+
+let fmt_ms t = Printf.sprintf "%.2f" (t *. 1000.0)
+let fmt_f f = Printf.sprintf "%.3f" f
+let fmt_i = string_of_int
+
+(* --- Timing one synchronous call in virtual time. --- *)
+
+let timed_call sys ctx ~dst ~meth ~args =
+  let t0 = System.now sys in
+  let r = Api.call sys ctx ~dst ~meth ~args in
+  (r, System.now sys -. t0)

@@ -1,0 +1,94 @@
+(* E6 — Object lifecycle costs (§3.1, §4.1.2, Fig. 11).
+
+   Measures, over 16 objects each, the virtual-time cost of:
+     - a warm invocation (cached binding, active object);
+     - activation on first reference (Inert -> Active through the full
+       Fig. 17 chain);
+     - reactivation after Deactivate (stale binding + state restore);
+     - Copy to another Jurisdiction (deactivate + OPR shipment);
+     - Move to another Jurisdiction, then the first call there.
+
+   Also reports the OPR size for the benchmark objects.
+
+   Expected shape: warm << activation ≈ reactivation < migration; all
+   dominated by wide-area hops, not computation. *)
+
+open Exp_common
+module Persistent = Legion_store.Persistent
+
+let n = 16
+
+let stats_row label (s : Stats.t) =
+  [ label; fmt_ms (Stats.mean s); fmt_ms (Stats.median s); fmt_ms (Stats.max s) ]
+
+let run () =
+  register_units ();
+  let sys = System.boot ~seed:17L ~sites:[ ("east", 4); ("west", 4) ] () in
+  let ctx = System.client sys () in
+  let cls = make_counter_class sys ctx () in
+  let east = System.site sys 0 and west = System.site sys 1 in
+
+  let warm = Stats.create ()
+  and cold = Stats.create ()
+  and react = Stats.create ()
+  and copy = Stats.create ()
+  and move_call = Stats.create () in
+
+  for _ = 1 to n do
+    let loid =
+      Api.create_object_exn sys ctx ~cls ~magistrate:east.System.magistrate ()
+    in
+    (* Cold: first reference activates. *)
+    let r, dt = timed_call sys ctx ~dst:loid ~meth:"Get" ~args:[] in
+    (match r with Ok _ -> Stats.add cold dt | Error e -> failwith (Err.to_string e));
+    (* Warm: cached binding, active object. *)
+    let r, dt = timed_call sys ctx ~dst:loid ~meth:"Get" ~args:[] in
+    (match r with Ok _ -> Stats.add warm dt | Error e -> failwith (Err.to_string e));
+    (* Reactivation after deactivate. *)
+    (match
+       Api.call sys ctx ~dst:east.System.magistrate ~meth:"Deactivate"
+         ~args:[ Loid.to_value loid ]
+     with
+    | Ok _ -> ()
+    | Error e -> failwith ("deactivate: " ^ Err.to_string e));
+    let r, dt = timed_call sys ctx ~dst:loid ~meth:"Get" ~args:[] in
+    (match r with Ok _ -> Stats.add react dt | Error e -> failwith (Err.to_string e));
+    (* Copy east -> west. *)
+    let r, dt =
+      timed_call sys ctx ~dst:east.System.magistrate ~meth:"Copy"
+        ~args:[ Loid.to_value loid; Loid.to_value west.System.magistrate ]
+    in
+    (match r with Ok _ -> Stats.add copy dt | Error e -> failwith (Err.to_string e));
+    (* Move east -> west, then the first call in the new Jurisdiction. *)
+    (match
+       Api.call sys ctx ~dst:east.System.magistrate ~meth:"Move"
+         ~args:[ Loid.to_value loid; Loid.to_value west.System.magistrate ]
+     with
+    | Ok _ -> ()
+    | Error e -> failwith ("move: " ^ Err.to_string e));
+    let r, dt = timed_call sys ctx ~dst:loid ~meth:"Get" ~args:[] in
+    (match r with
+    | Ok _ -> Stats.add move_call dt
+    | Error e -> failwith ("post-move call: " ^ Err.to_string e))
+  done;
+
+  print_table
+    ~title:(Printf.sprintf "E6  Lifecycle costs in virtual time (n=%d objects)" n)
+    ~header:[ "operation"; "mean ms"; "p50 ms"; "max ms" ]
+    [
+      stats_row "warm call" warm;
+      stats_row "cold call (activate)" cold;
+      stats_row "call after deactivate" react;
+      stats_row "Copy to other jurisdiction" copy;
+      stats_row "call after Move" move_call;
+    ];
+  let opr =
+    Legion_core.Opr.make ~kind:Well_known.kind_app
+      ~units:[ counter_unit; Well_known.unit_object ]
+      ~states:[ (counter_unit, Value.Int 42) ]
+      ()
+  in
+  Printf.printf "OPR size for a counter object: %d bytes; storage in use: %d bytes (east), %d bytes (west)\n"
+    (Legion_core.Opr.size_bytes opr)
+    (Persistent.total_bytes east.System.storage)
+    (Persistent.total_bytes west.System.storage)

@@ -1,0 +1,88 @@
+(* E10 — The locality assumption (§5.2).
+
+   "We make two assumptions about the Legion system. First, we assume
+   that most accesses will be local … If this assumption does not hold,
+   then the scalability of Legion will depend on the scalability of the
+   underlying interconnect."
+
+   Four sites, per-site object populations, 2000 invocations with the
+   fraction of site-local accesses swept from 1.0 down to 0.25 (the
+   no-locality limit: targets uniform over all sites). We report mean
+   latency and the wide-area share of the message budget.
+
+   Expected shape: latency and wide-area traffic grow steeply as
+   locality is lost — the model's performance comes from the
+   assumption, exactly as the paper concedes. Per-component maxima stay
+   bounded either way: losing locality stresses the interconnect, not
+   any Legion component. *)
+
+open Exp_common
+module Network = Legion_net.Network
+
+let n_sites = 4
+let objects_per_site = 12
+let n_invocations = 2000
+
+let run_one ~local_fraction =
+  register_units ();
+  let sys =
+    System.boot ~seed:43L
+      ~sites:(List.init n_sites (fun i -> (Printf.sprintf "s%d" i, 3)))
+      ()
+  in
+  let setup = System.client sys () in
+  let site_objects =
+    List.mapi
+      (fun i s ->
+        let cls = make_counter_class sys setup ~name:(Printf.sprintf "C%d" i) () in
+        Array.init objects_per_site (fun _ ->
+            Api.create_object_exn sys setup ~cls ~eager:true
+              ~magistrate:s.System.magistrate ()))
+      (System.sites sys)
+  in
+  let clients = List.map (fun _ -> ()) (System.sites sys) in
+  let clients =
+    List.mapi (fun i () -> (i, System.client sys ~site:i ())) clients
+  in
+  let prng = Prng.create ~seed:47L in
+  let lat = Stats.create () in
+  let msgs0 = Network.messages_sent (System.net sys) in
+  let _, _, wan0 = Network.messages_by_tier (System.net sys) in
+  let before = snapshot sys in
+  for i = 1 to n_invocations do
+    let si, ctx = List.nth clients (i mod n_sites) in
+    let pool =
+      if Prng.float prng 1.0 < local_fraction then List.nth site_objects si
+      else List.nth site_objects (Prng.int prng n_sites)
+    in
+    let target = pool.(Prng.int prng (Array.length pool)) in
+    let t0 = System.now sys in
+    match Api.call sys ctx ~dst:target ~meth:"Increment" ~args:[ Value.Int 1 ] with
+    | Ok _ -> Stats.add lat (System.now sys -. t0)
+    | Error _ -> ()
+  done;
+  let after = snapshot sys in
+  let msgs1 = Network.messages_sent (System.net sys) in
+  let _, _, wan1 = Network.messages_by_tier (System.net sys) in
+  [
+    Printf.sprintf "%.2f" local_fraction;
+    fmt_ms (Stats.mean lat);
+    fmt_ms (Stats.percentile lat 99.0);
+    Printf.sprintf "%.1f%%"
+      (100.0 *. float_of_int (wan1 - wan0) /. float_of_int (msgs1 - msgs0));
+    fmt_i (max_delta_group before after Well_known.kind_binding_agent);
+    fmt_i (max_delta_group before after Well_known.kind_class);
+  ]
+
+let run () =
+  let rows =
+    List.map (fun lf -> run_one ~local_fraction:lf) [ 1.0; 0.95; 0.8; 0.5; 0.25 ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E10  Losing the locality assumption (%d sites, %d calls; 0.25 = uniform)"
+         n_sites n_invocations)
+    ~header:
+      [ "local frac"; "mean ms"; "p99 ms"; "WAN msg share"; "max agent"; "max class" ]
+    rows

@@ -1,0 +1,102 @@
+(* E7 — Replication and availability (§4.3).
+
+   A service is replicated at the Legion system level — one LOID bound
+   to an Object Address with r elements — and we kill a growing number
+   of its hosts. 120 calls are issued per configuration; we report
+   success rate and mean latency under Ordered_failover, and contrast
+   the All (broadcast race) semantic.
+
+   Expected shape: with r replicas the service survives r-1 host kills;
+   failover latency grows with the number of dead elements the walk must
+   time out on, while the All semantic hides dead replicas entirely (the
+   race is won by a survivor) at the price of r× messages. *)
+
+open Exp_common
+module Address = Legion_naming.Address
+module Network = Legion_net.Network
+module Opr = Legion_core.Opr
+module Replicate = Legion_repl.Replicate
+
+let n_calls = 120
+
+(* Short timeouts keep the failover walk cheap in virtual time. *)
+let rt_config = { Runtime.default_config with call_timeout = 0.4 }
+
+let run_one ~replicas ~kills ~semantic ~label =
+  register_units ();
+  let sys =
+    System.boot ~seed:23L ~rt_config
+      ~sites:[ ("a", 3); ("b", 3); ("c", 3); ("d", 3) ]
+      ()
+  in
+  let ctx = System.client sys () in
+  let loid = System.fresh_instance_loid sys ~of_class:Well_known.legion_object in
+  let opr =
+    Opr.make ~kind:Well_known.kind_app
+      ~units:[ counter_unit; Well_known.unit_object ]
+      ()
+  in
+  (* One replica per site, spread over distinct hosts away from site
+     infrastructure. *)
+  let hosts =
+    List.filteri
+      (fun i _ -> i < replicas)
+      (List.map (fun s -> List.nth s.System.net_hosts 1) (System.sites sys))
+  in
+  let _procs, address =
+    match Replicate.deploy (System.rt sys) ~loid ~opr ~hosts ~semantic with
+    | Ok x -> x
+    | Error msg -> failwith msg
+  in
+  (* Kill the first [kills] replica hosts. *)
+  List.iteri
+    (fun i h -> if i < kills then Runtime.crash_host (System.rt sys) h)
+    hosts;
+  let lat = Stats.create () in
+  let ok = ref 0 in
+  let msgs0 = Network.messages_sent (System.net sys) in
+  for _ = 1 to n_calls do
+    let t0 = System.now sys in
+    let r =
+      Api.sync sys (fun k ->
+          Runtime.invoke_address ctx ~address ~dst:loid ~meth:"Increment"
+            ~args:[ Value.Int 1 ]
+            ~env:(Legion_sec.Env.of_self (Runtime.proc_loid ctx.Runtime.self))
+            k)
+    in
+    (match r with
+    | Ok _ ->
+        incr ok;
+        Stats.add lat (System.now sys -. t0)
+    | Error _ -> ());
+    (* Let stragglers drain so messages are attributed per call. *)
+    System.run sys
+  done;
+  let msgs1 = Network.messages_sent (System.net sys) in
+  [
+    label;
+    fmt_i replicas;
+    fmt_i kills;
+    Printf.sprintf "%.1f%%" (100.0 *. float_of_int !ok /. float_of_int n_calls);
+    (if Stats.count lat = 0 then "-" else fmt_ms (Stats.mean lat));
+    fmt_f (float_of_int (msgs1 - msgs0) /. float_of_int n_calls);
+  ]
+
+let run () =
+  let rows =
+    [
+      run_one ~replicas:1 ~kills:0 ~semantic:Address.Ordered_failover ~label:"failover";
+      run_one ~replicas:1 ~kills:1 ~semantic:Address.Ordered_failover ~label:"failover";
+      run_one ~replicas:2 ~kills:1 ~semantic:Address.Ordered_failover ~label:"failover";
+      run_one ~replicas:4 ~kills:1 ~semantic:Address.Ordered_failover ~label:"failover";
+      run_one ~replicas:4 ~kills:3 ~semantic:Address.Ordered_failover ~label:"failover";
+      run_one ~replicas:2 ~kills:1 ~semantic:Address.All ~label:"all (race)";
+      run_one ~replicas:4 ~kills:3 ~semantic:Address.All ~label:"all (race)";
+    ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf "E7  Replicated-object availability under host kills (%d calls)"
+         n_calls)
+    ~header:[ "semantic"; "replicas"; "killed"; "success"; "mean ms"; "msgs/call" ]
+    rows

@@ -1,0 +1,128 @@
+(* E5 — The distributed-systems principle (§5.2).
+
+   "The number of requests to any particular system component must not
+   be an increasing function of the number of hosts in the system."
+
+   We scale the system: S sites x 4 hosts, S ∈ {1, 2, 4, 8}, with a
+   workload that grows proportionally (16 objects and 200 mostly-local
+   invocations per site — the paper's assumption that "most accesses
+   will be local"). Three variants per scale:
+
+   - "per-site classes" (+caching): each site's objects belong to a
+     class at that site — the organization-local deployments the paper
+     assumes. Every per-component maximum should stay ~flat as the
+     system grows: nothing concentrates.
+   - "shared class" (+caching): all objects belong to ONE class. Its
+     logical table serves every compulsory miss in the system, so its
+     load grows with scale — exactly the "popular classes become
+     bottlenecks" problem §5.2.2 solves by cloning (see E4).
+   - "per-site classes, no caching": client comm caches disabled; the
+     busiest Binding Agent absorbs every invocation at its site (the
+     per-site constant 200), showing what caching buys.
+
+   Expected shape: flat rows for variant 1; a growing "max class"
+   column for variant 2; an agent column pinned at the per-site call
+   count for variant 3. *)
+
+open Exp_common
+module Network = Legion_net.Network
+
+let hosts_per_site = 4
+let objects_per_site = 16
+let invocations_per_site = 200
+let local_fraction = 0.8
+
+let run_one ~sites ~caching ~shared_class =
+  register_units ();
+  let site_spec = List.init sites (fun i -> (Printf.sprintf "s%d" i, hosts_per_site)) in
+  let sys =
+    System.boot ~seed:13L
+      ?object_cache_capacity:(if caching then None else Some 0)
+      ~sites:site_spec ()
+  in
+  let setup = System.client sys () in
+  let shared = make_counter_class sys setup () in
+  (* Per-site object populations, created on that site's magistrate; the
+     owning class is shared or site-local depending on the variant. *)
+  let site_objects =
+    List.mapi
+      (fun i s ->
+        let cls =
+          if shared_class then shared
+          else
+            make_counter_class sys setup ~name:(Printf.sprintf "Counter%d" i) ()
+        in
+        Array.init objects_per_site (fun _ ->
+            Api.create_object_exn sys setup ~cls ~eager:true
+              ~magistrate:s.System.magistrate ()))
+      (System.sites sys)
+  in
+  (* One client per site; clients' caches obey the caching switch. *)
+  let clients =
+    List.map
+      (fun s ->
+        let loid = System.fresh_instance_loid sys ~of_class:Well_known.legion_object in
+        let proc =
+          Runtime.spawn (System.rt sys)
+            ~host:(List.nth s.System.net_hosts 1)
+            ~loid ~kind:"bench_client"
+            ?cache_capacity:(if caching then None else Some 0)
+            ~binding_agent:s.System.agent_address
+            ~handler:(fun _ _ k -> k (Error (Err.Refused "client")))
+            ()
+        in
+        { Runtime.rt = System.rt sys; self = proc })
+      (System.sites sys)
+  in
+  let prng = Prng.create ~seed:21L in
+  let before = snapshot sys in
+  List.iteri
+    (fun si ctx ->
+      let local = List.nth site_objects si in
+      for _ = 1 to invocations_per_site do
+        let pool =
+          if Prng.float prng 1.0 < local_fraction || sites = 1 then local
+          else
+            (* A remote site, uniformly. *)
+            let others = List.filteri (fun i _ -> i <> si) site_objects in
+            List.nth others (Prng.int prng (List.length others))
+        in
+        let target = pool.(Prng.int prng (Array.length pool)) in
+        ignore (Api.call sys ctx ~dst:target ~meth:"Increment" ~args:[ Value.Int 1 ])
+      done)
+    clients;
+  let after = snapshot sys in
+  let busiest group = max_delta_group before after group in
+  let variant =
+    match (shared_class, caching) with
+    | false, true -> "per-site classes"
+    | true, true -> "shared class"
+    | false, false -> "per-site, no cache"
+    | true, false -> "shared, no cache"
+  in
+  [
+    variant;
+    fmt_i sites;
+    fmt_i (sites * hosts_per_site);
+    fmt_i (sites * invocations_per_site);
+    fmt_i (busiest Well_known.kind_binding_agent);
+    fmt_i (busiest Well_known.kind_class);
+    fmt_i (busiest Well_known.kind_magistrate);
+    fmt_i (busiest Well_known.kind_host);
+  ]
+
+let run () =
+  let scales = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map (fun s -> run_one ~sites:s ~caching:true ~shared_class:false) scales
+    @ List.map (fun s -> run_one ~sites:s ~caching:true ~shared_class:true) scales
+    @ List.map (fun s -> run_one ~sites:s ~caching:false ~shared_class:false) scales
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E5  Busiest single component as the system scales (%d obj & %d calls per site, %.0f%% local)"
+         objects_per_site invocations_per_site (100.0 *. local_fraction))
+    ~header:
+      [ "variant"; "sites"; "hosts"; "calls"; "max agent"; "max class"; "max magistr"; "max host" ]
+    rows

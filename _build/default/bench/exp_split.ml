@@ -1,0 +1,86 @@
+(* E13 — Splitting a Jurisdiction relieves its Magistrate (§2.2).
+
+   "No single Magistrate is responsible for managing the entire Legion
+   system ... if a Jurisdiction's resources impose a substantial load on
+   its Magistrate, the Jurisdiction can be split, and a new Magistrate
+   can be created to take over responsibility for some of the resources
+   and objects."
+
+   Fixture: one site, 6 hosts, 32 objects. The workload is
+   activation-heavy (a checkpoint sweep makes everything Inert, then
+   every object is referenced once — each reference costs its
+   responsible Magistrate an Activate). We run the phase twice: before
+   any split, and after System.split_jurisdiction moved half the
+   objects to a second Magistrate.
+
+   Expected shape: total magistrate work is conserved while the busiest
+   magistrate's share drops to about half — §5's "requests to any
+   particular component" bound, restored by splitting. *)
+
+open Exp_common
+module Counter = Legion_util.Counter
+
+let n_objects = 32
+
+let mag_requests sys before after mag =
+  ignore sys;
+  let name_prefix = Loid.to_string mag ^ "@" in
+  let value_of snap =
+    List.fold_left
+      (fun acc (g, n, v) ->
+        if
+          g = Well_known.kind_magistrate
+          && String.length n >= String.length name_prefix
+          && String.sub n 0 (String.length name_prefix) = name_prefix
+        then acc + v
+        else acc)
+      0 snap
+  in
+  value_of after - value_of before
+
+let run () =
+  register_units ();
+  let sys = System.boot ~seed:59L ~sites:[ ("site", 6) ] () in
+  let ctx = System.client sys () in
+  let cls = make_counter_class sys ctx () in
+  let m0 = (System.site sys 0).System.magistrate in
+  let objects =
+    Array.init n_objects (fun _ ->
+        Api.create_object_exn sys ctx ~cls ~magistrate:m0 ())
+  in
+  let activation_phase () =
+    ignore (System.checkpoint_all sys);
+    Array.iter
+      (fun o -> ignore (Api.call sys ctx ~dst:o ~meth:"Increment" ~args:[ Value.Int 1 ]))
+      objects
+  in
+  (* Phase 1: single magistrate. *)
+  let b1 = snapshot sys in
+  activation_phase ();
+  let a1 = snapshot sys in
+  let solo = mag_requests sys b1 a1 m0 in
+  (* Split, then the same phase again. *)
+  let m2 = System.split_jurisdiction sys ~site:0 in
+  let b2 = snapshot sys in
+  activation_phase ();
+  let a2 = snapshot sys in
+  let after_m0 = mag_requests sys b2 a2 m0 in
+  let after_m2 = mag_requests sys b2 a2 m2 in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E13  Jurisdiction split relieves the magistrate (%d activation-heavy refs)"
+         n_objects)
+    ~header:[ "phase"; "m0 rq"; "m2 rq"; "busiest"; "busiest share" ]
+    [
+      [ "before split"; fmt_i solo; "-"; fmt_i solo; "1.000" ];
+      [
+        "after split";
+        fmt_i after_m0;
+        fmt_i after_m2;
+        fmt_i (Stdlib.max after_m0 after_m2);
+        fmt_f
+          (float_of_int (Stdlib.max after_m0 after_m2)
+          /. float_of_int (Stdlib.max 1 (after_m0 + after_m2)));
+      ];
+    ]

@@ -1,0 +1,81 @@
+(* E8 — The cost of stale bindings under migration churn (§4.1.4).
+
+   "Legion expects the presence of stale bindings … When an object
+   attempts to communicate with an invalid Object Address, the Legion
+   communication layer of the object is expected to detect that it has
+   become invalid … it will likely request that the binding be
+   refreshed."
+
+   A client issues 1500 invocations uniformly over 24 objects while a
+   churn process deactivates a random object every so often (so the next
+   reference reactivates it somewhere else, invalidating every cached
+   binding for it). Churn is expressed as deactivations per invocation.
+
+   Expected shape: success stays at 100% throughout (staleness is
+   masked, never surfaced); mean latency and Binding Agent traffic grow
+   smoothly with churn — the price of freshness is paid per stale hit,
+   not globally. *)
+
+open Exp_common
+
+let n_objects = 24
+let n_invocations = 1500
+
+let run_one ~churn =
+  register_units ();
+  let sys = System.boot ~seed:29L ~sites:[ ("a", 4); ("b", 4) ] () in
+  let ctx = System.client sys () in
+  let cls = make_counter_class sys ctx () in
+  let objects =
+    Array.init n_objects (fun _ -> Api.create_object_exn sys ctx ~cls ~eager:true ())
+  in
+  let prng = Prng.create ~seed:31L in
+  let lat = Stats.create () in
+  let ok = ref 0 and failed = ref 0 in
+  let deactivations = ref 0 in
+  let before = snapshot sys in
+  for _ = 1 to n_invocations do
+    (* Churn: with probability [churn], deactivate a random object via
+       whichever magistrate holds it. *)
+    if Prng.float prng 1.0 < churn then begin
+      let victim = objects.(Prng.int prng n_objects) in
+      let rec try_mags = function
+        | [] -> ()
+        | m :: rest -> (
+            match
+              Api.call sys ctx ~dst:m ~meth:"Deactivate" ~args:[ Loid.to_value victim ]
+            with
+            | Ok _ -> incr deactivations
+            | Error _ -> try_mags rest)
+      in
+      try_mags (System.magistrates sys)
+    end;
+    let target = objects.(Prng.int prng n_objects) in
+    let t0 = System.now sys in
+    (match Api.call sys ctx ~dst:target ~meth:"Increment" ~args:[ Value.Int 1 ] with
+    | Ok _ ->
+        incr ok;
+        Stats.add lat (System.now sys -. t0)
+    | Error _ -> incr failed)
+  done;
+  let after = snapshot sys in
+  let agent_rq = delta_group before after Well_known.kind_binding_agent in
+  [
+    fmt_f churn;
+    fmt_i !deactivations;
+    Printf.sprintf "%.1f%%" (100.0 *. float_of_int !ok /. float_of_int n_invocations);
+    fmt_ms (Stats.mean lat);
+    fmt_ms (Stats.percentile lat 99.0);
+    fmt_f (float_of_int agent_rq /. float_of_int n_invocations);
+  ]
+
+let run () =
+  let rows = List.map (fun churn -> run_one ~churn) [ 0.0; 0.01; 0.05; 0.2; 0.5 ] in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E8  Stale-binding overhead vs migration churn (%d calls over %d objects)"
+         n_invocations n_objects)
+    ~header:
+      [ "churn/call"; "deactivations"; "success"; "mean ms"; "p99 ms"; "agent rq/call" ]
+    rows

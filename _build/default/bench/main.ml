@@ -1,0 +1,49 @@
+(* The experiment harness: regenerates every experiment in
+   EXPERIMENTS.md. The source paper (The Core Legion Object Model, HPDC
+   1996) is a design document with no measured evaluation; each table
+   here quantifies one of its mechanisms (Figs. 11/17, §4.1–4.3) or
+   scalability claims (§5). See EXPERIMENTS.md for the per-table mapping
+   and expected shapes.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe e1 e5      # selected experiments
+     dune exec bench/main.exe micro      # micro-benchmarks only *)
+
+let experiments =
+  [
+    ("e1", "binding resolution path (Fig. 17)", Exp_binding_path.run);
+    ("e2", "object->agent traffic vs cache size (5.2.1)", Exp_cache.run);
+    ("e3", "binding agent combining tree (5.2.2)", Exp_tree.run);
+    ("e4", "class cloning (5.2.2)", Exp_clone.run);
+    ("e5", "distributed-systems principle (5.2)", Exp_scale.run);
+    ("e6", "lifecycle costs (3.1, Fig. 11)", Exp_lifecycle.run);
+    ("e7", "replication availability (4.3)", Exp_replication.run);
+    ("e8", "stale bindings under churn (4.1.4)", Exp_stale.run);
+    ("e9", "ablation: binding TTL (3.5)", Exp_ttl.run);
+    ("e10", "the locality assumption (5.2)", Exp_locality.run);
+    ("e11", "ablation: scheduling policies (3.7-3.8)", Exp_sched.run);
+    ("e13", "jurisdiction splitting (2.2)", Exp_split.run);
+    ("micro", "substrate micro-benchmarks", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  print_endline "Core Legion Object Model -- experiment harness";
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, descr, f) ->
+          Printf.printf "\n=== %s: %s ===\n%!" name descr;
+          f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+          exit 1)
+    requested;
+  Printf.printf "\ncompleted in %.1f s wall clock\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,339 @@
+(* legion-sim: a command-line driver for the simulated Legion.
+
+   Subcommands:
+     boot     bring a system up, print its inventory, run idle
+     drive    run a synthetic workload and report per-component load
+     trace    run one binding resolution with full message accounting
+     idl      parse an IDL file and echo the normalized interfaces *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Counter = Legion_util.Counter
+module Prng = Legion_util.Prng
+module Network = Legion_net.Network
+module Impl = Legion_core.Impl
+module Well_known = Legion_core.Well_known
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module System = Legion.System
+module Api = Legion.Api
+open Cmdliner
+
+(* --- shared fixture bits --- *)
+
+let counter_unit = "cli.counter"
+
+let counter_factory (_ctx : Runtime.ctx) : Impl.part =
+  let n = ref 0 in
+  Impl.part
+    ~methods:
+      [
+        ( "Increment",
+          fun _ args _ k ->
+            match args with
+            | [ Value.Int d ] ->
+                n := !n + d;
+                k (Ok (Value.Int !n))
+            | _ -> Impl.bad_args k "Increment expects one int" );
+        ("Get", fun _ _ _ k -> k (Ok (Value.Int !n)));
+      ]
+    ~save:(fun () -> Value.Int !n)
+    ~restore:(fun v ->
+      match v with
+      | Value.Int i ->
+          n := i;
+          Ok ()
+      | _ -> Error "bad counter state")
+    counter_unit
+
+let parse_sites spec =
+  try
+    let parts = String.split_on_char ',' spec in
+    List.map
+      (fun p ->
+        match String.split_on_char ':' p with
+        | [ name; n ] -> (name, int_of_string n)
+        | [ name ] -> (name, 2)
+        | _ -> failwith "bad site spec")
+      parts
+  with _ -> failwith "site spec must look like  uva:4,doe:8"
+
+let boot_system ~sites ~seed =
+  Impl.register counter_unit counter_factory;
+  System.boot ~seed:(Int64.of_int seed) ~sites:(parse_sites sites) ()
+
+let sites_arg =
+  let doc = "Topology: comma-separated site:hosts pairs, e.g. uva:4,doe:8." in
+  Arg.(value & opt string "east:3,west:3" & info [ "sites" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; runs are deterministic per seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+(* --- boot --- *)
+
+let cmd_boot =
+  let run sites seed =
+    let sys = boot_system ~sites ~seed in
+    Format.printf "Legion is up.@.@.";
+    Format.printf "%-12s %-8s %-40s@." "site" "hosts" "magistrate / binding agent";
+    List.iter
+      (fun s ->
+        Format.printf "%-12s %-8d %s / %s@." s.System.site_name
+          (List.length s.System.net_hosts)
+          (Loid.to_string s.System.magistrate)
+          (Loid.to_string s.System.agent))
+      (System.sites sys);
+    Format.printf "@.core classes:@.";
+    List.iter
+      (fun c -> Format.printf "  %s@." (Loid.to_string c))
+      Well_known.core_classes;
+    Format.printf "@.%d messages exchanged during bootstrap@."
+      (Network.messages_sent (System.net sys))
+  in
+  let info = Cmd.info "boot" ~doc:"Boot a system and print its inventory." in
+  Cmd.v info Term.(const run $ sites_arg $ seed_arg)
+
+(* --- drive --- *)
+
+let cmd_drive =
+  let objects_arg =
+    Arg.(value & opt int 32 & info [ "objects" ] ~docv:"N" ~doc:"Objects to create.")
+  in
+  let calls_arg =
+    Arg.(value & opt int 1000 & info [ "calls" ] ~docv:"N" ~doc:"Invocations to issue.")
+  in
+  let tree_arg =
+    Arg.(value & opt int 0 & info [ "tree" ] ~docv:"K"
+           ~doc:"Arrange site Binding Agents under a combining tree of this fan-out (0 = flat).")
+  in
+  let run sites seed objects calls tree =
+    let sys = boot_system ~sites ~seed in
+    if tree > 0 then System.arrange_agent_tree sys ~fanout:tree;
+    let ctx = System.client sys () in
+    let cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Counter"
+        ~units:[ counter_unit ] ()
+    in
+    let objs =
+      Array.init objects (fun _ -> Api.create_object_exn sys ctx ~cls ())
+    in
+    let prng = Prng.create ~seed:(Int64.of_int (seed + 1)) in
+    let failures = ref 0 in
+    let t0 = System.now sys in
+    for _ = 1 to calls do
+      let target = objs.(Prng.int prng objects) in
+      match Api.call sys ctx ~dst:target ~meth:"Increment" ~args:[ Value.Int 1 ] with
+      | Ok _ -> ()
+      | Error _ -> incr failures
+    done;
+    Format.printf "%d calls over %d objects in %.3f virtual s (%d failures)@.@."
+      calls objects
+      (System.now sys -. t0)
+      !failures;
+    let groups =
+      [
+        Well_known.kind_binding_agent;
+        Well_known.kind_class;
+        Well_known.kind_magistrate;
+        Well_known.kind_host;
+        Well_known.kind_app;
+      ]
+    in
+    Format.printf "%-15s %-10s %-10s@." "component" "total rq" "max rq";
+    let reg = System.registry sys in
+    List.iter
+      (fun g ->
+        let mx = match Counter.Registry.group_max reg g with
+          | Some (_, v) -> v
+          | None -> 0
+        in
+        Format.printf "%-15s %-10d %-10d@." g (Counter.Registry.group_total reg g) mx)
+      groups;
+    let ih, is_, ws = Network.messages_by_tier (System.net sys) in
+    Format.printf "@.messages: %d intra-host, %d intra-site, %d wide-area (%d dropped)@."
+      ih is_ ws
+      (Network.messages_dropped (System.net sys))
+  in
+  let info = Cmd.info "drive" ~doc:"Run a synthetic workload and report load." in
+  Cmd.v info Term.(const run $ sites_arg $ seed_arg $ objects_arg $ calls_arg $ tree_arg)
+
+(* --- trace --- *)
+
+let cmd_trace =
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every protocol message.")
+  in
+  let run sites seed verbose =
+    let sys = boot_system ~sites ~seed in
+    if verbose then
+      Network.set_tap (System.net sys)
+        (Some
+           (fun ~src ~dst payload ->
+             match Runtime.describe_message payload with
+             | Some line ->
+                 Format.printf "  [%8.3f ms] %s->%s  %s@."
+                   (System.now sys *. 1000.0)
+                   (Network.host_name (System.net sys) src)
+                   (Network.host_name (System.net sys) dst)
+                   line
+             | None -> ()));
+    let ctx = System.client sys () in
+    let cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Counter"
+        ~units:[ counter_unit ] ()
+    in
+    let loid = Api.create_object_exn sys ctx ~cls () in
+    Format.printf "created %s (inert)@." (Loid.to_string loid);
+    let stages =
+      [
+        ("first reference (cold)", fun () -> Api.call sys ctx ~dst:loid ~meth:"Get" ~args:[]);
+        ("second reference (cached)", fun () -> Api.call sys ctx ~dst:loid ~meth:"Get" ~args:[]);
+      ]
+    in
+    List.iter
+      (fun (label, f) ->
+        let m0 = Network.messages_sent (System.net sys) in
+        let t0 = System.now sys in
+        (match f () with
+        | Ok _ -> ()
+        | Error e -> Format.printf "  (%s)@." (Err.to_string e));
+        Format.printf "%-28s %2d messages, %.3f virtual ms@." label
+          (Network.messages_sent (System.net sys) - m0)
+          ((System.now sys -. t0) *. 1000.0))
+      stages
+  in
+  let info = Cmd.info "trace" ~doc:"Trace a cold and a warm binding resolution." in
+  Cmd.v info Term.(const run $ sites_arg $ seed_arg $ verbose_arg)
+
+(* --- soak --- *)
+
+let cmd_soak =
+  let rounds_arg =
+    Arg.(value & opt int 300 & info [ "rounds" ] ~docv:"N" ~doc:"Workload rounds.")
+  in
+  let chaos_arg =
+    Arg.(value & opt float 0.03 & info [ "chaos" ] ~docv:"P"
+           ~doc:"Per-round probability of a host crash (with reboot).")
+  in
+  let run sites seed rounds chaos =
+    let sys = boot_system ~sites ~seed in
+    let ctx = System.client sys () in
+    let cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Counter"
+        ~units:[ counter_unit ] ()
+    in
+    let n_objects = 16 in
+    let objs = Array.init n_objects (fun _ -> Api.create_object_exn sys ctx ~cls ()) in
+    let prng = Prng.create ~seed:(Int64.of_int (seed + 99)) in
+    let infra =
+      List.map (fun s -> List.hd s.System.net_hosts) (System.sites sys)
+    in
+    let ok = ref 0 and failed = ref 0 and crashes = ref 0 in
+    for _ = 1 to rounds do
+      let target = objs.(Prng.int prng n_objects) in
+      (match Api.call sys ctx ~dst:target ~meth:"Increment" ~args:[ Value.Int 1 ] with
+      | Ok _ -> incr ok
+      | Error _ -> incr failed);
+      if Prng.bernoulli prng ~p:chaos then begin
+        let candidates =
+          List.filter
+            (fun h ->
+              (not (List.mem h infra)) && Network.host_is_up (System.net sys) h)
+            (Network.hosts (System.net sys))
+        in
+        if candidates <> [] then begin
+          (* Checkpoint everything, then crash; the host reboots later. *)
+          List.iter
+            (fun m ->
+              ignore
+                (Api.call sys ctx ~dst:m ~meth:"SweepIdle" ~args:[ Value.Float 0.0 ]))
+            (System.magistrates sys);
+          let victim = List.nth candidates (Prng.int prng (List.length candidates)) in
+          Runtime.crash_host (System.rt sys) victim;
+          incr crashes;
+          let net = System.net sys in
+          ignore
+            (Legion_sim.Engine.schedule (System.sim sys) ~delay:5.0 (fun () ->
+                 Network.set_host_up net victim true))
+        end
+      end;
+      System.run_for sys 0.2
+    done;
+    System.run sys;
+    let reachable =
+      Array.fold_left
+        (fun acc o ->
+          match Api.call sys ctx ~dst:o ~meth:"Get" ~args:[] with
+          | Ok _ -> acc + 1
+          | Error _ -> acc)
+        0 objs
+    in
+    Format.printf
+      "%d rounds: %d ok, %d failed during chaos; %d crashes injected@." rounds !ok
+      !failed !crashes;
+    Format.printf "after healing: %d/%d objects reachable; %.1f virtual s elapsed@."
+      reachable n_objects (System.now sys);
+    if reachable < n_objects then exit 1
+  in
+  let info =
+    Cmd.info "soak" ~doc:"Run a chaos workload and verify every object survives."
+  in
+  Cmd.v info Term.(const run $ sites_arg $ seed_arg $ rounds_arg $ chaos_arg)
+
+(* --- idl --- *)
+
+let cmd_idl =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IDL source file.")
+  in
+  let run file =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    (* MPL sources open with "mentat class"; CORBA-flavoured ones with
+       "interface" (the paper's two IDLs). *)
+    let is_mpl =
+      let rec first_word i =
+        if i >= String.length src then ""
+        else if src.[i] = ' ' || src.[i] = '\n' || src.[i] = '\t' then first_word (i + 1)
+        else
+          let j = ref i in
+          while
+            !j < String.length src
+            && src.[!j] <> ' ' && src.[!j] <> '\n' && src.[!j] <> '\t'
+          do
+            incr j
+          done;
+          String.sub src i (!j - i)
+      in
+      first_word 0 = "mentat"
+    in
+    let parsed =
+      if is_mpl then
+        Result.map_error
+          (fun e -> Format.asprintf "%a" Legion_idl.Mpl.pp_error e)
+          (Legion_idl.Mpl.file src)
+      else
+        Result.map_error
+          (fun e -> Format.asprintf "%a" Legion_idl.Parser.pp_error e)
+          (Legion_idl.Parser.file src)
+    in
+    match parsed with
+    | Ok interfaces ->
+        List.iter
+          (fun i -> Format.printf "%a@.@." Legion_idl.Interface.pp i)
+          interfaces
+    | Error e ->
+        Format.eprintf "%s: %s@." file e;
+        exit 1
+  in
+  let info =
+    Cmd.info "idl" ~doc:"Parse and normalize an IDL or MPL file (auto-detected)."
+  in
+  Cmd.v info Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "legion-sim" ~version:"1.0"
+      ~doc:"Drive the simulated Core Legion Object Model from the command line."
+  in
+  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_idl ]))

@@ -1,0 +1,1 @@
+examples/bag_of_tasks.ml: Array Format Legion Legion_core Legion_objects Legion_rt Legion_sim Legion_wire List

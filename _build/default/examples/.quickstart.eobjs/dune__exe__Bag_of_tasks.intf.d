@@ -1,0 +1,1 @@
+examples/bag_of_tasks.mli:

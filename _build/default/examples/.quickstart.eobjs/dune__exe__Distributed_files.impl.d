@@ -1,0 +1,1 @@
+examples/distributed_files.ml: Format Legion Legion_core Legion_ctx Legion_naming Legion_net Legion_rt Legion_wire List String

@@ -1,0 +1,1 @@
+examples/migration_replication.ml: Format Legion Legion_core Legion_naming Legion_net Legion_repl Legion_rt Legion_wire List Printf

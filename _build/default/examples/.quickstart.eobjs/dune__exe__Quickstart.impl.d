@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Legion Legion_core Legion_naming Legion_net Legion_rt Legion_wire List Printf

@@ -1,0 +1,1 @@
+examples/shared_workspace.ml: Format Legion Legion_core Legion_ctx Legion_naming Legion_objects Legion_rt Legion_wire List Printf String

@@ -1,0 +1,1 @@
+examples/site_autonomy.ml: Format Legion Legion_core Legion_naming Legion_rt Legion_sec Legion_wire List

@@ -1,0 +1,1 @@
+examples/wide_area_compute.ml: Float Format Hashtbl Int64 Legion Legion_core Legion_naming Legion_net Legion_rt Legion_sched Legion_util Legion_wire List Option

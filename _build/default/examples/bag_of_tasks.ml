@@ -1,0 +1,108 @@
+(* Bag-of-tasks over a tuple space — the classic Linda pattern, running
+   on Legion objects.
+
+   A master deposits ("task", id, payload) tuples into a shared tuple
+   space; workers at two sites repeatedly In a task, compute, and Out a
+   ("result", id, value) tuple; the master collects results. The
+   blocking In is a deferred Legion reply: idle workers wait inside the
+   space object, and every Out wakes exactly one matching waiter.
+
+   Run with: dune exec examples/bag_of_tasks.exe *)
+
+module Value = Legion_wire.Value
+module Runtime = Legion_rt.Runtime
+module Well_known = Legion_core.Well_known
+module Std = Legion_objects.Std_parts
+module System = Legion.System
+module Api = Legion.Api
+
+let n_tasks = 12
+
+let () =
+  Std.register ();
+  let sys = System.boot ~seed:47L ~sites:[ ("hq", 3); ("farm", 3) ] () in
+  let master = System.client sys ~site:0 () in
+  let ts_cls =
+    Api.derive_class_exn sys master ~parent:Well_known.legion_object
+      ~name:"TaskSpace" ~units:[ Std.tspace_unit ] ~idl:Std.tspace_idl ~typed:true
+      ()
+  in
+  let space = Api.create_object_exn sys master ~cls:ts_cls ~eager:true () in
+  Format.printf "tuple space up; %d tasks, 4 workers at two sites@." n_tasks;
+
+  (* Workers: pull a task, square it, push the result, repeat. Each
+     worker is a client loop driven by continuations — all four run
+     interleaved inside the simulation. *)
+  let tasks_done = Array.make 5 0 in
+  let spawn_worker wid site =
+    let me = System.client sys ~site () in
+    let rec loop () =
+      Runtime.invoke me ~timeout:3600.0 ~dst:space ~meth:"In"
+        ~args:[ Value.List [ Value.Str "task"; Value.Str "_"; Value.Str "_" ] ]
+        (fun r ->
+          match r with
+          | Ok (Value.List [ Value.Str "task"; Value.Int id; Value.Int x ]) ->
+              tasks_done.(wid) <- tasks_done.(wid) + 1;
+              Runtime.invoke me ~dst:space ~meth:"Out"
+                ~args:
+                  [
+                    Value.List
+                      [ Value.Str "result"; Value.Int id; Value.Int (x * x) ];
+                  ]
+                (fun _ -> loop ())
+          | Ok _ | Error _ -> ())
+    in
+    loop ()
+  in
+  spawn_worker 1 0;
+  spawn_worker 2 0;
+  spawn_worker 3 1;
+  spawn_worker 4 1;
+
+  (* Master deposits the bag. *)
+  for id = 1 to n_tasks do
+    Runtime.invoke master ~dst:space ~meth:"Out"
+      ~args:[ Value.List [ Value.Str "task"; Value.Int id; Value.Int id ] ]
+      (fun _ -> ())
+  done;
+
+  (* Master collects all results (blocking In per result). *)
+  let results = ref [] in
+  let remaining = ref n_tasks in
+  let rec collect () =
+    if !remaining > 0 then
+      Runtime.invoke master ~timeout:3600.0 ~dst:space ~meth:"In"
+        ~args:[ Value.List [ Value.Str "result"; Value.Str "_"; Value.Str "_" ] ]
+        (fun r ->
+          (match r with
+          | Ok (Value.List [ Value.Str "result"; Value.Int id; Value.Int v ]) ->
+              results := (id, v) :: !results
+          | Ok _ | Error _ -> ());
+          decr remaining;
+          collect ())
+  in
+  collect ();
+  (* Drive only until the bag is empty: a full drain would also play
+     out the parked workers' hour-long deadlines. *)
+  while !remaining > 0 && Legion_sim.Engine.step (System.sim sys) do
+    ()
+  done;
+
+  let results = List.sort compare !results in
+  Format.printf "collected %d results:@." (List.length results);
+  List.iter (fun (id, v) -> Format.printf "  task %2d -> %3d@." id v) results;
+  let correct =
+    List.for_all (fun (id, v) -> v = id * id) results
+    && List.length results = n_tasks
+  in
+  Format.printf "all correct: %b@." correct;
+  List.iteri
+    (fun wid n -> if wid > 0 then Format.printf "worker %d handled %d tasks@." wid n)
+    (Array.to_list tasks_done);
+  Format.printf
+    "(site-0 workers sit 80x closer to the space than the farm's — Linda's \
+     locality bias, visible because tasks are instantaneous)@.";
+  (* The idle workers are still parked inside blocking In calls — the
+     deferred replies simply never fire; a real system would Shutdown
+     the space or let the workers' own deadlines lapse. *)
+  Format.printf "done in %.3f simulated seconds@." (System.now sys)

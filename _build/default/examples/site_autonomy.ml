@@ -1,0 +1,166 @@
+(* Site autonomy and the market in Magistrates — the paper's §2.1.3 DOE
+   story: "the DOE can write its own Magistrate, and insist via the
+   class mechanism that all objects that the DOE owns execute only on
+   Magistrates that it trusts."
+
+   Three Jurisdictions with three policies:
+     - "campus"  : accepts anything (a university's open pool);
+     - "doe"     : accepts requests only from Responsible Agents on its
+                   roster (a custom activation policy);
+     - "vendor"  : accepts anything but refuses Delete (a commercial
+                   provider that never loses your data).
+
+   Run with: dune exec examples/site_autonomy.exe *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Policy = Legion_sec.Policy
+module Impl = Legion_core.Impl
+module Well_known = Legion_core.Well_known
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module System = Legion.System
+module Api = Legion.Api
+
+let dataset_unit = "example.dataset"
+
+(* A "sensitive dataset" object with its own MayI policy on top of the
+   Jurisdiction-level controls. *)
+let dataset_factory (_ctx : Runtime.ctx) : Impl.part =
+  let contents = ref "classified numbers" in
+  let read _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Value.Str !contents))
+    | _ -> Impl.bad_args k "Read takes no arguments"
+  in
+  let write _ctx args _env k =
+    match args with
+    | [ Value.Str s ] ->
+        contents := s;
+        k Impl.ok_unit
+    | _ -> Impl.bad_args k "Write expects one string"
+  in
+  Impl.part
+    ~methods:[ ("Read", read); ("Write", write) ]
+    ~save:(fun () -> Value.Str !contents)
+    ~restore:(fun v ->
+      match v with
+      | Value.Str s ->
+          contents := s;
+          Ok ()
+      | _ -> Error "dataset state must be a string")
+    dataset_unit
+
+let show label r =
+  match r with
+  | Ok v -> Format.printf "  %-34s -> ok: %s@." label (Value.to_string v)
+  | Error e -> Format.printf "  %-34s -> %s@." label (Err.to_string e)
+
+let () =
+  Impl.register dataset_unit dataset_factory;
+  let sys =
+    System.boot ~seed:7L ~sites:[ ("campus", 3); ("doe", 3); ("vendor", 3) ] ()
+  in
+  let doe_scientist = System.client sys ~site:1 () in
+  let grad_student = System.client sys ~site:0 () in
+  let scientist_loid = Runtime.proc_loid doe_scientist.Runtime.self in
+  let student_loid = Runtime.proc_loid grad_student.Runtime.self in
+
+  let campus_mag = (System.site sys 0).System.magistrate in
+  let doe_mag = (System.site sys 1).System.magistrate in
+  let vendor_mag = (System.site sys 2).System.magistrate in
+
+  (* Configure the market: each provider installs its own policy. *)
+  Format.printf "configuring magistrate policies...@.";
+  let set ctx mag policy =
+    match
+      Api.call sys ctx ~dst:mag ~meth:"SetActivationPolicy"
+        ~args:[ Policy.to_value policy ]
+    with
+    | Ok _ -> ()
+    | Error e -> Format.printf "  policy rejected: %s@." (Err.to_string e)
+  in
+  set doe_scientist doe_mag
+    (Policy.Allow_responsible (Loid.Set.of_list [ scientist_loid ]));
+  set doe_scientist vendor_mag
+    (Policy.Deny_methods ([ "Delete" ], Policy.Allow_all));
+
+  let dataset_cls =
+    Api.derive_class_exn sys doe_scientist ~parent:Well_known.legion_object
+      ~name:"Dataset" ~units:[ dataset_unit ]
+      ~idl:"interface Dataset { Read(): str; Write(s: str); }" ()
+  in
+
+  Format.printf "@.the DOE scientist places a dataset in each jurisdiction:@.";
+  let at_campus =
+    Api.create_object sys doe_scientist ~cls:dataset_cls ~magistrate:campus_mag
+      ~eager:true ()
+  in
+  let at_doe =
+    Api.create_object sys doe_scientist ~cls:dataset_cls ~magistrate:doe_mag
+      ~eager:true ()
+  in
+  let at_vendor =
+    Api.create_object sys doe_scientist ~cls:dataset_cls ~magistrate:vendor_mag
+      ~eager:true ()
+  in
+  List.iter
+    (fun (label, r) ->
+      match r with
+      | Ok (l, _) -> Format.printf "  %-10s -> %s@." label (Loid.to_string l)
+      | Error e -> Format.printf "  %-10s -> %s@." label (Err.to_string e))
+    [ ("campus", at_campus); ("doe", at_doe); ("vendor", at_vendor) ];
+
+  Format.printf "@.the grad student tries the same:@.";
+  (match Api.create_object sys grad_student ~cls:dataset_cls ~magistrate:campus_mag () with
+  | Ok (l, _) -> Format.printf "  campus accepts the student     -> %s@." (Loid.to_string l)
+  | Error e -> Format.printf "  campus refuses the student     -> %s@." (Err.to_string e));
+  (match Api.create_object sys grad_student ~cls:dataset_cls ~magistrate:doe_mag () with
+  | Ok _ -> Format.printf "  doe accepted the student?! site autonomy is broken@."
+  | Error e ->
+      Format.printf "  doe turns the student away     -> %s@." (Err.to_string e));
+
+  (* Jurisdiction policy also gates activation of existing objects: the
+     student cannot force the DOE copy back to life. *)
+  (match at_doe with
+  | Ok (doe_obj, _) -> (
+      ignore
+        (Api.call sys doe_scientist ~dst:doe_mag ~meth:"Deactivate"
+           ~args:[ Loid.to_value doe_obj ]);
+      Format.printf "@.dataset at DOE deactivated; who can reference it?@.";
+      show "student reads the DOE dataset"
+        (Api.call sys grad_student ~dst:doe_obj ~meth:"Read" ~args:[]);
+      show "scientist reads the DOE dataset"
+        (Api.call sys doe_scientist ~dst:doe_obj ~meth:"Read" ~args:[]))
+  | Error _ -> ());
+
+  (* The vendor never deletes. *)
+  (match at_vendor with
+  | Ok (vendor_obj, _) ->
+      Format.printf "@.the vendor's no-delete guarantee:@.";
+      show "scientist deletes at vendor"
+        (Api.call sys doe_scientist ~dst:vendor_mag ~meth:"Delete"
+           ~args:[ Loid.to_value vendor_obj ]);
+      show "vendor data still readable"
+        (Api.call sys doe_scientist ~dst:vendor_obj ~meth:"Read" ~args:[])
+  | Error _ -> ());
+
+  (* Object-level security stacks on top: the dataset itself can carry a
+     MayI policy admitting only the scientist, wherever it runs. *)
+  (match at_campus with
+  | Ok (campus_obj, _) ->
+      Format.printf "@.object-level MayI on the campus copy:@.";
+      (match
+         Api.call sys doe_scientist ~dst:campus_obj ~meth:"SetPolicy"
+           ~args:[ Policy.to_value (Policy.allow_loids [ scientist_loid ]) ]
+       with
+      | Ok _ -> ()
+      | Error e -> Format.printf "  SetPolicy failed: %s@." (Err.to_string e));
+      show "student reads campus copy"
+        (Api.call sys grad_student ~dst:campus_obj ~meth:"Read" ~args:[]);
+      show "scientist reads campus copy"
+        (Api.call sys doe_scientist ~dst:campus_obj ~meth:"Read" ~args:[]);
+      ignore student_loid
+  | Error _ -> ());
+
+  Format.printf "@.done in %.3f simulated seconds@." (System.now sys)

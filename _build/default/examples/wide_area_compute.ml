@@ -1,0 +1,193 @@
+(* Wide-area parallel computation — the workload Legion's introduction
+   motivates: "wide-area assemblies of workstations, supercomputers, and
+   parallel supercomputers" running one application.
+
+   A parameter sweep over a Monte-Carlo pi estimator is fanned out to
+   worker objects spread over three Jurisdictions (a university, a
+   national lab, and a supercomputing center). Placement goes through a
+   least-loaded Scheduling Agent; results are gathered by a collector
+   object; the run reports per-site placement and timing.
+
+   Run with: dune exec examples/wide_area_compute.exe *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Impl = Legion_core.Impl
+module Well_known = Legion_core.Well_known
+module Runtime = Legion_rt.Runtime
+module Network = Legion_net.Network
+module System = Legion.System
+module Api = Legion.Api
+
+(* A worker: estimates pi from [n] pseudo-random darts, seeded by the
+   task id so results are reproducible. *)
+let worker_unit = "example.worker"
+
+let worker_factory (_ctx : Runtime.ctx) : Impl.part =
+  let tasks_done = ref 0 in
+  let estimate _ctx args _env k =
+    match args with
+    | [ Value.Int seed; Value.Int n ] ->
+        let prng = Legion_util.Prng.create ~seed:(Int64.of_int seed) in
+        let inside = ref 0 in
+        for _ = 1 to n do
+          let x = Legion_util.Prng.float prng 1.0 in
+          let y = Legion_util.Prng.float prng 1.0 in
+          if (x *. x) +. (y *. y) <= 1.0 then incr inside
+        done;
+        incr tasks_done;
+        k (Ok (Value.Float (4.0 *. float_of_int !inside /. float_of_int n)))
+    | _ -> Impl.bad_args k "Estimate expects (seed: int, n: int)"
+  in
+  let done_count _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Value.Int !tasks_done))
+    | _ -> Impl.bad_args k "TasksDone takes no arguments"
+  in
+  Impl.part
+    ~methods:[ ("Estimate", estimate); ("TasksDone", done_count) ]
+    ~save:(fun () -> Value.Int !tasks_done)
+    ~restore:(fun v ->
+      match v with
+      | Value.Int n ->
+          tasks_done := n;
+          Ok ()
+      | _ -> Error "worker state must be an int")
+    worker_unit
+
+(* A collector: accumulates partial estimates. *)
+let collector_unit = "example.collector"
+
+let collector_factory (_ctx : Runtime.ctx) : Impl.part =
+  let sum = ref 0.0 and count = ref 0 in
+  let submit _ctx args _env k =
+    match args with
+    | [ Value.Float v ] ->
+        sum := !sum +. v;
+        incr count;
+        k (Ok (Value.Int !count))
+    | _ -> Impl.bad_args k "Submit expects one float"
+  in
+  let result _ctx args _env k =
+    match args with
+    | [] ->
+        let mean = if !count = 0 then 0.0 else !sum /. float_of_int !count in
+        k (Ok (Value.Record [ ("mean", Value.Float mean); ("n", Value.Int !count) ]))
+    | _ -> Impl.bad_args k "Result takes no arguments"
+  in
+  Impl.part
+    ~methods:[ ("Submit", submit); ("Result", result) ]
+    ~save:(fun () -> Value.Record [ ("s", Value.Float !sum); ("c", Value.Int !count) ])
+    ~restore:(fun v ->
+      match (Value.field v "s", Value.field v "c") with
+      | Ok (Value.Float s), Ok (Value.Int c) ->
+          sum := s;
+          count := c;
+          Ok ()
+      | _ -> Error "collector state malformed")
+    collector_unit
+
+let () =
+  Impl.register worker_unit worker_factory;
+  Impl.register collector_unit collector_factory;
+  let sys =
+    System.boot ~seed:2026L
+      ~sites:[ ("university", 4); ("natlab", 6); ("superctr", 2) ]
+      ()
+  in
+  let ctx = System.client sys () in
+  Format.printf "Legion up: 3 jurisdictions, %d hosts@."
+    (Network.host_count (System.net sys));
+
+  (* A least-loaded Scheduling Agent, itself an ordinary Legion object. *)
+  let sched_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object
+      ~name:"LeastLoadedSched"
+      ~units:[ Legion_sched.Sched_part.unit_least_loaded ]
+      ~kind:Well_known.kind_sched ()
+  in
+  let sched = Api.create_object_exn sys ctx ~cls:sched_cls ~eager:true () in
+
+  let worker_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"PiWorker"
+      ~units:[ worker_unit ]
+      ~idl:
+        "interface PiWorker { Estimate(seed: int, n: int): float; TasksDone(): int; }"
+      ()
+  in
+  let collector_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Collector"
+      ~units:[ collector_unit ]
+      ~idl:"interface Collector { Submit(v: float): int; Result(): any; }" ()
+  in
+  let collector = Api.create_object_exn sys ctx ~cls:collector_cls ~eager:true () in
+
+  (* Fan out 12 workers round-robin over the three Jurisdictions, placed
+     by the Scheduling Agent within each. *)
+  let n_workers = 12 in
+  let magistrates = System.magistrates sys in
+  let workers =
+    List.init n_workers (fun i ->
+        Api.create_object_exn sys ctx ~cls:worker_cls ~eager:true
+          ~magistrate:(List.nth magistrates (i mod List.length magistrates))
+          ~sched ())
+  in
+  (* Report placement. *)
+  let rt = System.rt sys and net = System.net sys in
+  let site_names = List.map (fun s -> s.System.site_name) (System.sites sys) in
+  let placement = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      match Runtime.find_proc rt w with
+      | Some p ->
+          let site = List.nth site_names (Network.site_of net (Runtime.proc_host p)) in
+          Hashtbl.replace placement site
+            (1 + Option.value ~default:0 (Hashtbl.find_opt placement site))
+      | None -> ())
+    workers;
+  Format.printf "worker placement:@.";
+  Hashtbl.iter (fun site n -> Format.printf "  %-12s %d workers@." site n) placement;
+
+  (* Dispatch 48 tasks asynchronously — method calls are non-blocking
+     (§2) — and have each worker push its estimate to the collector. *)
+  let t0 = System.now sys in
+  let n_tasks = 48 in
+  let outstanding = ref n_tasks in
+  let darts = 20_000 in
+  for task = 0 to n_tasks - 1 do
+    let w = List.nth workers (task mod n_workers) in
+    Runtime.invoke ctx ~dst:w ~meth:"Estimate"
+      ~args:[ Value.Int (task + 1); Value.Int darts ]
+      (fun r ->
+        (match r with
+        | Ok (Value.Float est) ->
+            Runtime.invoke ctx ~dst:collector ~meth:"Submit"
+              ~args:[ Value.Float est ] (fun _ -> ())
+        | Ok _ | Error _ -> ());
+        decr outstanding)
+  done;
+  System.run sys;
+  Format.printf "dispatched %d tasks x %d darts; %d unanswered@." n_tasks darts
+    !outstanding;
+
+  (* Read the aggregated result. *)
+  (match Api.call_exn sys ctx ~dst:collector ~meth:"Result" ~args:[] with
+  | Value.Record fields ->
+      let mean =
+        match List.assoc_opt "mean" fields with
+        | Some (Value.Float f) -> f
+        | _ -> nan
+      in
+      let n =
+        match List.assoc_opt "n" fields with Some (Value.Int n) -> n | _ -> 0
+      in
+      Format.printf "pi estimate over %d partials: %.5f (error %.5f)@." n mean
+        (abs_float (mean -. Float.pi))
+  | v -> Format.printf "unexpected result: %s@." (Value.to_string v));
+
+  let ih, is_, ws = Network.messages_by_tier (System.net sys) in
+  Format.printf
+    "virtual time %.3f s (compute phase %.3f s); messages: %d local, %d campus, %d wide-area@."
+    (System.now sys)
+    (System.now sys -. t0)
+    ih is_ ws

@@ -1,0 +1,1 @@
+lib/binding/agent_part.mli: Legion_core Legion_naming Legion_wire

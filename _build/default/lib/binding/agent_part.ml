@@ -1,0 +1,330 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Binding = Legion_naming.Binding
+module Cache = Legion_naming.Cache
+module Env = Legion_sec.Env
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Impl = Legion_core.Impl
+module Well_known = Legion_core.Well_known
+module C = Legion_core.Convert
+
+let unit_name = "legion.binding_agent"
+
+(* Bound on upward recursion through the class hierarchy; a correct
+   hierarchy is a tree rooted at LegionClass, so this only fires on
+   corrupted responsibility pairs. *)
+let max_resolution_depth = 16
+
+type state = {
+  mutable cache : Cache.t;
+  mutable capacity : int option;
+  mutable parent : Address.t option;
+  mutable legion_class : Binding.t option;
+  mutable resolved : int;  (* misses resolved through classes *)
+  mutable forwarded : int;  (* misses forwarded to the parent agent *)
+  (* §5.2.1: "each object may select its Binding Agent based on its
+     charge rate" — a price per served lookup and accumulated revenue,
+     the hook for a market in binding service. *)
+  mutable price : int;
+  mutable revenue : int;
+}
+
+let state_value ?capacity ?parent ~legion_class () =
+  Value.Record
+    [
+      ("cap", C.vopt Value.of_int capacity);
+      ("parent", C.vopt Address.to_value parent);
+      ("lc", Binding.to_value legion_class);
+    ]
+
+let factory (ctx : Runtime.ctx) : Impl.part =
+  let rt = ctx.Runtime.rt in
+  let self = Runtime.proc_loid ctx.Runtime.self in
+  let st =
+    {
+      cache = Cache.create ();
+      capacity = None;
+      parent = None;
+      legion_class = None;
+      resolved = 0;
+      forwarded = 0;
+      price = 0;
+      revenue = 0;
+    }
+  in
+  let self_env = Env.of_self self in
+  let now () = Runtime.now rt in
+
+  (* Direct invocation by binding — Binding Agents never use a Binding
+     Agent themselves. Resolution performed on behalf of a request
+     keeps the requester's Responsible/Security Agents with this agent
+     as the Calling Agent (§2.4); [renv] holds that delegated
+     environment for the duration of one resolution. *)
+  let renv = ref self_env in
+  let call_binding b meth args k =
+    Runtime.invoke_binding ctx ~binding:b ~meth ~args ~env:!renv k
+  in
+
+  (* Obtain a binding for a class object [cls], recursing up the class
+     hierarchy. [depth] guards against corrupted pair tables. *)
+  let rec class_binding cls depth k =
+    if depth > max_resolution_depth then
+      k (Error (Err.Not_bound "class resolution depth exceeded"))
+    else
+      match st.legion_class with
+      | Some lc when Loid.equal cls (Binding.loid lc) -> k (Ok lc)
+      | _ -> (
+          match Cache.find st.cache ~now:(now ()) cls with
+          | Some b -> k (Ok b)
+          | None -> resolve_class cls ~stale:None depth k)
+
+  (* A class target: ask LegionClass who is responsible, then ask the
+     responsible class for the binding. [stale] (the refresh form) is
+     forwarded to the creator so it can drop its own stale table entry. *)
+  and resolve_class cls ~stale depth k =
+    match st.legion_class with
+    | None -> k (Error (Err.Not_bound "agent has no LegionClass binding"))
+    | Some lc ->
+        call_binding lc "LocateClass" [ Loid.to_value cls ] (fun r ->
+            match r with
+            | Error e -> k (Error e)
+            | Ok reply -> (
+                match C.loid_field reply "creator" with
+                | Error msg -> k (Error (Err.Internal msg))
+                | Ok creator ->
+                    class_binding creator (depth + 1) (fun r ->
+                        match r with
+                        | Error e -> k (Error e)
+                        | Ok creator_b ->
+                            let arg =
+                              match stale with
+                              | Some b -> Binding.to_value b
+                              | None -> Loid.to_value cls
+                            in
+                            call_binding creator_b "GetBinding" [ arg ] (fun r ->
+                                match r with
+                                | Error e -> k (Error e)
+                                | Ok bv -> (
+                                    match Binding.of_value bv with
+                                    | Error msg -> k (Error (Err.Internal msg))
+                                    | Ok b ->
+                                        Cache.add st.cache ~now:(now ()) b;
+                                        k (Ok b))))))
+
+  (* An instance target: the responsible class is the LOID with the
+     Class Specific field zeroed (§4.1.3). [stale] is passed through to
+     the class so it can refresh its own table entry. *)
+  and resolve_instance target ~stale k =
+    let cls = Loid.responsible_class target in
+    class_binding cls 0 (fun r ->
+        match r with
+        | Error e -> k (Error e)
+        | Ok cls_b ->
+            let arg =
+              match stale with
+              | Some b -> Binding.to_value b
+              | None -> Loid.to_value target
+            in
+            call_binding cls_b "GetBinding" [ arg ] (fun r ->
+                match r with
+                | Error e -> k (Error e)
+                | Ok bv -> (
+                    match Binding.of_value bv with
+                    | Error msg -> k (Error (Err.Internal msg))
+                    | Ok b ->
+                        Cache.add st.cache ~now:(now ()) b;
+                        k (Ok b))))
+  in
+
+  (* Cache miss on a class target: forward up the combining tree when a
+     parent is configured (§5.2.2), else resolve through LegionClass. *)
+  let resolve_class_target target ~stale k =
+    match st.parent with
+    | Some parent_addr ->
+        st.forwarded <- st.forwarded + 1;
+        let arg =
+          match stale with
+          | Some b -> Binding.to_value b
+          | None -> Loid.to_value target
+        in
+        let wildcard = Loid.make ~class_id:0L ~class_specific:0L () in
+        Runtime.invoke_address ctx ~address:parent_addr ~dst:wildcard
+          ~meth:"GetBinding" ~args:[ arg ] ~env:!renv (fun r ->
+            match r with
+            | Error e -> k (Error e)
+            | Ok bv -> (
+                match Binding.of_value bv with
+                | Error msg -> k (Error (Err.Internal msg))
+                | Ok b ->
+                    Cache.add st.cache ~now:(now ()) b;
+                    k (Ok b)))
+    | None ->
+        st.resolved <- st.resolved + 1;
+        if Loid.equal target Well_known.legion_class then
+          match st.legion_class with
+          | Some lc -> k (Ok lc)
+          | None -> k (Error (Err.Not_bound "agent has no LegionClass binding"))
+        else resolve_class target ~stale 0 k
+  in
+
+  let resolve target ~stale k =
+    if Loid.is_class target then resolve_class_target target ~stale k
+    else begin
+      st.resolved <- st.resolved + 1;
+      resolve_instance target ~stale k
+    end
+  in
+
+  let get_binding _ctx args env k =
+    renv := Env.delegate env ~calling:self;
+    match args with
+    | [ arg ] -> (
+        let finish r =
+          match r with
+          | Ok b ->
+              st.revenue <- st.revenue + st.price;
+              k (Ok (Binding.to_value b))
+          | Error e -> k (Error e)
+        in
+        match C.loid_arg arg with
+        | Ok target -> (
+            match Cache.find st.cache ~now:(now ()) target with
+            | Some b -> finish (Ok b)
+            | None -> resolve target ~stale:None finish)
+        | Error _ -> (
+            match C.binding_arg arg with
+            | Error _ -> Impl.bad_args k "GetBinding expects a loid or a binding"
+            | Ok stale ->
+                (* Refresh request: never serve the cache if it still
+                   holds the failing binding. *)
+                let target = Binding.loid stale in
+                (match Cache.find st.cache ~now:(now ()) target with
+                | Some cached when Binding.equal cached stale ->
+                    Cache.invalidate st.cache target
+                | Some _ | None -> ());
+                (match Cache.find st.cache ~now:(now ()) target with
+                | Some fresh -> finish (Ok fresh)
+                | None -> resolve target ~stale:(Some stale) finish)))
+    | _ -> Impl.bad_args k "GetBinding expects one argument"
+  in
+
+  let invalidate_binding _ctx args _env k =
+    match args with
+    | [ arg ] -> (
+        match C.loid_arg arg with
+        | Ok loid ->
+            Cache.invalidate st.cache loid;
+            k Impl.ok_unit
+        | Error _ -> (
+            match C.binding_arg arg with
+            | Ok b ->
+                Cache.invalidate_exact st.cache b;
+                k Impl.ok_unit
+            | Error _ ->
+                Impl.bad_args k "InvalidateBinding expects a loid or a binding"))
+    | _ -> Impl.bad_args k "InvalidateBinding expects one argument"
+  in
+
+  let add_binding _ctx args _env k =
+    match args with
+    | [ arg ] -> (
+        match C.binding_arg arg with
+        | Ok b ->
+            Cache.add st.cache ~now:(now ()) b;
+            k Impl.ok_unit
+        | Error msg -> Impl.bad_args k msg)
+    | _ -> Impl.bad_args k "AddBinding expects one binding"
+  in
+
+  let set_parent _ctx args _env k =
+    match args with
+    | [ Value.List [] ] ->
+        st.parent <- None;
+        k Impl.ok_unit
+    | [ Value.List [ a ] ] -> (
+        match Address.of_value a with
+        | Ok addr ->
+            st.parent <- Some addr;
+            k Impl.ok_unit
+        | Error msg -> Impl.bad_args k msg)
+    | _ -> Impl.bad_args k "SetParent expects opt<address>"
+  in
+
+  let get_stats _ctx args _env k =
+    match args with
+    | [] ->
+        k
+          (Ok
+             (Value.Record
+                [
+                  ("lookups", Value.Int (Cache.lookups st.cache));
+                  ("hits", Value.Int (Cache.hits st.cache));
+                  ("entries", Value.Int (Cache.length st.cache));
+                  ("evictions", Value.Int (Cache.evictions st.cache));
+                  ("resolved", Value.Int st.resolved);
+                  ("forwarded", Value.Int st.forwarded);
+                  ("price", Value.Int st.price);
+                  ("revenue", Value.Int st.revenue);
+                ]))
+    | _ -> Impl.bad_args k "GetStats takes no arguments"
+  in
+
+  let set_price _ctx args _env k =
+    match args with
+    | [ Value.Int p ] ->
+        if p < 0 then Impl.bad_args k "SetPrice expects a non-negative int"
+        else begin
+          st.price <- p;
+          k Impl.ok_unit
+        end
+    | _ -> Impl.bad_args k "SetPrice expects one int"
+  in
+
+  let save () =
+    let base =
+      state_value ?capacity:st.capacity ?parent:st.parent
+      ~legion_class:
+        (match st.legion_class with
+        | Some lc -> lc
+        | None ->
+            Binding.make
+              ~loid:Well_known.legion_class
+              ~address:(Address.singleton (Address.Sim { host = 0; slot = 0 }))
+              ())
+        ()
+    in
+    match base with
+    | Value.Record fields ->
+        Value.Record
+          (fields @ [ ("price", Value.Int st.price); ("rev", Value.Int st.revenue) ])
+    | other -> other
+  in
+  let restore v =
+    let ( let* ) r f = Result.bind r f in
+    let* cap = C.opt_int_field v "cap" in
+    let* parent = C.opt_address_field v "parent" in
+    let* lc_v = C.field v "lc" in
+    let* lc = Binding.of_value lc_v in
+    st.capacity <- cap;
+    st.cache <- Cache.create ?capacity:cap ();
+    st.parent <- parent;
+    st.legion_class <- Some lc;
+    (match C.int_field v "price" with Ok p -> st.price <- p | Error _ -> ());
+    (match C.int_field v "rev" with Ok r -> st.revenue <- r | Error _ -> ());
+    Ok ()
+  in
+  Impl.part
+    ~methods:
+      [
+        ("GetBinding", get_binding);
+        ("InvalidateBinding", invalidate_binding);
+        ("AddBinding", add_binding);
+        ("SetParent", set_parent);
+        ("GetStats", get_stats);
+        ("SetPrice", set_price);
+      ]
+    ~save ~restore unit_name
+
+let register () = Impl.register unit_name factory

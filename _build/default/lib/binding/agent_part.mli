@@ -1,0 +1,50 @@
+(** Binding Agents (paper §3.6, §4.1): the "legion.binding_agent" unit.
+
+    A Binding Agent binds LOIDs to Object Addresses on behalf of other
+    objects. This implementation follows the typical procedure of
+    §4.1.2:
+
+    + answer from its own cache when possible;
+    + for {e class} targets, optionally forward to a parent Binding
+      Agent — chains of parents form the k-ary software combining tree
+      of §5.2.2 that shields LegionClass;
+    + otherwise consult the class responsible for the target: for an
+      instance, the class is found by zeroing the Class Specific field
+      (§4.1.3); for a class, by asking LegionClass for the recorded
+      responsibility pair. Finding the class's own binding recurses the
+      same way, terminating at the seeded LegionClass binding — "the
+      process can end when the responsible class is LegionClass".
+
+    Methods (§3.6): [GetBinding(loid|binding): binding] (the binding
+    form requests a refresh of a stale binding),
+    [InvalidateBinding(loid|binding): unit], [AddBinding(binding): unit],
+    plus [SetParent(opt<address>): unit], [GetStats(): record], and
+    [SetPrice(p: int): unit] — §5.2.1's "charge rate": each served
+    lookup accrues [p] to the agent's revenue (visible in GetStats),
+    the hook for "each object may select its Binding Agent based on its
+    charge rate".
+
+    Binding Agents are deliberately self-reliant: they are spawned with
+    no Binding Agent of their own and reach classes by cached/seeded
+    addresses only. *)
+
+module Impl := Legion_core.Impl
+module Value := Legion_wire.Value
+module Binding := Legion_naming.Binding
+module Address := Legion_naming.Address
+
+val unit_name : string
+(** ["legion.binding_agent"]. *)
+
+val state_value :
+  ?capacity:int ->
+  ?parent:Address.t ->
+  legion_class:Binding.t ->
+  unit ->
+  Value.t
+(** Initial unit state: the seeded LegionClass binding (mandatory — it
+    is the recursion's base case), an optional parent agent, and a cache
+    capacity ([None] = unbounded). *)
+
+val factory : Impl.factory
+val register : unit -> unit

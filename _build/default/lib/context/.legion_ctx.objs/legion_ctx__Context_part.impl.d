@@ -1,0 +1,1 @@
+lib/context/context_part.ml: Legion_core Legion_naming Legion_rt Legion_wire List Printf Result String

@@ -1,0 +1,1 @@
+lib/context/context_part.mli: Legion_core Legion_naming Legion_rt

@@ -1,0 +1,126 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Impl = Legion_core.Impl
+module C = Legion_core.Convert
+
+let unit_name = "legion.context"
+
+type state = { mutable entries : (string * Loid.t) list }
+
+let factory (_ctx : Runtime.ctx) : Impl.part =
+  let st = { entries = [] } in
+  let lookup _ctx args _env k =
+    match args with
+    | [ Value.Str name ] -> (
+        match List.assoc_opt name st.entries with
+        | Some loid -> k (Ok (Loid.to_value loid))
+        | None -> k (Error (Err.Not_bound (Printf.sprintf "no entry %S" name))))
+    | _ -> Impl.bad_args k "Lookup expects one name"
+  in
+  let bind _ctx args _env k =
+    match args with
+    | [ Value.Str name; loid_v ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid ->
+            st.entries <- (name, loid) :: List.remove_assoc name st.entries;
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "Bind expects (name, loid)"
+  in
+  let unbind _ctx args _env k =
+    match args with
+    | [ Value.Str name ] ->
+        st.entries <- List.remove_assoc name st.entries;
+        k Impl.ok_unit
+    | _ -> Impl.bad_args k "Unbind expects one name"
+  in
+  let list_entries _ctx args _env k =
+    match args with
+    | [] ->
+        k
+          (Ok
+             (Value.List
+                (List.map
+                   (fun (n, l) ->
+                     Value.Record [ ("name", Value.Str n); ("loid", Loid.to_value l) ])
+                   st.entries)))
+    | _ -> Impl.bad_args k "ListEntries takes no arguments"
+  in
+  let save () =
+    Value.List
+      (List.map
+         (fun (n, l) -> Value.Record [ ("n", Value.Str n); ("l", Loid.to_value l) ])
+         st.entries)
+  in
+  let restore v =
+    let ( let* ) r f = Result.bind r f in
+    match v with
+    | Value.List es ->
+        let rec loop acc = function
+          | [] ->
+              st.entries <- List.rev acc;
+              Ok ()
+          | e :: rest ->
+              let* n = C.str_field e "n" in
+              let* l = C.loid_field e "l" in
+              loop ((n, l) :: acc) rest
+        in
+        loop [] es
+    | _ -> Error "context state: not a list"
+  in
+  Impl.part
+    ~methods:
+      [
+        ("Lookup", lookup);
+        ("Bind", bind);
+        ("Unbind", unbind);
+        ("ListEntries", list_entries);
+      ]
+    ~save ~restore unit_name
+
+let register () = Impl.register unit_name factory
+
+let ensure_path ctx ~root ~create_context path k =
+  let segments = List.filter (fun s -> s <> "") (String.split_on_char '/' path) in
+  let rec walk current = function
+    | [] -> k (Ok current)
+    | seg :: rest ->
+        Runtime.invoke ctx ~dst:current ~meth:"Lookup" ~args:[ Value.Str seg ]
+          (fun r ->
+            match r with
+            | Ok v -> (
+                match Loid.of_value v with
+                | Ok next -> walk next rest
+                | Error msg -> k (Error (Err.Internal msg)))
+            | Error (Err.Not_bound _) ->
+                create_context (fun created ->
+                    match created with
+                    | Error e -> k (Error e)
+                    | Ok fresh ->
+                        Runtime.invoke ctx ~dst:current ~meth:"Bind"
+                          ~args:[ Value.Str seg; Loid.to_value fresh ]
+                          (fun r ->
+                            match r with
+                            | Error e -> k (Error e)
+                            | Ok _ -> walk fresh rest))
+            | Error e -> k (Error e))
+  in
+  walk root segments
+
+let resolve_path ctx ~root path k =
+  let segments = List.filter (fun s -> s <> "") (String.split_on_char '/' path) in
+  let rec walk current = function
+    | [] -> k (Ok current)
+    | seg :: rest ->
+        Runtime.invoke ctx ~dst:current ~meth:"Lookup" ~args:[ Value.Str seg ]
+          (fun r ->
+            match r with
+            | Error e -> k (Error e)
+            | Ok v -> (
+                match Loid.of_value v with
+                | Ok next -> walk next rest
+                | Error msg -> k (Error (Err.Internal msg))))
+  in
+  walk root segments

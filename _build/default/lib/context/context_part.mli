@@ -1,0 +1,46 @@
+(** Contexts: string names for LOIDs (paper §4.1).
+
+    "A user will write a Legion application program in her favorite
+    language, and will typically name Legion objects with string names.
+    The program is compiled within a particular {e context} … the
+    compiler uses the context to map string names to LOIDs." We provide
+    the same mapping as a runtime service: a context object holds
+    [name → LOID] entries; nesting contexts (an entry naming another
+    context object) yields hierarchical paths, resolved client-side with
+    {!resolve_path}.
+
+    Methods: [Lookup(name: str): loid]; [Bind(name: str, obj: loid):
+    unit]; [Unbind(name: str): unit]; [ListEntries(): list<record>]. *)
+
+module Impl := Legion_core.Impl
+module Loid := Legion_naming.Loid
+module Runtime := Legion_rt.Runtime
+
+val unit_name : string
+(** ["legion.context"]. *)
+
+val factory : Impl.factory
+val register : unit -> unit
+
+val resolve_path :
+  Runtime.ctx ->
+  root:Loid.t ->
+  string ->
+  ((Loid.t, Legion_rt.Err.t) result -> unit) ->
+  unit
+(** Resolve a ["/"]-separated path by chained [Lookup] calls starting at
+    the [root] context object. Empty segments are skipped, so
+    ["/a//b"] ≡ ["a/b"]. *)
+
+val ensure_path :
+  Runtime.ctx ->
+  root:Loid.t ->
+  create_context:(((Loid.t, Legion_rt.Err.t) result -> unit) -> unit) ->
+  string ->
+  ((Loid.t, Legion_rt.Err.t) result -> unit) ->
+  unit
+(** [mkdir -p]: walk the path from [root], creating (via
+    [create_context], typically a [Create] on a context class) and
+    binding a fresh context object for every missing segment; the
+    continuation receives the final segment's context. Existing
+    segments are reused whatever object they name. *)

@@ -1,0 +1,1 @@
+lib/core/class_part.ml: Convert Format Impl Int64 Legion_idl Legion_naming Legion_rt Legion_sec Legion_wire List Opr Option Printf Result Stdlib Typecheck_part Well_known

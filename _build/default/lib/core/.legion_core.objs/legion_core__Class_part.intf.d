@@ -1,0 +1,1 @@
+lib/core/class_part.mli: Impl Legion_idl Legion_naming Legion_wire

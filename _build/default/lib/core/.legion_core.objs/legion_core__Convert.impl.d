@@ -1,0 +1,1 @@
+lib/core/convert.ml: Format Legion_naming Legion_wire List Printf Result

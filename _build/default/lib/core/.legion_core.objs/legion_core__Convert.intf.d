@@ -1,0 +1,1 @@
+lib/core/convert.mli: Legion_naming Legion_wire

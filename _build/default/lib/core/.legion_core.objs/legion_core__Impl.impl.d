@@ -1,0 +1,1 @@
+lib/core/impl.ml: Hashtbl Legion_rt Legion_sec Legion_wire List Opr Printf String

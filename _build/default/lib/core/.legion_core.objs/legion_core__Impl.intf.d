@@ -1,0 +1,1 @@
+lib/core/impl.mli: Legion_naming Legion_net Legion_rt Legion_sec Legion_wire Opr

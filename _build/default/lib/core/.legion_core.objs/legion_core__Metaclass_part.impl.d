@@ -1,0 +1,1 @@
+lib/core/metaclass_part.ml: Convert Format Impl Int64 Legion_naming Legion_rt Legion_wire List Option Result Well_known

@@ -1,0 +1,1 @@
+lib/core/metaclass_part.mli: Impl

@@ -1,0 +1,1 @@
+lib/core/object_part.ml: Format Impl Legion_naming Legion_rt Legion_sec Legion_wire Result Well_known

@@ -1,0 +1,1 @@
+lib/core/object_part.mli: Impl Legion_sec Legion_wire

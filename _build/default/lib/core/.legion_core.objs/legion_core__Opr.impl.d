@@ -1,0 +1,1 @@
+lib/core/opr.ml: Format Legion_naming Legion_wire List Result String

@@ -1,0 +1,1 @@
+lib/core/opr.mli: Format Legion_naming Legion_wire

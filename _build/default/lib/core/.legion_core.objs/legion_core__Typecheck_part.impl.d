@@ -1,0 +1,1 @@
+lib/core/typecheck_part.ml: Impl Legion_idl Legion_rt Legion_sec Legion_wire List

@@ -1,0 +1,1 @@
+lib/core/typecheck_part.mli: Impl Legion_idl Legion_wire

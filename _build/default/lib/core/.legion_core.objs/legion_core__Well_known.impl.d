@@ -1,0 +1,1 @@
+lib/core/well_known.ml: Legion_naming

@@ -1,0 +1,1 @@
+lib/core/well_known.mli: Legion_naming

@@ -1,0 +1,825 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Binding = Legion_naming.Binding
+module Interface = Legion_idl.Interface
+module Parser = Legion_idl.Parser
+module Env = Legion_sec.Env
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module C = Convert
+
+let unit_name = Well_known.unit_class
+
+type flags = { abstract : bool; private_ : bool; fixed : bool }
+
+let default_flags = { abstract = false; private_ = false; fixed = false }
+
+type row = {
+  mutable address : Address.t option;
+  mutable magistrates : Loid.t list;  (* Current Magistrate List *)
+  mutable sched : Loid.t option;  (* Scheduling Agent *)
+  mutable candidates : Loid.t list;  (* Candidate Magistrate List *)
+  mutable is_subclass : bool;
+}
+
+type state = {
+  mutable class_id : int64;
+  mutable next_spec : int64;
+  mutable interface : Interface.t;
+  mutable instance_units : string list;
+  mutable instance_kind : string;
+  mutable instance_cache_capacity : int option;
+  mutable superclass : Loid.t option;
+  mutable bases : Loid.t list;
+  mutable flags : flags;
+  mutable default_magistrates : Loid.t list;
+  mutable default_scheduler : Loid.t option;
+  mutable rr : int;  (* round-robin cursor over default magistrates *)
+  mutable table : (Loid.t * row) list;  (* Fig. 16, newest first *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* State (de)serialization — class objects migrate and deactivate like
+   any other object, so the whole logical table must round-trip.       *)
+
+let row_to_value (loid, r) =
+  Value.Record
+    [
+      ("loid", Loid.to_value loid);
+      ("addr", C.vopt Address.to_value r.address);
+      ("mags", C.vloids r.magistrates);
+      ("sched", C.vopt Loid.to_value r.sched);
+      ("cands", C.vloids r.candidates);
+      ("sub", Value.Bool r.is_subclass);
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let row_of_value v =
+  let* loid = C.loid_field v "loid" in
+  let* address = C.opt_address_field v "addr" in
+  let* magistrates = C.loid_list_field v "mags" in
+  let* sched = C.opt_loid_field v "sched" in
+  let* candidates = C.loid_list_field v "cands" in
+  let* is_subclass = C.bool_field v "sub" in
+  Ok (loid, { address; magistrates; sched; candidates; is_subclass })
+
+let state_to_value st =
+  Value.Record
+    [
+      ("cid", Value.I64 st.class_id);
+      ("next", Value.I64 st.next_spec);
+      ("iface", Interface.to_value st.interface);
+      ("units", C.vstrs st.instance_units);
+      ("kind", Value.Str st.instance_kind);
+      ("cap", C.vopt Value.of_int st.instance_cache_capacity);
+      ("super", C.vopt Loid.to_value st.superclass);
+      ("bases", C.vloids st.bases);
+      ("abs", Value.Bool st.flags.abstract);
+      ("priv", Value.Bool st.flags.private_);
+      ("fix", Value.Bool st.flags.fixed);
+      ("dmags", C.vloids st.default_magistrates);
+      ("dsched", C.vopt Loid.to_value st.default_scheduler);
+      ("rr", Value.Int st.rr);
+      ("table", Value.List (List.map row_to_value st.table));
+    ]
+
+let state_of_value st v =
+  let* class_id = C.i64_field v "cid" in
+  let* next_spec = C.i64_field v "next" in
+  let* iface_v = C.field v "iface" in
+  let* interface = Interface.of_value iface_v in
+  let* instance_units = C.str_list_field v "units" in
+  let* instance_kind = C.str_field v "kind" in
+  let* cap = C.opt_int_field v "cap" in
+  let* superclass = C.opt_loid_field v "super" in
+  let* bases = C.loid_list_field v "bases" in
+  let* abstract = C.bool_field v "abs" in
+  let* private_ = C.bool_field v "priv" in
+  let* fixed = C.bool_field v "fix" in
+  let* dmags = C.loid_list_field v "dmags" in
+  let* dsched = C.opt_loid_field v "dsched" in
+  let* rr = C.int_field v "rr" in
+  let* table_v = C.field v "table" in
+  let* table =
+    match table_v with
+    | Value.List rows ->
+        let rec loop acc = function
+          | [] -> Ok (List.rev acc)
+          | rv :: rest ->
+              let* row = row_of_value rv in
+              loop (row :: acc) rest
+        in
+        loop [] rows
+    | _ -> Error "class state: table not a list"
+  in
+  st.class_id <- class_id;
+  st.next_spec <- next_spec;
+  st.interface <- interface;
+  st.instance_units <- instance_units;
+  st.instance_kind <- instance_kind;
+  st.instance_cache_capacity <- cap;
+  st.superclass <- superclass;
+  st.bases <- bases;
+  st.flags <- { abstract; private_; fixed };
+  st.default_magistrates <- dmags;
+  st.default_scheduler <- dsched;
+  st.rr <- rr;
+  st.table <- table;
+  Ok ()
+
+let init_state ?interface ?(instance_units = [ Well_known.unit_object ])
+    ?(instance_kind = Well_known.kind_app) ?instance_cache_capacity ?superclass
+    ?(flags = default_flags) ?(default_magistrates = []) ?default_scheduler
+    ~class_id () =
+  let interface =
+    match interface with
+    | Some i -> i
+    | None -> Interface.empty (Printf.sprintf "class%Ld" class_id)
+  in
+  let st =
+    {
+      class_id;
+      next_spec = 1L;
+      interface;
+      instance_units;
+      instance_kind;
+      instance_cache_capacity;
+      superclass;
+      bases = [];
+      flags;
+      default_magistrates;
+      default_scheduler;
+      rr = 0;
+      table = [];
+    }
+  in
+  state_to_value st
+
+(* ------------------------------------------------------------------ *)
+(* Behaviour.                                                          *)
+
+let find_row st loid =
+  List.find_opt (fun (l, _) -> Loid.equal l loid) st.table |> Option.map snd
+
+let add_row st loid row = st.table <- (loid, row) :: st.table
+
+let remove_row st loid =
+  st.table <- List.filter (fun (l, _) -> not (Loid.equal l loid)) st.table
+
+let dedup_units units =
+  List.rev
+    (List.fold_left (fun acc u -> if List.mem u acc then acc else u :: acc) [] units)
+
+let mint_binding rt loid address =
+  let ttl = (Runtime.config rt).Runtime.binding_ttl in
+  let expires = Option.map (fun d -> Runtime.now rt +. d) ttl in
+  Binding.make ?expires ~loid ~address ()
+
+let factory (ctx : Runtime.ctx) : Impl.part =
+  let rt = ctx.Runtime.rt in
+  let self = Runtime.proc_loid ctx.Runtime.self in
+  let st =
+    {
+      class_id = Loid.class_id self;
+      next_spec = 1L;
+      interface = Interface.empty "uninitialised";
+      instance_units = [ Well_known.unit_object ];
+      instance_kind = Well_known.kind_app;
+      instance_cache_capacity = None;
+      superclass = None;
+      bases = [];
+      flags = default_flags;
+      default_magistrates = [];
+      default_scheduler = None;
+      rr = 0;
+      table = [];
+    }
+  in
+  (* Downstream calls made on behalf of a request keep the request's
+     Responsible and Security Agents and substitute this class as the
+     Calling Agent (§2.4). *)
+  let invoke_for env dst meth args k =
+    Runtime.invoke ctx ~dst ~meth ~args ~env:(Env.delegate env ~calling:self) k
+  in
+
+  (* Pick a Magistrate for a new object: explicit hint, else round-robin
+     over the class's default list. *)
+  let pick_magistrate hint =
+    match hint with
+    | Some m -> Some m
+    | None -> (
+        match st.default_magistrates with
+        | [] -> None
+        | mags ->
+            let n = List.length mags in
+            let m = List.nth mags (st.rr mod n) in
+            st.rr <- st.rr + 1;
+            Some m)
+  in
+
+  (* Ask magistrates in order to activate [loid]; first success wins. *)
+  let activate_via_magistrates ~env row loid ~stale ~host_hint k =
+    let hints =
+      Value.Record
+        [
+          ("stale", C.vopt Address.to_value stale);
+          ("host", C.vopt Loid.to_value host_hint);
+          ("sched", C.vopt Loid.to_value row.sched);
+        ]
+    in
+    (* A scan over possibly-dead Magistrates: split the caller's patience
+       across the entries so one unreachable Magistrate cannot exhaust it
+       before the fallbacks get their turn. *)
+    let entries = List.length row.magistrates + List.length row.candidates in
+    let scan_timeout =
+      (Runtime.config rt).Runtime.call_timeout
+      /. float_of_int (Stdlib.max 1 entries + 1)
+    in
+    let rec try_mags = function
+      | [] -> k (Error (Err.Not_bound "no magistrate could activate the object"))
+      | m :: rest ->
+          Runtime.invoke ctx ~timeout:scan_timeout ~max_rebinds:1 ~dst:m
+            ~meth:"Activate"
+            ~args:[ Loid.to_value loid; hints ]
+            ~env:(Env.delegate env ~calling:self)
+            (fun r ->
+              match r with
+              | Ok bv -> (
+                  match Binding.of_value bv with
+                  | Ok b ->
+                      row.address <- Some (Binding.address b);
+                      k (Ok bv)
+                  | Error msg -> k (Error (Err.Internal ("bad binding: " ^ msg))))
+              | Error _ when rest <> [] -> try_mags rest
+              | Error e -> k (Error e))
+    in
+    (* The Current Magistrate List first; when it is exhausted, the
+       Candidate Magistrate List — "the Magistrates that may be given
+       responsibility for the object" (Fig. 16) — may hold a copy (an
+       earlier Copy, a site mirror). *)
+    let candidates =
+      List.filter
+        (fun c -> not (List.exists (Loid.equal c) row.magistrates))
+        row.candidates
+    in
+    try_mags (row.magistrates @ candidates)
+  in
+
+  (* GetBinding(LOID): Fig. 17's class step — answer from the logical
+     table, or consult a Current Magistrate, activating on demand.
+     [skip_table_address] marks a refresh request: the recorded address
+     is reported stale, so do not serve it — but do not erase it either
+     until a Magistrate confirms a replacement. Objects with an empty
+     Current Magistrate List (externally-started infrastructure, §4.2.1,
+     and replicas registered via RegisterInstance) have nothing to
+     reactivate from: their registered address is the best information
+     there is, and the caller's failure may be a transient partition. *)
+  let get_binding_by_loid ~env ?(skip_table_address = false) ?stale loid k =
+    match find_row st loid with
+    | None -> k (Error (Err.Not_bound "object not created by this class"))
+    | Some row -> (
+        match row.address with
+        | Some address when (not skip_table_address) || row.magistrates = [] ->
+            k (Ok (Binding.to_value (mint_binding rt loid address)))
+        | _ -> activate_via_magistrates ~env row loid ~stale ~host_hint:None k)
+  in
+
+  let get_binding _ctx args env k =
+    match args with
+    | [ arg ] -> (
+        match C.loid_arg arg with
+        | Ok loid -> get_binding_by_loid ~env loid k
+        | Error _ -> (
+            (* GetBinding(binding): the caller's binding is stale. If our
+               table agrees with the stale address, drop it and
+               re-activate; otherwise serve the (different) table
+               binding. *)
+            match C.binding_arg arg with
+            | Error _ -> Impl.bad_args k "GetBinding expects a loid or a binding"
+            | Ok stale -> (
+                let loid = Binding.loid stale in
+                match find_row st loid with
+                | None -> k (Error (Err.Not_bound "object not created by this class"))
+                | Some row -> (
+                    let stale_addr = Binding.address stale in
+                    match row.address with
+                    | Some a when Address.equal a stale_addr ->
+                        get_binding_by_loid ~env ~skip_table_address:true
+                          ~stale:stale_addr loid k
+                    | Some a -> k (Ok (Binding.to_value (mint_binding rt loid a)))
+                    | None ->
+                        get_binding_by_loid ~env ~skip_table_address:true
+                          ~stale:stale_addr loid k))))
+    | _ -> Impl.bad_args k "GetBinding expects one argument"
+  in
+
+  (* Create(init_states, hints): the is-a relation (§2.1.1). *)
+  let create _ctx args env k =
+    match args with
+    | [ init_states; hints ] -> (
+        if st.flags.abstract then
+          k (Error (Err.Refused "abstract class: no direct instances"))
+        else
+          let states =
+            match init_states with Value.Record fields -> fields | _ -> []
+          in
+          let decoded =
+            let* mag_hint = C.opt_loid_field hints "magistrate" in
+            let* host_hint = C.opt_loid_field hints "host" in
+            let* eager = C.bool_field ~default:false hints "eager" in
+            let* sched = C.opt_loid_field hints "sched" in
+            let* candidates = C.loid_list_field ~default:[] hints "candidates" in
+            let* public_key = C.opt_str_field hints "public_key" in
+            Ok (mag_hint, host_hint, eager, sched, candidates, public_key)
+          in
+          match decoded with
+          | Error msg -> Impl.bad_args k msg
+          | Ok (mag_hint, host_hint, eager, sched, candidates, public_key) -> (
+              match pick_magistrate mag_hint with
+              | None -> k (Error (Err.Refused "class has no magistrate to place objects"))
+              | Some magistrate ->
+                  (* §3.2: the LOID's low-order bits are the object's
+                     public key. The key is part of the object's
+                     identity: a LOID quoting the wrong key names a
+                     different (nonexistent) object everywhere — the
+                     logical table, dispatch, the caches. *)
+                  let loid =
+                    Loid.make
+                      ?public_key
+                      ~class_id:st.class_id ~class_specific:st.next_spec ()
+                  in
+                  st.next_spec <- Int64.add st.next_spec 1L;
+                  (* Typed classes seed the typecheck unit with the
+                     class's current interface unless the caller
+                     supplied one explicitly. *)
+                  let states =
+                    if
+                      List.mem Typecheck_part.unit_name st.instance_units
+                      && not (List.mem_assoc Typecheck_part.unit_name states)
+                    then
+                      (Typecheck_part.unit_name, Interface.to_value st.interface)
+                      :: states
+                    else states
+                  in
+                  let opr =
+                    Opr.make ~states
+                      ?binding_agent:(Runtime.binding_agent ctx.Runtime.self)
+                      ?cache_capacity:st.instance_cache_capacity
+                      ~kind:st.instance_kind ~units:st.instance_units ()
+                  in
+                  invoke_for env magistrate "StoreObject"
+                    [ Loid.to_value loid; Value.Blob (Opr.to_blob opr) ]
+                    (fun r ->
+                      match r with
+                      | Error e -> k (Error e)
+                      | Ok _ -> (
+                          let row =
+                            {
+                              address = None;
+                              magistrates = [ magistrate ];
+                              sched =
+                                (match sched with
+                                | Some _ -> sched
+                                | None -> st.default_scheduler);
+                              candidates;
+                              is_subclass = false;
+                            }
+                          in
+                          add_row st loid row;
+                          let reply_with binding_opt =
+                            k
+                              (Ok
+                                 (Value.Record
+                                    [
+                                      ("loid", Loid.to_value loid);
+                                      ("binding", C.vopt (fun b -> b) binding_opt);
+                                    ]))
+                          in
+                          if not eager then reply_with None
+                          else
+                            activate_via_magistrates ~env row loid ~stale:None
+                              ~host_hint (fun r ->
+                                match r with
+                                | Ok bv -> reply_with (Some bv)
+                                | Error e -> k (Error e))))))
+    | _ -> Impl.bad_args k "Create expects (init_states, hints)"
+  in
+
+  (* Derive(spec): the kind-of relation. Also used by Clone(). *)
+  let do_derive ~env spec k =
+    if st.flags.private_ then
+      k (Error (Err.Refused "private class: no subclasses"))
+    else
+      let decoded =
+        let* name = C.str_field spec "name" in
+        let* units = C.str_list_field ~default:[] spec "units" in
+        let* idl = C.opt_str_field spec "idl" in
+        let* mpl = C.opt_str_field spec "mpl" in
+        let* abstract = C.bool_field ~default:false spec "abstract" in
+        let* private_ = C.bool_field ~default:false spec "private" in
+        let* fixed = C.bool_field ~default:false spec "fixed" in
+        let* class_units = C.str_list_field ~default:[] spec "class_units" in
+        let* typed = C.bool_field ~default:false spec "typed" in
+        let* exclude = C.str_list_field ~default:[] spec "exclude_units" in
+        let* kind = C.opt_str_field spec "kind" in
+        let* mag_hint = C.opt_loid_field spec "magistrate" in
+        let* eager = C.bool_field ~default:true spec "eager" in
+        let* iface =
+          match (idl, mpl) with
+          | Some _, Some _ -> Error "spec carries both idl and mpl sources"
+          | None, None -> Ok (Interface.empty name)
+          | Some src, None -> (
+              match Parser.interface src with
+              | Ok i -> Ok i
+              | Error e -> Error (Format.asprintf "idl: %a" Parser.pp_error e))
+          | None, Some src -> (
+              (* The paper's second IDL (§2 footnote): MPL. *)
+              match Legion_idl.Mpl.interface src with
+              | Ok i -> Ok i
+              | Error e -> Error (Format.asprintf "mpl: %a" Legion_idl.Mpl.pp_error e))
+        in
+        Ok (name, units, iface, abstract, private_, fixed, class_units, kind,
+            mag_hint, eager, typed, exclude)
+      in
+      match decoded with
+      | Error msg -> Impl.bad_args k msg
+      | Ok (name, units, iface, abstract, private_, fixed, class_units, kind,
+            mag_hint, eager, typed, exclude) -> (
+          match pick_magistrate mag_hint with
+          | None -> k (Error (Err.Refused "class has no magistrate to place subclasses"))
+          | Some magistrate ->
+              (* Step 1: obtain a fresh Class Identifier from LegionClass,
+                 which records the responsibility pair <self, child>
+                 (§4.1.3). *)
+              invoke_for env Well_known.legion_class "NewClassId"
+                [ Loid.to_value self; Value.Str name ]
+                (fun r ->
+                  match r with
+                  | Error e -> k (Error e)
+                  | Ok cid_v -> (
+                      match Value.to_i64 cid_v with
+                      | Error _ -> k (Error (Err.Internal "NewClassId: bad reply"))
+                      | Ok cid ->
+                          let child = Loid.make ~class_id:cid ~class_specific:0L () in
+                          let child_iface =
+                            Interface.merge
+                              (Interface.make ~name (Interface.signatures iface))
+                              st.interface
+                          in
+                          let typed_units =
+                            if typed then [ Typecheck_part.unit_name ] else []
+                          in
+                          (* Selective inheritance (§2.1 footnote:
+                             "Legion may allow a class to select the
+                             components that it wishes to inherit"):
+                             excluded units are dropped from the
+                             inherited list; the base unit always
+                             stays. *)
+                          let inherited =
+                            List.filter
+                              (fun u ->
+                                u = Well_known.unit_object
+                                || not (List.mem u exclude))
+                              st.instance_units
+                          in
+                          let child_state_v =
+                            init_state ~interface:child_iface
+                              ~instance_units:
+                                (dedup_units (typed_units @ units @ inherited))
+                              ~instance_kind:(Option.value ~default:st.instance_kind kind)
+                              ?instance_cache_capacity:st.instance_cache_capacity
+                              ~superclass:self
+                              ~flags:{ abstract; private_; fixed }
+                              ~default_magistrates:st.default_magistrates
+                              ?default_scheduler:st.default_scheduler ~class_id:cid ()
+                          in
+                          let opr =
+                            Opr.make
+                              ~states:[ (unit_name, child_state_v) ]
+                              ?binding_agent:(Runtime.binding_agent ctx.Runtime.self)
+                              ~kind:Well_known.kind_class
+                              ~units:
+                                (dedup_units
+                                   (class_units
+                                   @ [ unit_name; Well_known.unit_object ]))
+                              ()
+                          in
+                          invoke_for env magistrate "StoreObject"
+                            [ Loid.to_value child; Value.Blob (Opr.to_blob opr) ]
+                            (fun r ->
+                              match r with
+                              | Error e -> k (Error e)
+                              | Ok _ -> (
+                                  let row =
+                                    {
+                                      address = None;
+                                      magistrates = [ magistrate ];
+                                      sched = st.default_scheduler;
+                                      candidates = [];
+                                      is_subclass = true;
+                                    }
+                                  in
+                                  add_row st child row;
+                                  let reply_with b =
+                                    k
+                                      (Ok
+                                         (Value.Record
+                                            [
+                                              ("loid", Loid.to_value child);
+                                              ("binding", C.vopt (fun x -> x) b);
+                                            ]))
+                                  in
+                                  if not eager then reply_with None
+                                  else
+                                    activate_via_magistrates ~env row child
+                                      ~stale:None ~host_hint:None (fun r ->
+                                        match r with
+                                        | Ok bv -> reply_with (Some bv)
+                                        | Error e -> k (Error e)))))))
+  in
+
+  let derive _ctx args env k =
+    match args with
+    | [ spec ] -> do_derive ~env spec k
+    | _ -> Impl.bad_args k "Derive expects one spec record"
+  in
+
+  (* Clone(): §5.2.2 — "the cloned class is derived from the heavily
+     used class without changing the interface in any way". *)
+  let clone _ctx args env k =
+    match args with
+    | [] ->
+        let spec =
+          Value.Record
+            [
+              ( "name",
+                Value.Str
+                  (Printf.sprintf "%s~clone%Ld" (Interface.name st.interface)
+                     st.next_spec) );
+            ]
+        in
+        do_derive ~env spec k
+    | _ -> Impl.bad_args k "Clone takes no arguments"
+  in
+
+  (* InheritFrom(base): the inherits-from relation — "an active process
+     carried out at run-time" (§2.1). *)
+  let inherit_from _ctx args env k =
+    match args with
+    | [ base_v ] -> (
+        if st.flags.fixed then
+          k (Error (Err.Refused "fixed class: inherits only from its superclass"))
+        else
+          match C.loid_arg base_v with
+          | Error msg -> Impl.bad_args k msg
+          | Ok base ->
+              invoke_for env base "GetInheritInfo" [] (fun r ->
+                  match r with
+                  | Error e -> k (Error e)
+                  | Ok info -> (
+                      let decoded =
+                        let* units = C.str_list_field info "units" in
+                        let* iface_v = C.field info "iface" in
+                        let* iface = Interface.of_value iface_v in
+                        Ok (units, iface)
+                      in
+                      match decoded with
+                      | Error msg -> k (Error (Err.Internal msg))
+                      | Ok (base_units, base_iface) ->
+                          st.instance_units <-
+                            dedup_units (st.instance_units @ base_units);
+                          st.interface <- Interface.merge st.interface base_iface;
+                          st.bases <- st.bases @ [ base ];
+                          k Impl.ok_unit)))
+    | _ -> Impl.bad_args k "InheritFrom expects one base-class loid"
+  in
+
+  let get_inherit_info _ctx args _env k =
+    match args with
+    | [] ->
+        k
+          (Ok
+             (Value.Record
+                [
+                  ("units", C.vstrs st.instance_units);
+                  ("iface", Interface.to_value st.interface);
+                ]))
+    | _ -> Impl.bad_args k "GetInheritInfo takes no arguments"
+  in
+
+  let get_interface _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Interface.to_value st.interface))
+    | _ -> Impl.bad_args k "GetInterface takes no arguments"
+  in
+
+  (* Delete(loid): remove instance or subclass everywhere (§3.8). *)
+  let delete _ctx args env k =
+    match args with
+    | [ loid_v ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid -> (
+            match find_row st loid with
+            | None -> k (Error (Err.Not_bound "object not created by this class"))
+            | Some row ->
+                let rec tell_mags = function
+                  | [] ->
+                      remove_row st loid;
+                      k Impl.ok_unit
+                  | m :: rest ->
+                      invoke_for env m "Delete" [ Loid.to_value loid ] (fun _ ->
+                          (* Best effort: a refusing or dead Magistrate
+                             leaves a garbage OPR, not a live object. *)
+                          tell_mags rest)
+                in
+                tell_mags row.magistrates))
+    | _ -> Impl.bad_args k "Delete expects one loid"
+  in
+
+  let register_instance _ctx args _env k =
+    match args with
+    | [ loid_v; addr_v ] -> (
+        let decoded =
+          let* loid = C.loid_arg loid_v in
+          let* addr = Address.of_value addr_v in
+          Ok (loid, addr)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (loid, addr) ->
+            (match find_row st loid with
+            | Some row -> row.address <- Some addr
+            | None ->
+                add_row st loid
+                  {
+                    address = Some addr;
+                    magistrates = [];
+                    sched = st.default_scheduler;
+                    candidates = [];
+                    is_subclass = Loid.is_class loid;
+                  });
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "RegisterInstance expects (loid, address)"
+  in
+
+  let notify_address _ctx args _env k =
+    match args with
+    | [ loid_v; addr_opt_v ] -> (
+        let decoded =
+          let* loid = C.loid_arg loid_v in
+          let* addr =
+            match addr_opt_v with
+            | Value.List [] -> Ok None
+            | Value.List [ a ] -> Result.map (fun a -> Some a) (Address.of_value a)
+            | _ -> Error "NotifyAddress: second argument must be opt<address>"
+          in
+          Ok (loid, addr)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (loid, addr) -> (
+            match find_row st loid with
+            | None -> k (Error (Err.Not_bound "object not created by this class"))
+            | Some row ->
+                row.address <- addr;
+                k Impl.ok_unit))
+    | _ -> Impl.bad_args k "NotifyAddress expects (loid, opt<address>)"
+  in
+
+  let notify_magistrates _ctx args _env k =
+    match args with
+    | [ loid_v; add_v; remove_v ] -> (
+        let decoded =
+          let* loid = C.loid_arg loid_v in
+          let to_loids v =
+            match v with
+            | Value.List vs ->
+                let rec loop acc = function
+                  | [] -> Ok (List.rev acc)
+                  | x :: rest ->
+                      let* l = C.loid_arg x in
+                      loop (l :: acc) rest
+                in
+                loop [] vs
+            | _ -> Error "expected a list of loids"
+          in
+          let* add = to_loids add_v in
+          let* remove = to_loids remove_v in
+          Ok (loid, add, remove)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (loid, add, remove) -> (
+            match find_row st loid with
+            | None -> k (Error (Err.Not_bound "object not created by this class"))
+            | Some row ->
+                let without =
+                  List.filter
+                    (fun m -> not (List.exists (Loid.equal m) remove))
+                    row.magistrates
+                in
+                let added =
+                  List.filter
+                    (fun m -> not (List.exists (Loid.equal m) without))
+                    add
+                in
+                row.magistrates <- without @ added;
+                k Impl.ok_unit))
+    | _ -> Impl.bad_args k "NotifyMagistrates expects (loid, add, remove)"
+  in
+
+  let set_defaults _ctx args _env k =
+    match args with
+    | [ v ] -> (
+        let decoded =
+          let* mags = C.loid_list_field ~default:st.default_magistrates v "magistrates" in
+          let* sched = C.opt_loid_field v "sched" in
+          Ok (mags, sched)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (mags, sched) ->
+            st.default_magistrates <- mags;
+            (match sched with Some _ -> st.default_scheduler <- sched | None -> ());
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "SetDefaults expects one record"
+  in
+
+  let list_instances _ctx args _env k =
+    match args with
+    | [] ->
+        let instances =
+          List.filter_map
+            (fun (l, r) -> if r.is_subclass then None else Some l)
+            st.table
+        in
+        k (Ok (C.vloids instances))
+    | _ -> Impl.bad_args k "ListInstances takes no arguments"
+  in
+
+  let list_subclasses _ctx args _env k =
+    match args with
+    | [] ->
+        let subs =
+          List.filter_map
+            (fun (l, r) -> if r.is_subclass then Some l else None)
+            st.table
+        in
+        k (Ok (C.vloids subs))
+    | _ -> Impl.bad_args k "ListSubclasses takes no arguments"
+  in
+
+  let get_class_info _ctx args _env k =
+    match args with
+    | [] ->
+        let n_inst, n_sub =
+          List.fold_left
+            (fun (i, s) (_, r) -> if r.is_subclass then (i, s + 1) else (i + 1, s))
+            (0, 0) st.table
+        in
+        k
+          (Ok
+             (Value.Record
+                [
+                  ("cid", Value.I64 st.class_id);
+                  ("name", Value.Str (Interface.name st.interface));
+                  ("abstract", Value.Bool st.flags.abstract);
+                  ("private", Value.Bool st.flags.private_);
+                  ("fixed", Value.Bool st.flags.fixed);
+                  ("units", C.vstrs st.instance_units);
+                  ("kind", Value.Str st.instance_kind);
+                  ("super", C.vopt Loid.to_value st.superclass);
+                  ("bases", C.vloids st.bases);
+                  ("instances", Value.Int n_inst);
+                  ("subclasses", Value.Int n_sub);
+                ]))
+    | _ -> Impl.bad_args k "GetClassInfo takes no arguments"
+  in
+
+  Impl.part
+    ~methods:
+      [
+        ("Create", create);
+        ("Derive", derive);
+        ("Clone", clone);
+        ("InheritFrom", inherit_from);
+        ("GetInheritInfo", get_inherit_info);
+        ("GetInterface", get_interface);
+        ("GetBinding", get_binding);
+        ("Delete", delete);
+        ("RegisterInstance", register_instance);
+        ("NotifyAddress", notify_address);
+        ("NotifyMagistrates", notify_magistrates);
+        ("SetDefaults", set_defaults);
+        ("ListInstances", list_instances);
+        ("ListSubclasses", list_subclasses);
+        ("GetClassInfo", get_class_info);
+      ]
+    ~save:(fun () -> state_to_value st)
+    ~restore:(fun v -> state_of_value st v)
+    unit_name
+
+let register () = Impl.register unit_name factory

@@ -1,0 +1,113 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module C = Convert
+
+let unit_name = Well_known.unit_metaclass
+
+type state = {
+  mutable next_class_id : int64;
+  mutable pairs : (Loid.t * Loid.t) list;  (* (child, creator) *)
+}
+
+let seeded_pairs () =
+  List.map (fun c -> (c, Well_known.legion_class)) Well_known.core_classes
+
+let factory (_ctx : Runtime.ctx) : Impl.part =
+  let st =
+    { next_class_id = Well_known.first_dynamic_class_id; pairs = seeded_pairs () }
+  in
+  let find_creator child =
+    List.find_opt (fun (c, _) -> Loid.equal c child) st.pairs |> Option.map snd
+  in
+  let new_class_id _ctx args _env k =
+    match args with
+    | [ creator_v; Value.Str _name ] -> (
+        match C.loid_arg creator_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok creator ->
+            let cid = st.next_class_id in
+            st.next_class_id <- Int64.add cid 1L;
+            let child = Loid.make ~class_id:cid ~class_specific:0L () in
+            st.pairs <- (child, creator) :: st.pairs;
+            k (Ok (Value.I64 cid)))
+    | _ -> Impl.bad_args k "NewClassId expects (creator: loid, name: str)"
+  in
+  let locate_class _ctx args _env k =
+    match args with
+    | [ cls_v ] -> (
+        match C.loid_arg cls_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok cls -> (
+            match find_creator cls with
+            | Some creator ->
+                k (Ok (Value.Record [ ("creator", Loid.to_value creator) ]))
+            | None ->
+                k
+                  (Error
+                     (Err.Not_bound
+                        (Format.asprintf "no responsibility pair for %a" Loid.pp cls)))))
+    | _ -> Impl.bad_args k "LocateClass expects one class loid"
+  in
+  let register_pair _ctx args _env k =
+    match args with
+    | [ creator_v; child_v ] -> (
+        let decoded =
+          let ( let* ) r f = Result.bind r f in
+          let* creator = C.loid_arg creator_v in
+          let* child = C.loid_arg child_v in
+          Ok (creator, child)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (creator, child) ->
+            st.pairs <-
+              (child, creator)
+              :: List.filter (fun (c, _) -> not (Loid.equal c child)) st.pairs;
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "RegisterPair expects (creator, child)"
+  in
+  let save () =
+    Value.Record
+      [
+        ("next", Value.I64 st.next_class_id);
+        ( "pairs",
+          Value.List
+            (List.map
+               (fun (c, p) ->
+                 Value.Record [ ("c", Loid.to_value c); ("p", Loid.to_value p) ])
+               st.pairs) );
+      ]
+  in
+  let restore v =
+    let ( let* ) r f = Result.bind r f in
+    let* next = C.i64_field v "next" in
+    let* pairs_v = C.field v "pairs" in
+    let* pairs =
+      match pairs_v with
+      | Value.List vs ->
+          let rec loop acc = function
+            | [] -> Ok (List.rev acc)
+            | x :: rest ->
+                let* c = C.loid_field x "c" in
+                let* p = C.loid_field x "p" in
+                loop ((c, p) :: acc) rest
+          in
+          loop [] vs
+      | _ -> Error "metaclass state: pairs not a list"
+    in
+    st.next_class_id <- next;
+    st.pairs <- pairs;
+    Ok ()
+  in
+  Impl.part
+    ~methods:
+      [
+        ("NewClassId", new_class_id);
+        ("LocateClass", locate_class);
+        ("RegisterPair", register_pair);
+      ]
+    ~save ~restore unit_name
+
+let register () = Impl.register unit_name factory

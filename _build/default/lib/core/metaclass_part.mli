@@ -1,0 +1,23 @@
+(** LegionClass's authority unit ("legion.metaclass").
+
+    "LegionClass is responsible for handing out unique Class Identifiers
+    to each new class" (§3.2) and "can be the authority for locating
+    class objects" (§4.1.3). Rather than holding every class binding
+    itself, it maintains {e responsibility pairs} <X, Y> — X is
+    responsible for locating Y — recorded whenever a creating class
+    requests a Class Identifier for a new subclass.
+
+    Methods: [NewClassId(creator: loid, name: str): int64];
+    [LocateClass(cls: loid): record{creator: loid}];
+    [RegisterPair(creator: loid, child: loid): unit] (bootstrap seeding
+    and administrative repair). *)
+
+val unit_name : string
+
+val factory : Impl.factory
+(** Fresh state: next Class Identifier =
+    {!Well_known.first_dynamic_class_id}; pairs seeded with
+    <LegionClass, c> for every core class c, so lookups terminate at
+    LegionClass (§4.1.3). *)
+
+val register : unit -> unit

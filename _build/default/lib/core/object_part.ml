@@ -1,0 +1,79 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Policy = Legion_sec.Policy
+module Runtime = Legion_rt.Runtime
+
+let unit_name = Well_known.unit_object
+
+type state = { mutable policy : Policy.t; mutable info : string }
+
+let state_value ?(info = "") ~policy () =
+  Value.Record [ ("policy", Policy.to_value policy); ("info", Value.Str info) ]
+
+let factory (ctx : Runtime.ctx) : Impl.part =
+  let st = { policy = Policy.Allow_all; info = "" } in
+  let self_loid = Runtime.proc_loid ctx.Runtime.self in
+  let may_i _ctx args env k =
+    match args with
+    | [ Value.Str meth ] ->
+        (match Policy.check st.policy ~meth ~env with
+        | Policy.Allow -> k (Ok (Value.Bool true))
+        | Policy.Deny _ -> k (Ok (Value.Bool false)))
+    | _ -> Impl.bad_args k "MayI expects one method-name argument"
+  in
+  let iam _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Loid.to_value self_loid))
+    | _ -> Impl.bad_args k "Iam takes no arguments"
+  in
+  let ping _ctx args _env k =
+    match args with
+    | [] -> k Impl.ok_unit
+    | _ -> Impl.bad_args k "Ping takes no arguments"
+  in
+  let get_info _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Value.Str st.info))
+    | _ -> Impl.bad_args k "GetInfo takes no arguments"
+  in
+  let set_policy _ctx args _env k =
+    match args with
+    | [ pv ] -> (
+        match Policy.of_value pv with
+        | Ok p ->
+            st.policy <- p;
+            k Impl.ok_unit
+        | Error msg -> Impl.bad_args k msg)
+    | _ -> Impl.bad_args k "SetPolicy expects one policy argument"
+  in
+  let get_policy _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Policy.to_value st.policy))
+    | _ -> Impl.bad_args k "GetPolicy takes no arguments"
+  in
+  let save () = state_value ~info:st.info ~policy:st.policy () in
+  let restore v =
+    let ( let* ) r f = Result.bind r f in
+    let err e = Format.asprintf "object state: %a" Value.pp_error e in
+    let* pv = Result.map_error err (Value.field v "policy") in
+    let* policy = Policy.of_value pv in
+    let* info = Result.map_error err (Result.bind (Value.field v "info") Value.to_str) in
+    st.policy <- policy;
+    st.info <- info;
+    Ok ()
+  in
+  Impl.part
+    ~methods:
+      [
+        ("MayI", may_i);
+        ("Iam", iam);
+        ("Ping", ping);
+        ("GetInfo", get_info);
+        ("SetPolicy", set_policy);
+        ("GetPolicy", get_policy);
+      ]
+    ~save ~restore
+    ~guard:(fun ~meth ~args:_ ~env -> Policy.check st.policy ~meth ~env)
+    unit_name
+
+let register () = Impl.register unit_name factory

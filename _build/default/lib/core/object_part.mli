@@ -1,0 +1,29 @@
+(** The base implementation unit every Legion object carries
+    ("legion.object").
+
+    Provides the object-mandatory member functions of §2.1/§2.4 that are
+    not state machinery: [MayI] (security check, §2.4), [Iam] (identity),
+    [Ping], plus policy management. The part exposes its policy as the
+    composite's guard, so every inbound method call is admission-checked
+    — "every object provides certain security-related member functions,
+    including MayI() and Iam()". *)
+
+module Value := Legion_wire.Value
+module Policy := Legion_sec.Policy
+
+val unit_name : string
+(** ["legion.object"], see {!Well_known.unit_object}. *)
+
+val factory : Impl.factory
+(** Fresh state: [Allow_all] policy, empty info string. *)
+
+val state_value : ?info:string -> policy:Policy.t -> unit -> Value.t
+(** Build an initial state for this unit, to place in an OPR's [states]
+    — how [Create] installs a security policy on a new object. *)
+
+val register : unit -> unit
+(** Idempotently install {!factory} in the unit registry. *)
+
+(** Methods provided: [MayI(meth: str): bool] — would this call's
+    environment be admitted to [meth]?; [Iam(): loid]; [Ping(): unit];
+    [GetInfo(): str]; [SetPolicy(policy: any): unit]; [GetPolicy(): any]. *)

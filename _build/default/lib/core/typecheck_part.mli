@@ -1,0 +1,28 @@
+(** IDL enforcement at dispatch ("legion.typecheck").
+
+    The paper requires every class interface to be describable in an
+    IDL (§2); this optional unit makes the description {e binding}: it
+    guards the composite so that a call to a method outside the
+    interface, or with the wrong arity or argument types, is refused
+    before any handler runs. The state-machinery built-ins
+    ([SaveState], [RestoreState], [GetMethodNames]) and the unguarded
+    probes ([MayI]/[Iam]/[Ping]) are always admitted.
+
+    A class created with [typed: true] in its Derive spec includes this
+    unit in its instances automatically, seeded with the class's merged
+    interface — see {!Class_part}. *)
+
+module Value := Legion_wire.Value
+module Interface := Legion_idl.Interface
+
+val unit_name : string
+(** ["legion.typecheck"]. *)
+
+val state_value : Interface.t -> Value.t
+(** The unit's state is the interface to enforce. *)
+
+val factory : Impl.factory
+(** Fresh state: an empty interface — everything outside the built-ins
+    refused — so an unseeded typecheck unit fails closed. *)
+
+val register : unit -> unit

@@ -1,0 +1,32 @@
+module Loid = Legion_naming.Loid
+
+let legion_object_cid = 1L
+let legion_class_cid = 2L
+let legion_host_cid = 3L
+let legion_magistrate_cid = 4L
+let legion_binding_agent_cid = 5L
+let first_dynamic_class_id = 16L
+
+let class_loid cid = Loid.make ~class_id:cid ~class_specific:0L ()
+
+let legion_object = class_loid legion_object_cid
+let legion_class = class_loid legion_class_cid
+let legion_host = class_loid legion_host_cid
+let legion_magistrate = class_loid legion_magistrate_cid
+let legion_binding_agent = class_loid legion_binding_agent_cid
+
+let core_classes =
+  [ legion_object; legion_class; legion_host; legion_magistrate; legion_binding_agent ]
+
+let kind_class = "class"
+let kind_binding_agent = "binding_agent"
+let kind_magistrate = "magistrate"
+let kind_host = "host"
+let kind_app = "app"
+let kind_client = "client"
+let kind_sched = "sched"
+let kind_context = "context"
+
+let unit_object = "legion.object"
+let unit_class = "legion.class"
+let unit_metaclass = "legion.metaclass"

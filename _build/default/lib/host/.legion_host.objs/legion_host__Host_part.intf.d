@@ -1,0 +1,1 @@
+lib/host/host_part.mli: Legion_core Legion_wire

@@ -1,0 +1,252 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Env = Legion_sec.Env
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Impl = Legion_core.Impl
+module Opr = Legion_core.Opr
+module C = Legion_core.Convert
+
+let unit_name = "legion.host"
+
+(* What we must remember about a running process to rebuild its OPR at
+   deactivation: everything except the state snapshot, which SaveState
+   provides at that moment. *)
+type process = {
+  proc : Runtime.proc;
+  kind : string;
+  units : string list;
+  binding_agent : Address.t option;
+  cache_capacity : int option;
+}
+
+type state = {
+  mutable capacity : int option;
+  mutable memory : int;
+  mutable processes : (Loid.t * process) list;
+  mutable activations : int;
+  mutable exceptions : int;  (* activation failures reported *)
+}
+
+let state_value ?capacity () =
+  Value.Record [ ("cap", C.vopt Value.of_int capacity); ("mem", Value.Int 0) ]
+
+let factory (ctx : Runtime.ctx) : Impl.part =
+  let rt = ctx.Runtime.rt in
+  let self = Runtime.proc_loid ctx.Runtime.self in
+  let net_host = Runtime.proc_host ctx.Runtime.self in
+  let st =
+    { capacity = None; memory = 0; processes = []; activations = 0; exceptions = 0 }
+  in
+  let env = Env.of_self self in
+
+  let live_processes () =
+    st.processes <- List.filter (fun (_, p) -> Runtime.is_live p.proc) st.processes;
+    st.processes
+  in
+  let find_process loid =
+    List.find_opt (fun (l, _) -> Loid.equal l loid) (live_processes ())
+    |> Option.map snd
+  in
+  let full () =
+    match st.capacity with
+    | None -> false
+    | Some c -> List.length (live_processes ()) >= c
+  in
+
+  let activate _ctx args _env k =
+    match args with
+    | [ loid_v; Value.Blob blob ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid ->
+            if full () then k (Error (Err.Refused "host at capacity"))
+            else if Option.is_some (find_process loid) then
+              (* Already running here: answer with the existing address
+                 rather than double-activating. *)
+              let p = Option.get (find_process loid) in
+              k
+                (Ok
+                   (Value.Record
+                      [ ("addr", Address.to_value (Runtime.address_of p.proc)) ]))
+            else (
+              match Opr.of_blob blob with
+              | Error msg -> Impl.bad_args k ("bad OPR: " ^ msg)
+              | Ok opr -> (
+                  match Impl.activate rt ~host:net_host ~loid opr with
+                  | Error msg ->
+                      st.exceptions <- st.exceptions + 1;
+                      k (Error (Err.Internal ("activation failed: " ^ msg)))
+                  | Ok proc ->
+                      st.activations <- st.activations + 1;
+                      st.processes <-
+                        ( loid,
+                          {
+                            proc;
+                            kind = opr.Opr.kind;
+                            units = opr.Opr.units;
+                            binding_agent = opr.Opr.binding_agent;
+                            cache_capacity = opr.Opr.cache_capacity;
+                          } )
+                        :: st.processes;
+                      k
+                        (Ok
+                           (Value.Record
+                              [
+                                ( "addr",
+                                  Address.to_value (Runtime.address_of proc) );
+                              ])))))
+    | _ -> Impl.bad_args k "Activate expects (loid, opr: blob)"
+  in
+
+  let deactivate _ctx args _env k =
+    match args with
+    | [ loid_v ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid -> (
+            match find_process loid with
+            | None -> k (Error (Err.Not_bound "no such process on this host"))
+            | Some p ->
+                (* Ask the object to save its state (the mechanism of
+                   §3.1.1), then stop the process and hand back the OPR. *)
+                Runtime.invoke_address ctx
+                  ~address:(Runtime.address_of p.proc)
+                  ~dst:loid ~meth:"SaveState" ~args:[] ~env
+                  (fun r ->
+                    match r with
+                    | Error e -> k (Error e)
+                    | Ok (Value.Record states) ->
+                        Runtime.kill rt p.proc;
+                        st.processes <-
+                          List.filter
+                            (fun (l, _) -> not (Loid.equal l loid))
+                            st.processes;
+                        let opr =
+                          Opr.make ~states ?binding_agent:p.binding_agent
+                            ?cache_capacity:p.cache_capacity ~kind:p.kind
+                            ~units:p.units ()
+                        in
+                        k (Ok (Value.Blob (Opr.to_blob opr)))
+                    | Ok _ -> k (Error (Err.Internal "SaveState returned non-record")))))
+    | _ -> Impl.bad_args k "Deactivate expects one loid"
+  in
+
+  let kill_meth _ctx args _env k =
+    match args with
+    | [ loid_v ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid ->
+            (match find_process loid with
+            | Some p -> Runtime.kill rt p.proc
+            | None -> ());
+            st.processes <-
+              List.filter (fun (l, _) -> not (Loid.equal l loid)) st.processes;
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "Kill expects one loid"
+  in
+
+  let set_cpu_load _ctx args _env k =
+    match args with
+    | [ Value.Int n ] ->
+        st.capacity <- (if n <= 0 then None else Some n);
+        k Impl.ok_unit
+    | _ -> Impl.bad_args k "SetCPUload expects one int"
+  in
+
+  let set_memory _ctx args _env k =
+    match args with
+    | [ Value.Int n ] ->
+        st.memory <- n;
+        k Impl.ok_unit
+    | _ -> Impl.bad_args k "SetMemoryUsage expects one int"
+  in
+
+  let get_state _ctx args _env k =
+    match args with
+    | [] ->
+        k
+          (Ok
+             (Value.Record
+                [
+                  ("load", Value.Int (List.length (live_processes ())));
+                  ("cap", C.vopt Value.of_int st.capacity);
+                  ("mem", Value.Int st.memory);
+                  ("activations", Value.Int st.activations);
+                  ("exceptions", Value.Int st.exceptions);
+                ]))
+    | _ -> Impl.bad_args k "GetState takes no arguments"
+  in
+
+  let list_processes _ctx args _env k =
+    match args with
+    | [] -> k (Ok (C.vloids (List.map fst (live_processes ()))))
+    | _ -> Impl.bad_args k "ListProcesses takes no arguments"
+  in
+
+  let idle_processes _ctx args _env k =
+    match args with
+    | [ Value.Float threshold ] ->
+        let now = Runtime.now rt in
+        let idle =
+          List.filter_map
+            (fun (l, p) ->
+              if now -. Runtime.last_delivery p.proc >= threshold then Some l
+              else None)
+            (live_processes ())
+        in
+        k (Ok (C.vloids idle))
+    | _ -> Impl.bad_args k "IdleProcesses expects one float"
+  in
+
+  let is_alive _ctx args _env k =
+    match args with
+    | [ loid_v ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid -> k (Ok (Value.Bool (Option.is_some (find_process loid)))))
+    | _ -> Impl.bad_args k "IsAlive expects one loid"
+  in
+
+  let reap _ctx args _env k =
+    match args with
+    | [] ->
+        let before = List.length st.processes in
+        let after = List.length (live_processes ()) in
+        k (Ok (Value.Int (before - after)))
+    | _ -> Impl.bad_args k "Reap takes no arguments"
+  in
+
+  let save () =
+    Value.Record
+      [ ("cap", C.vopt Value.of_int st.capacity); ("mem", Value.Int st.memory) ]
+  in
+  let restore v =
+    let ( let* ) r f = Result.bind r f in
+    let* cap = C.opt_int_field v "cap" in
+    let* mem =
+      match C.int_field v "mem" with Ok m -> Ok m | Error _ -> Ok 0
+    in
+    st.capacity <- cap;
+    st.memory <- mem;
+    Ok ()
+  in
+  Impl.part
+    ~methods:
+      [
+        ("Activate", activate);
+        ("Deactivate", deactivate);
+        ("Kill", kill_meth);
+        ("SetCPUload", set_cpu_load);
+        ("SetMemoryUsage", set_memory);
+        ("GetState", get_state);
+        ("IsAlive", is_alive);
+        ("IdleProcesses", idle_processes);
+        ("ListProcesses", list_processes);
+        ("Reap", reap);
+      ]
+    ~save ~restore unit_name
+
+let register () = Impl.register unit_name factory

@@ -1,0 +1,37 @@
+(** Host Objects (paper §2.3, §3.9): the "legion.host" unit.
+
+    "A Host Object is a host's representative to Legion. It is
+    responsible for executing objects on the host, reaping objects, and
+    reporting object exceptions." It is the only component that starts
+    processes; Magistrates ask it to [Activate] Object Persistent
+    Representations, and it is "ultimately responsible for deciding
+    which objects can run on the host it represents".
+
+    Methods (§3.9 names): [Activate(obj: loid, opr: blob): record] —
+    start a process from an OPR, replying its Object Address;
+    [Deactivate(obj: loid): blob] — capture [SaveState], stop the
+    process, and return the refreshed OPR; [Kill(obj: loid): unit];
+    [SetCPUload(n: int): unit] — bound concurrent processes (0 clears
+    the bound); [SetMemoryUsage(n: int): unit]; [GetState(): record];
+    [ListProcesses(): list<loid>]; [IsAlive(obj: loid): bool] — is the
+    object's process currently running here (Magistrates ask before
+    declaring a reportedly-stale address dead); [IdleProcesses(threshold:
+    float): list<loid>] — processes that have received no call for at
+    least [threshold] virtual seconds (feeds Magistrate idle sweeps); [Reap(): int] — drop table entries
+    whose process has died outside the Host Object's control, replying
+    how many were reaped (the paper's "reaping objects" duty). *)
+
+module Impl := Legion_core.Impl
+module Value := Legion_wire.Value
+
+val unit_name : string
+(** ["legion.host"]. *)
+
+val state_value : ?capacity:int -> unit -> Value.t
+(** Initial unit state; [capacity] bounds concurrent processes. *)
+
+val factory : Impl.factory
+(** The unit manages processes on the simulated host its object runs
+    on. *)
+
+val register : unit -> unit

@@ -1,0 +1,1 @@
+lib/idl/interface.ml: Format Legion_wire List Option Printf Result String Ty

@@ -1,0 +1,1 @@
+lib/idl/interface.mli: Format Legion_wire Ty

@@ -1,0 +1,1 @@
+lib/idl/mpl.ml: Format Interface List Printf String Ty

@@ -1,0 +1,1 @@
+lib/idl/mpl.mli: Format Interface

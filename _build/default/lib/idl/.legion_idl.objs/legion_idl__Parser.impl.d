@@ -1,0 +1,1 @@
+lib/idl/parser.ml: Format Interface List Printf String Ty

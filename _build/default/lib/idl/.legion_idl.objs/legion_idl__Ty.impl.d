@@ -1,0 +1,1 @@
+lib/idl/ty.ml: Format Legion_naming Legion_wire List Result String

@@ -1,0 +1,1 @@
+lib/idl/ty.mli: Format Legion_wire

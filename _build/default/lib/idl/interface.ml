@@ -1,0 +1,127 @@
+module Value = Legion_wire.Value
+
+type signature = { meth : string; params : (string * Ty.t) list; ret : Ty.t }
+type t = { name : string; sigs : signature list }
+
+let make ~name sigs =
+  let names = List.map (fun s -> s.meth) sigs in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Interface.make: duplicate method names";
+  { name; sigs }
+
+let empty name = { name; sigs = [] }
+let name t = t.name
+let signatures t = t.sigs
+let method_names t = List.map (fun s -> s.meth) t.sigs
+let find t m = List.find_opt (fun s -> String.equal s.meth m) t.sigs
+let mem t m = Option.is_some (find t m)
+
+let add t s =
+  let without = List.filter (fun s' -> not (String.equal s'.meth s.meth)) t.sigs in
+  { t with sigs = without @ [ s ] }
+
+let merge a b =
+  let extra = List.filter (fun s -> not (mem a s.meth)) b.sigs in
+  { a with sigs = a.sigs @ extra }
+
+let check_call t ~meth ~args =
+  match find t meth with
+  | None -> Error (Printf.sprintf "method %s not in interface %s" meth t.name)
+  | Some s ->
+      let expected = List.length s.params and got = List.length args in
+      if expected <> got then
+        Error (Printf.sprintf "%s: expected %d arguments, got %d" meth expected got)
+      else
+        let rec loop params args =
+          match (params, args) with
+          | [], [] -> Ok ()
+          | (pname, pty) :: params, arg :: args ->
+              if Ty.check pty arg then loop params args
+              else
+                Error
+                  (Printf.sprintf "%s: argument %s does not match type %s" meth
+                     pname (Ty.to_string pty))
+          | _ -> assert false
+        in
+        loop s.params args
+
+let equal_signature a b =
+  String.equal a.meth b.meth
+  && List.equal
+       (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && Ty.equal t1 t2)
+       a.params b.params
+  && Ty.equal a.ret b.ret
+
+let equal a b =
+  String.equal a.name b.name && List.equal equal_signature a.sigs b.sigs
+
+let pp_signature ppf s =
+  let pp_param ppf (n, t) = Format.fprintf ppf "%s: %a" n Ty.pp t in
+  Format.fprintf ppf "%s(%a): %a;" s.meth
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_param)
+    s.params Ty.pp s.ret
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>interface %s {@,%a@]@,};" t.name
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_signature)
+    t.sigs
+
+let signature_to_value s =
+  Value.Record
+    [
+      ("m", Value.Str s.meth);
+      ( "p",
+        Value.List
+          (List.map
+             (fun (n, ty) -> Value.Record [ ("n", Value.Str n); ("t", Ty.to_value ty) ])
+             s.params) );
+      ("r", Ty.to_value s.ret);
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let signature_of_value v =
+  let err e = Format.asprintf "interface: %a" Value.pp_error e in
+  let* m = Result.map_error err (Result.bind (Value.field v "m") Value.to_str) in
+  let* params_v = Result.map_error err (Value.field v "p") in
+  let* params =
+    match params_v with
+    | Value.List ps ->
+        let rec loop acc = function
+          | [] -> Ok (List.rev acc)
+          | p :: rest ->
+              let* n =
+                Result.map_error err (Result.bind (Value.field p "n") Value.to_str)
+              in
+              let* tv = Result.map_error err (Value.field p "t") in
+              let* ty = Ty.of_value tv in
+              loop ((n, ty) :: acc) rest
+        in
+        loop [] ps
+    | _ -> Error "interface: params not a list"
+  in
+  let* ret_v = Result.map_error err (Value.field v "r") in
+  let* ret = Ty.of_value ret_v in
+  Ok { meth = m; params; ret }
+
+let to_value t =
+  Value.Record
+    [
+      ("n", Value.Str t.name);
+      ("s", Value.List (List.map signature_to_value t.sigs));
+    ]
+
+let of_value v =
+  let err e = Format.asprintf "interface: %a" Value.pp_error e in
+  let* n = Result.map_error err (Result.bind (Value.field v "n") Value.to_str) in
+  let* sigs_v = Result.map_error err (Value.field v "s") in
+  match sigs_v with
+  | Value.List ss ->
+      let rec loop acc = function
+        | [] -> Ok { name = n; sigs = List.rev acc }
+        | s :: rest ->
+            let* sg = signature_of_value s in
+            loop (sg :: acc) rest
+      in
+      loop [] ss
+  | _ -> Error "interface: signatures not a list"

@@ -1,0 +1,48 @@
+(** Method signatures and object interfaces.
+
+    "Each method has a signature that describes the parameters and return
+    value, if any, of the method. The complete set of method signatures
+    for an object fully describes that object's interface, which is
+    inherited from its class" (§2). *)
+
+type signature = {
+  meth : string;
+  params : (string * Ty.t) list;
+  ret : Ty.t;
+}
+
+type t
+(** An interface: a named, ordered set of signatures with distinct
+    method names. *)
+
+val make : name:string -> signature list -> t
+(** @raise Invalid_argument on duplicate method names. *)
+
+val empty : string -> t
+val name : t -> string
+val signatures : t -> signature list
+val method_names : t -> string list
+val find : t -> string -> signature option
+val mem : t -> string -> bool
+
+val add : t -> signature -> t
+(** Replaces an existing signature with the same method name. *)
+
+val merge : t -> t -> t
+(** [merge a b] is the multiple-inheritance composition: all of [a],
+    plus those methods of [b] that [a] does not define — "B's member
+    functions are added to C's interface" (§2.1.1), with the derived
+    class's own definitions taking precedence. Keeps [a]'s name. *)
+
+val check_call :
+  t -> meth:string -> args:Legion_wire.Value.t list ->
+  (unit, string) result
+(** Arity and per-parameter type conformance for an invocation. Unknown
+    methods are an error. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Renders in IDL concrete syntax (parseable by {!Parser.interface}). *)
+
+val to_value : t -> Legion_wire.Value.t
+val of_value : Legion_wire.Value.t -> (t, string) result

@@ -1,0 +1,244 @@
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
+
+type token =
+  | Ident of string
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Langle
+  | Rangle
+  | Colon
+  | Semi
+  | Comma
+  | Eof
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Langle -> "'<'"
+  | Rangle -> "'>'"
+  | Colon -> "':'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Eof -> "end of input"
+
+type lexed = { tok : token; line : int; col : int }
+
+exception Parse_error of error
+
+let fail ~line ~col fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; col; message })) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let emit tok = toks := { tok; line = !line; col = !col } :: !toks in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_ident_start c then begin
+      let start = !i in
+      let start_line = !line and start_col = !col in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      toks :=
+        { tok = Ident (String.sub src start (!i - start)); line = start_line; col = start_col }
+        :: !toks
+    end
+    else begin
+      (match c with
+      | '{' -> emit Lbrace
+      | '}' -> emit Rbrace
+      | '(' -> emit Lparen
+      | ')' -> emit Rparen
+      | '<' -> emit Langle
+      | '>' -> emit Rangle
+      | ':' -> emit Colon
+      | ';' -> emit Semi
+      | ',' -> emit Comma
+      | c -> fail ~line:!line ~col:!col "unexpected character %C" c);
+      advance ()
+    end
+  done;
+  toks := { tok = Eof; line = !line; col = !col } :: !toks;
+  List.rev !toks
+
+type state = { mutable toks : lexed list }
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+
+let next st =
+  let t = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  t
+
+let expect st tok =
+  let t = next st in
+  if t.tok <> tok then
+    fail ~line:t.line ~col:t.col "expected %s, found %s" (token_name tok)
+      (token_name t.tok)
+
+let ident st =
+  let t = next st in
+  match t.tok with
+  | Ident s -> s
+  | other -> fail ~line:t.line ~col:t.col "expected identifier, found %s" (token_name other)
+
+let rec parse_ty st : Ty.t =
+  let t = next st in
+  match t.tok with
+  | Ident "unit" -> Ty.Tunit
+  | Ident "bool" -> Ty.Tbool
+  | Ident "int" -> Ty.Tint
+  | Ident "float" -> Ty.Tfloat
+  | Ident "str" -> Ty.Tstr
+  | Ident "blob" -> Ty.Tblob
+  | Ident "loid" -> Ty.Tloid
+  | Ident "binding" -> Ty.Tbinding
+  | Ident "any" -> Ty.Tany
+  | Ident "list" ->
+      expect st Langle;
+      let inner = parse_ty st in
+      expect st Rangle;
+      Ty.Tlist inner
+  | Ident "opt" ->
+      expect st Langle;
+      let inner = parse_ty st in
+      expect st Rangle;
+      Ty.Topt inner
+  | Ident "record" ->
+      expect st Lbrace;
+      let fields = ref [] in
+      let rec loop () =
+        match (peek st).tok with
+        | Rbrace -> ignore (next st)
+        | _ ->
+            let name = ident st in
+            expect st Colon;
+            let ty = parse_ty st in
+            fields := (name, ty) :: !fields;
+            (match (peek st).tok with
+            | Comma -> ignore (next st)
+            | _ -> ());
+            loop ()
+      in
+      loop ();
+      Ty.Trecord (List.rev !fields)
+  | Ident other -> fail ~line:t.line ~col:t.col "unknown type %S" other
+  | other -> fail ~line:t.line ~col:t.col "expected a type, found %s" (token_name other)
+
+let parse_params st =
+  expect st Lparen;
+  match (peek st).tok with
+  | Rparen ->
+      ignore (next st);
+      []
+  | _ ->
+      let rec loop acc =
+        let name = ident st in
+        expect st Colon;
+        let ty = parse_ty st in
+        let acc = (name, ty) :: acc in
+        let t = next st in
+        match t.tok with
+        | Comma -> loop acc
+        | Rparen -> List.rev acc
+        | other ->
+            fail ~line:t.line ~col:t.col "expected ',' or ')', found %s"
+              (token_name other)
+      in
+      loop []
+
+let parse_method st : Interface.signature =
+  let meth = ident st in
+  let params = parse_params st in
+  let ret =
+    match (peek st).tok with
+    | Colon ->
+        ignore (next st);
+        parse_ty st
+    | _ -> Ty.Tunit
+  in
+  expect st Semi;
+  { Interface.meth; params; ret }
+
+let parse_interface st =
+  let t = next st in
+  (match t.tok with
+  | Ident "interface" -> ()
+  | other ->
+      fail ~line:t.line ~col:t.col "expected 'interface', found %s" (token_name other));
+  let iname = ident st in
+  expect st Lbrace;
+  let sigs = ref [] in
+  let rec loop () =
+    match (peek st).tok with
+    | Rbrace -> ignore (next st)
+    | _ ->
+        sigs := parse_method st :: !sigs;
+        loop ()
+  in
+  loop ();
+  (match (peek st).tok with Semi -> ignore (next st) | _ -> ());
+  match Interface.make ~name:iname (List.rev !sigs) with
+  | iface -> iface
+  | exception Invalid_argument msg -> fail ~line:t.line ~col:t.col "%s" msg
+
+let run f src =
+  match f { toks = lex src } with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let interface src =
+  run
+    (fun st ->
+      let iface = parse_interface st in
+      expect st Eof;
+      iface)
+    src
+
+let file src =
+  run
+    (fun st ->
+      let rec loop acc =
+        match (peek st).tok with
+        | Eof -> List.rev acc
+        | _ -> loop (parse_interface st :: acc)
+      in
+      loop [])
+    src
+
+let ty src =
+  run
+    (fun st ->
+      let t = parse_ty st in
+      expect st Eof;
+      t)
+    src

@@ -1,0 +1,34 @@
+(** IDL type expressions.
+
+    The paper stipulates that "Legion class interfaces can be described
+    in an Interface Description Language" (§2, with CORBA IDL and MPL as
+    the intended concrete syntaxes). [Ty.t] is the type language of our
+    IDL: it types {!Legion_wire.Value.t} data structurally. *)
+
+type t =
+  | Tunit
+  | Tbool
+  | Tint
+  | Tfloat
+  | Tstr
+  | Tblob
+  | Tloid  (** A LOID in its wire encoding. *)
+  | Tbinding  (** A binding in its wire encoding. *)
+  | Tany  (** Matches every value. *)
+  | Tlist of t
+  | Topt of t
+  | Trecord of (string * t) list
+
+val check : t -> Legion_wire.Value.t -> bool
+(** Structural conformance. [Tloid]/[Tbinding] check decodability;
+    [Trecord] requires exactly the named fields (in any order). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Concrete IDL syntax: [int], [list<int>], [opt<str>],
+    [record{a: int, b: str}], … *)
+
+val to_string : t -> string
+
+val to_value : t -> Legion_wire.Value.t
+val of_value : Legion_wire.Value.t -> (t, string) result

@@ -1,0 +1,703 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Binding = Legion_naming.Binding
+module Env = Legion_sec.Env
+module Policy = Legion_sec.Policy
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Impl = Legion_core.Impl
+module C = Legion_core.Convert
+module Persistent = Legion_store.Persistent
+module Opa = Legion_store.Persistent.Opa
+
+let unit_name = "legion.magistrate"
+
+let storages : (string, Persistent.t) Hashtbl.t = Hashtbl.create 8
+
+let register_storage name store = Hashtbl.replace storages name store
+let find_storage name = Hashtbl.find_opt storages name
+
+type record = {
+  mutable opa : Opa.t option;
+  mutable active : (Loid.t * Address.t) option;  (* (host object, address) *)
+}
+
+type state = {
+  mutable jurisdiction : string;
+  mutable hosts : Loid.t list;
+  mutable activation_policy : Policy.t;
+  mutable records : (Loid.t * record) list;
+  mutable host_load : (Loid.t * int) list;  (* local activation counts *)
+  mutable activations : int;
+  mutable migrations : int;
+}
+
+let state_value ?(hosts = []) ?(activation_policy = Policy.Allow_all)
+    ~jurisdiction () =
+  Value.Record
+    [
+      ("jur", Value.Str jurisdiction);
+      ("hosts", C.vloids hosts);
+      ("policy", Policy.to_value activation_policy);
+      ("records", Value.List []);
+    ]
+
+let record_to_value (loid, r) =
+  Value.Record
+    [
+      ("loid", Loid.to_value loid);
+      ("opa", C.vopt Opa.to_value r.opa);
+      ( "active",
+        match r.active with
+        | None -> Value.List []
+        | Some (h, a) ->
+            Value.List
+              [ Value.Record [ ("h", Loid.to_value h); ("a", Address.to_value a) ] ]
+      );
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let record_of_value v =
+  let* loid = C.loid_field v "loid" in
+  let* opa = C.opt_field v "opa" Opa.of_value in
+  let* active =
+    C.opt_field v "active" (fun av ->
+        let* h = C.loid_field av "h" in
+        let* a_v = C.field av "a" in
+        let* a = Address.of_value a_v in
+        Ok (h, a))
+  in
+  Ok (loid, { opa; active })
+
+let factory (ctx : Runtime.ctx) : Impl.part =
+  let rt = ctx.Runtime.rt in
+  let self = Runtime.proc_loid ctx.Runtime.self in
+  let st =
+    {
+      jurisdiction = "";
+      hosts = [];
+      activation_policy = Policy.Allow_all;
+      records = [];
+      host_load = [];
+      activations = 0;
+      migrations = 0;
+    }
+  in
+  let env = Env.of_self self in
+  let invoke dst meth args k = Runtime.invoke ctx ~dst ~meth ~args ~env k in
+  let invoke_for call_env dst meth args k =
+    Runtime.invoke ctx ~dst ~meth ~args
+      ~env:(Env.delegate call_env ~calling:self) k
+  in
+
+  let storage () =
+    match find_storage st.jurisdiction with
+    | Some s -> Ok s
+    | None ->
+        Error
+          (Err.Internal
+             (Printf.sprintf "jurisdiction %S has no registered storage"
+                st.jurisdiction))
+  in
+  let find_record loid =
+    List.find_opt (fun (l, _) -> Loid.equal l loid) st.records |> Option.map snd
+  in
+  let load_of host =
+    Option.value ~default:0 (List.assoc_opt host st.host_load)
+  in
+  let bump_load host =
+    st.host_load <-
+      (host, load_of host + 1) :: List.remove_assoc host st.host_load
+  in
+  let check_policy ~meth call_env k yes =
+    match Policy.check st.activation_policy ~meth ~env:call_env with
+    | Policy.Allow -> yes ()
+    | Policy.Deny reason -> k (Error (Err.Refused reason))
+  in
+  let mint_binding loid address =
+    let ttl = (Runtime.config rt).Runtime.binding_ttl in
+    let expires = Option.map (fun d -> Runtime.now rt +. d) ttl in
+    Binding.make ?expires ~loid ~address ()
+  in
+  (* Tell the responsible class about magistrate-set changes so its
+     Current Magistrate List stays accurate. The continuation fires once
+     the class has acknowledged (or the notification definitively
+     failed): Copy/Move/Delete must not report success while the class
+     still points at the old magistrate — its Not_bound answers are
+     terminal for binding resolution, unlike stale addresses which the
+     §4.1.4 retry machinery repairs. Class objects themselves are
+     located through LegionClass pairs, so only instances are notified. *)
+  let notify_class loid ~add ~remove k =
+    if Loid.is_class loid then k ()
+    else
+      invoke (Loid.responsible_class loid) "NotifyMagistrates"
+        [ Loid.to_value loid; C.vloids add; C.vloids remove ]
+        (fun _ -> k ())
+  in
+
+  (* Host selection: explicit hint, else a Scheduling Agent if given,
+     else the locally least-loaded host (§3.8: Magistrates have "some
+     default scheduling behavior" while real policies live in
+     Scheduling Agents). *)
+  let pick_host ~env:call_env ~host_hint ~sched k =
+    match host_hint with
+    | Some h -> k (Ok h)
+    | None -> (
+        match st.hosts with
+        | [] -> k (Error (Err.Refused "jurisdiction has no hosts"))
+        | hosts -> (
+            match sched with
+            | Some agent ->
+                ignore call_env;
+                let candidates =
+                  Value.List
+                    (List.map
+                       (fun h ->
+                         Value.Record
+                           [ ("host", Loid.to_value h); ("load", Value.Int (load_of h)) ])
+                       hosts)
+                in
+                invoke agent "PickHost" [ candidates ] (fun r ->
+                    match r with
+                    | Ok v -> (
+                        match C.loid_arg v with
+                        | Ok h -> k (Ok h)
+                        | Error msg -> k (Error (Err.Internal msg)))
+                    | Error e -> k (Error e))
+            | None ->
+                let best =
+                  List.fold_left
+                    (fun acc h ->
+                      match acc with
+                      | Some (_, l) when l <= load_of h -> acc
+                      | _ -> Some (h, load_of h))
+                    None hosts
+                in
+                (match best with
+                | Some (h, _) -> k (Ok h)
+                | None -> k (Error (Err.Refused "jurisdiction has no hosts")))))
+  in
+
+  let do_activate ~env:call_env loid record ~host_hint ~sched k =
+    match record.opa with
+    | None -> k (Error (Err.Not_bound "no persistent representation held here"))
+    | Some opa -> (
+        match storage () with
+        | Error e -> k (Error e)
+        | Ok store -> (
+            match Persistent.get store opa with
+            | None -> k (Error (Err.Internal "persistent representation missing"))
+            | Some blob ->
+                (* On a delivery failure (the chosen Host Object is dead
+                   or unreachable) fall over to the remaining hosts — a
+                   crashed host must not wedge its whole Jurisdiction. *)
+                let try_host host ~fallbacks =
+                  let probe = (Runtime.config rt).Runtime.call_timeout /. 10.0 in
+                  let rec attempt host fallbacks =
+                    Runtime.invoke ctx ~timeout:probe ~dst:host ~meth:"Activate"
+                      ~args:[ Loid.to_value loid; Value.Blob blob ]
+                      ~env:(Env.delegate call_env ~calling:self)
+                      (fun r ->
+                        (* Fall over on delivery failures (dead host)
+                           and on refusals (a Host Object at capacity or
+                           exercising its own access policy, §3.9). *)
+                        let should_fall_over = function
+                          | Err.Refused _ -> true
+                          | e -> Err.is_delivery_failure e
+                        in
+                        match r with
+                        | Error e when should_fall_over e -> (
+                            match fallbacks with
+                            | [] -> k (Error e)
+                            | h :: rest -> attempt h rest)
+                        | Error e -> k (Error e)
+                        | Ok reply -> (
+                            let addr =
+                              let* av = C.field reply "addr" in
+                              Address.of_value av
+                            in
+                            match addr with
+                            | Error msg -> k (Error (Err.Internal msg))
+                            | Ok address ->
+                                record.active <- Some (host, address);
+                                st.activations <- st.activations + 1;
+                                bump_load host;
+                                k (Ok (Binding.to_value (mint_binding loid address)))))
+                  in
+                  attempt host fallbacks
+                in
+                pick_host ~env:call_env ~host_hint ~sched (fun r ->
+                    match r with
+                    | Error e -> k (Error e)
+                    | Ok host ->
+                        let fallbacks =
+                          List.filter (fun h -> not (Loid.equal h host)) st.hosts
+                        in
+                        try_host host ~fallbacks)))
+  in
+
+  let activate _ctx args call_env k =
+    match args with
+    | [ loid_v; hints ] -> (
+        let decoded =
+          let* loid = C.loid_arg loid_v in
+          let* stale = C.opt_address_field hints "stale" in
+          let* host_hint = C.opt_loid_field hints "host" in
+          let* sched = C.opt_loid_field hints "sched" in
+          Ok (loid, stale, host_hint, sched)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (loid, stale, host_hint, sched) ->
+            check_policy ~meth:"Activate" call_env k (fun () ->
+                match find_record loid with
+                | None -> k (Error (Err.Not_bound "object unknown to this magistrate"))
+                | Some record -> (
+                    match record.active with
+                    | Some (_, address)
+                      when not
+                             (match stale with
+                             | Some s -> Address.equal s address
+                             | None -> false) ->
+                        k (Ok (Binding.to_value (mint_binding loid address)))
+                    | Some (host, address) ->
+                        (* The caller believes the recorded address is
+                           dead — but its timeout may have been
+                           transient. Ask the Host Object before
+                           restarting: blind reactivation would fork the
+                           object and roll its state back to the OPR. *)
+                        let probe = (Runtime.config rt).Runtime.call_timeout /. 10.0 in
+                        Runtime.invoke ctx ~timeout:probe ~dst:host ~meth:"IsAlive"
+                          ~args:[ Loid.to_value loid ]
+                          ~env:(Env.delegate call_env ~calling:self)
+                          (fun r ->
+                            match r with
+                            | Ok (Value.Bool true) ->
+                                k (Ok (Binding.to_value (mint_binding loid address)))
+                            | Ok _ | Error _ ->
+                                record.active <- None;
+                                do_activate ~env:call_env loid record ~host_hint
+                                  ~sched k)
+                    | None -> do_activate ~env:call_env loid record ~host_hint ~sched k)))
+    | _ -> Impl.bad_args k "Activate expects (loid, hints)"
+  in
+
+  let store_object _ctx args call_env k =
+    match args with
+    | [ loid_v; Value.Blob blob ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid ->
+            check_policy ~meth:"StoreObject" call_env k (fun () ->
+                match storage () with
+                | Error e -> k (Error e)
+                | Ok store ->
+                    let opa = Persistent.put store ~loid blob in
+                    (match find_record loid with
+                    | Some record ->
+                        (match record.opa with
+                        | Some old when not (Opa.equal old opa) ->
+                            Persistent.remove store old
+                        | _ -> ());
+                        record.opa <- Some opa
+                    | None ->
+                        st.records <-
+                          (loid, { opa = Some opa; active = None }) :: st.records);
+                    k Impl.ok_unit))
+    | _ -> Impl.bad_args k "StoreObject expects (loid, opr: blob)"
+  in
+
+  (* Deactivate: host captures state, we persist the refreshed OPR and
+     (best effort) tell the class the address is gone (§4.1.4's "news of
+     an object's migration or removal"). Shared with Copy/Move. *)
+  let do_deactivate ~env:call_env loid record k =
+    match record.active with
+    | None -> k (Ok ())
+    | Some (host, _) ->
+        invoke_for call_env host "Deactivate" [ Loid.to_value loid ] (fun r ->
+            match r with
+            | Error e -> k (Error e)
+            | Ok (Value.Blob blob) -> (
+                match storage () with
+                | Error e -> k (Error e)
+                | Ok store ->
+                    let opa = Persistent.put store ~loid blob in
+                    (match record.opa with
+                    | Some old when not (Opa.equal old opa) ->
+                        Persistent.remove store old
+                    | _ -> ());
+                    record.opa <- Some opa;
+                    record.active <- None;
+                    invoke (Loid.responsible_class loid) "NotifyAddress"
+                      [ Loid.to_value loid; Value.List [] ]
+                      (fun _ -> ());
+                    k (Ok ()))
+            | Ok _ -> k (Error (Err.Internal "Deactivate returned non-blob")))
+  in
+
+  let deactivate _ctx args call_env k =
+    match args with
+    | [ loid_v ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid ->
+            check_policy ~meth:"Deactivate" call_env k (fun () ->
+                match find_record loid with
+                | None -> k (Error (Err.Not_bound "object unknown to this magistrate"))
+                | Some record ->
+                    do_deactivate ~env:call_env loid record (fun r ->
+                        match r with Ok () -> k Impl.ok_unit | Error e -> k (Error e))))
+    | _ -> Impl.bad_args k "Deactivate expects one loid"
+  in
+
+  let remove_record loid =
+    st.records <- List.filter (fun (l, _) -> not (Loid.equal l loid)) st.records
+  in
+
+  let delete _ctx args call_env k =
+    match args with
+    | [ loid_v ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid ->
+            check_policy ~meth:"Delete" call_env k (fun () ->
+                match find_record loid with
+                | None -> k (Error (Err.Not_bound "object unknown to this magistrate"))
+                | Some record ->
+                    let finish () =
+                      (match (record.opa, storage ()) with
+                      | Some opa, Ok store -> Persistent.remove store opa
+                      | _ -> ());
+                      remove_record loid;
+                      notify_class loid ~add:[] ~remove:[ self ] (fun () ->
+                          k Impl.ok_unit)
+                    in
+                    (match record.active with
+                    | Some (host, _) ->
+                        invoke_for call_env host "Kill" [ Loid.to_value loid ]
+                          (fun _ -> finish ())
+                    | None -> finish ())))
+    | _ -> Impl.bad_args k "Delete expects one loid"
+  in
+
+  (* Copy (§3.8): deactivate, then ship the OPR to the other
+     Magistrate. The object ends up Inert in both Jurisdictions, which
+     is why the Current Magistrate List is a list. *)
+  let do_copy ~env:call_env loid dst k =
+    match find_record loid with
+    | None -> k (Error (Err.Not_bound "object unknown to this magistrate"))
+    | Some record ->
+        do_deactivate ~env:call_env loid record (fun r ->
+            match r with
+            | Error e -> k (Error e)
+            | Ok () -> (
+                match (record.opa, storage ()) with
+                | Some opa, Ok store -> (
+                    match Persistent.get store opa with
+                    | None -> k (Error (Err.Internal "persistent representation missing"))
+                    | Some blob ->
+                        invoke_for call_env dst "StoreObject"
+                          [ Loid.to_value loid; Value.Blob blob ]
+                          (fun r ->
+                            match r with
+                            | Error e -> k (Error e)
+                            | Ok _ ->
+                                st.migrations <- st.migrations + 1;
+                                notify_class loid ~add:[ dst ] ~remove:[]
+                                  (fun () -> k (Ok ()))))
+                | None, _ -> k (Error (Err.Not_bound "no persistent representation"))
+                | _, Error e -> k (Error e)))
+  in
+
+  let copy _ctx args call_env k =
+    match args with
+    | [ loid_v; dst_v ] -> (
+        let decoded =
+          let* loid = C.loid_arg loid_v in
+          let* dst = C.loid_arg dst_v in
+          Ok (loid, dst)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (loid, dst) ->
+            check_policy ~meth:"Copy" call_env k (fun () ->
+                do_copy ~env:call_env loid dst (fun r ->
+                    match r with Ok () -> k Impl.ok_unit | Error e -> k (Error e))))
+    | _ -> Impl.bad_args k "Copy expects (loid, magistrate)"
+  in
+
+  (* Move = Copy then remove locally (§3.8: "equivalent to Copy() then
+     Delete()", where the Delete is of the local copy only). *)
+  let move _ctx args call_env k =
+    match args with
+    | [ loid_v; dst_v ] -> (
+        let decoded =
+          let* loid = C.loid_arg loid_v in
+          let* dst = C.loid_arg dst_v in
+          Ok (loid, dst)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (loid, dst) ->
+            check_policy ~meth:"Move" call_env k (fun () ->
+                do_copy ~env:call_env loid dst (fun r ->
+                    match r with
+                    | Error e -> k (Error e)
+                    | Ok () ->
+                        (match (find_record loid, storage ()) with
+                        | Some { opa = Some opa; _ }, Ok store ->
+                            Persistent.remove store opa
+                        | _ -> ());
+                        remove_record loid;
+                        notify_class loid ~add:[] ~remove:[ self ] (fun () ->
+                            k Impl.ok_unit))))
+    | _ -> Impl.bad_args k "Move expects (loid, magistrate)"
+  in
+
+  (* SweepIdle: "Magistrates are responsible for moving objects between
+     Active and Inert states" (§3.1) — reclaim hosts by deactivating
+     objects idle for at least the given number of virtual seconds. The
+     Host Objects name the idle processes; we deactivate those we
+     manage. Replies how many were deactivated. *)
+  let sweep_idle _ctx args call_env k =
+    match args with
+    | [ Value.Float threshold ] ->
+        check_policy ~meth:"SweepIdle" call_env k (fun () ->
+            let active_hosts =
+              List.sort_uniq Loid.compare
+                (List.filter_map (fun (_, r) -> Option.map fst r.active) st.records)
+            in
+            let swept = ref 0 in
+            let rec per_host = function
+              | [] -> k (Ok (Value.Int !swept))
+              | h :: rest ->
+                  invoke_for call_env h "IdleProcesses" [ Value.Float threshold ]
+                    (fun r ->
+                      match r with
+                      | Error _ -> per_host rest
+                      | Ok idle_v ->
+                          let idle =
+                            match C.loid_list_field
+                                    (Value.Record [ ("l", idle_v) ]) "l"
+                            with
+                            | Ok ls -> ls
+                            | Error _ -> []
+                          in
+                          let mine =
+                            List.filter
+                              (fun l ->
+                                match find_record l with
+                                | Some { active = Some (host, _); _ } ->
+                                    Loid.equal host h
+                                | _ -> false)
+                              idle
+                          in
+                          let rec deact = function
+                            | [] -> per_host rest
+                            | l :: more -> (
+                                match find_record l with
+                                | Some record ->
+                                    do_deactivate ~env:call_env l record (fun r ->
+                                        (match r with
+                                        | Ok () -> incr swept
+                                        | Error _ -> ());
+                                        deact more)
+                                | None -> deact more)
+                          in
+                          deact mine)
+            in
+            per_host active_hosts)
+    | _ -> Impl.bad_args k "SweepIdle expects one float"
+  in
+
+  (* AdoptObject: accept responsibility for an object whose OPR already
+     sits on storage this Jurisdiction can see — the §2.2 non-disjoint
+     storage case, used by jurisdiction splitting. *)
+  let adopt_object _ctx args call_env k =
+    match args with
+    | [ loid_v; opa_v ] -> (
+        let decoded =
+          let* loid = C.loid_arg loid_v in
+          let* opa = Opa.of_value opa_v in
+          Ok (loid, opa)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (loid, opa) ->
+            check_policy ~meth:"AdoptObject" call_env k (fun () ->
+                match storage () with
+                | Error e -> k (Error e)
+                | Ok store ->
+                    if Persistent.get store opa = None then
+                      k
+                        (Error
+                           (Err.Refused
+                              "persistent representation not visible from this                                jurisdiction"))
+                    else begin
+                      (match find_record loid with
+                      | Some record -> record.opa <- Some opa
+                      | None ->
+                          st.records <-
+                            (loid, { opa = Some opa; active = None }) :: st.records);
+                      k Impl.ok_unit
+                    end))
+    | _ -> Impl.bad_args k "AdoptObject expects (loid, opa)"
+  in
+
+  (* TransferObjects: §2.2 jurisdiction splitting — hand up to [max]
+     managed objects to another Magistrate. Active objects are
+     deactivated first; the class is told synchronously per object. *)
+  let transfer_objects _ctx args call_env k =
+    match args with
+    | [ dst_v; Value.Int max_n ] -> (
+        match C.loid_arg dst_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok dst ->
+            check_policy ~meth:"TransferObjects" call_env k (fun () ->
+                let candidates =
+                  List.filteri (fun i _ -> i < max_n) st.records
+                in
+                let moved = ref 0 in
+                let rec transfer = function
+                  | [] -> k (Ok (Value.Int !moved))
+                  | (loid, record) :: rest ->
+                      do_deactivate ~env:call_env loid record (fun r ->
+                          match r with
+                          | Error _ -> transfer rest
+                          | Ok () -> (
+                              match record.opa with
+                              | None -> transfer rest
+                              | Some opa ->
+                                  invoke_for call_env dst "AdoptObject"
+                                    [ Loid.to_value loid; Opa.to_value opa ]
+                                    (fun r ->
+                                      match r with
+                                      | Error _ -> transfer rest
+                                      | Ok _ ->
+                                          remove_record loid;
+                                          incr moved;
+                                          notify_class loid ~add:[ dst ]
+                                            ~remove:[ self ] (fun () ->
+                                              transfer rest))))
+                in
+                transfer candidates))
+    | _ -> Impl.bad_args k "TransferObjects expects (magistrate, max: int)"
+  in
+
+  let add_host _ctx args _env k =
+    match args with
+    | [ host_v ] -> (
+        match C.loid_arg host_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok host ->
+            if not (List.exists (Loid.equal host) st.hosts) then
+              st.hosts <- st.hosts @ [ host ];
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "AddHost expects one host loid"
+  in
+
+  let remove_host _ctx args _env k =
+    match args with
+    | [ host_v ] -> (
+        match C.loid_arg host_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok host ->
+            st.hosts <- List.filter (fun h -> not (Loid.equal h host)) st.hosts;
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "RemoveHost expects one host loid"
+  in
+
+  let set_activation_policy _ctx args _env k =
+    match args with
+    | [ pv ] -> (
+        match Policy.of_value pv with
+        | Ok p ->
+            st.activation_policy <- p;
+            k Impl.ok_unit
+        | Error msg -> Impl.bad_args k msg)
+    | _ -> Impl.bad_args k "SetActivationPolicy expects one policy"
+  in
+
+  let list_objects _ctx args _env k =
+    match args with
+    | [] -> k (Ok (C.vloids (List.map fst st.records)))
+    | _ -> Impl.bad_args k "ListObjects takes no arguments"
+  in
+
+  let info _ctx args _env k =
+    match args with
+    | [] ->
+        let n_active =
+          List.length
+            (List.filter (fun (_, r) -> Option.is_some r.active) st.records)
+        in
+        k
+          (Ok
+             (Value.Record
+                [
+                  ("jurisdiction", Value.Str st.jurisdiction);
+                  ("hosts", C.vloids st.hosts);
+                  ("objects", Value.Int (List.length st.records));
+                  ("active", Value.Int n_active);
+                  ("activations", Value.Int st.activations);
+                  ("migrations", Value.Int st.migrations);
+                ]))
+    | _ -> Impl.bad_args k "GetJurisdictionInfo takes no arguments"
+  in
+
+  let save () =
+    Value.Record
+      [
+        ("jur", Value.Str st.jurisdiction);
+        ("hosts", C.vloids st.hosts);
+        ("policy", Policy.to_value st.activation_policy);
+        ("records", Value.List (List.map record_to_value st.records));
+      ]
+  in
+  let restore v =
+    let* jur = C.str_field v "jur" in
+    let* hosts = C.loid_list_field v "hosts" in
+    let* pv = C.field v "policy" in
+    let* policy = Policy.of_value pv in
+    let* records_v = C.field v "records" in
+    let* records =
+      match records_v with
+      | Value.List rs ->
+          let rec loop acc = function
+            | [] -> Ok (List.rev acc)
+            | rv :: rest ->
+                let* r = record_of_value rv in
+                loop (r :: acc) rest
+          in
+          loop [] rs
+      | _ -> Error "magistrate state: records not a list"
+    in
+    st.jurisdiction <- jur;
+    st.hosts <- hosts;
+    st.activation_policy <- policy;
+    st.records <- records;
+    Ok ()
+  in
+  Impl.part
+    ~methods:
+      [
+        ("Activate", activate);
+        ("StoreObject", store_object);
+        ("Deactivate", deactivate);
+        ("Delete", delete);
+        ("Copy", copy);
+        ("Move", move);
+        ("SweepIdle", sweep_idle);
+        ("AdoptObject", adopt_object);
+        ("TransferObjects", transfer_objects);
+        ("AddHost", add_host);
+        ("RemoveHost", remove_host);
+        ("SetActivationPolicy", set_activation_policy);
+        ("ListObjects", list_objects);
+        ("GetJurisdictionInfo", info);
+      ]
+    ~save ~restore unit_name
+
+let register () = Impl.register unit_name factory

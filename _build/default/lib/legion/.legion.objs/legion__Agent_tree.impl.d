@@ -1,0 +1,1 @@
+lib/legion/agent_tree.ml: Array Legion_binding Legion_core Legion_naming Legion_rt List System

@@ -1,0 +1,1 @@
+lib/legion/agent_tree.mli: Legion_net Legion_rt System

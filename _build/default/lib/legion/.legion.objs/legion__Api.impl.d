@@ -1,0 +1,1 @@
+lib/legion/api.ml: Legion_core Legion_idl Legion_naming Legion_rt Legion_sim Legion_wire Printf Result System

@@ -1,0 +1,1 @@
+lib/legion/api.mli: Legion_idl Legion_naming Legion_rt Legion_wire System

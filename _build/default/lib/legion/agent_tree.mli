@@ -1,0 +1,32 @@
+(** Builders for Binding-Agent combining trees (§5.2.2).
+
+    "Binding Agents could be organized to implement a software combining
+    tree": leaves forward class lookups to parents, parents to
+    grandparents, and only the roots consult LegionClass. This module
+    spawns the extra agents over a booted system and wires the parent
+    links; E3 measures the resulting LegionClass load.
+
+    Nodes are spawned round-robin over [hosts] and registered with the
+    LegionBindingAgent class so they resolve like any other object. *)
+
+module Runtime := Legion_rt.Runtime
+
+type t = {
+  roots : Runtime.proc list;
+  levels : Runtime.proc list list;
+      (** Index 0 = the roots; the last entry = the leaves. *)
+  leaves : Runtime.proc list;
+}
+
+val build :
+  System.t ->
+  hosts:Legion_net.Network.host_id list ->
+  fanout:int ->
+  levels:int ->
+  n_leaves:int ->
+  t
+(** Build a [fanout]-ary tree [levels] deep whose leaf layer has
+    [n_leaves] agents (the root layer is sized so every leaf has an
+    ancestor chain). [levels = 0] yields [n_leaves] independent root
+    agents. @raise Invalid_argument on non-positive arguments;
+    @raise Failure if an agent cannot be spawned. *)

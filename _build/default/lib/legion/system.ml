@@ -1,0 +1,675 @@
+module Prng = Legion_util.Prng
+module Counter = Legion_util.Counter
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Binding = Legion_naming.Binding
+module Interface = Legion_idl.Interface
+module Parser = Legion_idl.Parser
+module Engine = Legion_sim.Engine
+module Network = Legion_net.Network
+module Env = Legion_sec.Env
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Impl = Legion_core.Impl
+module Opr = Legion_core.Opr
+module Well_known = Legion_core.Well_known
+module Class_part = Legion_core.Class_part
+module Object_part = Legion_core.Object_part
+module Metaclass_part = Legion_core.Metaclass_part
+module Agent_part = Legion_binding.Agent_part
+module Host_part = Legion_host.Host_part
+module Magistrate_part = Legion_jur.Magistrate_part
+module Sched_part = Legion_sched.Sched_part
+module Context_part = Legion_ctx.Context_part
+module Persistent = Legion_store.Persistent
+module Disk = Legion_store.Disk
+
+type site = {
+  site_id : Network.site_id;
+  site_name : string;
+  net_hosts : Network.host_id list;
+  host_objects : Loid.t list;
+  magistrate : Loid.t;
+  agent : Loid.t;
+  agent_address : Address.t;
+  storage : Persistent.t;
+}
+
+type t = {
+  sim : Engine.t;
+  net : Network.t;
+  rt : Runtime.t;
+  registry : Counter.Registry.r;
+  prng : Prng.t;
+  sites : site list;
+  legion_class_binding : Binding.t;
+  mutable next_ext : int64;
+}
+
+let sim t = t.sim
+let net t = t.net
+let rt t = t.rt
+let registry t = t.registry
+let prng t = t.prng
+let sites t = t.sites
+let site t i = List.nth t.sites i
+let legion_class_binding t = t.legion_class_binding
+let magistrates t = List.map (fun s -> s.magistrate) t.sites
+let host_objects t = List.concat_map (fun s -> s.host_objects) t.sites
+
+(* Bootstrap-assigned instance LOIDs live far above class-allocated
+   sequence numbers (which start at 1) so the two can never collide. *)
+let ext_base = 0x1_0000_0000L
+
+let fresh_instance_loid t ~of_class =
+  let spec = Int64.add ext_base t.next_ext in
+  t.next_ext <- Int64.add t.next_ext 1L;
+  Loid.make ~class_id:(Loid.class_id of_class) ~class_specific:spec ()
+
+let register_all_units () =
+  Object_part.register ();
+  Legion_core.Typecheck_part.register ();
+  Legion_core.Class_part.register ();
+  Metaclass_part.register ();
+  Agent_part.register ();
+  Host_part.register ();
+  Magistrate_part.register ();
+  Sched_part.register ();
+  Context_part.register ()
+
+(* IDL for the core interfaces — stored in the core class objects and
+   served by GetInterface, exercising the same parser user classes use. *)
+let object_idl =
+  "interface LegionObject {\n\
+  \  MayI(meth: str): bool;\n\
+  \  Iam(): loid;\n\
+  \  Ping();\n\
+  \  SaveState(): any;\n\
+  \  RestoreState(state: any);\n\
+  \  GetMethodNames(): list<str>;\n\
+  \  GetInfo(): str;\n\
+  \  SetPolicy(policy: any);\n\
+  \  GetPolicy(): any;\n\
+   }"
+
+let class_idl =
+  "interface LegionClass {\n\
+  \  Create(init: any, hints: any): any;\n\
+  \  Derive(spec: any): any;\n\
+  \  Clone(): any;\n\
+  \  InheritFrom(base: loid);\n\
+  \  GetInheritInfo(): any;\n\
+  \  GetInterface(): any;\n\
+  \  GetBinding(target: any): binding;\n\
+  \  Delete(obj: loid);\n\
+  \  RegisterInstance(obj: loid, addr: any);\n\
+  \  NotifyAddress(obj: loid, addr: any);\n\
+  \  NotifyMagistrates(obj: loid, add: list<loid>, remove: list<loid>);\n\
+  \  SetDefaults(defaults: any);\n\
+  \  ListInstances(): list<loid>;\n\
+  \  ListSubclasses(): list<loid>;\n\
+  \  GetClassInfo(): any;\n\
+   }"
+
+let host_idl =
+  "interface LegionHost {\n\
+  \  Activate(obj: loid, opr: blob): any;\n\
+  \  Deactivate(obj: loid): blob;\n\
+  \  Kill(obj: loid);\n\
+  \  SetCPUload(n: int);\n\
+  \  SetMemoryUsage(n: int);\n\
+  \  GetState(): any;\n\
+  \  ListProcesses(): list<loid>;\n\
+  \  Reap(): int;\n\
+   }"
+
+let magistrate_idl =
+  "interface LegionMagistrate {\n\
+  \  Activate(obj: loid, hints: any): binding;\n\
+  \  Deactivate(obj: loid);\n\
+  \  Delete(obj: loid);\n\
+  \  Copy(obj: loid, to: loid);\n\
+  \  Move(obj: loid, to: loid);\n\
+  \  StoreObject(obj: loid, opr: blob);\n\
+  \  AddHost(host: loid);\n\
+  \  RemoveHost(host: loid);\n\
+  \  SetActivationPolicy(policy: any);\n\
+  \  ListObjects(): list<loid>;\n\
+  \  GetJurisdictionInfo(): any;\n\
+   }"
+
+let agent_idl =
+  "interface LegionBindingAgent {\n\
+  \  GetBinding(target: any): binding;\n\
+  \  InvalidateBinding(target: any);\n\
+  \  AddBinding(b: binding);\n\
+  \  SetParent(parent: any);\n\
+  \  GetStats(): any;\n\
+   }"
+
+let parse_idl src =
+  match Parser.interface src with
+  | Ok i -> i
+  | Error e -> failwith (Format.asprintf "bootstrap idl: %a" Parser.pp_error e)
+
+let abstract_flags =
+  { Class_part.abstract = true; private_ = false; fixed = false }
+
+let boot ?(seed = 42L) ?latency ?rt_config ?agent_cache_capacity
+    ?object_cache_capacity ~sites:site_spec () =
+  if site_spec = [] then invalid_arg "System.boot: no sites";
+  register_all_units ();
+  let sim = Engine.create () in
+  let prng = Prng.create ~seed in
+  let registry = Counter.Registry.create () in
+  let net = Network.create ~sim ~prng:(Prng.split prng) ?latency () in
+  let rt =
+    Runtime.create ~sim ~net ~registry ~prng:(Prng.split prng) ?config:rt_config ()
+  in
+  (* Topology. *)
+  let site_hosts =
+    List.map
+      (fun (name, n_hosts) ->
+        if n_hosts <= 0 then invalid_arg "System.boot: site needs >= 1 host";
+        let sid = Network.add_site net ~name in
+        let hosts =
+          List.init n_hosts (fun i ->
+              Network.add_host net ~site:sid ~name:(Printf.sprintf "%s-h%d" name i))
+        in
+        (name, sid, hosts))
+      site_spec
+  in
+  let host0 =
+    match site_hosts with (_, _, h :: _) :: _ -> h | _ -> assert false
+  in
+
+  (* --- Core class objects, spawned directly ("from the shell"). --- *)
+  let spawn_core_class ~loid ~iface ~instance_units ~instance_kind
+      ?instance_cache_capacity ~flags ~host ~ba () =
+    let state =
+      Class_part.init_state ~interface:iface ~instance_units ~instance_kind
+        ?instance_cache_capacity ~flags ~class_id:(Loid.class_id loid) ()
+    in
+    let units =
+      if Loid.equal loid Well_known.legion_class then
+        [ Well_known.unit_metaclass; Well_known.unit_class; Well_known.unit_object ]
+      else [ Well_known.unit_class; Well_known.unit_object ]
+    in
+    let opr =
+      Opr.make
+        ~states:[ (Well_known.unit_class, state) ]
+        ?binding_agent:ba ~kind:Well_known.kind_class ~units ()
+    in
+    match Impl.activate rt ~host ~loid opr with
+    | Ok proc -> proc
+    | Error msg ->
+        failwith (Printf.sprintf "bootstrap: cannot start %s: %s"
+                    (Loid.to_string loid) msg)
+  in
+
+  (* LegionClass first: everything else's resolution terminates at it. *)
+  let legion_class_proc =
+    spawn_core_class ~loid:Well_known.legion_class ~iface:(parse_idl class_idl)
+      ~instance_units:[ Well_known.unit_class; Well_known.unit_object ]
+      ~instance_kind:Well_known.kind_class ~flags:abstract_flags ~host:host0
+      ~ba:None ()
+  in
+  let legion_class_binding = Runtime.binding_of rt legion_class_proc in
+  (* Bindings minted during bootstrap must not expire. *)
+  let legion_class_binding = Binding.with_expiry legion_class_binding None in
+
+  (* --- Per-site Binding Agents (flat by default). --- *)
+  let next_ext = ref 0L in
+  let fresh of_class =
+    let spec = Int64.add ext_base !next_ext in
+    next_ext := Int64.add !next_ext 1L;
+    Loid.make ~class_id:(Loid.class_id of_class) ~class_specific:spec ()
+  in
+  let agents =
+    List.map
+      (fun (_name, _sid, hosts) ->
+        let loid = fresh Well_known.legion_binding_agent in
+        let state =
+          Agent_part.state_value ?capacity:agent_cache_capacity
+            ~legion_class:legion_class_binding ()
+        in
+        let opr =
+          Opr.make
+            ~states:[ (Agent_part.unit_name, state) ]
+            ~kind:Well_known.kind_binding_agent
+            ~units:[ Agent_part.unit_name; Well_known.unit_object ]
+            ()
+        in
+        match Impl.activate rt ~host:(List.hd hosts) ~loid opr with
+        | Ok proc -> (loid, proc, Runtime.address_of proc)
+        | Error msg -> failwith ("bootstrap: binding agent: " ^ msg))
+      site_hosts
+  in
+  let agent_address_of_site i =
+    let _, _, addr = List.nth agents i in
+    addr
+  in
+
+  (* Give the core class objects a Binding Agent (site 0's). *)
+  Runtime.set_binding_agent legion_class_proc (Some (agent_address_of_site 0));
+
+  let core_rest =
+    [
+      (Well_known.legion_object, object_idl, [ Well_known.unit_object ],
+       Well_known.kind_app);
+      (Well_known.legion_host, host_idl,
+       [ Host_part.unit_name; Well_known.unit_object ], Well_known.kind_host);
+      (Well_known.legion_magistrate, magistrate_idl,
+       [ Magistrate_part.unit_name; Well_known.unit_object ],
+       Well_known.kind_magistrate);
+      (Well_known.legion_binding_agent, agent_idl,
+       [ Agent_part.unit_name; Well_known.unit_object ],
+       Well_known.kind_binding_agent);
+    ]
+  in
+  let core_procs =
+    (Well_known.legion_class, legion_class_proc)
+    :: List.map
+         (fun (loid, idl, instance_units, instance_kind) ->
+           let proc =
+             spawn_core_class ~loid ~iface:(parse_idl idl) ~instance_units
+               ~instance_kind ?instance_cache_capacity:object_cache_capacity
+               ~flags:abstract_flags ~host:host0
+               ~ba:(Some (agent_address_of_site 0)) ()
+           in
+           (loid, proc))
+         core_rest
+  in
+
+  (* --- Host Objects: one per simulated host. --- *)
+  let sites_hosts_objs =
+    List.mapi
+      (fun i (name, sid, hosts) ->
+        let agent_addr = agent_address_of_site i in
+        let host_objs =
+          List.map
+            (fun h ->
+              let loid = fresh Well_known.legion_host in
+              let opr =
+                Opr.make
+                  ~states:[ (Host_part.unit_name, Host_part.state_value ()) ]
+                  ~binding_agent:agent_addr ~kind:Well_known.kind_host
+                  ~units:[ Host_part.unit_name; Well_known.unit_object ]
+                  ()
+              in
+              match Impl.activate rt ~host:h ~loid opr with
+              | Ok proc -> (loid, proc)
+              | Error msg -> failwith ("bootstrap: host object: " ^ msg))
+            hosts
+        in
+        (name, sid, hosts, host_objs))
+      site_hosts
+  in
+
+  (* --- Per-site Jurisdictions: storage + Magistrate. --- *)
+  let sites =
+    List.mapi
+      (fun i (name, sid, hosts, host_objs) ->
+        let storage =
+          Persistent.create
+            ~disks:
+              [
+                Disk.create ~name:(name ^ "-disk0");
+                Disk.create ~name:(name ^ "-disk1");
+              ]
+        in
+        Magistrate_part.register_storage name storage;
+        let mag_loid = fresh Well_known.legion_magistrate in
+        let agent_addr = agent_address_of_site i in
+        let state =
+          Magistrate_part.state_value ~hosts:(List.map fst host_objs)
+            ~jurisdiction:name ()
+        in
+        let opr =
+          Opr.make
+            ~states:[ (Magistrate_part.unit_name, state) ]
+            ~binding_agent:agent_addr ~kind:Well_known.kind_magistrate
+            ~units:[ Magistrate_part.unit_name; Well_known.unit_object ]
+            ()
+        in
+        (match Impl.activate rt ~host:(List.hd hosts) ~loid:mag_loid opr with
+        | Ok _ -> ()
+        | Error msg -> failwith ("bootstrap: magistrate: " ^ msg));
+        let agent_loid, _, agent_address = List.nth agents i in
+        {
+          site_id = sid;
+          site_name = name;
+          net_hosts = hosts;
+          host_objects = List.map fst host_objs;
+          magistrate = mag_loid;
+          agent = agent_loid;
+          agent_address;
+          storage;
+        })
+      sites_hosts_objs
+  in
+
+  let t =
+    {
+      sim;
+      net;
+      rt;
+      registry;
+      prng;
+      sites;
+      legion_class_binding;
+      next_ext = !next_ext;
+    }
+  in
+
+  (* --- Registration: the externally-started objects "contact their
+     class" (§4.2.1), and classes learn where to place objects. --- *)
+  let boot_client_loid =
+    Loid.make ~class_id:(Loid.class_id Well_known.legion_object)
+      ~class_specific:0xB007L ()
+  in
+  let boot_proc =
+    Runtime.spawn rt ~host:host0 ~loid:boot_client_loid
+      ~kind:Well_known.kind_client
+      ~binding_agent:(agent_address_of_site 0)
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "bootstrap client")))
+      ()
+  in
+  let ctx = { Runtime.rt; self = boot_proc } in
+  let failures = ref [] in
+  let expect label kont =
+    kont (fun r ->
+        match r with
+        | Ok _ -> ()
+        | Error e ->
+            failures := Printf.sprintf "%s: %s" label (Err.to_string e) :: !failures)
+  in
+  let env = Env.of_self boot_client_loid in
+  let call dst meth args k =
+    Runtime.invoke ctx ~dst ~meth ~args ~env k
+  in
+  (* Core classes register with LegionClass (they are its subclasses in
+     the kind-of graph). *)
+  List.iter
+    (fun (loid, proc) ->
+      expect
+        (Printf.sprintf "register core class %s" (Loid.to_string loid))
+        (call Well_known.legion_class "RegisterInstance"
+           [ Loid.to_value loid; Address.to_value (Runtime.address_of proc) ]))
+    core_procs;
+  (* Host objects, magistrates and agents register with their classes. *)
+  List.iter2
+    (fun s (_, _, _, host_objs) ->
+      List.iter
+        (fun (loid, proc) ->
+          expect "register host object"
+            (call Well_known.legion_host "RegisterInstance"
+               [ Loid.to_value loid; Address.to_value (Runtime.address_of proc) ]))
+        host_objs;
+      expect "register magistrate"
+        (fun k ->
+          match Runtime.find_proc rt s.magistrate with
+          | None -> k (Error (Err.Internal "magistrate proc missing"))
+          | Some proc ->
+              call Well_known.legion_magistrate "RegisterInstance"
+                [
+                  Loid.to_value s.magistrate;
+                  Address.to_value (Runtime.address_of proc);
+                ]
+                k);
+      expect "register binding agent"
+        (call Well_known.legion_binding_agent "RegisterInstance"
+           [ Loid.to_value s.agent; Address.to_value s.agent_address ]))
+    sites sites_hosts_objs;
+  (* Default placement for new classes and instances: all magistrates. *)
+  let defaults =
+    Value.Record
+      [ ("magistrates", Value.List (List.map Loid.to_value (magistrates t))) ]
+  in
+  List.iter
+    (fun (loid, _) -> expect "set defaults" (call loid "SetDefaults" [ defaults ]))
+    core_procs;
+  Engine.run sim;
+  (match !failures with
+  | [] -> ()
+  | fs -> failwith ("bootstrap registration failed: " ^ String.concat "; " fs));
+  Runtime.kill rt boot_proc;
+  t
+
+let grow_site t ~site:site_idx ?host_class ~n () =
+  let s = List.nth t.sites site_idx in
+  let host_class = Option.value ~default:Well_known.legion_host host_class in
+  (* New simulated hosts join the site... *)
+  let new_hosts =
+    List.init n (fun i ->
+        Network.add_host t.net ~site:s.site_id
+          ~name:(Printf.sprintf "%s-grown%Ld-%d" s.site_name t.next_ext i))
+  in
+  (* ...each starts a Host Object "from the shell"... *)
+  let host_objs =
+    List.map
+      (fun h ->
+        let loid = fresh_instance_loid t ~of_class:host_class in
+        let opr =
+          Opr.make
+            ~states:[ (Host_part.unit_name, Host_part.state_value ()) ]
+            ~binding_agent:s.agent_address ~kind:Well_known.kind_host
+            ~units:[ Host_part.unit_name; Well_known.unit_object ]
+            ()
+        in
+        match Impl.activate t.rt ~host:h ~loid opr with
+        | Ok proc -> (loid, proc)
+        | Error msg -> failwith ("grow_site: host object: " ^ msg))
+      new_hosts
+  in
+  (* ...and contacts its class and the Jurisdiction's Magistrate. *)
+  let driver = fresh_instance_loid t ~of_class:Well_known.legion_object in
+  let proc =
+    Runtime.spawn t.rt
+      ~host:(List.hd s.net_hosts)
+      ~loid:driver ~kind:Well_known.kind_client ~binding_agent:s.agent_address
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "grow driver")))
+      ()
+  in
+  let ctx = { Runtime.rt = t.rt; self = proc } in
+  let failures = ref [] in
+  List.iter
+    (fun (loid, hproc) ->
+      Runtime.invoke ctx ~dst:host_class ~meth:"RegisterInstance"
+        ~args:[ Loid.to_value loid; Address.to_value (Runtime.address_of hproc) ]
+        (fun r ->
+          match r with
+          | Ok _ ->
+              Runtime.invoke ctx ~dst:s.magistrate ~meth:"AddHost"
+                ~args:[ Loid.to_value loid ] (fun r ->
+                  match r with
+                  | Ok _ -> ()
+                  | Error e -> failures := Err.to_string e :: !failures)
+          | Error e -> failures := Err.to_string e :: !failures))
+    host_objs;
+  Engine.run t.sim;
+  Runtime.kill t.rt proc;
+  (match !failures with
+  | [] -> ()
+  | fs -> failwith ("grow_site: " ^ String.concat "; " fs));
+  List.map fst host_objs
+
+let arrange_agent_tree t ~fanout =
+  if fanout <= 0 then invalid_arg "System.arrange_agent_tree: fanout";
+  let sites_arr = Array.of_list t.sites in
+  let n_sites = Array.length sites_arr in
+  let n_roots = (n_sites + fanout - 1) / fanout in
+  (* Spawn the root agents directly, like bootstrap does. *)
+  let roots =
+    List.init n_roots (fun i ->
+        let covered = sites_arr.(i * fanout) in
+        let loid = fresh_instance_loid t ~of_class:Well_known.legion_binding_agent in
+        let state =
+          Legion_binding.Agent_part.state_value
+            ~legion_class:t.legion_class_binding ()
+        in
+        let opr =
+          Opr.make
+            ~states:[ (Legion_binding.Agent_part.unit_name, state) ]
+            ~kind:Well_known.kind_binding_agent
+            ~units:[ Legion_binding.Agent_part.unit_name; Well_known.unit_object ]
+            ()
+        in
+        match
+          Impl.activate t.rt ~host:(List.hd covered.net_hosts) ~loid opr
+        with
+        | Ok proc -> proc
+        | Error msg -> failwith ("arrange_agent_tree: " ^ msg))
+  in
+  (* Point every site agent at its root via SetParent. *)
+  let driver_loid = fresh_instance_loid t ~of_class:Well_known.legion_object in
+  let driver =
+    Runtime.spawn t.rt
+      ~host:(List.hd (List.hd t.sites).net_hosts)
+      ~loid:driver_loid ~kind:Well_known.kind_client
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "tree driver")))
+      ()
+  in
+  let ctx = { Runtime.rt = t.rt; self = driver } in
+  let failures = ref [] in
+  List.iteri
+    (fun i s ->
+      let root = List.nth roots (i / fanout) in
+      Runtime.invoke_address ctx ~address:s.agent_address
+        ~dst:(Loid.make ~class_id:0L ~class_specific:0L ())
+        ~meth:"SetParent"
+        ~args:[ Value.List [ Address.to_value (Runtime.address_of root) ] ]
+        ~env:(Env.of_self driver_loid)
+        (fun r ->
+          match r with
+          | Ok _ -> ()
+          | Error e -> failures := Err.to_string e :: !failures))
+    t.sites;
+  Engine.run t.sim;
+  Runtime.kill t.rt driver;
+  match !failures with
+  | [] -> ()
+  | fs -> failwith ("arrange_agent_tree: " ^ String.concat "; " fs)
+
+let client t ?(site = 0) () =
+  let s = List.nth t.sites site in
+  let loid = fresh_instance_loid t ~of_class:Legion_core.Well_known.legion_object in
+  let proc =
+    Runtime.spawn t.rt
+      ~host:(List.hd s.net_hosts)
+      ~loid ~kind:Legion_core.Well_known.kind_client
+      ~binding_agent:s.agent_address
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "client object")))
+      ()
+  in
+  { Runtime.rt = t.rt; self = proc }
+
+let split_jurisdiction t ~site:site_idx =
+  let s = List.nth t.sites site_idx in
+  (* The new Jurisdiction shares the site's storage (§2.2 non-disjoint
+     storage): OPAs stay valid, so transfers move responsibility, not
+     bytes. *)
+  let new_name = Printf.sprintf "%s.split%Ld" s.site_name t.next_ext in
+  Magistrate_part.register_storage new_name s.storage;
+  let n_hosts = List.length s.host_objects in
+  let their_hosts =
+    List.filteri (fun i _ -> i >= n_hosts / 2) s.host_objects
+  in
+  let mag_loid = fresh_instance_loid t ~of_class:Well_known.legion_magistrate in
+  let state =
+    Magistrate_part.state_value ~hosts:their_hosts ~jurisdiction:new_name ()
+  in
+  let opr =
+    Opr.make
+      ~states:[ (Magistrate_part.unit_name, state) ]
+      ~binding_agent:s.agent_address ~kind:Well_known.kind_magistrate
+      ~units:[ Magistrate_part.unit_name; Well_known.unit_object ]
+      ()
+  in
+  (match
+     Impl.activate t.rt ~host:(List.nth s.net_hosts (List.length s.net_hosts - 1))
+       ~loid:mag_loid opr
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith ("split_jurisdiction: " ^ msg));
+  (* Register the new magistrate and transfer half the objects. *)
+  let driver_loid = fresh_instance_loid t ~of_class:Well_known.legion_object in
+  let driver =
+    Runtime.spawn t.rt
+      ~host:(List.hd s.net_hosts)
+      ~loid:driver_loid ~kind:Well_known.kind_client
+      ~binding_agent:s.agent_address
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "split driver")))
+      ()
+  in
+  let ctx = { Runtime.rt = t.rt; self = driver } in
+  let failure = ref None in
+  let transferred = ref (-1) in
+  (match Runtime.find_proc t.rt mag_loid with
+  | None -> failwith "split_jurisdiction: magistrate did not start"
+  | Some proc ->
+      Runtime.invoke ctx ~dst:Well_known.legion_magistrate
+        ~meth:"RegisterInstance"
+        ~args:[ Loid.to_value mag_loid; Address.to_value (Runtime.address_of proc) ]
+        (fun r ->
+          match r with
+          | Error e -> failure := Some (Err.to_string e)
+          | Ok _ ->
+              (* Count, then transfer half. *)
+              Runtime.invoke ctx ~dst:s.magistrate ~meth:"ListObjects" ~args:[]
+                (fun r ->
+                  match r with
+                  | Error e -> failure := Some (Err.to_string e)
+                  | Ok (Value.List objs) ->
+                      let half = (List.length objs + 1) / 2 in
+                      Runtime.invoke ctx ~dst:s.magistrate ~meth:"TransferObjects"
+                        ~args:[ Loid.to_value mag_loid; Value.Int half ]
+                        (fun r ->
+                          match r with
+                          | Ok (Value.Int n) -> transferred := n
+                          | Ok _ -> failure := Some "bad TransferObjects reply"
+                          | Error e -> failure := Some (Err.to_string e))
+                  | Ok _ -> failure := Some "bad ListObjects reply")));
+  Engine.run t.sim;
+  Runtime.kill t.rt driver;
+  (match !failure with
+  | Some msg -> failwith ("split_jurisdiction: " ^ msg)
+  | None -> ());
+  if !transferred < 0 then failwith "split_jurisdiction: transfer did not complete";
+  mag_loid
+
+let checkpoint_all t =
+  let driver_loid = fresh_instance_loid t ~of_class:Well_known.legion_object in
+  let driver =
+    Runtime.spawn t.rt
+      ~host:(List.hd (List.hd t.sites).net_hosts)
+      ~loid:driver_loid ~kind:Well_known.kind_client
+      ~binding_agent:(List.hd t.sites).agent_address
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "checkpoint driver")))
+      ()
+  in
+  let ctx = { Runtime.rt = t.rt; self = driver } in
+  let swept = ref 0 in
+  List.iter
+    (fun s ->
+      Runtime.invoke ctx ~dst:s.magistrate ~meth:"SweepIdle"
+        ~args:[ Value.Float 0.0 ]
+        (fun r ->
+          match r with
+          | Ok (Value.Int n) -> swept := !swept + n
+          | Ok _ | Error _ -> ()))
+    t.sites;
+  Engine.run t.sim;
+  Runtime.kill t.rt driver;
+  !swept
+
+let run t = Engine.run t.sim
+
+let run_for t dt =
+  (* Anchor the horizon with a no-op event so the clock advances even
+     when the queue drains early (e.g. waiting out an idle period). *)
+  let target = Engine.now t.sim +. dt in
+  ignore (Engine.schedule_at t.sim ~time:target (fun () -> ()));
+  Engine.run ~until:target t.sim
+let now t = Engine.now t.sim

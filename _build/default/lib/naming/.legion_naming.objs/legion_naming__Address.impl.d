@@ -1,0 +1,1 @@
+lib/naming/address.ml: Array Format Int32 Int64 Legion_util Legion_wire List Printf Result Stdlib String

@@ -1,0 +1,1 @@
+lib/naming/address.mli: Format Legion_util Legion_wire

@@ -1,0 +1,1 @@
+lib/naming/binding.ml: Address Float Format Legion_wire Loid Option Result

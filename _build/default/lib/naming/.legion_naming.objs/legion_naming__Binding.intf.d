@@ -1,0 +1,1 @@
+lib/naming/binding.mli: Address Format Legion_wire Loid

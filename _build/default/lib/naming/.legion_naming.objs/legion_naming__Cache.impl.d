@@ -1,0 +1,1 @@
+lib/naming/cache.ml: Binding List Loid

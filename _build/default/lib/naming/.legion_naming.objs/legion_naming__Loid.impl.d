@@ -1,0 +1,1 @@
+lib/naming/loid.ml: Format Hashtbl Int64 Legion_wire Map Result Set String

@@ -1,0 +1,1 @@
+lib/naming/loid.mli: Format Legion_wire Map Set

@@ -1,0 +1,53 @@
+module Value = Legion_wire.Value
+
+type t = { loid : Loid.t; address : Address.t; expires : float option }
+
+let make ?expires ~loid ~address () = { loid; address; expires }
+let loid t = t.loid
+let address t = t.address
+let expires t = t.expires
+
+let is_valid ~now t =
+  match t.expires with None -> true | Some e -> now < e
+
+let with_expiry t expires = { t with expires }
+
+let equal a b =
+  Loid.equal a.loid b.loid
+  && Address.equal a.address b.address
+  && Option.equal Float.equal a.expires b.expires
+
+let pp ppf t =
+  let pp_exp ppf = function
+    | None -> Format.fprintf ppf "never"
+    | Some e -> Format.fprintf ppf "%.3f" e
+  in
+  Format.fprintf ppf "%a->%a(exp:%a)" Loid.pp t.loid Address.pp t.address pp_exp
+    t.expires
+
+let to_value t =
+  Value.Record
+    [
+      ("loid", Loid.to_value t.loid);
+      ("addr", Address.to_value t.address);
+      ( "exp",
+        match t.expires with
+        | None -> Value.List []
+        | Some e -> Value.List [ Value.Float e ] );
+    ]
+
+let of_value v =
+  let ( let* ) r f = Result.bind r f in
+  let err e = Format.asprintf "binding: %a" Value.pp_error e in
+  let* loid_v = Result.map_error err (Value.field v "loid") in
+  let* loid = Loid.of_value loid_v in
+  let* addr_v = Result.map_error err (Value.field v "addr") in
+  let* address = Address.of_value addr_v in
+  let* exp_v = Result.map_error err (Value.field v "exp") in
+  let* expires =
+    match exp_v with
+    | Value.List [] -> Ok None
+    | Value.List [ Value.Float e ] -> Ok (Some e)
+    | _ -> Error "binding: bad expiry"
+  in
+  Ok { loid; address; expires }

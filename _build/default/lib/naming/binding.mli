@@ -1,0 +1,26 @@
+(** Bindings (paper §3.5).
+
+    A binding is a triple of a LOID, an Object Address, and the time at
+    which the binding becomes invalid ([None] meaning "never explicitly
+    invalid"). Bindings are first-class: they are passed around the
+    system and cached inside objects, Binding Agents, and classes. *)
+
+type t
+
+val make : ?expires:float -> loid:Loid.t -> address:Address.t -> unit -> t
+val loid : t -> Loid.t
+val address : t -> Address.t
+
+val expires : t -> float option
+(** Absolute simulated time of expiry, or [None] for never. *)
+
+val is_valid : now:float -> t -> bool
+(** True when [expires] is [None] or strictly in the future. *)
+
+val with_expiry : t -> float option -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_value : t -> Legion_wire.Value.t
+val of_value : Legion_wire.Value.t -> (t, string) result

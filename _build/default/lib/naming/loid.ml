@@ -1,0 +1,82 @@
+module Value = Legion_wire.Value
+
+type t = { class_id : int64; class_specific : int64; public_key : string }
+
+let make ?(public_key = "") ~class_id ~class_specific () =
+  { class_id; class_specific; public_key }
+
+let class_id t = t.class_id
+let class_specific t = t.class_specific
+let public_key t = t.public_key
+let is_class t = Int64.equal t.class_specific 0L
+
+let responsible_class t =
+  { class_id = t.class_id; class_specific = 0L; public_key = "" }
+
+let equal a b =
+  Int64.equal a.class_id b.class_id
+  && Int64.equal a.class_specific b.class_specific
+  && String.equal a.public_key b.public_key
+
+let compare a b =
+  let c = Int64.compare a.class_id b.class_id in
+  if c <> 0 then c
+  else
+    let c = Int64.compare a.class_specific b.class_specific in
+    if c <> 0 then c else String.compare a.public_key b.public_key
+
+let hash t =
+  Hashtbl.hash (t.class_id, t.class_specific, t.public_key)
+
+let pp ppf t =
+  if String.length t.public_key = 0 then
+    Format.fprintf ppf "L%Lx.%Lx" t.class_id t.class_specific
+  else Format.fprintf ppf "L%Lx.%Lx+key" t.class_id t.class_specific
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_value t =
+  Value.Record
+    [
+      ("cid", Value.I64 t.class_id);
+      ("spec", Value.I64 t.class_specific);
+      ("key", Value.Blob t.public_key);
+    ]
+
+let of_value v =
+  let ( let* ) r f = Result.bind r f in
+  let err e = Format.asprintf "loid: %a" Value.pp_error e in
+  let* cid = Result.map_error err (Result.bind (Value.field v "cid") Value.to_i64) in
+  let* spec = Result.map_error err (Result.bind (Value.field v "spec") Value.to_i64) in
+  let* key = Result.map_error err (Result.bind (Value.field v "key") Value.to_blob) in
+  Ok { class_id = cid; class_specific = spec; public_key = key }
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Table = struct
+  module H = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+
+  type 'a t = 'a H.t
+
+  let create () = H.create 64
+  let find t k = H.find_opt t k
+  let mem t k = H.mem t k
+  let set t k v = H.replace t k v
+  let remove t k = H.remove t k
+  let length t = H.length t
+  let iter f t = H.iter f t
+  let fold f t init = H.fold f t init
+  let to_list t = H.fold (fun k v acc -> (k, v) :: acc) t []
+end

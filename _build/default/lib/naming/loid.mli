@@ -1,0 +1,60 @@
+(** Legion Object Identifiers (paper §3.2).
+
+    Every Legion object is named by a LOID: a 64-bit {e Class Identifier},
+    a 64-bit {e Class Specific} field, and a P-bit {e Public Key} (the
+    paper leaves P open; here it is the length of an arbitrary byte
+    string, possibly empty).
+
+    By convention (paper §3.7), class objects have Class Specific = 0, and
+    the class responsible for locating a non-class object is found by
+    zeroing the Class Specific field of the instance's LOID. *)
+
+type t
+
+val make : ?public_key:string -> class_id:int64 -> class_specific:int64 -> unit -> t
+
+val class_id : t -> int64
+val class_specific : t -> int64
+val public_key : t -> string
+
+val is_class : t -> bool
+(** True iff the Class Specific field is zero. *)
+
+val responsible_class : t -> t
+(** The LOID of the class responsible for locating this object: same
+    Class Identifier, Class Specific zeroed, no public key (paper
+    §4.1.3). [responsible_class l = l] when [is_class l] holds and [l]
+    has no public key. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["L<class>.<specific>"] (hex), with ["+key"] appended when
+    a public key is present. *)
+
+val to_string : t -> string
+
+val to_value : t -> Legion_wire.Value.t
+val of_value : Legion_wire.Value.t -> (t, string) result
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+
+module Table : sig
+  (** Imperative hash table keyed by LOID. *)
+
+  type loid := t
+  type 'a t
+
+  val create : unit -> 'a t
+  val find : 'a t -> loid -> 'a option
+  val mem : 'a t -> loid -> bool
+  val set : 'a t -> loid -> 'a -> unit
+  val remove : 'a t -> loid -> unit
+  val length : 'a t -> int
+  val iter : (loid -> 'a -> unit) -> 'a t -> unit
+  val fold : (loid -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  val to_list : 'a t -> (loid * 'a) list
+end

@@ -1,0 +1,1 @@
+lib/net/network.mli: Legion_sim Legion_util Legion_wire

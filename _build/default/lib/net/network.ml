@@ -1,0 +1,180 @@
+module Prng = Legion_util.Prng
+module Value = Legion_wire.Value
+
+type host_id = int
+type site_id = int
+
+type latency = {
+  intra_host : float;
+  intra_site : float;
+  inter_site : float;
+  jitter : float;
+}
+
+let default_latency =
+  { intra_host = 5e-6; intra_site = 5e-4; inter_site = 4e-2; jitter = 0.1 }
+
+type host = {
+  site : site_id;
+  h_name : string;
+  mutable up : bool;
+  mutable receiver : (src:host_id -> Value.t -> unit) option;
+}
+
+type t = {
+  sim : Legion_sim.Engine.t;
+  prng : Prng.t;
+  latency : latency;
+  mutable sites : string array;
+  mutable host_tbl : host array;
+  mutable n_sites : int;
+  mutable n_hosts : int;
+  mutable drop_rate : float;
+  mutable partitions : (site_id * site_id) list;
+  mutable tap : (src:host_id -> dst:host_id -> Value.t -> unit) option;
+  mutable sent : int;
+  mutable bytes : int;
+  mutable dropped : int;
+  mutable tier_host : int;
+  mutable tier_site : int;
+  mutable tier_wan : int;
+}
+
+let create ~sim ~prng ?(latency = default_latency) () =
+  {
+    sim;
+    prng;
+    latency;
+    sites = Array.make 8 "";
+    host_tbl = [||];
+    n_sites = 0;
+    n_hosts = 0;
+    drop_rate = 0.0;
+    partitions = [];
+    tap = None;
+    sent = 0;
+    bytes = 0;
+    dropped = 0;
+    tier_host = 0;
+    tier_site = 0;
+    tier_wan = 0;
+  }
+
+let sim t = t.sim
+
+let add_site t ~name =
+  if t.n_sites = Array.length t.sites then begin
+    let bigger = Array.make (2 * t.n_sites) "" in
+    Array.blit t.sites 0 bigger 0 t.n_sites;
+    t.sites <- bigger
+  end;
+  t.sites.(t.n_sites) <- name;
+  t.n_sites <- t.n_sites + 1;
+  t.n_sites - 1
+
+let add_host t ~site ~name =
+  if site < 0 || site >= t.n_sites then invalid_arg "Network.add_host: bad site";
+  let h = { site; h_name = name; up = true; receiver = None } in
+  if t.n_hosts = Array.length t.host_tbl then begin
+    let cap = Stdlib.max 8 (2 * t.n_hosts) in
+    let bigger = Array.make cap h in
+    Array.blit t.host_tbl 0 bigger 0 t.n_hosts;
+    t.host_tbl <- bigger
+  end;
+  t.host_tbl.(t.n_hosts) <- h;
+  t.n_hosts <- t.n_hosts + 1;
+  t.n_hosts - 1
+
+let site_count t = t.n_sites
+let host_count t = t.n_hosts
+let hosts t = List.init t.n_hosts (fun i -> i)
+
+let check_host t h =
+  if h < 0 || h >= t.n_hosts then invalid_arg "Network: bad host id"
+
+let hosts_of_site t s =
+  List.filter (fun h -> t.host_tbl.(h).site = s) (hosts t)
+
+let site_of t h =
+  check_host t h;
+  t.host_tbl.(h).site
+
+let host_name t h =
+  check_host t h;
+  t.host_tbl.(h).h_name
+
+let site_name t s =
+  if s < 0 || s >= t.n_sites then invalid_arg "Network: bad site id";
+  t.sites.(s)
+
+let set_host_up t h up =
+  check_host t h;
+  t.host_tbl.(h).up <- up
+
+let host_is_up t h =
+  check_host t h;
+  t.host_tbl.(h).up
+
+let set_drop_rate t r =
+  if r < 0.0 || r > 1.0 then invalid_arg "Network.set_drop_rate";
+  t.drop_rate <- r
+
+let norm_pair a b = if a <= b then (a, b) else (b, a)
+
+let set_partitioned t a b cut =
+  if a < 0 || a >= t.n_sites || b < 0 || b >= t.n_sites then
+    invalid_arg "Network.set_partitioned: bad site id";
+  let pair = norm_pair a b in
+  let without = List.filter (fun p -> p <> pair) t.partitions in
+  t.partitions <- (if cut && a <> b then pair :: without else without)
+
+let is_partitioned t a b =
+  List.mem (norm_pair a b) t.partitions
+
+let set_receiver t h f =
+  check_host t h;
+  t.host_tbl.(h).receiver <- Some f
+
+let latency_between t a b =
+  check_host t a;
+  check_host t b;
+  if a = b then t.latency.intra_host
+  else if t.host_tbl.(a).site = t.host_tbl.(b).site then t.latency.intra_site
+  else t.latency.inter_site
+
+let set_tap t tap = t.tap <- tap
+
+let send t ~src ~dst payload =
+  check_host t src;
+  check_host t dst;
+  (match t.tap with Some f -> f ~src ~dst payload | None -> ());
+  let size = Value.size_bytes payload in
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + size;
+  if src = dst then t.tier_host <- t.tier_host + 1
+  else if t.host_tbl.(src).site = t.host_tbl.(dst).site then
+    t.tier_site <- t.tier_site + 1
+  else t.tier_wan <- t.tier_wan + 1;
+  if not t.host_tbl.(src).up then t.dropped <- t.dropped + 1
+  else if is_partitioned t t.host_tbl.(src).site t.host_tbl.(dst).site then
+    t.dropped <- t.dropped + 1
+  else if t.drop_rate > 0.0 && Prng.bernoulli t.prng ~p:t.drop_rate then
+    t.dropped <- t.dropped + 1
+  else begin
+    let base = latency_between t src dst in
+    let delay = base *. (1.0 +. Prng.float t.prng t.latency.jitter) in
+    let deliver () =
+      let h = t.host_tbl.(dst) in
+      if not h.up then t.dropped <- t.dropped + 1
+      else
+        match h.receiver with
+        | None -> t.dropped <- t.dropped + 1
+        | Some f -> f ~src payload
+    in
+    ignore (Legion_sim.Engine.schedule t.sim ~delay deliver)
+  end
+
+let messages_sent t = t.sent
+let bytes_sent t = t.bytes
+let messages_by_tier t = (t.tier_host, t.tier_site, t.tier_wan)
+let messages_dropped t = t.dropped

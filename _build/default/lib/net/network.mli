@@ -1,0 +1,92 @@
+(** Simulated wide-area internetwork.
+
+    Legion targets "wide-area assemblies of workstations, supercomputers,
+    and parallel supercomputers". The network model has two levels of
+    aggregation: {e sites} (an organization — campus, lab) containing
+    {e hosts}. Latency is three-tier: same host, same site, different
+    sites; an optional multiplicative jitter keeps runs deterministic via
+    the supplied PRNG.
+
+    Delivery is best-effort datagrams: a message to a down host, a
+    message lost to the configured drop rate, or a message to a host with
+    no receiver vanishes silently — reliability is the RPC layer's job,
+    exactly as Legion layers itself over "standard protocols" (§3.3). *)
+
+type t
+
+type host_id = int
+type site_id = int
+
+type latency = {
+  intra_host : float;  (** Local IPC between objects of one host. *)
+  intra_site : float;  (** Campus LAN. *)
+  inter_site : float;  (** Wide-area. *)
+  jitter : float;  (** Multiplicative: delay ∈ [l, l·(1+jitter)]. *)
+}
+
+val default_latency : latency
+(** 5µs / 0.5ms / 40ms, 10% jitter — a 1996-flavoured internet. *)
+
+val create :
+  sim:Legion_sim.Engine.t ->
+  prng:Legion_util.Prng.t ->
+  ?latency:latency ->
+  unit ->
+  t
+
+val sim : t -> Legion_sim.Engine.t
+
+(** {1 Topology} *)
+
+val add_site : t -> name:string -> site_id
+val add_host : t -> site:site_id -> name:string -> host_id
+
+val site_count : t -> int
+val host_count : t -> int
+val hosts : t -> host_id list
+val hosts_of_site : t -> site_id -> host_id list
+val site_of : t -> host_id -> site_id
+val host_name : t -> host_id -> string
+val site_name : t -> site_id -> string
+
+(** {1 Failure injection} *)
+
+val set_host_up : t -> host_id -> bool -> unit
+val host_is_up : t -> host_id -> bool
+val set_drop_rate : t -> float -> unit
+(** Fraction of messages lost uniformly at random; default [0.]. *)
+
+val set_partitioned : t -> site_id -> site_id -> bool -> unit
+(** Sever (or heal) the link between two sites: messages crossing it in
+    either direction are silently lost. Intra-site traffic is never
+    partitioned. Idempotent. *)
+
+val is_partitioned : t -> site_id -> site_id -> bool
+
+(** {1 Messaging} *)
+
+val set_receiver : t -> host_id -> (src:host_id -> Legion_wire.Value.t -> unit) -> unit
+(** Install the host's delivery upcall (the runtime does this). *)
+
+val send : t -> src:host_id -> dst:host_id -> Legion_wire.Value.t -> unit
+(** Deliver the payload to [dst]'s receiver after the modelled latency.
+    Silently lost when either endpoint is down at the relevant instant,
+    when dropped, or when [dst] has no receiver. *)
+
+val set_tap : t -> (src:host_id -> dst:host_id -> Legion_wire.Value.t -> unit) option -> unit
+(** Observe every send attempt (before loss/partition filtering) —
+    protocol debugging and test instrumentation. [None] removes it. *)
+
+val latency_between : t -> host_id -> host_id -> float
+(** Mean one-way latency (jitter excluded). *)
+
+(** {1 Accounting} *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+
+val messages_by_tier : t -> int * int * int
+(** (intra-host, intra-site, inter-site) message counts. *)
+
+val messages_dropped : t -> int
+(** Messages lost to drop rate, down hosts, or missing receivers. *)

@@ -1,0 +1,1 @@
+lib/objects/std_parts.ml: Hashtbl Legion_core Legion_naming Legion_rt Legion_sec Legion_wire List Printf Queue String

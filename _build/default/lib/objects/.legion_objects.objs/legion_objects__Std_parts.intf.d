@@ -1,0 +1,1 @@
+lib/objects/std_parts.mli:

@@ -1,0 +1,1 @@
+lib/replication/group_part.mli: Legion_core

@@ -1,0 +1,1 @@
+lib/replication/replicate.ml: Legion_core Legion_naming Legion_rt Legion_wire List Result

@@ -1,0 +1,1 @@
+lib/replication/replicate.mli: Legion_core Legion_naming Legion_net Legion_rt

@@ -1,0 +1,145 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Env = Legion_sec.Env
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Impl = Legion_core.Impl
+module C = Legion_core.Convert
+
+let unit_name = "legion.group"
+
+type mode = All | Quorum | Any
+
+let mode_to_string = function All -> "all" | Quorum -> "quorum" | Any -> "any"
+
+let mode_of_string = function
+  | "all" -> Ok All
+  | "quorum" -> Ok Quorum
+  | "any" -> Ok Any
+  | s -> Error (Printf.sprintf "unknown group mode %S" s)
+
+type state = { mutable members : Loid.t list; mutable mode : mode }
+
+let factory (ctx : Runtime.ctx) : Impl.part =
+  let self = Runtime.proc_loid ctx.Runtime.self in
+  let st = { members = []; mode = All } in
+
+  let add_member _ctx args _env k =
+    match args with
+    | [ v ] -> (
+        match C.loid_arg v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok m ->
+            if not (List.exists (Loid.equal m) st.members) then
+              st.members <- st.members @ [ m ];
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "AddMember expects one loid"
+  in
+  let remove_member _ctx args _env k =
+    match args with
+    | [ v ] -> (
+        match C.loid_arg v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok m ->
+            st.members <- List.filter (fun x -> not (Loid.equal x m)) st.members;
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "RemoveMember expects one loid"
+  in
+  let list_members _ctx args _env k =
+    match args with
+    | [] -> k (Ok (C.vloids st.members))
+    | _ -> Impl.bad_args k "ListMembers takes no arguments"
+  in
+  let set_mode _ctx args _env k =
+    match args with
+    | [ Value.Str s ] -> (
+        match mode_of_string s with
+        | Ok m ->
+            st.mode <- m;
+            k Impl.ok_unit
+        | Error msg -> Impl.bad_args k msg)
+    | _ -> Impl.bad_args k "SetMode expects one string"
+  in
+
+  (* Fan the call out to all members; combine per the group's mode. *)
+  let invoke_members _ctx args env k =
+    match args with
+    | [ Value.Str meth; Value.List fwd_args ] -> (
+        match st.members with
+        | [] -> k (Error (Err.Refused "group has no members"))
+        | members ->
+            let n = List.length members in
+            let ok = ref 0 and failed = ref 0 in
+            let first_value = ref None in
+            let decided = ref false in
+            let denv = Env.delegate env ~calling:self in
+            (* Reply the moment the outcome is decided: a slow or dead
+               member must not hold a quorum hostage. Late replies are
+               counted but no longer observable. *)
+            let succeed () =
+              decided := true;
+              k
+                (Ok
+                   (Value.Record
+                      [
+                        ("value", Option.value ~default:Value.Unit !first_value);
+                        ("ok", Value.Int !ok);
+                        ("failed", Value.Int !failed);
+                      ]))
+            in
+            let fail () =
+              decided := true;
+              k
+                (Error
+                   (Err.Refused
+                      (Printf.sprintf "group %s-mode failed: %d/%d ok"
+                         (mode_to_string st.mode) !ok n)))
+            in
+            let check () =
+              if not !decided then
+                match st.mode with
+                | All -> if !failed > 0 then fail () else if !ok = n then succeed ()
+                | Quorum ->
+                    if 2 * !ok > n then succeed ()
+                    else if 2 * (n - !failed) <= n then fail ()
+                | Any -> if !ok >= 1 then succeed () else if !failed = n then fail ()
+            in
+            List.iter
+              (fun m ->
+                Runtime.invoke ctx ~dst:m ~meth ~args:fwd_args ~env:denv
+                  (fun r ->
+                    (match r with
+                    | Ok v ->
+                        incr ok;
+                        if !first_value = None then first_value := Some v
+                    | Error _ -> incr failed);
+                    check ()))
+              members)
+    | _ -> Impl.bad_args k "Invoke expects (meth: str, args: list)"
+  in
+
+  let save () =
+    Value.Record
+      [ ("members", C.vloids st.members); ("mode", Value.Str (mode_to_string st.mode)) ]
+  in
+  let restore v =
+    let ( let* ) r f = Result.bind r f in
+    let* members = C.loid_list_field v "members" in
+    let* mode_s = C.str_field v "mode" in
+    let* mode = mode_of_string mode_s in
+    st.members <- members;
+    st.mode <- mode;
+    Ok ()
+  in
+  Impl.part
+    ~methods:
+      [
+        ("AddMember", add_member);
+        ("RemoveMember", remove_member);
+        ("ListMembers", list_members);
+        ("SetMode", set_mode);
+        ("Invoke", invoke_members);
+      ]
+    ~save ~restore unit_name
+
+let register () = Impl.register unit_name factory

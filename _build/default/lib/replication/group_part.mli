@@ -1,0 +1,35 @@
+(** Application-level object groups ("legion.group").
+
+    The paper's §4.3 closes: "multiple Legion objects, each with its
+    own LOID, can work together to perform a single logical function,
+    but in this case the management of the 'object group' and the
+    semantics of communication with the group is left to the
+    application programmer." This unit is that application-level
+    manager, built purely on the public object model — a demonstration
+    that the core mechanisms suffice.
+
+    A group object holds member LOIDs and forwards invocations:
+
+    - [AddMember(obj: loid): unit], [RemoveMember(obj: loid): unit],
+      [ListMembers(): list<loid>], [SetMode(mode: str): unit] with
+      modes ["all"], ["quorum"], ["any"];
+    - [Invoke(meth: str, args: list<any>): record] — forward to every
+      member under the caller's delegated environment and combine:
+      [all] succeeds iff every member replied Ok; [quorum] iff a strict
+      majority did; [any] iff at least one did. The reply carries
+      [{value, ok: int, failed: int}] where [value] is the first
+      successful member reply.
+
+    Unlike §4.3 system-level replication (one LOID, many processes),
+    members here keep their LOIDs; successful [all]-mode writes keep
+    member state convergent as long as members apply deterministic
+    updates. *)
+
+module Impl := Legion_core.Impl
+
+val unit_name : string
+
+val factory : Impl.factory
+(** Fresh state: no members, mode [all]. *)
+
+val register : unit -> unit

@@ -1,0 +1,58 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Impl = Legion_core.Impl
+module Opr = Legion_core.Opr
+
+let deploy rt ~loid ~opr ~hosts ~semantic =
+  if hosts = [] then Error "Replicate.deploy: no hosts"
+  else
+    let rec spawn_all acc = function
+      | [] -> Ok (List.rev acc)
+      | host :: rest -> (
+          match Impl.activate rt ~host ~loid opr with
+          | Ok proc -> spawn_all (proc :: acc) rest
+          | Error msg ->
+              List.iter (Runtime.kill rt) acc;
+              Error msg)
+    in
+    match spawn_all [] hosts with
+    | Error _ as e -> e
+    | Ok procs ->
+        let elements = List.map Runtime.element_of procs in
+        Ok (procs, Address.make ~semantic elements)
+
+let deploy_via_hosts ctx ~loid ~opr ~host_objects ~semantic ?register_with k =
+  if host_objects = [] then k (Error (Err.Bad_args "no host objects"))
+  else
+    let blob = Value.Blob (Opr.to_blob opr) in
+    let rec activate_all acc = function
+      | [] -> finish (List.rev acc)
+      | h :: rest ->
+          Runtime.invoke ctx ~dst:h ~meth:"Activate"
+            ~args:[ Loid.to_value loid; blob ]
+            (fun r ->
+              match r with
+              | Error e -> k (Error e)
+              | Ok reply -> (
+                  match
+                    Result.bind (Value.field reply "addr") (fun v ->
+                        match Address.of_value v with
+                        | Ok a -> Ok a
+                        | Error m -> Error (`Wrong_type m))
+                  with
+                  | Ok addr -> activate_all (Address.elements addr @ acc) rest
+                  | Error _ -> k (Error (Err.Internal "bad Activate reply"))))
+    and finish elements =
+      let address = Address.make ~semantic elements in
+      match register_with with
+      | None -> k (Ok address)
+      | Some cls ->
+          Runtime.invoke ctx ~dst:cls ~meth:"RegisterInstance"
+            ~args:[ Loid.to_value loid; Address.to_value address ]
+            (fun r ->
+              match r with Error e -> k (Error e) | Ok _ -> k (Ok address))
+    in
+    activate_all [] host_objects

@@ -1,0 +1,46 @@
+(** System-level object replication (paper §4.3).
+
+    "A Legion object — an entity named by a single LOID — can be
+    implemented as a set of processes without changing the
+    application-level semantics for communicating with the object.
+    Replicating an object at the Legion level is a matter of creating an
+    Object Address with multiple physical addresses in its list,
+    assigning the address semantic appropriately, and binding the LOID
+    of the object to this Object Address."
+
+    Two deployment paths are provided: a direct one for bootstrap-style
+    code that owns the runtime, and a protocol one that goes through
+    Host Objects and registers the multi-address binding with the
+    object's class, as a running system would. *)
+
+module Loid := Legion_naming.Loid
+module Address := Legion_naming.Address
+module Runtime := Legion_rt.Runtime
+module Opr := Legion_core.Opr
+
+val deploy :
+  Runtime.t ->
+  loid:Loid.t ->
+  opr:Opr.t ->
+  hosts:Legion_net.Network.host_id list ->
+  semantic:Address.semantic ->
+  (Runtime.proc list * Address.t, string) result
+(** Activate one process per host (all sharing [loid]) and build the
+    replicated Object Address. Fails — undoing any partial spawns — if
+    a unit is unregistered, a state fails to restore, or [hosts] is
+    empty. *)
+
+val deploy_via_hosts :
+  Runtime.ctx ->
+  loid:Loid.t ->
+  opr:Opr.t ->
+  host_objects:Loid.t list ->
+  semantic:Address.semantic ->
+  ?register_with:Loid.t ->
+  ((Address.t, Legion_rt.Err.t) result -> unit) ->
+  unit
+(** Ask each Host Object to [Activate] a replica, assemble the Object
+    Address from the replies (in host-list order), and — when
+    [register_with] names a class — record the address there via
+    [RegisterInstance] so the binding machinery serves it. Fails on the
+    first Host Object error. *)

@@ -1,0 +1,1 @@
+lib/rt/err.ml: Format Legion_wire Printf Result String

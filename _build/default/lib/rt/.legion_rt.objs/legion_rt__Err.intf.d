@@ -1,0 +1,1 @@
+lib/rt/err.mli: Format Legion_wire

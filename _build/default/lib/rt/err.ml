@@ -1,0 +1,82 @@
+module Value = Legion_wire.Value
+
+type t =
+  | No_such_object
+  | No_such_method of string
+  | Refused of string
+  | Bad_args of string
+  | Not_bound of string
+  | Timeout
+  | Unreachable of string
+  | Internal of string
+
+let is_delivery_failure = function
+  | No_such_object | Timeout | Unreachable _ -> true
+  | No_such_method _ | Refused _ | Bad_args _ | Not_bound _ | Internal _ -> false
+
+let equal a b =
+  match (a, b) with
+  | No_such_object, No_such_object | Timeout, Timeout -> true
+  | No_such_method x, No_such_method y
+  | Refused x, Refused y
+  | Bad_args x, Bad_args y
+  | Not_bound x, Not_bound y
+  | Unreachable x, Unreachable y
+  | Internal x, Internal y ->
+      String.equal x y
+  | ( ( No_such_object | No_such_method _ | Refused _ | Bad_args _ | Not_bound _
+      | Timeout | Unreachable _ | Internal _ ),
+      _ ) ->
+      false
+
+let pp ppf = function
+  | No_such_object -> Format.fprintf ppf "no such object"
+  | No_such_method m -> Format.fprintf ppf "no such method: %s" m
+  | Refused r -> Format.fprintf ppf "refused: %s" r
+  | Bad_args r -> Format.fprintf ppf "bad arguments: %s" r
+  | Not_bound r -> Format.fprintf ppf "not bound: %s" r
+  | Timeout -> Format.fprintf ppf "timeout"
+  | Unreachable r -> Format.fprintf ppf "unreachable: %s" r
+  | Internal r -> Format.fprintf ppf "internal error: %s" r
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_value = function
+  | No_such_object -> Value.Record [ ("c", Value.Str "nso") ]
+  | No_such_method m -> Value.Record [ ("c", Value.Str "nsm"); ("d", Value.Str m) ]
+  | Refused r -> Value.Record [ ("c", Value.Str "ref"); ("d", Value.Str r) ]
+  | Bad_args r -> Value.Record [ ("c", Value.Str "arg"); ("d", Value.Str r) ]
+  | Not_bound r -> Value.Record [ ("c", Value.Str "nbd"); ("d", Value.Str r) ]
+  | Timeout -> Value.Record [ ("c", Value.Str "tmo") ]
+  | Unreachable r -> Value.Record [ ("c", Value.Str "unr"); ("d", Value.Str r) ]
+  | Internal r -> Value.Record [ ("c", Value.Str "int"); ("d", Value.Str r) ]
+
+let of_value v =
+  let ( let* ) r f = Result.bind r f in
+  let err e = Format.asprintf "err: %a" Value.pp_error e in
+  let* code = Result.map_error err (Result.bind (Value.field v "c") Value.to_str) in
+  let detail () =
+    Result.map_error err (Result.bind (Value.field v "d") Value.to_str)
+  in
+  match code with
+  | "nso" -> Ok No_such_object
+  | "nsm" ->
+      let* d = detail () in
+      Ok (No_such_method d)
+  | "ref" ->
+      let* d = detail () in
+      Ok (Refused d)
+  | "arg" ->
+      let* d = detail () in
+      Ok (Bad_args d)
+  | "nbd" ->
+      let* d = detail () in
+      Ok (Not_bound d)
+  | "tmo" -> Ok Timeout
+  | "unr" ->
+      let* d = detail () in
+      Ok (Unreachable d)
+  | "int" ->
+      let* d = detail () in
+      Ok (Internal d)
+  | c -> Error (Printf.sprintf "err: unknown code %S" c)

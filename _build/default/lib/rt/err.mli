@@ -1,0 +1,38 @@
+(** Method-invocation errors.
+
+    Errors travel in reply messages and are also synthesised locally by
+    the communication layer (timeouts, binding failures). The
+    distinction that matters to callers is {!is_delivery_failure}:
+    delivery failures mean "the binding may be stale, rebinding might
+    help" (paper §4.1.4); the rest are genuine answers from the callee. *)
+
+type t =
+  | No_such_object
+      (** The destination host has no such object at that address — the
+          canonical stale-binding signal. *)
+  | No_such_method of string
+  | Refused of string
+      (** A security or policy rejection (MayI said no, or a Magistrate
+          declined a request; §3.8 "requests rather than commands"). *)
+  | Bad_args of string
+  | Not_bound of string
+      (** A definitive "no binding exists / no such object recorded"
+          answer from an authority (class object or Binding Agent).
+          Unlike [No_such_object] this is not a delivery failure: the
+          authoritative name service has spoken, rebinding won't help. *)
+  | Timeout
+  | Unreachable of string
+      (** The communication layer gave up: no route, no binding agent,
+          or retries exhausted. *)
+  | Internal of string
+
+val is_delivery_failure : t -> bool
+(** True for [No_such_object], [Timeout] and [Unreachable] — failures
+    where refreshing the binding and retrying is meaningful. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_value : t -> Legion_wire.Value.t
+val of_value : Legion_wire.Value.t -> (t, string) result

@@ -1,0 +1,444 @@
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Binding = Legion_naming.Binding
+module Cache = Legion_naming.Cache
+module Value = Legion_wire.Value
+module Env = Legion_sec.Env
+module Engine = Legion_sim.Engine
+module Network = Legion_net.Network
+module Counter = Legion_util.Counter
+module Prng = Legion_util.Prng
+
+type config = {
+  call_timeout : float;
+  max_rebinds : int;
+  binding_ttl : float option;
+}
+
+let default_config = { call_timeout = 5.0; max_rebinds = 3; binding_ttl = None }
+
+type call = { meth : string; args : Value.t list; env : Env.t }
+type reply = (Value.t, Err.t) result
+
+type proc = {
+  loid : Loid.t;
+  host : Network.host_id;
+  slot : int;
+  kind : string;
+  cache : Cache.t;
+  counter : Counter.t;
+  mutable live : bool;
+  mutable handler : handler;
+  mutable ba : Address.t option;
+  mutable last_delivery : float;  (* when a call last reached it *)
+}
+
+and ctx = { rt : t; self : proc }
+and handler = ctx -> call -> (reply -> unit) -> unit
+
+and pending = { cont : reply -> unit; timer : Engine.handle }
+
+and t = {
+  sim : Engine.t;
+  net : Network.t;
+  registry : Counter.Registry.r;
+  prng : Prng.t;
+  config : config;
+  slots : (int * int, proc) Hashtbl.t;  (* (host, slot) -> instance *)
+  places : proc list Loid.Table.t;  (* loid -> active placements *)
+  pending : (int, pending) Hashtbl.t;
+  attached : (int, unit) Hashtbl.t;  (* hosts with a receiver installed *)
+  mutable next_slot : int;
+  mutable next_call : int;
+  mutable delivered : int;
+}
+
+let create ~sim ~net ~registry ~prng ?(config = default_config) () =
+  let rt =
+    {
+      sim;
+      net;
+      registry;
+      prng;
+      config;
+      slots = Hashtbl.create 256;
+      places = Loid.Table.create ();
+      pending = Hashtbl.create 256;
+      attached = Hashtbl.create 64;
+      next_slot = 0;
+      next_call = 0;
+      delivered = 0;
+    }
+  in
+  rt
+
+let sim rt = rt.sim
+let net rt = rt.net
+let registry rt = rt.registry
+let prng rt = rt.prng
+let config rt = rt.config
+let now rt = Engine.now rt.sim
+
+(* ------------------------------------------------------------------ *)
+(* Wire format of calls and replies.                                   *)
+
+let encode_call ~id ~src_loid ~src_host ~dst_loid ~dst_slot c =
+  Value.Record
+    [
+      ("k", Value.Str "c");
+      ("id", Value.Int id);
+      ("sl", Loid.to_value src_loid);
+      ("sh", Value.Int src_host);
+      ("dl", Loid.to_value dst_loid);
+      ("ds", Value.Int dst_slot);
+      ("m", Value.Str c.meth);
+      ("a", Value.List c.args);
+      ("e", Env.to_value c.env);
+    ]
+
+let encode_reply ~id (r : reply) =
+  match r with
+  | Ok v ->
+      Value.Record [ ("k", Value.Str "r"); ("id", Value.Int id); ("ok", Value.Bool true); ("v", v) ]
+  | Error e ->
+      Value.Record
+        [
+          ("k", Value.Str "r");
+          ("id", Value.Int id);
+          ("ok", Value.Bool false);
+          ("v", Err.to_value e);
+        ]
+
+type incoming =
+  | In_call of {
+      id : int;
+      src_loid : Loid.t;
+      src_host : int;
+      dst_loid : Loid.t;
+      dst_slot : int;
+      call : call;
+    }
+  | In_reply of { id : int; reply : reply }
+  | In_garbage of string
+
+let ( let* ) r f = Result.bind r f
+
+let decode_incoming v : incoming =
+  let field_err e = Format.asprintf "%a" Value.pp_error e in
+  let get name conv = Result.map_error field_err (Result.bind (Value.field v name) conv) in
+  let parse =
+    let* kind = get "k" Value.to_str in
+    match kind with
+    | "c" ->
+        let* id = get "id" Value.to_int in
+        let* src_loid = Result.bind (Result.map_error field_err (Value.field v "sl")) Loid.of_value in
+        let* src_host = get "sh" Value.to_int in
+        let* dst_loid = Result.bind (Result.map_error field_err (Value.field v "dl")) Loid.of_value in
+        let* dst_slot = get "ds" Value.to_int in
+        let* meth = get "m" Value.to_str in
+        let* args =
+          match Value.field v "a" with
+          | Ok (Value.List args) -> Ok args
+          | Ok _ -> Error "call args not a list"
+          | Error e -> Error (field_err e)
+        in
+        let* env = Result.bind (Result.map_error field_err (Value.field v "e")) Env.of_value in
+        Ok
+          (In_call
+             { id; src_loid; src_host; dst_loid; dst_slot; call = { meth; args; env } })
+    | "r" ->
+        let* id = get "id" Value.to_int in
+        let* ok = get "ok" Value.to_bool in
+        let* payload = Result.map_error field_err (Value.field v "v") in
+        if ok then Ok (In_reply { id; reply = Ok payload })
+        else
+          let* e = Err.of_value payload in
+          Ok (In_reply { id; reply = Error e })
+    | other -> Error (Printf.sprintf "unknown message kind %S" other)
+  in
+  match parse with Ok msg -> msg | Error e -> In_garbage e
+
+(* ------------------------------------------------------------------ *)
+(* Delivery.                                                           *)
+
+let on_receive rt host ~src payload =
+  ignore src;
+  match decode_incoming payload with
+  | In_garbage _ -> ()
+  | In_reply { id; reply } -> (
+      match Hashtbl.find_opt rt.pending id with
+      | None -> () (* late duplicate (racing replica) or post-timeout reply *)
+      | Some p ->
+          Hashtbl.remove rt.pending id;
+          Engine.cancel p.timer;
+          p.cont reply)
+  | In_call { id; src_host; dst_loid; dst_slot; call; _ } -> (
+      let reply_to r =
+        Network.send rt.net ~src:host ~dst:src_host (encode_reply ~id r)
+      in
+      (* The zero LOID is a wildcard: calls routed purely by Object
+         Address (e.g. an object talking to its Binding Agent, whose
+         address — not LOID — is in its persistent state, §3.6). *)
+      let is_wildcard =
+        Int64.equal (Loid.class_id dst_loid) 0L
+        && Int64.equal (Loid.class_specific dst_loid) 0L
+      in
+      match Hashtbl.find_opt rt.slots (host, dst_slot) with
+      | Some proc when proc.live && (is_wildcard || Loid.equal proc.loid dst_loid) ->
+          proc.counter |> Counter.incr;
+          proc.last_delivery <- Engine.now rt.sim;
+          rt.delivered <- rt.delivered + 1;
+          proc.handler { rt; self = proc } call reply_to
+      | Some _ | None -> reply_to (Error Err.No_such_object))
+
+let attach_host rt host =
+  if not (Hashtbl.mem rt.attached host) then begin
+    Hashtbl.add rt.attached host ();
+    Network.set_receiver rt.net host (fun ~src payload ->
+        on_receive rt host ~src payload)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                          *)
+
+let spawn rt ~host ~loid ~kind ?cache_capacity ?binding_agent ~handler () =
+  attach_host rt host;
+  let slot = rt.next_slot in
+  rt.next_slot <- rt.next_slot + 1;
+  (* Replicas share a LOID but not a counter: the placement's slot
+     disambiguates, so per-process load stays measurable. *)
+  let counter =
+    Counter.Registry.make rt.registry ~group:kind
+      ~name:(Printf.sprintf "%s@%d.%d" (Loid.to_string loid) host slot)
+  in
+  let cache = Cache.create ?capacity:cache_capacity () in
+  let proc =
+    {
+      loid;
+      host;
+      slot;
+      kind;
+      cache;
+      counter;
+      live = true;
+      handler;
+      ba = binding_agent;
+      last_delivery = Engine.now rt.sim;
+    }
+  in
+  Hashtbl.replace rt.slots (host, slot) proc;
+  let existing = Option.value ~default:[] (Loid.Table.find rt.places loid) in
+  Loid.Table.set rt.places loid (proc :: existing);
+  proc
+
+let kill rt proc =
+  if proc.live then begin
+    proc.live <- false;
+    Hashtbl.remove rt.slots (proc.host, proc.slot);
+    let remaining =
+      List.filter
+        (fun p -> not (p.host = proc.host && p.slot = proc.slot))
+        (Option.value ~default:[] (Loid.Table.find rt.places proc.loid))
+    in
+    if remaining = [] then Loid.Table.remove rt.places proc.loid
+    else Loid.Table.set rt.places proc.loid remaining
+  end
+
+let placements rt loid = Option.value ~default:[] (Loid.Table.find rt.places loid)
+
+let kill_loid rt loid = List.iter (kill rt) (placements rt loid)
+
+let procs_on_host rt host =
+  Hashtbl.fold
+    (fun (h, _) proc acc -> if h = host && proc.live then proc :: acc else acc)
+    rt.slots []
+
+let crash_host rt host =
+  Network.set_host_up rt.net host false;
+  List.iter (kill rt) (procs_on_host rt host)
+
+let find_proc rt loid =
+  match placements rt loid with [] -> None | p :: _ -> Some p
+
+let is_live p = p.live
+let last_delivery p = p.last_delivery
+let proc_loid p = p.loid
+let proc_host p = p.host
+let proc_kind p = p.kind
+let set_handler p h = p.handler <- h
+let set_binding_agent p ba = p.ba <- ba
+let binding_agent p = p.ba
+
+(* ------------------------------------------------------------------ *)
+(* Addresses.                                                          *)
+
+let element_of p = Address.Sim { host = p.host; slot = p.slot }
+let address_of p = Address.singleton (element_of p)
+
+let binding_of rt p =
+  let expires = Option.map (fun ttl -> now rt +. ttl) rt.config.binding_ttl in
+  Binding.make ?expires ~loid:p.loid ~address:(address_of p) ()
+
+let seed_binding p b = Cache.add p.cache ~now:0.0 b
+let cache_of p = p.cache
+
+(* ------------------------------------------------------------------ *)
+(* Invocation.                                                         *)
+
+(* Send one call to one element and register the continuation with a
+   timeout. Non-Sim elements cannot be routed by the simulated network;
+   they fail asynchronously so callers see a uniform interface. *)
+let send_one ctx ?timeout ~dst_loid ~element c k =
+  let rt = ctx.rt in
+  match element with
+  | Address.Sim { host = dst_host; slot = dst_slot } ->
+      let id = rt.next_call in
+      rt.next_call <- rt.next_call + 1;
+      let deadline = Option.value ~default:rt.config.call_timeout timeout in
+      let timer =
+        Engine.schedule rt.sim ~delay:deadline (fun () ->
+            match Hashtbl.find_opt rt.pending id with
+            | None -> ()
+            | Some _ ->
+                Hashtbl.remove rt.pending id;
+                k (Error Err.Timeout))
+      in
+      Hashtbl.replace rt.pending id { cont = k; timer };
+      let msg =
+        encode_call ~id ~src_loid:ctx.self.loid ~src_host:ctx.self.host
+          ~dst_loid ~dst_slot c
+      in
+      Network.send rt.net ~src:ctx.self.host ~dst:dst_host msg
+  | Address.Ip _ | Address.Ip_node _ | Address.Raw _ ->
+      ignore
+        (Engine.schedule rt.sim ~delay:0.0 (fun () ->
+             k (Error (Err.Unreachable "non-simulated address element"))))
+
+(* Race: send to every element at once; first reply that is not a
+   delivery failure wins; if everything fails, report the last failure. *)
+let race ctx ?timeout ~dst_loid ~elements c k =
+  match elements with
+  | [] -> k (Error (Err.Unreachable "empty target list"))
+  | _ ->
+      let n = List.length elements in
+      let failures = ref 0 in
+      let done_ = ref false in
+      let on_reply r =
+        if not !done_ then
+          match r with
+          | Error e when Err.is_delivery_failure e ->
+              incr failures;
+              if !failures = n then begin
+                done_ := true;
+                k (Error e)
+              end
+          | r ->
+              done_ := true;
+              k r
+      in
+      List.iter
+        (fun el -> send_one ctx ?timeout ~dst_loid ~element:el c on_reply)
+        elements
+
+(* Ordered failover: walk the list, advancing only on delivery failure. *)
+let rec failover ctx ?timeout ~dst_loid ~elements c k =
+  match elements with
+  | [] -> k (Error (Err.Unreachable "all address elements failed"))
+  | el :: rest ->
+      send_one ctx ?timeout ~dst_loid ~element:el c (fun r ->
+          match r with
+          | Error e when Err.is_delivery_failure e && rest <> [] ->
+              failover ctx ?timeout ~dst_loid ~elements:rest c k
+          | r -> k r)
+
+let invoke_address ctx ?timeout ~address ~dst ~meth ~args ~env k =
+  let c = { meth; args; env } in
+  let elements = Address.targets address ctx.rt.prng in
+  match Address.semantic address with
+  | Address.All | Address.First_k _ | Address.K_random _ ->
+      race ctx ?timeout ~dst_loid:dst ~elements c k
+  | Address.Any_random | Address.Ordered_failover | Address.Custom _ ->
+      failover ctx ?timeout ~dst_loid:dst ~elements c k
+
+let invoke_binding ctx ?timeout ~binding ~meth ~args ~env k =
+  invoke_address ctx ?timeout ~address:(Binding.address binding)
+    ~dst:(Binding.loid binding) ~meth ~args ~env k
+
+(* Ask the caller's Binding Agent for a binding. [stale] carries the
+   binding we believe is bad, making the Agent refresh rather than serve
+   its cache (GetBinding(binding) form of §3.6). *)
+let resolve_via_agent ctx ?timeout ~dst ~env ~stale k =
+  match ctx.self.ba with
+  | None -> k (Error (Err.Unreachable "object has no binding agent"))
+  | Some ba_address ->
+      let args =
+        match stale with
+        | None -> [ Loid.to_value dst ]
+        | Some b -> [ Binding.to_value b ]
+      in
+      (* The Binding Agent's own LOID is unknown here; addressing is by
+         Object Address, which is what the persistent state stores. The
+         dst LOID in the message is a wildcard the agent accepts. *)
+      let ba_loid = Loid.make ~class_id:0L ~class_specific:0L () in
+      invoke_address ctx ?timeout ~address:ba_address ~dst:ba_loid
+        ~meth:"GetBinding" ~args ~env
+        (fun r ->
+          match r with
+          | Error e -> k (Error e)
+          | Ok v -> (
+              match Binding.of_value v with
+              | Ok b -> k (Ok b)
+              | Error msg -> k (Error (Err.Internal ("bad binding from agent: " ^ msg)))))
+
+let invoke ctx ?timeout ?max_rebinds ~dst ~meth ~args ?env k =
+  let rt = ctx.rt in
+  let env = match env with Some e -> e | None -> Env.of_self ctx.self.loid in
+  let rebind_budget = Option.value ~default:rt.config.max_rebinds max_rebinds in
+  let c = { meth; args; env } in
+  (* One delivery attempt against a binding; on a delivery failure,
+     refresh through the Binding Agent and retry (§4.1.4). *)
+  let rec attempt binding rebinds_left =
+    invoke_binding ctx ?timeout ~binding ~meth:c.meth ~args:c.args ~env (fun r ->
+        match r with
+        | Error e when Err.is_delivery_failure e ->
+            Cache.invalidate_exact ctx.self.cache binding;
+            if rebinds_left <= 0 then k (Error e)
+            else
+              resolve_via_agent ctx ?timeout ~dst ~env ~stale:(Some binding)
+                (fun rb ->
+                  match rb with
+                  | Error e' -> k (Error e')
+                  | Ok fresh ->
+                      Cache.add ctx.self.cache ~now:(now rt) fresh;
+                      attempt fresh (rebinds_left - 1))
+        | r -> k r)
+  in
+  match Cache.find ctx.self.cache ~now:(now rt) dst with
+  | Some binding -> attempt binding rebind_budget
+  | None ->
+      resolve_via_agent ctx ?timeout ~dst ~env ~stale:None (fun rb ->
+          match rb with
+          | Error e -> k (Error e)
+          | Ok binding ->
+              Cache.add ctx.self.cache ~now:(now rt) binding;
+              attempt binding rebind_budget)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing.                                                            *)
+
+let describe_message payload =
+  match decode_incoming payload with
+  | In_call { id; src_loid; dst_loid; call; _ } ->
+      Some
+        (Printf.sprintf "call#%d %s -> %s.%s/%d" id (Loid.to_string src_loid)
+           (Loid.to_string dst_loid) call.meth (List.length call.args))
+  | In_reply { id; reply = Ok _ } -> Some (Printf.sprintf "reply#%d ok" id)
+  | In_reply { id; reply = Error e } ->
+      Some (Printf.sprintf "reply#%d error: %s" id (Err.to_string e))
+  | In_garbage _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Accounting.                                                         *)
+
+let total_calls_delivered rt = rt.delivered
+let requests_of p = Counter.value p.counter

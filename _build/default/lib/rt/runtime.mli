@@ -1,0 +1,205 @@
+(** The Legion object runtime.
+
+    Legion objects are "independent, address space disjoint objects that
+    communicate with one another via method invocation. Method calls are
+    non-blocking and may be accepted in any order" (§2). The runtime
+    realises this over the simulated internetwork: an {e active} object
+    is a process — a (host, slot) pair with a mailbox and a handler —
+    and every method invocation is an asynchronous message exchange.
+
+    The runtime also implements the {e Legion-aware communication layer}
+    each object contains (§4.1.2): a per-object binding cache, resolution
+    through the object's Binding Agent on a miss, stale-binding
+    detection on [No_such_object]/timeout, and rebind-and-retry
+    (§4.1.4). Replication-aware delivery follows the Object Address
+    semantics of §3.4/§4.3. *)
+
+module Loid := Legion_naming.Loid
+module Address := Legion_naming.Address
+module Binding := Legion_naming.Binding
+module Value := Legion_wire.Value
+module Env := Legion_sec.Env
+
+type t
+(** The runtime: one per simulation, spanning all hosts. *)
+
+type proc
+(** An active object instance (a "process" on a host). A replicated
+    object has several [proc]s sharing one LOID. *)
+
+type config = {
+  call_timeout : float;  (** Seconds of virtual time before a call times out. *)
+  max_rebinds : int;
+      (** How many times the comm layer refreshes a stale binding and
+          retries before giving up. *)
+  binding_ttl : float option;
+      (** Expiry attached to bindings minted by [binding_of]; [None]
+          means bindings never explicitly expire (§3.5). *)
+}
+
+val default_config : config
+(** 5 s timeout, 3 rebinds, no expiry. *)
+
+val create :
+  sim:Legion_sim.Engine.t ->
+  net:Legion_net.Network.t ->
+  registry:Legion_util.Counter.Registry.r ->
+  prng:Legion_util.Prng.t ->
+  ?config:config ->
+  unit ->
+  t
+
+val sim : t -> Legion_sim.Engine.t
+val net : t -> Legion_net.Network.t
+val registry : t -> Legion_util.Counter.Registry.r
+val prng : t -> Legion_util.Prng.t
+val config : t -> config
+val now : t -> float
+
+(** {1 Calls and handlers} *)
+
+type call = { meth : string; args : Value.t list; env : Env.t }
+type reply = (Value.t, Err.t) result
+
+type ctx = { rt : t; self : proc }
+(** What a handler sees: the runtime and its own process. *)
+
+type handler = ctx -> call -> (reply -> unit) -> unit
+(** Handlers must eventually invoke the reply continuation exactly once
+    per call. *)
+
+(** {1 Process lifecycle} *)
+
+val spawn :
+  t ->
+  host:Legion_net.Network.host_id ->
+  loid:Loid.t ->
+  kind:string ->
+  ?cache_capacity:int ->
+  ?binding_agent:Address.t ->
+  handler:handler ->
+  unit ->
+  proc
+(** Start an active object instance on [host]. [kind] groups the
+    object's request counter (e.g. ["class"], ["binding_agent"],
+    ["app"]). [cache_capacity] bounds the comm-layer binding cache
+    (default unbounded). [binding_agent] is the Object Address of the
+    object's Binding Agent, "part of its persistent state" (§3.6). *)
+
+val kill : t -> proc -> unit
+(** Remove the instance; subsequent messages to its address are answered
+    [No_such_object]. Killing twice is a no-op. *)
+
+val kill_loid : t -> Loid.t -> unit
+(** Kill every placement of the LOID. *)
+
+val procs_on_host : t -> Legion_net.Network.host_id -> proc list
+(** Live processes on a host. *)
+
+val crash_host : t -> Legion_net.Network.host_id -> unit
+(** Fault injection: mark the network host down and kill every process
+    on it — unsaved state is lost, exactly as a real host crash. The
+    host can later be brought back up with
+    {!Legion_net.Network.set_host_up}; objects return via their
+    Magistrates' last saved Object Persistent Representations. *)
+
+val is_live : proc -> bool
+
+val last_delivery : proc -> float
+(** Virtual time a call last reached this instance (spawn time if
+    never). Feeds idle-deactivation sweeps. *)
+
+val proc_loid : proc -> Loid.t
+val proc_host : proc -> Legion_net.Network.host_id
+val proc_kind : proc -> string
+val placements : t -> Loid.t -> proc list
+(** Active placements, newest first; [[]] when inert/unknown. *)
+
+val find_proc : t -> Loid.t -> proc option
+(** An arbitrary active placement. *)
+
+val set_handler : proc -> handler -> unit
+(** Swap the handler (used during two-phase bootstrap). *)
+
+val set_binding_agent : proc -> Address.t option -> unit
+val binding_agent : proc -> Address.t option
+
+(** {1 Addresses and bindings} *)
+
+val element_of : proc -> Address.element
+(** The [Sim] Object Address Element where this instance listens. *)
+
+val address_of : proc -> Address.t
+(** Singleton address of this instance. *)
+
+val binding_of : t -> proc -> Binding.t
+(** Mint a binding for this single instance, stamped with the
+    configured TTL. *)
+
+val seed_binding : proc -> Binding.t -> unit
+(** Prime the instance's comm-layer cache (bootstrap, or explicit
+    propagation "for performance purposes", §3.6 AddBinding). *)
+
+val cache_of : proc -> Legion_naming.Cache.t
+(** The comm-layer binding cache (exposed for tests and experiments). *)
+
+(** {1 Invocation} *)
+
+val invoke :
+  ctx ->
+  ?timeout:float ->
+  ?max_rebinds:int ->
+  dst:Loid.t ->
+  meth:string ->
+  args:Value.t list ->
+  ?env:Env.t ->
+  (reply -> unit) ->
+  unit
+(** Full communication layer: cache → Binding Agent → send; on delivery
+    failure, invalidate, refresh via the Binding Agent ([GetBinding]
+    with the stale binding), retry up to [max_rebinds]. [env] defaults
+    to the caller's self-sovereign environment. [timeout] overrides the
+    configured per-attempt deadline — probes that feed a decision inside
+    a larger call chain must use a short one or they exhaust the
+    upstream caller's budget. [max_rebinds] similarly overrides the
+    rebind budget — failure-detector-style scans over possibly-dead
+    components set both low. *)
+
+val invoke_address :
+  ctx ->
+  ?timeout:float ->
+  address:Address.t ->
+  dst:Loid.t ->
+  meth:string ->
+  args:Value.t list ->
+  env:Env.t ->
+  (reply -> unit) ->
+  unit
+(** Send directly to a known Object Address, honouring its semantic:
+    [All]/[First_k]/[K_random] race the targets and take the first real
+    reply; [Any_random] picks one; [Ordered_failover] (and [Custom])
+    walk the element list, failing over on delivery failures only. *)
+
+val invoke_binding :
+  ctx ->
+  ?timeout:float ->
+  binding:Binding.t ->
+  meth:string ->
+  args:Value.t list ->
+  env:Env.t ->
+  (reply -> unit) ->
+  unit
+(** [invoke_address] on the binding's address and LOID. *)
+
+(** {1 Tracing} *)
+
+val describe_message : Value.t -> string option
+(** Render a wire message (as seen by a {!Legion_net.Network.set_tap}
+    observer) as a one-line human-readable protocol event: the Fig. 17
+    sequences become visible. [None] for non-runtime payloads. *)
+
+(** {1 Accounting} *)
+
+val total_calls_delivered : t -> int
+val requests_of : proc -> int
+(** Method calls delivered to this instance. *)

@@ -1,0 +1,1 @@
+lib/sched/sched_part.ml: Array Legion_core Legion_naming Legion_rt Legion_sec Legion_util Legion_wire List Result

@@ -1,0 +1,1 @@
+lib/sched/sched_part.mli: Legion_core

@@ -1,0 +1,143 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Prng = Legion_util.Prng
+module Runtime = Legion_rt.Runtime
+module Impl = Legion_core.Impl
+module C = Legion_core.Convert
+
+module Env = Legion_sec.Env
+module Err = Legion_rt.Err
+
+let unit_random = "legion.sched.random"
+let unit_round_robin = "legion.sched.round_robin"
+let unit_least_loaded = "legion.sched.least_loaded"
+let unit_live_load = "legion.sched.live_load"
+
+let decode_candidates v =
+  let ( let* ) r f = Result.bind r f in
+  match v with
+  | Value.List cs ->
+      let rec loop acc = function
+        | [] -> Ok (List.rev acc)
+        | c :: rest ->
+            let* host = C.loid_field c "host" in
+            let* load = C.int_field c "load" in
+            loop ((host, load) :: acc) rest
+      in
+      loop [] cs
+  | _ -> Error "PickHost: candidates must be a list"
+
+(* All three agents share the shell: decode candidates, refuse empty
+   lists, delegate the choice. *)
+let picker unit_name choose (_ctx : Runtime.ctx) : Impl.part =
+  let pick_host _ctx args _env k =
+    match args with
+    | [ cands_v ] -> (
+        match decode_candidates cands_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok [] -> Impl.bad_args k "PickHost: no candidates"
+        | Ok candidates -> k (Ok (Loid.to_value (choose candidates))))
+    | _ -> Impl.bad_args k "PickHost expects one candidate list"
+  in
+  Impl.part ~methods:[ ("PickHost", pick_host) ] unit_name
+
+let factory_random (ctx : Runtime.ctx) : Impl.part =
+  let prng = Prng.split (Runtime.prng ctx.Runtime.rt) in
+  picker unit_random
+    (fun candidates -> fst (Prng.choose prng (Array.of_list candidates)))
+    ctx
+
+let factory_round_robin (ctx : Runtime.ctx) : Impl.part =
+  let cursor = ref 0 in
+  picker unit_round_robin
+    (fun candidates ->
+      let n = List.length candidates in
+      let pick = fst (List.nth candidates (!cursor mod n)) in
+      incr cursor;
+      pick)
+    ctx
+
+let factory_least_loaded (ctx : Runtime.ctx) : Impl.part =
+  picker unit_least_loaded
+    (fun candidates ->
+      let best =
+        List.fold_left
+          (fun acc (h, l) ->
+            match acc with Some (_, bl) when bl <= l -> acc | _ -> Some (h, l))
+          None candidates
+      in
+      match best with Some (h, _) -> h | None -> assert false)
+    ctx
+
+(* The live-load agent distrusts the Magistrate's local activation
+   counts (they drift: deactivations, sweeps, and crashes are invisible
+   to them) and instead polls every candidate Host Object's GetState
+   before choosing — accuracy bought with one RPC fan-out per placement.
+   E11 quantifies the trade against the local policies. *)
+let factory_live_load (ctx : Runtime.ctx) : Impl.part =
+  let self = Runtime.proc_loid ctx.Runtime.self in
+  let pick_host _ctx args env k =
+    match args with
+    | [ cands_v ] -> (
+        match decode_candidates cands_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok [] -> Impl.bad_args k "PickHost: no candidates"
+        | Ok candidates ->
+            let denv = Env.delegate env ~calling:self in
+            let n = List.length candidates in
+            let answers = ref [] in
+            let pending = ref n in
+            let finish () =
+              match !answers with
+              | [] ->
+                  (* Nobody answered the probe: fall back to the
+                     magistrate-supplied counts. *)
+                  let best =
+                    List.fold_left
+                      (fun acc (h, l) ->
+                        match acc with
+                        | Some (_, bl) when bl <= l -> acc
+                        | _ -> Some (h, l))
+                      None candidates
+                  in
+                  (match best with
+                  | Some (h, _) -> k (Ok (Loid.to_value h))
+                  | None -> k (Error (Err.Refused "no candidates")))
+              | answered ->
+                  let best =
+                    List.fold_left
+                      (fun acc (h, l) ->
+                        match acc with
+                        | Some (_, bl) when bl <= l -> acc
+                        | _ -> Some (h, l))
+                      None answered
+                  in
+                  (match best with
+                  | Some (h, _) -> k (Ok (Loid.to_value h))
+                  | None -> k (Error (Err.Refused "no candidates")))
+            in
+            let probe_timeout =
+              (Runtime.config ctx.Runtime.rt).Runtime.call_timeout /. 10.0
+            in
+            List.iter
+              (fun (h, _) ->
+                Runtime.invoke ctx ~timeout:probe_timeout ~dst:h ~meth:"GetState"
+                  ~args:[] ~env:denv (fun r ->
+                    (match r with
+                    | Ok st -> (
+                        match Legion_core.Convert.int_field st "load" with
+                        | Ok load -> answers := (h, load) :: !answers
+                        | Error _ -> ())
+                    | Error _ -> ());
+                    decr pending;
+                    if !pending = 0 then finish ()))
+              candidates)
+    | _ -> Impl.bad_args k "PickHost expects one candidate list"
+  in
+  Impl.part ~methods:[ ("PickHost", pick_host) ] unit_live_load
+
+let register () =
+  Impl.register unit_random factory_random;
+  Impl.register unit_round_robin factory_round_robin;
+  Impl.register unit_least_loaded factory_least_loaded;
+  Impl.register unit_live_load factory_live_load

@@ -1,0 +1,38 @@
+(** Scheduling Agents.
+
+    "Scheduling is intentionally left out of the core object model,
+    except for a few hooks" (§3.7): the class logical table carries a
+    Scheduling Agent LOID per object, and Magistrates consult that agent
+    when placing an activation. "Complex scheduling policies are
+    intended to be implemented outside of the Magistrate in Scheduling
+    Agents" (§3.8).
+
+    A Scheduling Agent answers one method:
+    [PickHost(candidates: list<record{host: loid, load: int}>): loid].
+
+    Four policies ship as distinct implementation units, so sites can
+    pick per class or per object:
+    - ["legion.sched.random"] — uniform choice;
+    - ["legion.sched.round_robin"] — cycles through candidates;
+    - ["legion.sched.least_loaded"] — minimum reported load, ties
+      broken by list order;
+    - ["legion.sched.live_load"] — polls each candidate Host Object's
+      [GetState] (short-timeout probes) and places on the host with the
+      fewest live processes, falling back to the reported counts when
+      no probe answers. Accurate under churn, at one RPC fan-out per
+      placement. *)
+
+module Impl := Legion_core.Impl
+
+val unit_random : string
+val unit_round_robin : string
+val unit_least_loaded : string
+val unit_live_load : string
+
+val factory_random : Impl.factory
+val factory_round_robin : Impl.factory
+val factory_least_loaded : Impl.factory
+val factory_live_load : Impl.factory
+
+val register : unit -> unit
+(** Install all four units. *)

@@ -1,0 +1,1 @@
+lib/security/env.ml: Format Legion_naming Legion_wire Result

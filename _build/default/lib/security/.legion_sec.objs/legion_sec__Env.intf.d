@@ -1,0 +1,1 @@
+lib/security/env.mli: Format Legion_naming Legion_wire

@@ -1,0 +1,1 @@
+lib/security/policy.ml: Env Format Hashtbl Legion_naming Legion_wire List Printf Result String

@@ -1,0 +1,1 @@
+lib/security/policy.mli: Env Format Legion_naming Legion_wire

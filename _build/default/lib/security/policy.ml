@@ -1,0 +1,142 @@
+module Loid = Legion_naming.Loid
+
+type decision = Allow | Deny of string
+
+type t =
+  | Allow_all
+  | Deny_all of string
+  | Allow_calling of Loid.Set.t
+  | Allow_responsible of Loid.Set.t
+  | Deny_methods of string list * t
+  | All_of of t list
+  | Custom of string * (meth:string -> env:Env.t -> decision)
+
+let rec check t ~meth ~env =
+  match t with
+  | Allow_all -> Allow
+  | Deny_all reason -> Deny reason
+  | Allow_calling set ->
+      if Loid.Set.mem env.Env.calling set then Allow
+      else Deny (Format.asprintf "calling agent %a not trusted" Loid.pp env.Env.calling)
+  | Allow_responsible set ->
+      if Loid.Set.mem env.Env.responsible set then Allow
+      else
+        Deny
+          (Format.asprintf "responsible agent %a not trusted" Loid.pp
+             env.Env.responsible)
+  | Deny_methods (meths, rest) ->
+      if List.mem meth meths then Deny (Printf.sprintf "method %s refused" meth)
+      else check rest ~meth ~env
+  | All_of policies ->
+      let rec loop = function
+        | [] -> Allow
+        | p :: rest -> (
+            match check p ~meth ~env with Allow -> loop rest | Deny _ as d -> d)
+      in
+      loop policies
+  | Custom (_, f) -> f ~meth ~env
+
+let allow_loids loids = Allow_calling (Loid.Set.of_list loids)
+
+let rec pp ppf = function
+  | Allow_all -> Format.fprintf ppf "allow-all"
+  | Deny_all r -> Format.fprintf ppf "deny-all(%s)" r
+  | Allow_calling set -> Format.fprintf ppf "allow-calling(%d)" (Loid.Set.cardinal set)
+  | Allow_responsible set ->
+      Format.fprintf ppf "allow-responsible(%d)" (Loid.Set.cardinal set)
+  | Deny_methods (ms, rest) ->
+      Format.fprintf ppf "deny-methods(%s);%a" (String.concat "," ms) pp rest
+  | All_of ps ->
+      Format.fprintf ppf "all-of[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp)
+        ps
+  | Custom (name, _) -> Format.fprintf ppf "custom(%s)" name
+
+module Value = Legion_wire.Value
+
+let custom_registry : (string, meth:string -> env:Env.t -> decision) Hashtbl.t =
+  Hashtbl.create 16
+
+let register_custom name f = Hashtbl.replace custom_registry name f
+let find_custom name = Hashtbl.find_opt custom_registry name
+
+let loid_set_to_value set =
+  Value.List (List.map Loid.to_value (Loid.Set.elements set))
+
+let loid_set_of_value v =
+  match v with
+  | Value.List vs ->
+      let rec loop acc = function
+        | [] -> Ok (Loid.Set.of_list acc)
+        | x :: rest -> (
+            match Loid.of_value x with
+            | Ok l -> loop (l :: acc) rest
+            | Error e -> Error e)
+      in
+      loop [] vs
+  | _ -> Error "policy: loid set not a list"
+
+let rec to_value = function
+  | Allow_all -> Value.Record [ ("p", Value.Str "allow") ]
+  | Deny_all r -> Value.Record [ ("p", Value.Str "deny"); ("r", Value.Str r) ]
+  | Allow_calling set ->
+      Value.Record [ ("p", Value.Str "calling"); ("s", loid_set_to_value set) ]
+  | Allow_responsible set ->
+      Value.Record [ ("p", Value.Str "responsible"); ("s", loid_set_to_value set) ]
+  | Deny_methods (ms, rest) ->
+      Value.Record
+        [
+          ("p", Value.Str "deny_methods");
+          ("m", Value.List (List.map (fun m -> Value.Str m) ms));
+          ("k", to_value rest);
+        ]
+  | All_of ps ->
+      Value.Record [ ("p", Value.Str "all_of"); ("l", Value.List (List.map to_value ps)) ]
+  | Custom (name, _) -> Value.Record [ ("p", Value.Str "custom"); ("n", Value.Str name) ]
+
+let rec of_value v =
+  let ( let* ) r f = Result.bind r f in
+  let err e = Format.asprintf "policy: %a" Value.pp_error e in
+  let* kind = Result.map_error err (Result.bind (Value.field v "p") Value.to_str) in
+  match kind with
+  | "allow" -> Ok Allow_all
+  | "deny" ->
+      let* r = Result.map_error err (Result.bind (Value.field v "r") Value.to_str) in
+      Ok (Deny_all r)
+  | "calling" ->
+      let* sv = Result.map_error err (Value.field v "s") in
+      let* set = loid_set_of_value sv in
+      Ok (Allow_calling set)
+  | "responsible" ->
+      let* sv = Result.map_error err (Value.field v "s") in
+      let* set = loid_set_of_value sv in
+      Ok (Allow_responsible set)
+  | "deny_methods" ->
+      let* ms =
+        Result.map_error err
+          (Result.bind (Value.field v "m") (Value.to_list Value.to_str))
+      in
+      let* kv = Result.map_error err (Value.field v "k") in
+      let* rest = of_value kv in
+      Ok (Deny_methods (ms, rest))
+  | "all_of" ->
+      let* lv = Result.map_error err (Value.field v "l") in
+      let* ps =
+        match lv with
+        | Value.List vs ->
+            let rec loop acc = function
+              | [] -> Ok (List.rev acc)
+              | x :: rest ->
+                  let* p = of_value x in
+                  loop (p :: acc) rest
+            in
+            loop [] vs
+        | _ -> Error "policy: all_of not a list"
+      in
+      Ok (All_of ps)
+  | "custom" ->
+      let* name = Result.map_error err (Result.bind (Value.field v "n") Value.to_str) in
+      (match find_custom name with
+      | Some f -> Ok (Custom (name, f))
+      | None -> Ok (Deny_all (Printf.sprintf "unknown custom policy %s" name)))
+  | other -> Error (Printf.sprintf "policy: unknown kind %S" other)

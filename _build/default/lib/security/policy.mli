@@ -1,0 +1,46 @@
+(** Security policies behind [MayI()] (paper §2.4).
+
+    The paper's model is "security is built into the object by its
+    implementor": every object answers [MayI] itself, and Legion merely
+    guarantees the question is asked. A [Policy.t] is the reusable
+    decision procedure an implementor attaches to an object; the default
+    is [Allow_all] ("these functions may default to empty for the case of
+    no security"). *)
+
+module Loid := Legion_naming.Loid
+
+type decision = Allow | Deny of string
+
+type t =
+  | Allow_all
+  | Deny_all of string  (** Refuse everything, with a reason. *)
+  | Allow_calling of Loid.Set.t
+      (** Admit only listed Calling Agents. *)
+  | Allow_responsible of Loid.Set.t
+      (** Admit only call chains run on behalf of listed Responsible
+          Agents — the DOE-style trust boundary of §2.1.3. *)
+  | Deny_methods of string list * t
+      (** Refuse the listed methods outright, defer the rest. *)
+  | All_of of t list  (** Conjunction: every policy must allow. *)
+  | Custom of string * (meth:string -> env:Env.t -> decision)
+      (** Named user-defined policy. *)
+
+val check : t -> meth:string -> env:Env.t -> decision
+
+val allow_loids : Loid.t list -> t
+(** Convenience for [Allow_calling] of a list. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Persistence}
+
+    Policies travel inside saved object state. [Custom] policies are
+    serialized by name and looked up in the custom registry on decode;
+    registering is idempotent (last registration wins). An unknown name
+    decodes to [Deny_all] — failing closed. *)
+
+val register_custom : string -> (meth:string -> env:Env.t -> decision) -> unit
+val find_custom : string -> (meth:string -> env:Env.t -> decision) option
+
+val to_value : t -> Legion_wire.Value.t
+val of_value : Legion_wire.Value.t -> (t, string) result

@@ -1,0 +1,86 @@
+module Heap = Legion_util.Heap
+
+type event = {
+  time : float;
+  seq : int;  (* tie-break: same-instant events fire in scheduling order *)
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable fired : int;
+  queue : event Heap.t;
+}
+
+let cmp_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { clock = 0.0; seq = 0; fired = 0; queue = Heap.create ~cmp:cmp_event }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  let time = Float.max time t.clock in
+  let ev = { time; seq = t.seq; action; cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay action =
+  schedule_at t ~time:(t.clock +. Float.max 0.0 delay) action
+
+let cancel ev = ev.cancelled <- true
+let is_cancelled ev = ev.cancelled
+
+(* Pop events, discarding cancelled ones lazily. *)
+let rec next_live t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some ev when ev.cancelled -> next_live t
+  | Some ev -> Some ev
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      t.fired <- t.fired + 1;
+      ev.action ();
+      true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> -1 | Some n -> n) in
+  let continue () =
+    if !budget = 0 then false
+    else
+      match Heap.peek t.queue with
+      | None -> false
+      | Some ev ->
+          if ev.cancelled then begin
+            ignore (Heap.pop t.queue);
+            true
+          end
+          else begin
+            match until with
+            | Some limit when ev.time > limit -> false
+            | _ ->
+                if step t then begin
+                  if !budget > 0 then decr budget;
+                  true
+                end
+                else false
+          end
+  in
+  while continue () do
+    ()
+  done
+
+let pending t =
+  List.length (List.filter (fun ev -> not ev.cancelled) (Heap.to_list t.queue))
+
+let events_fired t = t.fired

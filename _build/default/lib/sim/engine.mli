@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    A single virtual clock and a priority queue of events. Events
+    scheduled for the same instant fire in scheduling order (FIFO), which
+    together with the seeded PRNGs makes every run deterministic.
+
+    The whole Legion runtime is driven by this engine: message delivery,
+    RPC timeouts, and workload arrivals are all events. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, in seconds. Starts at [0.]. *)
+
+type handle
+(** A scheduled event, usable to cancel it. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays
+    are clamped to [0.] (fire "now", after currently-queued same-time
+    events). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant; times in the past are clamped to [now]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val step : t -> bool
+(** Fire the earliest pending event. Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fire events until the queue is empty, virtual time would exceed
+    [until], or [max_events] have fired in this call. Events scheduled at
+    exactly [until] still fire. *)
+
+val pending : t -> int
+(** Number of queued (uncancelled) events. *)
+
+val events_fired : t -> int
+(** Total events fired since creation. *)

@@ -1,0 +1,1 @@
+lib/store/persistent.ml: Disk Format Legion_naming Legion_wire List Printf Result String

@@ -1,0 +1,1 @@
+lib/store/persistent.mli: Disk Format Legion_naming Legion_wire

@@ -1,0 +1,37 @@
+type t = {
+  name : string;
+  files : (string, string) Hashtbl.t;
+  mutable bytes : int;
+  mutable writes : int;
+  mutable reads : int;
+}
+
+let create ~name = { name; files = Hashtbl.create 64; bytes = 0; writes = 0; reads = 0 }
+
+let name t = t.name
+
+let write t ~key blob =
+  (match Hashtbl.find_opt t.files key with
+  | Some old -> t.bytes <- t.bytes - String.length old
+  | None -> ());
+  Hashtbl.replace t.files key blob;
+  t.bytes <- t.bytes + String.length blob;
+  t.writes <- t.writes + 1
+
+let read t ~key =
+  t.reads <- t.reads + 1;
+  Hashtbl.find_opt t.files key
+
+let delete t ~key =
+  match Hashtbl.find_opt t.files key with
+  | Some old ->
+      t.bytes <- t.bytes - String.length old;
+      Hashtbl.remove t.files key
+  | None -> ()
+
+let exists t ~key = Hashtbl.mem t.files key
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.files []
+let file_count t = Hashtbl.length t.files
+let bytes_used t = t.bytes
+let writes t = t.writes
+let reads t = t.reads

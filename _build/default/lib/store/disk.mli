@@ -1,0 +1,25 @@
+(** A simulated disk: a flat keyed blob store.
+
+    Jurisdictions own "some aggregate persistent storage space" (§2.2)
+    modelled as a set of disks; "all of a Jurisdiction's persistent
+    storage space must be visible from each of its hosts" (§3.1), which
+    holds trivially here. *)
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+
+val write : t -> key:string -> string -> unit
+(** Overwrites silently. *)
+
+val read : t -> key:string -> string option
+val delete : t -> key:string -> unit
+val exists : t -> key:string -> bool
+val keys : t -> string list
+val file_count : t -> int
+val bytes_used : t -> int
+
+val writes : t -> int
+val reads : t -> int
+(** Operation counters (experiment instrumentation). *)

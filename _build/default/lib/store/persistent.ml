@@ -1,0 +1,57 @@
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+
+module Opa = struct
+  type t = { disk : string; file : string }
+
+  let equal a b = String.equal a.disk b.disk && String.equal a.file b.file
+  let pp ppf t = Format.fprintf ppf "%s:%s" t.disk t.file
+
+  let to_value t =
+    Value.Record [ ("d", Value.Str t.disk); ("f", Value.Str t.file) ]
+
+  let of_value v =
+    let ( let* ) r f = Result.bind r f in
+    let err e = Format.asprintf "opa: %a" Value.pp_error e in
+    let* d = Result.map_error err (Result.bind (Value.field v "d") Value.to_str) in
+    let* f = Result.map_error err (Result.bind (Value.field v "f") Value.to_str) in
+    Ok { disk = d; file = f }
+end
+
+type t = { disks : Disk.t list; mutable rr : int; mutable version : int }
+
+let create ~disks =
+  if disks = [] then invalid_arg "Persistent.create: no disks";
+  { disks; rr = 0; version = 0 }
+
+let disks t = t.disks
+
+let find_disk t name = List.find_opt (fun d -> String.equal (Disk.name d) name) t.disks
+
+let put t ~loid blob =
+  let disk = List.nth t.disks (t.rr mod List.length t.disks) in
+  t.rr <- t.rr + 1;
+  t.version <- t.version + 1;
+  let file = Printf.sprintf "%s.v%d.opr" (Loid.to_string loid) t.version in
+  Disk.write disk ~key:file blob;
+  { Opa.disk = Disk.name disk; file }
+
+let put_at t (opa : Opa.t) blob =
+  match find_disk t opa.Opa.disk with
+  | None -> Error (Printf.sprintf "no disk %s in this jurisdiction" opa.Opa.disk)
+  | Some d ->
+      Disk.write d ~key:opa.Opa.file blob;
+      Ok ()
+
+let get t (opa : Opa.t) =
+  match find_disk t opa.Opa.disk with
+  | None -> None
+  | Some d -> Disk.read d ~key:opa.Opa.file
+
+let remove t (opa : Opa.t) =
+  match find_disk t opa.Opa.disk with
+  | None -> ()
+  | Some d -> Disk.delete d ~key:opa.Opa.file
+
+let total_bytes t = List.fold_left (fun acc d -> acc + Disk.bytes_used d) 0 t.disks
+let total_files t = List.fold_left (fun acc d -> acc + Disk.file_count d) 0 t.disks

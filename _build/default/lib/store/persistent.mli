@@ -1,0 +1,37 @@
+(** Jurisdiction storage: Object Persistent Addresses over a disk set.
+
+    "An Object Persistent Address will typically be a file name, and
+    will only be meaningful within the Jurisdiction in which it
+    resides" (§3.1.1). [Opa.t] is (disk name, file name); a
+    [Persistent.t] stripes writes across its disks round-robin. *)
+
+module Value := Legion_wire.Value
+
+module Opa : sig
+  type t = { disk : string; file : string }
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_value : t -> Value.t
+  val of_value : Value.t -> (t, string) result
+end
+
+type t
+
+val create : disks:Disk.t list -> t
+(** @raise Invalid_argument on an empty disk list. *)
+
+val disks : t -> Disk.t list
+
+val put : t -> loid:Legion_naming.Loid.t -> string -> Opa.t
+(** Store a blob for an object; each call writes a fresh version file
+    and returns its address. *)
+
+val put_at : t -> Opa.t -> string -> (unit, string) result
+(** Overwrite a specific address (re-storing at a known OPA). Fails if
+    the disk is not part of this store. *)
+
+val get : t -> Opa.t -> string option
+val remove : t -> Opa.t -> unit
+val total_bytes : t -> int
+val total_files : t -> int

@@ -1,0 +1,1 @@
+lib/util/counter.ml: Format Hashtbl List

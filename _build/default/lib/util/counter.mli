@@ -1,0 +1,40 @@
+(** Named monotonic counters.
+
+    The scalability experiments of the paper's §5 are statements about the
+    number of requests arriving at individual system components. Every
+    component in the simulator owns a [Counter.t] registered in a
+    [Registry.t]; experiments read the registry after a run.
+
+    Counters are grouped by a [group] string (e.g. ["binding_agent"],
+    ["class"], ["magistrate"]) so queries like "the most-loaded binding
+    agent" are one call. *)
+
+type t
+
+val value : t -> int
+val incr : t -> unit
+val add : t -> int -> unit
+val name : t -> string
+val group : t -> string
+
+module Registry : sig
+  type r
+
+  val create : unit -> r
+
+  val make : r -> group:string -> name:string -> t
+  (** Create and register a counter. Registering the same (group, name)
+      twice returns the existing counter. *)
+
+  val find : r -> group:string -> name:string -> t option
+  val all : r -> t list
+  val by_group : r -> string -> t list
+  val group_total : r -> string -> int
+  val group_max : r -> string -> (string * int) option
+  (** Counter name and value of the largest counter in a group. *)
+
+  val reset : r -> unit
+  (** Zero every counter, keeping registrations. *)
+
+  val pp : Format.formatter -> r -> unit
+end

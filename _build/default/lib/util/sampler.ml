@@ -1,0 +1,45 @@
+type zipf = { prng : Prng.t; cumulative : float array; pmf : float array }
+
+let zipf prng ~n ~s =
+  if n <= 0 then invalid_arg "Sampler.zipf: n must be positive";
+  if s < 0.0 then invalid_arg "Sampler.zipf: s must be non-negative";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let pmf = Array.map (fun w -> w /. total) weights in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cumulative.(i) <- !acc)
+    pmf;
+  { prng; cumulative; pmf }
+
+let zipf_draw z =
+  let u = Prng.float z.prng 1.0 in
+  (* Binary search for the first cumulative weight >= u. *)
+  let rec find lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if z.cumulative.(mid) < u then find (mid + 1) hi else find lo mid
+  in
+  find 0 (Array.length z.cumulative - 1)
+
+let zipf_pmf z rank =
+  if rank < 0 || rank >= Array.length z.pmf then 0.0 else z.pmf.(rank)
+
+type poisson = { pprng : Prng.t; rate : float }
+
+let poisson_process prng ~rate =
+  if rate <= 0.0 then invalid_arg "Sampler.poisson_process: rate must be positive";
+  { pprng = prng; rate }
+
+let next_arrival p = Prng.exponential p.pprng ~mean:(1.0 /. p.rate)
+
+let arrivals_until p ~horizon =
+  let rec loop t acc =
+    let t = t +. next_arrival p in
+    if t >= horizon then List.rev acc else loop t (t :: acc)
+  in
+  loop 0.0 []

@@ -1,0 +1,64 @@
+(** Summary statistics for experiment measurements.
+
+    A [Stats.t] accumulates samples and reports count, mean, variance,
+    extrema and percentiles. Percentile queries sort an internal copy of
+    the retained samples; accumulation is O(1) amortised. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val add_list : t -> float list -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the samples; [0.] when empty. *)
+
+val variance : t -> float
+(** Population variance; [0.] when fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0,100], by linear interpolation between
+    closest ranks. @raise Invalid_argument when empty or [p] out of
+    range. *)
+
+val median : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator holding the samples of both. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render as "n=… mean=… p50=… p99=… max=…". *)
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type h
+
+  val create : buckets:float array -> h
+  (** [create ~buckets] uses [buckets] as ascending upper bounds; an
+      implicit overflow bucket catches the rest.
+      @raise Invalid_argument if bounds are not strictly ascending or
+      empty. *)
+
+  val add : h -> float -> unit
+  val counts : h -> (float option * int) list
+  (** Bucket upper bounds paired with counts; [None] is the overflow
+      bucket. *)
+
+  val total : h -> int
+  val pp : Format.formatter -> h -> unit
+end

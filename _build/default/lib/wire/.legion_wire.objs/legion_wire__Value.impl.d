@@ -1,0 +1,1 @@
+lib/wire/value.ml: Bool Float Format Int64 List Stdlib String

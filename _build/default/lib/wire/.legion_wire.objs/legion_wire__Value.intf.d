@@ -1,0 +1,1 @@
+lib/wire/value.mli: Format

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Helpers Int64 Legion Legion_core Legion_naming Legion_net Legion_rt Legion_wire String

@@ -1,0 +1,1 @@
+test/test_binding.ml: Alcotest Helpers Legion Legion_binding Legion_core Legion_naming Legion_rt Legion_sec Legion_wire List Printf

@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Helpers Legion Legion_core Legion_naming Legion_rt Legion_wire List Printf

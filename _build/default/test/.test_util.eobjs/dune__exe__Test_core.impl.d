@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Gen Int64 Legion_core Legion_naming Legion_net Legion_rt Legion_sec Legion_sim Legion_util Legion_wire List Printf QCheck QCheck_alcotest Result String

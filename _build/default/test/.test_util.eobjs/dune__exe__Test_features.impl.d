@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Helpers Int64 Legion Legion_core Legion_ctx Legion_idl Legion_naming Legion_net Legion_repl Legion_rt Legion_sched Legion_sec Legion_wire List Printf Stdlib

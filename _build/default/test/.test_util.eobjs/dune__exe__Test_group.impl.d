@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Helpers Legion Legion_core Legion_naming Legion_net Legion_repl Legion_rt Legion_wire List Printf

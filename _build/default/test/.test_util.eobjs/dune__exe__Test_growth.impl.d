@@ -1,0 +1,1 @@
+test/test_growth.ml: Alcotest Helpers Int64 Legion Legion_core Legion_host Legion_naming Legion_net Legion_rt Legion_wire List

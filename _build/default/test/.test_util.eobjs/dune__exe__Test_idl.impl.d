@@ -1,0 +1,1 @@
+test/test_idl.ml: Alcotest Format Legion_idl Legion_naming Legion_wire List Printf QCheck QCheck_alcotest Result

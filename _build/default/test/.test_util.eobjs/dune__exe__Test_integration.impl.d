@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Helpers Legion Legion_core Legion_idl Legion_naming Legion_net Legion_rt Legion_wire List Option Printf Result

@@ -1,0 +1,1 @@
+test/test_jurisdiction.ml: Alcotest Gen Helpers Legion Legion_core Legion_naming Legion_rt Legion_store Legion_wire List Option Printf QCheck QCheck_alcotest String

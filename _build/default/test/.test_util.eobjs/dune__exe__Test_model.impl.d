@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Helpers Legion Legion_naming Legion_net Legion_rt Legion_wire List Printf QCheck QCheck_alcotest String

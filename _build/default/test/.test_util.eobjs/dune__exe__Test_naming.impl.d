@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest Format Int64 Legion_naming Legion_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Legion_net Legion_sim Legion_util Legion_wire

@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Hashtbl Helpers Legion Legion_core Legion_naming Legion_objects Legion_rt Legion_wire List Printf QCheck QCheck_alcotest Queue String

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Helpers Legion Legion_core Legion_naming Legion_net Legion_rt Legion_wire List Printf

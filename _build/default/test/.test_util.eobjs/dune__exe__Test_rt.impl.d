@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Int64 Legion_naming Legion_net Legion_rt Legion_sec Legion_sim Legion_util Legion_wire List Printf Result

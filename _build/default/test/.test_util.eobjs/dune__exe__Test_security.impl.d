@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Helpers Int64 Legion Legion_core Legion_naming Legion_rt Legion_sec Legion_wire List Option Printf String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Legion_sim List QCheck QCheck_alcotest

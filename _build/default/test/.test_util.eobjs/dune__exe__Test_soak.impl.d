@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Helpers Legion Legion_naming Legion_net Legion_rt Legion_sim Legion_util Legion_wire List Printf

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Buffer Bytes Char Gen Int64 Legion_wire List Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,71 @@
+(* Shared fixtures for the test suites: a "counter" application unit and
+   small boot configurations. *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Impl = Legion_core.Impl
+module Runtime = Legion_rt.Runtime
+
+let counter_unit = "test.counter"
+
+let counter_idl =
+  "interface Counter { Increment(d: int): int; Get(): int; Reset(); }"
+
+(* A counter object: the canonical minimal stateful Legion object. Its
+   state round-trips through SaveState/RestoreState so it survives
+   deactivation and migration. *)
+let counter_factory (_ctx : Runtime.ctx) : Impl.part =
+  let n = ref 0 in
+  let increment _ctx args _env k =
+    match args with
+    | [ Value.Int d ] ->
+        n := !n + d;
+        k (Ok (Value.Int !n))
+    | _ -> Impl.bad_args k "Increment expects one int"
+  in
+  let get _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Value.Int !n))
+    | _ -> Impl.bad_args k "Get takes no arguments"
+  in
+  let reset _ctx args _env k =
+    match args with
+    | [] ->
+        n := 0;
+        k Impl.ok_unit
+    | _ -> Impl.bad_args k "Reset takes no arguments"
+  in
+  Impl.part
+    ~methods:[ ("Increment", increment); ("Get", get); ("Reset", reset) ]
+    ~save:(fun () -> Value.Int !n)
+    ~restore:(fun v ->
+      match v with
+      | Value.Int i ->
+          n := i;
+          Ok ()
+      | _ -> Error "counter state must be an int")
+    counter_unit
+
+let register_counter_unit () = Impl.register counter_unit counter_factory
+
+let boot_two_sites ?seed ?rt_config ?object_cache_capacity () =
+  register_counter_unit ();
+  Legion.System.boot ?seed ?rt_config ?object_cache_capacity
+    ~sites:[ ("uva", 3); ("doe", 3) ]
+    ()
+
+let boot_one_site ?seed () =
+  register_counter_unit ();
+  Legion.System.boot ?seed ~sites:[ ("solo", 2) ] ()
+
+(* Derive a concrete Counter class from LegionObject and return its
+   LOID. *)
+let make_counter_class sys ctx ?(name = "Counter") () =
+  Legion.Api.derive_class_exn sys ctx ~parent:Legion_core.Well_known.legion_object
+    ~name ~units:[ counter_unit ] ~idl:counter_idl ()
+
+let int_exn = function
+  | Value.Int i -> i
+  | v -> Alcotest.failf "expected int, got %s" (Value.to_string v)
+
+let loid_t : Loid.t Alcotest.testable = Alcotest.testable Loid.pp Loid.equal

@@ -1,0 +1,166 @@
+(* Tests for the synchronous convenience layer (Legion.Api) and the
+   System builder's contracts. *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Binding = Legion_naming.Binding
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Well_known = Legion_core.Well_known
+module System = Legion.System
+module Api = Legion.Api
+module H = Helpers
+
+let test_boot_validation () =
+  Alcotest.check_raises "no sites" (Invalid_argument "System.boot: no sites")
+    (fun () -> ignore (Legion.System.boot ~sites:[] ()));
+  Alcotest.check_raises "zero hosts"
+    (Invalid_argument "System.boot: site needs >= 1 host") (fun () ->
+      ignore (Legion.System.boot ~sites:[ ("a", 0) ] ()))
+
+let test_boot_deterministic () =
+  (* Same seed, same bootstrap message count. *)
+  let count seed =
+    H.register_counter_unit ();
+    let sys = Legion.System.boot ~seed ~sites:[ ("a", 2); ("b", 2) ] () in
+    Legion_net.Network.messages_sent (System.net sys)
+  in
+  Alcotest.(check int) "deterministic" (count 5L) (count 5L)
+
+let test_sync_quiesce_failure () =
+  let sys = H.boot_one_site () in
+  match Api.sync sys (fun _k -> ()) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "sync must fail when the continuation never fires"
+
+let test_call_exn_raises () =
+  let sys = H.boot_one_site () in
+  let ctx = System.client sys () in
+  let ghost = Loid.make ~class_id:0x999L ~class_specific:1L () in
+  match Api.call_exn sys ctx ~dst:ghost ~meth:"Ping" ~args:[] with
+  | exception Api.Call_failed msg ->
+      Alcotest.(check bool) "message names the method" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "ghost call should raise"
+
+let test_create_on_instance_fails () =
+  (* Create on a non-class object: the method does not exist there. *)
+  let sys = H.boot_one_site () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let obj = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  match Api.create_object sys ctx ~cls:obj () with
+  | Error (Err.No_such_method _) -> ()
+  | r ->
+      Alcotest.failf "expected no_such_method: %s"
+        (match r with
+        | Ok (l, _) -> Loid.to_string l
+        | Error e -> Err.to_string e)
+
+let test_get_binding_via_class_and_agent () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let obj = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  (* Via the class (the authority)... *)
+  let b1 =
+    match Api.get_binding sys ctx ~via:cls ~target:obj with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "via class: %s" (Err.to_string e)
+  in
+  (* ...and via a Binding Agent (the cache): same address. *)
+  let agent = (System.site sys 0).System.agent in
+  let b2 =
+    match Api.get_binding sys ctx ~via:agent ~target:obj with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "via agent: %s" (Err.to_string e)
+  in
+  Alcotest.(check bool) "same address" true
+    (Legion_naming.Address.equal (Binding.address b1) (Binding.address b2))
+
+let test_derive_rejects_both_idls () =
+  let sys = H.boot_one_site () in
+  let ctx = System.client sys () in
+  match
+    Api.derive_class sys ctx ~parent:Well_known.legion_object ~name:"Both"
+      ~idl:"interface Both { M(); }"
+      ~mpl:"mentat class Both { void M(); }" ()
+  with
+  | Error (Err.Bad_args _) -> ()
+  | Ok _ -> Alcotest.fail "accepted both interface sources"
+  | Error e -> Alcotest.failf "unexpected: %s" (Err.to_string e)
+
+let test_derive_bad_idl_rejected () =
+  let sys = H.boot_one_site () in
+  let ctx = System.client sys () in
+  match
+    Api.derive_class sys ctx ~parent:Well_known.legion_object ~name:"Bad"
+      ~idl:"interface Bad { M(x int); }" ()
+  with
+  | Error (Err.Bad_args msg) ->
+      Alcotest.(check bool) "mentions idl" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "accepted malformed IDL"
+  | Error e -> Alcotest.failf "unexpected: %s" (Err.to_string e)
+
+let test_delete_object_helper () =
+  let sys = H.boot_one_site () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let loid = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  (match Api.delete_object sys ctx ~cls ~loid with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "delete: %s" (Err.to_string e));
+  match Api.call sys ctx ~dst:loid ~meth:"Get" ~args:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "deleted object answered"
+
+let test_clients_are_isolated () =
+  (* Each client gets its own LOID and cache; killing one does not
+     disturb another. *)
+  let sys = H.boot_one_site () in
+  let c1 = System.client sys () in
+  let c2 = System.client sys () in
+  Alcotest.(check bool) "distinct loids" false
+    (Loid.equal
+       (Runtime.proc_loid c1.Runtime.self)
+       (Runtime.proc_loid c2.Runtime.self));
+  Runtime.kill (System.rt sys) c1.Runtime.self;
+  let cls = H.make_counter_class sys c2 () in
+  let obj = Api.create_object_exn sys c2 ~cls () in
+  let v = H.int_exn (Api.call_exn sys c2 ~dst:obj ~meth:"Increment" ~args:[ Value.Int 1 ]) in
+  Alcotest.(check int) "surviving client works" 1 v
+
+let test_fresh_instance_loids_distinct () =
+  let sys = H.boot_one_site () in
+  let a = System.fresh_instance_loid sys ~of_class:Well_known.legion_object in
+  let b = System.fresh_instance_loid sys ~of_class:Well_known.legion_object in
+  Alcotest.(check bool) "distinct" false (Loid.equal a b);
+  Alcotest.(check int64) "class id follows" (Loid.class_id Well_known.legion_object)
+    (Loid.class_id a);
+  (* High range: never collides with class-allocated sequence numbers. *)
+  Alcotest.(check bool) "high range" true
+    (Int64.compare (Loid.class_specific a) 0x1_0000_0000L >= 0)
+
+let () =
+  Alcotest.run "api"
+    [
+      ( "system",
+        [
+          Alcotest.test_case "boot validation" `Quick test_boot_validation;
+          Alcotest.test_case "boot deterministic" `Quick test_boot_deterministic;
+          Alcotest.test_case "clients isolated" `Quick test_clients_are_isolated;
+          Alcotest.test_case "fresh loids" `Quick test_fresh_instance_loids_distinct;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "sync detects quiescence" `Quick test_sync_quiesce_failure;
+          Alcotest.test_case "call_exn raises" `Quick test_call_exn_raises;
+          Alcotest.test_case "Create on an instance" `Quick test_create_on_instance_fails;
+          Alcotest.test_case "GetBinding via class and agent" `Quick
+            test_get_binding_via_class_and_agent;
+          Alcotest.test_case "both IDLs rejected" `Quick test_derive_rejects_both_idls;
+          Alcotest.test_case "bad IDL rejected" `Quick test_derive_bad_idl_rejected;
+          Alcotest.test_case "delete_object helper" `Quick test_delete_object_helper;
+        ] );
+    ]

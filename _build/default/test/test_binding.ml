@@ -1,0 +1,310 @@
+(* Tests for Binding Agents: the §3.6 interface, the §4.1 resolution
+   chain through class objects, and the §5.2.2 combining tree. *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Binding = Legion_naming.Binding
+module Well_known = Legion_core.Well_known
+module Impl = Legion_core.Impl
+module Opr = Legion_core.Opr
+module Agent_part = Legion_binding.Agent_part
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module System = Legion.System
+module Api = Legion.Api
+module H = Helpers
+
+let get_stats sys ctx agent =
+  match Api.call sys ctx ~dst:agent ~meth:"GetStats" ~args:[] with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "GetStats: %s" (Err.to_string e)
+
+let stat v name =
+  match Legion_core.Convert.int_field v name with
+  | Ok i -> i
+  | Error e -> Alcotest.failf "stat %s: %s" name e
+
+let test_agent_resolves_instance () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let loid = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  let agent = (System.site sys 0).System.agent in
+  (* Ask the agent directly (clients normally do this implicitly). *)
+  match Api.get_binding sys ctx ~via:agent ~target:loid with
+  | Ok b -> Alcotest.check H.loid_t "binds right loid" loid (Binding.loid b)
+  | Error e -> Alcotest.failf "GetBinding: %s" (Err.to_string e)
+
+let test_agent_resolves_class () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let agent = (System.site sys 1).System.agent in
+  (* Resolving a class goes LegionClass -> responsibility pair ->
+     creator class -> binding (§4.1.3). *)
+  match Api.get_binding sys ctx ~via:agent ~target:cls with
+  | Ok b -> Alcotest.check H.loid_t "binds the class" cls (Binding.loid b)
+  | Error e -> Alcotest.failf "GetBinding class: %s" (Err.to_string e)
+
+let test_agent_caches () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let loid = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  let agent = (System.site sys 0).System.agent in
+  ignore (Api.get_binding sys ctx ~via:agent ~target:loid);
+  let s1 = get_stats sys ctx agent in
+  ignore (Api.get_binding sys ctx ~via:agent ~target:loid);
+  let s2 = get_stats sys ctx agent in
+  Alcotest.(check int) "second lookup is a hit" (stat s1 "hits" + 1) (stat s2 "hits");
+  Alcotest.(check int) "no extra class resolution" (stat s1 "resolved")
+    (stat s2 "resolved")
+
+let test_add_and_invalidate_binding () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let agent = (System.site sys 0).System.agent in
+  let fake_loid = Loid.make ~class_id:77L ~class_specific:1L () in
+  let fake =
+    Binding.make ~loid:fake_loid
+      ~address:(Address.singleton (Address.Sim { host = 0; slot = 9999 }))
+      ()
+  in
+  (* AddBinding propagates information "for performance purposes". *)
+  (match
+     Api.call sys ctx ~dst:agent ~meth:"AddBinding" ~args:[ Binding.to_value fake ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "AddBinding: %s" (Err.to_string e));
+  (match Api.get_binding sys ctx ~via:agent ~target:fake_loid with
+  | Ok b -> Alcotest.(check bool) "served from cache" true (Binding.equal b fake)
+  | Error e -> Alcotest.failf "GetBinding: %s" (Err.to_string e));
+  (* InvalidateBinding(loid) removes it; resolution then fails since
+     class 77 does not exist. *)
+  (match
+     Api.call sys ctx ~dst:agent ~meth:"InvalidateBinding"
+       ~args:[ Loid.to_value fake_loid ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "InvalidateBinding: %s" (Err.to_string e));
+  match Api.get_binding sys ctx ~via:agent ~target:fake_loid with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalidated binding still served"
+
+let test_get_binding_refresh_form () =
+  (* GetBinding(binding) must bypass the cache and return a fresh
+     binding after the object moved. *)
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let loid = Api.create_object_exn sys ctx ~cls () in
+  let _ = Api.call_exn sys ctx ~dst:loid ~meth:"Increment" ~args:[ Value.Int 1 ] in
+  let agent = (System.site sys 0).System.agent in
+  let b1 =
+    match Api.get_binding sys ctx ~via:agent ~target:loid with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "initial binding: %s" (Err.to_string e)
+  in
+  (* Deactivate, so the cached address is dead. *)
+  let mag = List.hd (System.magistrates sys) in
+  (match Api.call sys ctx ~dst:mag ~meth:"Deactivate" ~args:[ Loid.to_value loid ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "deactivate: %s" (Err.to_string e));
+  match
+    Api.call sys ctx ~dst:agent ~meth:"GetBinding" ~args:[ Binding.to_value b1 ]
+  with
+  | Error e -> Alcotest.failf "refresh: %s" (Err.to_string e)
+  | Ok bv -> (
+      match Binding.of_value bv with
+      | Error msg -> Alcotest.failf "bad binding: %s" msg
+      | Ok b2 ->
+          Alcotest.(check bool) "address changed" false
+            (Address.equal (Binding.address b1) (Binding.address b2)))
+
+(* --- Combining tree (§5.2.2) --- *)
+
+(* Build a chain of extra agents: leaf -> mid -> root(site agent). Class
+   lookups from the leaf must be served by forwarding, leaving
+   LegionClass traffic to the root only. *)
+let spawn_extra_agent sys ~parent_addr ~host =
+  let loid =
+    System.fresh_instance_loid sys ~of_class:Well_known.legion_binding_agent
+  in
+  let state =
+    Agent_part.state_value ?parent:parent_addr
+      ~legion_class:(System.legion_class_binding sys) ()
+  in
+  let opr =
+    Opr.make
+      ~states:[ (Agent_part.unit_name, state) ]
+      ~kind:Well_known.kind_binding_agent
+      ~units:[ Agent_part.unit_name; Well_known.unit_object ]
+      ()
+  in
+  match Impl.activate (System.rt sys) ~host ~loid opr with
+  | Ok proc -> (loid, proc)
+  | Error msg -> Alcotest.failf "spawn agent: %s" msg
+
+let test_tree_forwarding () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let site0 = System.site sys 0 in
+  let root_loid, root_proc =
+    spawn_extra_agent sys ~parent_addr:None ~host:(List.hd site0.System.net_hosts)
+  in
+  let _, leaf_proc =
+    spawn_extra_agent sys
+      ~parent_addr:(Some (Runtime.address_of root_proc))
+      ~host:(List.nth site0.System.net_hosts 1)
+  in
+  ignore root_loid;
+  (* Ask the leaf for a class binding: it must forward, not resolve. *)
+  let leaf_addr = Runtime.address_of leaf_proc in
+  let wildcard = Loid.make ~class_id:0L ~class_specific:0L () in
+  let reply =
+    Api.sync sys (fun k ->
+        Runtime.invoke_address ctx ~address:leaf_addr ~dst:wildcard
+          ~meth:"GetBinding" ~args:[ Loid.to_value cls ]
+          ~env:(Legion_sec.Env.of_self (Runtime.proc_loid ctx.Runtime.self))
+          k)
+  in
+  (match reply with
+  | Ok bv -> (
+      match Binding.of_value bv with
+      | Ok b -> Alcotest.check H.loid_t "leaf served via parent" cls (Binding.loid b)
+      | Error msg -> Alcotest.failf "bad binding: %s" msg)
+  | Error e -> Alcotest.failf "leaf GetBinding: %s" (Err.to_string e));
+  let leaf_ctx = { Runtime.rt = System.rt sys; self = leaf_proc } in
+  ignore leaf_ctx;
+  let leaf_stats =
+    Api.sync sys (fun k ->
+        Runtime.invoke_address ctx ~address:leaf_addr ~dst:wildcard
+          ~meth:"GetStats" ~args:[]
+          ~env:(Legion_sec.Env.of_self (Runtime.proc_loid ctx.Runtime.self))
+          k)
+  in
+  match leaf_stats with
+  | Ok v ->
+      Alcotest.(check int) "leaf forwarded" 1 (stat v "forwarded");
+      Alcotest.(check int) "leaf did not resolve" 0 (stat v "resolved")
+  | Error e -> Alcotest.failf "leaf stats: %s" (Err.to_string e)
+
+let test_agent_tree_builder () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let tree =
+    Legion.Agent_tree.build sys
+      ~hosts:(System.site sys 0).System.net_hosts
+      ~fanout:2 ~levels:2 ~n_leaves:4
+  in
+  Alcotest.(check int) "4 leaves" 4 (List.length tree.Legion.Agent_tree.leaves);
+  Alcotest.(check int) "1 root" 1 (List.length tree.Legion.Agent_tree.roots);
+  Alcotest.(check int) "3 layers" 3 (List.length tree.Legion.Agent_tree.levels);
+  (* Every leaf resolves a class through the tree. *)
+  let wildcard = Loid.make ~class_id:0L ~class_specific:0L () in
+  List.iter
+    (fun leaf ->
+      let r =
+        Api.sync sys (fun k ->
+            Runtime.invoke_address ctx
+              ~address:(Runtime.address_of leaf)
+              ~dst:wildcard ~meth:"GetBinding" ~args:[ Loid.to_value cls ]
+              ~env:(Legion_sec.Env.of_self (Runtime.proc_loid ctx.Runtime.self))
+              k)
+      in
+      match r with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "leaf resolve: %s" (Err.to_string e))
+    tree.Legion.Agent_tree.leaves;
+  (* Only the root layer resolved through classes; mid layers forwarded. *)
+  let stats_of proc =
+    Api.sync sys (fun k ->
+        Runtime.invoke_address ctx ~address:(Runtime.address_of proc)
+          ~dst:wildcard ~meth:"GetStats" ~args:[]
+          ~env:(Legion_sec.Env.of_self (Runtime.proc_loid ctx.Runtime.self))
+          k)
+  in
+  List.iter
+    (fun leaf ->
+      match stats_of leaf with
+      | Ok v -> Alcotest.(check int) "leaf resolved nothing" 0 (stat v "resolved")
+      | Error e -> Alcotest.failf "stats: %s" (Err.to_string e))
+    tree.Legion.Agent_tree.leaves;
+  match stats_of (List.hd tree.Legion.Agent_tree.roots) with
+  | Ok v -> Alcotest.(check bool) "root resolved" true (stat v "resolved" > 0)
+  | Error e -> Alcotest.failf "root stats: %s" (Err.to_string e)
+
+let test_arrange_agent_tree () =
+  (* Organize a 4-site system's agents under 2 roots; class lookups from
+     fresh clients then reach LegionClass only via the roots. *)
+  let sys =
+    H.register_counter_unit ();
+    Legion.System.boot ~seed:81L
+      ~sites:[ ("a", 2); ("b", 2); ("c", 2); ("d", 2) ]
+      ()
+  in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  System.arrange_agent_tree sys ~fanout:2;
+  (* A fresh client at every site resolves the class through its site
+     agent; every site agent must have forwarded (not resolved). *)
+  List.iteri
+    (fun i _ ->
+      let c = System.client sys ~site:i () in
+      match Api.get_binding sys c ~via:(System.site sys i).System.agent ~target:cls with
+      | Ok b -> Alcotest.check H.loid_t "resolved" cls (Binding.loid b)
+      | Error e -> Alcotest.failf "site %d: %s" i (Err.to_string e))
+    (System.sites sys);
+  List.iteri
+    (fun i _ ->
+      let v = get_stats sys ctx (System.site sys i).System.agent in
+      Alcotest.(check bool)
+        (Printf.sprintf "site %d forwarded class lookups" i)
+        true
+        (stat v "forwarded" >= 1))
+    (System.sites sys)
+
+let test_set_parent_runtime () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let agent = (System.site sys 0).System.agent in
+  (* SetParent(none) then SetParent(some) round-trips. *)
+  (match
+     Api.call sys ctx ~dst:agent ~meth:"SetParent" ~args:[ Value.List [] ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "SetParent none: %s" (Err.to_string e));
+  let other = (System.site sys 1).System.agent_address in
+  match
+    Api.call sys ctx ~dst:agent ~meth:"SetParent"
+      ~args:[ Value.List [ Address.to_value other ] ]
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "SetParent some: %s" (Err.to_string e)
+
+let () =
+  Alcotest.run "binding"
+    [
+      ( "resolution",
+        [
+          Alcotest.test_case "resolves an instance" `Quick test_agent_resolves_instance;
+          Alcotest.test_case "resolves a class via pairs" `Quick
+            test_agent_resolves_class;
+          Alcotest.test_case "caches bindings" `Quick test_agent_caches;
+          Alcotest.test_case "AddBinding / InvalidateBinding" `Quick
+            test_add_and_invalidate_binding;
+          Alcotest.test_case "GetBinding(binding) refreshes" `Quick
+            test_get_binding_refresh_form;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "leaf forwards class lookups" `Quick test_tree_forwarding;
+          Alcotest.test_case "Agent_tree builder" `Quick test_agent_tree_builder;
+          Alcotest.test_case "arrange_agent_tree over site agents" `Quick
+            test_arrange_agent_tree;
+          Alcotest.test_case "SetParent" `Quick test_set_parent_runtime;
+        ] );
+    ]

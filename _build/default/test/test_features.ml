@@ -1,0 +1,794 @@
+(* Tests for run-time multiple inheritance (§2.1.1), class types
+   (§2.1.2), class cloning (§5.2.2), Scheduling Agents, Contexts (§4.1)
+   and system-level replication (§4.3). *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Well_known = Legion_core.Well_known
+module Impl = Legion_core.Impl
+module Opr = Legion_core.Opr
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Sched_part = Legion_sched.Sched_part
+module Context_part = Legion_ctx.Context_part
+module Replicate = Legion_repl.Replicate
+module System = Legion.System
+module Api = Legion.Api
+module H = Helpers
+
+(* A second application unit for multiple inheritance: a tagger. *)
+let tagger_unit = "test.tagger"
+
+let tagger_factory (_ctx : Runtime.ctx) : Impl.part =
+  let tag = ref "untagged" in
+  let set_tag _ctx args _env k =
+    match args with
+    | [ Value.Str s ] ->
+        tag := s;
+        k Impl.ok_unit
+    | _ -> Impl.bad_args k "SetTag expects one string"
+  in
+  let get_tag _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Value.Str !tag))
+    | _ -> Impl.bad_args k "GetTag takes no arguments"
+  in
+  (* Deliberate collision with the counter unit, for precedence tests. *)
+  let get _ctx args _env k =
+    match args with
+    | [] -> k (Ok (Value.Str ("tagger:" ^ !tag)))
+    | _ -> Impl.bad_args k "Get takes no arguments"
+  in
+  Impl.part
+    ~methods:[ ("SetTag", set_tag); ("GetTag", get_tag); ("Get", get) ]
+    ~save:(fun () -> Value.Str !tag)
+    ~restore:(fun v ->
+      match v with
+      | Value.Str s ->
+          tag := s;
+          Ok ()
+      | _ -> Error "tagger state must be a string")
+    tagger_unit
+
+let boot () =
+  Impl.register tagger_unit tagger_factory;
+  H.boot_two_sites ()
+
+(* --- InheritFrom: run-time multiple inheritance --- *)
+
+let test_inherit_from () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let counter_cls = H.make_counter_class sys ctx () in
+  let tagger_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Tagger"
+      ~units:[ tagger_unit ]
+      ~idl:"interface Tagger { SetTag(s: str); GetTag(): str; Get(): str; }" ()
+  in
+  (* Two-step multiple inheritance (§2.1.1): derive, then InheritFrom. *)
+  let multi =
+    Api.derive_class_exn sys ctx ~parent:counter_cls ~name:"TaggedCounter" ()
+  in
+  (match Api.inherit_from sys ctx ~cls:multi ~base:tagger_cls with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "InheritFrom: %s" (Err.to_string e));
+  (* Future instances compose both behaviours. *)
+  let obj = Api.create_object_exn sys ctx ~cls:multi () in
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 2 ] in
+  Alcotest.(check int) "counter behaviour" 2 (H.int_exn v);
+  (match Api.call_exn sys ctx ~dst:obj ~meth:"SetTag" ~args:[ Value.Str "hi" ] with
+  | Value.Unit -> ()
+  | v -> Alcotest.failf "SetTag: %s" (Value.to_string v));
+  (match Api.call_exn sys ctx ~dst:obj ~meth:"GetTag" ~args:[] with
+  | Value.Str "hi" -> ()
+  | v -> Alcotest.failf "GetTag: %s" (Value.to_string v));
+  (* Precedence: the derived chain (counter) defines Get first; the
+     base added by InheritFrom must not override it. *)
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Get" ~args:[] in
+  Alcotest.(check int) "existing methods win over inherited" 2 (H.int_exn v);
+  (* The merged interface lists both. *)
+  match Api.get_interface sys ctx ~cls:multi with
+  | Ok iface ->
+      Alcotest.(check bool) "has Increment" true
+        (Legion_idl.Interface.mem iface "Increment");
+      Alcotest.(check bool) "has SetTag" true
+        (Legion_idl.Interface.mem iface "SetTag")
+  | Error e -> Alcotest.failf "GetInterface: %s" (Err.to_string e)
+
+let test_inherit_state_survives () =
+  (* Both units' states must round-trip through deactivation. *)
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let counter_cls = H.make_counter_class sys ctx () in
+  let tagger_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Tagger2"
+      ~units:[ tagger_unit ] ()
+  in
+  let multi = Api.derive_class_exn sys ctx ~parent:counter_cls ~name:"TC2" () in
+  (match Api.inherit_from sys ctx ~cls:multi ~base:tagger_cls with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "InheritFrom: %s" (Err.to_string e));
+  let obj = Api.create_object_exn sys ctx ~cls:multi () in
+  ignore (Api.call_exn sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 5 ]);
+  ignore (Api.call_exn sys ctx ~dst:obj ~meth:"SetTag" ~args:[ Value.Str "saved" ]);
+  let mag = List.hd (System.magistrates sys) in
+  let deactivated =
+    List.exists
+      (fun m ->
+        match Api.call sys ctx ~dst:m ~meth:"Deactivate" ~args:[ Loid.to_value obj ] with
+        | Ok _ -> true
+        | Error _ -> false)
+      (System.magistrates sys)
+  in
+  ignore mag;
+  Alcotest.(check bool) "deactivated somewhere" true deactivated;
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"GetTag" ~args:[] in
+  (match v with
+  | Value.Str "saved" -> ()
+  | v -> Alcotest.failf "tag lost: %s" (Value.to_string v));
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Get" ~args:[] in
+  Alcotest.(check int) "counter survived too" 5 (H.int_exn v)
+
+let test_diamond_inheritance () =
+  (* Diamond: B and C both inherit from A; D derives from B and also
+     inherits from C. A's unit must appear once in D's instances, and
+     B's definitions (the primary chain) take precedence. *)
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let a =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"DiaA"
+      ~units:[ H.counter_unit ] ()
+  in
+  let b = Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"DiaB" () in
+  let c = Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"DiaC" () in
+  (match Api.inherit_from sys ctx ~cls:b ~base:a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "B from A: %s" (Err.to_string e));
+  (match Api.inherit_from sys ctx ~cls:c ~base:a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "C from A: %s" (Err.to_string e));
+  let d = Api.derive_class_exn sys ctx ~parent:b ~name:"DiaD" () in
+  (match Api.inherit_from sys ctx ~cls:d ~base:c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "D from C: %s" (Err.to_string e));
+  (* D's instance units contain the counter unit exactly once. *)
+  (match Api.call sys ctx ~dst:d ~meth:"GetInheritInfo" ~args:[] with
+  | Ok info -> (
+      match Legion_core.Convert.str_list_field info "units" with
+      | Ok units ->
+          let n =
+            List.length (List.filter (fun u -> u = H.counter_unit) units)
+          in
+          Alcotest.(check int) "diamond deduplicated" 1 n
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.failf "GetInheritInfo: %s" (Err.to_string e));
+  (* And instances behave once, not twice. *)
+  let obj = Api.create_object_exn sys ctx ~cls:d () in
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 3 ] in
+  Alcotest.(check int) "single counter" 3 (H.int_exn v)
+
+let test_checkpoint_all () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let objs =
+    List.init 6 (fun i ->
+        let o = Api.create_object_exn sys ctx ~cls ~eager:true () in
+        ignore (Api.call_exn sys ctx ~dst:o ~meth:"Increment" ~args:[ Value.Int i ]);
+        o)
+  in
+  let swept = System.checkpoint_all sys in
+  Alcotest.(check bool)
+    (Printf.sprintf "swept the fleet (%d)" swept)
+    true (swept >= 6);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "inert" true
+        (Runtime.find_proc (System.rt sys) o = None))
+    objs;
+  (* Everything comes back on reference with state intact. *)
+  List.iteri
+    (fun i o ->
+      let v = H.int_exn (Api.call_exn sys ctx ~dst:o ~meth:"Get" ~args:[]) in
+      Alcotest.(check int) "state" i v)
+    objs
+
+let test_selective_inheritance () =
+  (* The §2.1 footnote: a subclass drops one of its parent's units. *)
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let counter_cls = H.make_counter_class sys ctx () in
+  let spec =
+    Value.Record
+      [
+        ("name", Value.Str "Lean");
+        ("exclude_units", Value.List [ Value.Str H.counter_unit ]);
+      ]
+  in
+  let lean =
+    match Api.call sys ctx ~dst:counter_cls ~meth:"Derive" ~args:[ spec ] with
+    | Ok v -> (
+        match Legion_core.Convert.loid_field v "loid" with
+        | Ok l -> l
+        | Error e -> Alcotest.fail e)
+    | Error e -> Alcotest.failf "derive: %s" (Err.to_string e)
+  in
+  let obj = Api.create_object_exn sys ctx ~cls:lean () in
+  (* The excluded behaviour is gone; the mandatory base remains. *)
+  (match Api.call sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 1 ] with
+  | Error (Err.No_such_method _) -> ()
+  | r ->
+      Alcotest.failf "excluded unit still answers: %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e));
+  match Api.call sys ctx ~dst:obj ~meth:"Ping" ~args:[] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "base unit must survive exclusion"
+
+let test_override_mandatory_method () =
+  (* "Classes may alter the functionality of object-mandatory member
+     functions by overloading them" (§2.1.3): a unit earlier in the
+     composition redefines GetInfo. *)
+  let sys = boot () in
+  Impl.register "test.loud"
+    (fun _ctx ->
+      Impl.part
+        ~methods:[ ("GetInfo", fun _ _ _ k -> k (Ok (Value.Str "LOUD"))) ]
+        "test.loud");
+  let ctx = System.client sys () in
+  let cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Loud"
+      ~units:[ "test.loud" ] ()
+  in
+  let obj = Api.create_object_exn sys ctx ~cls () in
+  match Api.call_exn sys ctx ~dst:obj ~meth:"GetInfo" ~args:[] with
+  | Value.Str "LOUD" -> ()
+  | v -> Alcotest.failf "override lost: %s" (Value.to_string v)
+
+let test_fixed_class_refuses_inherit () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let counter_cls = H.make_counter_class sys ctx () in
+  let fixed =
+    Api.derive_class_exn sys ctx ~parent:counter_cls ~name:"FixedCounter"
+      ~fixed:true ()
+  in
+  match Api.inherit_from sys ctx ~cls:fixed ~base:Well_known.legion_object with
+  | Error (Err.Refused _) -> ()
+  | Ok () -> Alcotest.fail "fixed class inherited"
+  | Error e -> Alcotest.failf "unexpected: %s" (Err.to_string e)
+
+let test_private_class_refuses_derive () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let counter_cls = H.make_counter_class sys ctx () in
+  let priv =
+    Api.derive_class_exn sys ctx ~parent:counter_cls ~name:"PrivCounter"
+      ~private_:true ()
+  in
+  (* Instances fine, subclasses refused (§2.1.2). *)
+  let obj = Api.create_object_exn sys ctx ~cls:priv () in
+  ignore (Api.call_exn sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 1 ]);
+  match Api.derive_class sys ctx ~parent:priv ~name:"Sub" () with
+  | Error (Err.Refused _) -> ()
+  | Ok _ -> Alcotest.fail "private class derived"
+  | Error e -> Alcotest.failf "unexpected: %s" (Err.to_string e)
+
+let test_abstract_user_class () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let counter_cls = H.make_counter_class sys ctx () in
+  let abs =
+    Api.derive_class_exn sys ctx ~parent:counter_cls ~name:"AbsCounter"
+      ~abstract:true ()
+  in
+  (match Api.create_object sys ctx ~cls:abs () with
+  | Error (Err.Refused _) -> ()
+  | _ -> Alcotest.fail "abstract class created an instance");
+  (* But deriving a concrete subclass works, and it can create. *)
+  let conc = Api.derive_class_exn sys ctx ~parent:abs ~name:"ConcCounter" () in
+  let obj = Api.create_object_exn sys ctx ~cls:conc () in
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 3 ] in
+  Alcotest.(check int) "concrete subclass works" 3 (H.int_exn v)
+
+(* --- Typed classes: IDL enforcement at dispatch --- *)
+
+let test_typed_class_enforces_interface () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"TypedCounter"
+      ~units:[ H.counter_unit ] ~idl:H.counter_idl ~typed:true ()
+  in
+  let obj = Api.create_object_exn sys ctx ~cls () in
+  (* Well-typed calls pass. *)
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 2 ] in
+  Alcotest.(check int) "typed call works" 2 (H.int_exn v);
+  (* Wrong argument type refused before the handler runs. *)
+  (match Api.call sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Str "x" ] with
+  | Error (Err.Refused _) -> ()
+  | r ->
+      Alcotest.failf "ill-typed call admitted: %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e));
+  (* Wrong arity refused. *)
+  (match Api.call sys ctx ~dst:obj ~meth:"Increment" ~args:[] with
+  | Error (Err.Refused _) -> ()
+  | _ -> Alcotest.fail "wrong arity admitted");
+  (* Undeclared method refused, even though a handler exists for it? No
+     handler exists for "Bogus" anyway; but "Reset" IS declared in the
+     idl and implemented, so it passes. *)
+  (match Api.call sys ctx ~dst:obj ~meth:"Reset" ~args:[] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "declared method refused: %s" (Err.to_string e));
+  (* State did not change from the refused calls. *)
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Get" ~args:[] in
+  Alcotest.(check int) "refused calls had no effect" 0 (H.int_exn v);
+  (* Mandatory machinery still works on typed objects. *)
+  (match Api.call sys ctx ~dst:obj ~meth:"SaveState" ~args:[] with
+  | Ok (Value.Record _) -> ()
+  | _ -> Alcotest.fail "SaveState must bypass interface checks");
+  match Api.call sys ctx ~dst:obj ~meth:"Ping" ~args:[] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "Ping must bypass interface checks"
+
+let test_typed_survives_deactivation () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"TypedC2"
+      ~units:[ H.counter_unit ] ~idl:H.counter_idl ~typed:true ()
+  in
+  let obj = Api.create_object_exn sys ctx ~cls () in
+  ignore (Api.call_exn sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 1 ]);
+  let deactivated =
+    List.exists
+      (fun m ->
+        match Api.call sys ctx ~dst:m ~meth:"Deactivate" ~args:[ Loid.to_value obj ] with
+        | Ok _ -> true
+        | Error _ -> false)
+      (System.magistrates sys)
+  in
+  Alcotest.(check bool) "deactivated" true deactivated;
+  (* The enforced interface survives the OPR round trip. *)
+  (match Api.call sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Str "x" ] with
+  | Error (Err.Refused _) -> ()
+  | _ -> Alcotest.fail "interface enforcement lost after reactivation");
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Get" ~args:[] in
+  Alcotest.(check int) "state intact" 1 (H.int_exn v)
+
+let test_typed_class_via_mpl () =
+  (* The paper's second IDL drives the same machinery end to end. *)
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"MplCounter"
+      ~units:[ H.counter_unit ]
+      ~mpl:"mentat class MplCounter { int Increment(int d); int Get(); void Reset(); }"
+      ~typed:true ()
+  in
+  let obj = Api.create_object_exn sys ctx ~cls () in
+  let v = Api.call_exn sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 4 ] in
+  Alcotest.(check int) "works" 4 (H.int_exn v);
+  match Api.call sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Str "x" ] with
+  | Error (Err.Refused _) -> ()
+  | _ -> Alcotest.fail "MPL-declared interface not enforced"
+
+(* --- Host capacity --- *)
+
+let test_host_capacity_failover () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let site0 = System.site sys 0 in
+  (* Cap every host at site 0 to one Legion process... each already runs
+     infrastructure, so cap the first host to its current load: further
+     activations there are refused and the magistrate must fall over. *)
+  let first_host = List.hd site0.System.host_objects in
+  (match Api.call sys ctx ~dst:first_host ~meth:"SetCPUload" ~args:[ Value.Int 1 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "SetCPUload: %s" (Err.to_string e));
+  (* Force placement attempts at the capped host; the magistrate's
+     failover must land them elsewhere rather than failing. *)
+  let objs =
+    List.init 3 (fun _ ->
+        Api.create_object_exn sys ctx ~cls ~eager:true
+          ~magistrate:site0.System.magistrate ~host:first_host ())
+  in
+  List.iter
+    (fun o ->
+      match Runtime.find_proc (System.rt sys) o with
+      | Some p ->
+          Alcotest.(check bool) "placed off the capped host" true
+            (Runtime.proc_host p <> List.hd site0.System.net_hosts)
+      | None -> Alcotest.fail "not active")
+    objs
+
+(* --- Clone (§5.2.2) --- *)
+
+let test_clone () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let obj0 = Api.create_object_exn sys ctx ~cls () in
+  let clone =
+    match Api.call sys ctx ~dst:cls ~meth:"Clone" ~args:[] with
+    | Ok v -> (
+        match Legion_core.Convert.loid_field v "loid" with
+        | Ok l -> l
+        | Error e -> Alcotest.fail e)
+    | Error e -> Alcotest.failf "Clone: %s" (Err.to_string e)
+  in
+  Alcotest.(check bool) "clone is a class" true (Loid.is_class clone);
+  Alcotest.(check bool) "different class id" false
+    (Int64.equal (Loid.class_id clone) (Loid.class_id cls));
+  (* The clone creates instances with the same behaviour and is
+     responsible for them. *)
+  let obj1 = Api.create_object_exn sys ctx ~cls:clone () in
+  let v = Api.call_exn sys ctx ~dst:obj1 ~meth:"Increment" ~args:[ Value.Int 7 ] in
+  Alcotest.(check int) "clone instance behaves" 7 (H.int_exn v);
+  Alcotest.check H.loid_t "clone responsible for its instances" clone
+    (Loid.responsible_class obj1);
+  (* Original instances unaffected. *)
+  let v = Api.call_exn sys ctx ~dst:obj0 ~meth:"Increment" ~args:[ Value.Int 1 ] in
+  Alcotest.(check int) "original still fine" 1 (H.int_exn v);
+  (* Interfaces match (§5.2.2: "without changing the interface"). *)
+  match (Api.get_interface sys ctx ~cls, Api.get_interface sys ctx ~cls:clone) with
+  | Ok a, Ok b ->
+      Alcotest.(check (list string)) "same methods"
+        (Legion_idl.Interface.method_names a)
+        (Legion_idl.Interface.method_names b)
+  | _ -> Alcotest.fail "GetInterface failed"
+
+(* --- Scheduling Agents --- *)
+
+let test_sched_agents_pick () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let site0 = System.site sys 0 in
+  (* Spawn one agent of each policy directly. *)
+  let spawn_sched unit_name =
+    let loid = System.fresh_instance_loid sys ~of_class:Well_known.legion_object in
+    let opr =
+      Opr.make ~kind:Well_known.kind_sched
+        ~units:[ unit_name; Well_known.unit_object ]
+        ()
+    in
+    match
+      Impl.activate (System.rt sys) ~host:(List.hd site0.System.net_hosts) ~loid opr
+    with
+    | Ok proc ->
+        Runtime.set_binding_agent proc (Some site0.System.agent_address);
+        (loid, proc)
+    | Error msg -> Alcotest.failf "spawn sched: %s" msg
+  in
+  let candidates =
+    Value.List
+      (List.map
+         (fun (h, load) ->
+           Value.Record [ ("host", Loid.to_value h); ("load", Value.Int load) ])
+         [
+           (Loid.make ~class_id:3L ~class_specific:1L (), 5);
+           (Loid.make ~class_id:3L ~class_specific:2L (), 1);
+           (Loid.make ~class_id:3L ~class_specific:3L (), 3);
+         ])
+  in
+  let pick unit_name =
+    let _, proc = spawn_sched unit_name in
+    let reply =
+      Api.sync sys (fun k ->
+          Runtime.invoke_address ctx
+            ~address:(Runtime.address_of proc)
+            ~dst:(Runtime.proc_loid proc) ~meth:"PickHost" ~args:[ candidates ]
+            ~env:(Legion_sec.Env.of_self (Runtime.proc_loid ctx.Runtime.self))
+            k)
+    in
+    match reply with
+    | Ok v -> (
+        match Loid.of_value v with
+        | Ok l -> l
+        | Error e -> Alcotest.fail e)
+    | Error e -> Alcotest.failf "PickHost: %s" (Err.to_string e)
+  in
+  (* Least loaded picks the load-1 host. *)
+  let least = pick Sched_part.unit_least_loaded in
+  Alcotest.(check int64) "least loaded" 2L (Loid.class_specific least);
+  (* Random picks a member. *)
+  let r = pick Sched_part.unit_random in
+  Alcotest.(check bool) "random picks a candidate" true
+    (List.mem (Loid.class_specific r) [ 1L; 2L; 3L ])
+
+let test_live_load_agent () =
+  (* The live-probe agent balances real load even when the magistrate's
+     counters have drifted (objects deactivated behind its back). *)
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let site0 = System.site sys 0 in
+  let sched_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"LiveSched"
+      ~units:[ Sched_part.unit_live_load ]
+      ~kind:Well_known.kind_sched ()
+  in
+  let sched = Api.create_object_exn sys ctx ~cls:sched_cls ~eager:true () in
+  (* Create then immediately deactivate several objects: counters drift. *)
+  for _ = 1 to 6 do
+    let o =
+      Api.create_object_exn sys ctx ~cls ~eager:true
+        ~magistrate:site0.System.magistrate ()
+    in
+    ignore
+      (Api.call sys ctx ~dst:site0.System.magistrate ~meth:"Deactivate"
+         ~args:[ Loid.to_value o ])
+  done;
+  (* Now place through the live agent: every placement probes. *)
+  let placed =
+    List.init 6 (fun _ ->
+        Api.create_object_exn sys ctx ~cls ~eager:true
+          ~magistrate:site0.System.magistrate ~sched ())
+  in
+  let rt = System.rt sys in
+  let per_host =
+    List.map
+      (fun h ->
+        List.length
+          (List.filter
+             (fun p -> Runtime.proc_kind p = Well_known.kind_app)
+             (Runtime.procs_on_host rt h)))
+      site0.System.net_hosts
+  in
+  let mx = List.fold_left Stdlib.max 0 per_host in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced despite drift (max %d of %d)" mx (List.length placed))
+    true (mx <= 3)
+
+let test_magistrate_uses_sched_agent () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let site0 = System.site sys 0 in
+  (* A scheduling agent derived and created through the normal class
+     machinery (it is an object like any other). *)
+  let sched_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object
+      ~name:"RoundRobinSched"
+      ~units:[ Sched_part.unit_round_robin ]
+      ~kind:Well_known.kind_sched ()
+  in
+  let sched = Api.create_object_exn sys ctx ~cls:sched_cls ~eager:true () in
+  (* Create objects with the sched hint; the Magistrate consults it. *)
+  let o1 =
+    Api.create_object_exn sys ctx ~cls ~eager:true
+      ~magistrate:site0.System.magistrate ~sched ()
+  in
+  let o2 =
+    Api.create_object_exn sys ctx ~cls ~eager:true
+      ~magistrate:site0.System.magistrate ~sched ()
+  in
+  let host_of o =
+    match Runtime.find_proc (System.rt sys) o with
+    | Some p -> Runtime.proc_host p
+    | None -> Alcotest.fail "not active"
+  in
+  (* Round robin over three hosts: consecutive placements differ. *)
+  Alcotest.(check bool) "round robin rotates" false (host_of o1 = host_of o2)
+
+(* --- Contexts (§4.1) --- *)
+
+let test_context_bind_lookup () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let ctx_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Context"
+      ~units:[ Context_part.unit_name ]
+      ~kind:Well_known.kind_context ()
+  in
+  let root = Api.create_object_exn sys ctx ~cls:ctx_cls ~eager:true () in
+  let home = Api.create_object_exn sys ctx ~cls:ctx_cls ~eager:true () in
+  let counter = Api.create_object_exn sys ctx ~cls () in
+  (* Build /home/counter. *)
+  ignore
+    (Api.call_exn sys ctx ~dst:root ~meth:"Bind"
+       ~args:[ Value.Str "home"; Loid.to_value home ]);
+  ignore
+    (Api.call_exn sys ctx ~dst:home ~meth:"Bind"
+       ~args:[ Value.Str "counter"; Loid.to_value counter ]);
+  (* Resolve the path, then use the object. *)
+  let resolved =
+    Api.sync sys (fun k -> Context_part.resolve_path ctx ~root "home/counter" k)
+  in
+  (match resolved with
+  | Ok l -> Alcotest.check H.loid_t "path resolves" counter l
+  | Error e -> Alcotest.failf "resolve: %s" (Err.to_string e));
+  (* Unknown names fail with Not_bound. *)
+  (match
+     Api.sync sys (fun k -> Context_part.resolve_path ctx ~root "home/ghost" k)
+   with
+  | Error (Err.Not_bound _) -> ()
+  | _ -> Alcotest.fail "ghost resolved");
+  (* Unbind works. *)
+  ignore (Api.call_exn sys ctx ~dst:home ~meth:"Unbind" ~args:[ Value.Str "counter" ]);
+  match
+    Api.sync sys (fun k -> Context_part.resolve_path ctx ~root "home/counter" k)
+  with
+  | Error (Err.Not_bound _) -> ()
+  | _ -> Alcotest.fail "unbound name resolved"
+
+let test_ensure_path () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let ctx_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"CtxEP"
+      ~units:[ Context_part.unit_name ]
+      ~kind:Well_known.kind_context ()
+  in
+  let root = Api.create_object_exn sys ctx ~cls:ctx_cls ~eager:true () in
+  let create_context k =
+    match Api.create_object sys ctx ~cls:ctx_cls ~eager:true () with
+    | Ok (l, _) -> k (Ok l)
+    | Error e -> k (Error e)
+  in
+  let deep =
+    match
+      Api.sync sys (fun k ->
+          Context_part.ensure_path ctx ~root ~create_context "a/b/c" k)
+    with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "ensure_path: %s" (Err.to_string e)
+  in
+  (* The path now resolves, to the same final context. *)
+  (match Api.sync sys (fun k -> Context_part.resolve_path ctx ~root "a/b/c" k) with
+  | Ok l -> Alcotest.check H.loid_t "resolves to the created context" deep l
+  | Error e -> Alcotest.failf "resolve: %s" (Err.to_string e));
+  (* Idempotent: ensuring again reuses every segment. *)
+  match
+    Api.sync sys (fun k ->
+        Context_part.ensure_path ctx ~root ~create_context "a/b/c" k)
+  with
+  | Ok l -> Alcotest.check H.loid_t "idempotent" deep l
+  | Error e -> Alcotest.failf "re-ensure: %s" (Err.to_string e)
+
+(* --- Replication (§4.3) --- *)
+
+let replicated_counter_opr () =
+  Opr.make ~kind:Well_known.kind_app
+    ~units:[ H.counter_unit; Well_known.unit_object ]
+    ()
+
+let test_replicate_deploy () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let rt = System.rt sys in
+  let loid = System.fresh_instance_loid sys ~of_class:Well_known.legion_object in
+  let hosts =
+    [
+      List.hd (System.site sys 0).System.net_hosts;
+      List.hd (System.site sys 1).System.net_hosts;
+    ]
+  in
+  match
+    Replicate.deploy rt ~loid ~opr:(replicated_counter_opr ()) ~hosts
+      ~semantic:Address.All
+  with
+  | Error msg -> Alcotest.failf "deploy: %s" msg
+  | Ok (procs, address) ->
+      Alcotest.(check int) "two replicas" 2 (List.length procs);
+      Alcotest.(check int) "two elements" 2 (List.length (Address.elements address));
+      (* Invoke through the replicated address: both receive it. *)
+      ignore
+        (Api.sync sys (fun k ->
+             Runtime.invoke_address ctx ~address ~dst:loid ~meth:"Increment"
+               ~args:[ Value.Int 1 ]
+               ~env:(Legion_sec.Env.of_self (Runtime.proc_loid ctx.Runtime.self))
+               k));
+      (* The first reply wins the race; drain the simulation so the
+         slower replica's delivery completes before asserting. *)
+      System.run sys;
+      List.iter
+        (fun p -> Alcotest.(check int) "replica received" 1 (Runtime.requests_of p))
+        procs
+
+let test_replicate_failover_via_class () =
+  (* Deploy via Host Objects, register the multi-address with the class,
+     then kill the first replica's host: calls transparently fail over. *)
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  (* A LOID allocated by the class (lazy create), then re-registered as
+     replicated. *)
+  let loid = Api.create_object_exn sys ctx ~cls () in
+  let h0 = List.nth (System.site sys 0).System.host_objects 1 in
+  let h1 = List.nth (System.site sys 1).System.host_objects 1 in
+  let address =
+    Api.sync sys (fun k ->
+        Replicate.deploy_via_hosts ctx ~loid ~opr:(replicated_counter_opr ())
+          ~host_objects:[ h0; h1 ] ~semantic:Address.Ordered_failover
+          ~register_with:cls k)
+  in
+  let address =
+    match address with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "deploy_via_hosts: %s" (Err.to_string e)
+  in
+  Alcotest.(check int) "two elements" 2 (List.length (Address.elements address));
+  (* First call lands on the first element. *)
+  let v = Api.call_exn sys ctx ~dst:loid ~meth:"Increment" ~args:[ Value.Int 1 ] in
+  Alcotest.(check int) "first replica answers" 1 (H.int_exn v);
+  (* Kill the first replica's network host; failover reaches the second
+     replica (whose own state starts at zero — system-level replication
+     does not synchronise state, §4.3). *)
+  let net_host_of_hostobj h =
+    let site = System.site sys 0 in
+    let rec find hosts objs =
+      match (hosts, objs) with
+      | nh :: _, ho :: _ when Loid.equal ho h -> Some nh
+      | _ :: hs, _ :: os -> find hs os
+      | _ -> None
+    in
+    find site.System.net_hosts site.System.host_objects
+  in
+  (match net_host_of_hostobj h0 with
+  | Some nh -> Legion_net.Network.set_host_up (System.net sys) nh false
+  | None -> Alcotest.fail "host object not found");
+  let v = Api.call_exn sys ctx ~dst:loid ~meth:"Increment" ~args:[ Value.Int 1 ] in
+  Alcotest.(check int) "second replica took over" 1 (H.int_exn v)
+
+let () =
+  Alcotest.run "features"
+    [
+      ( "inheritance",
+        [
+          Alcotest.test_case "InheritFrom composes behaviour" `Quick
+            test_inherit_from;
+          Alcotest.test_case "multi-unit state survives deactivation" `Quick
+            test_inherit_state_survives;
+          Alcotest.test_case "diamond inheritance deduplicates" `Quick
+            test_diamond_inheritance;
+          Alcotest.test_case "checkpoint_all" `Quick test_checkpoint_all;
+          Alcotest.test_case "selective inheritance" `Quick
+            test_selective_inheritance;
+          Alcotest.test_case "override a mandatory method" `Quick
+            test_override_mandatory_method;
+          Alcotest.test_case "fixed class refuses InheritFrom" `Quick
+            test_fixed_class_refuses_inherit;
+          Alcotest.test_case "private class refuses Derive" `Quick
+            test_private_class_refuses_derive;
+          Alcotest.test_case "abstract user class" `Quick test_abstract_user_class;
+        ] );
+      ("clone", [ Alcotest.test_case "clone relieves a hot class" `Quick test_clone ]);
+      ( "typed dispatch",
+        [
+          Alcotest.test_case "interface enforced at dispatch" `Quick
+            test_typed_class_enforces_interface;
+          Alcotest.test_case "enforcement survives deactivation" `Quick
+            test_typed_survives_deactivation;
+          Alcotest.test_case "typed class from MPL source" `Quick
+            test_typed_class_via_mpl;
+        ] );
+      ( "host capacity",
+        [
+          Alcotest.test_case "capped host causes failover" `Quick
+            test_host_capacity_failover;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "agents pick hosts" `Quick test_sched_agents_pick;
+          Alcotest.test_case "magistrate consults the agent" `Quick
+            test_magistrate_uses_sched_agent;
+          Alcotest.test_case "live-probe agent beats count drift" `Quick
+            test_live_load_agent;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "bind, lookup, path resolve" `Quick
+            test_context_bind_lookup;
+          Alcotest.test_case "ensure_path (mkdir -p)" `Quick test_ensure_path;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "direct deploy, All semantics" `Quick
+            test_replicate_deploy;
+          Alcotest.test_case "failover through the class" `Quick
+            test_replicate_failover_via_class;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for application-level object groups (the §4.3 "object group"
+   the paper leaves to application programmers), plus partition
+   behaviour end to end. *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Network = Legion_net.Network
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Well_known = Legion_core.Well_known
+module Group_part = Legion_repl.Group_part
+module System = Legion.System
+module Api = Legion.Api
+module H = Helpers
+
+let boot () =
+  Group_part.register ();
+  H.register_counter_unit ();
+  Legion.System.boot ~seed:3L
+    ~rt_config:{ Runtime.default_config with call_timeout = 0.5 }
+    ~sites:[ ("a", 3); ("b", 3); ("c", 3) ]
+    ()
+
+type fixture = {
+  sys : System.t;
+  ctx : Runtime.ctx;
+  group : Loid.t;
+  members : Loid.t list;
+}
+
+let make_group () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let counter_cls = H.make_counter_class sys ctx () in
+  let group_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Group"
+      ~units:[ Group_part.unit_name ] ()
+  in
+  let group = Api.create_object_exn sys ctx ~cls:group_cls ~eager:true () in
+  (* One member per site. *)
+  let members =
+    List.map
+      (fun s ->
+        Api.create_object_exn sys ctx ~cls:counter_cls ~eager:true
+          ~magistrate:s.System.magistrate ())
+      (System.sites sys)
+  in
+  List.iter
+    (fun m ->
+      match Api.call sys ctx ~dst:group ~meth:"AddMember" ~args:[ Loid.to_value m ] with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "AddMember: %s" (Err.to_string e))
+    members;
+  { sys; ctx; group; members }
+
+let group_invoke f meth args =
+  Api.call f.sys f.ctx ~dst:f.group ~meth:"Invoke"
+    ~args:[ Value.Str meth; Value.List args ]
+
+let member_value f m =
+  match Api.call_exn f.sys f.ctx ~dst:m ~meth:"Get" ~args:[] with
+  | Value.Int n -> n
+  | v -> Alcotest.failf "Get: %s" (Value.to_string v)
+
+let test_group_broadcast () =
+  let f = make_group () in
+  (match group_invoke f "Increment" [ Value.Int 5 ] with
+  | Ok (Value.Record fields) ->
+      Alcotest.(check bool) "3 ok" true
+        (List.assoc_opt "ok" fields = Some (Value.Int 3));
+      Alcotest.(check bool) "first value 5" true
+        (List.assoc_opt "value" fields = Some (Value.Int 5))
+  | Ok v -> Alcotest.failf "bad reply: %s" (Value.to_string v)
+  | Error e -> Alcotest.failf "Invoke: %s" (Err.to_string e));
+  (* Every member applied the update — convergent state. *)
+  List.iter
+    (fun m -> Alcotest.(check int) "member updated" 5 (member_value f m))
+    f.members
+
+let test_group_membership () =
+  let f = make_group () in
+  (match Api.call f.sys f.ctx ~dst:f.group ~meth:"ListMembers" ~args:[] with
+  | Ok (Value.List vs) -> Alcotest.(check int) "3 members" 3 (List.length vs)
+  | _ -> Alcotest.fail "ListMembers");
+  let victim = List.hd f.members in
+  (match
+     Api.call f.sys f.ctx ~dst:f.group ~meth:"RemoveMember"
+       ~args:[ Loid.to_value victim ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "RemoveMember: %s" (Err.to_string e));
+  (match Api.call f.sys f.ctx ~dst:f.group ~meth:"ListMembers" ~args:[] with
+  | Ok (Value.List vs) -> Alcotest.(check int) "2 members" 2 (List.length vs)
+  | _ -> Alcotest.fail "ListMembers");
+  (* Adding twice is idempotent. *)
+  ignore (Api.call f.sys f.ctx ~dst:f.group ~meth:"AddMember" ~args:[ Loid.to_value victim ]);
+  ignore (Api.call f.sys f.ctx ~dst:f.group ~meth:"AddMember" ~args:[ Loid.to_value victim ]);
+  match Api.call f.sys f.ctx ~dst:f.group ~meth:"ListMembers" ~args:[] with
+  | Ok (Value.List vs) -> Alcotest.(check int) "3 again" 3 (List.length vs)
+  | _ -> Alcotest.fail "ListMembers"
+
+let kill_member f m =
+  match Runtime.find_proc (System.rt f.sys) m with
+  | Some p -> Runtime.crash_host (System.rt f.sys) (Runtime.proc_host p)
+  | None -> Alcotest.fail "member inactive"
+
+let test_group_modes_under_failure () =
+  let f = make_group () in
+  ignore (group_invoke f "Increment" [ Value.Int 1 ]);
+  (* Kill one member of three. *)
+  kill_member f (List.nth f.members 2);
+  (* all-mode: fails (2/3). The dead member's magistrate lives on the
+     same crashed host, so it cannot be resurrected. The group only
+     learns of the failure after the member's delivery timeout, which
+     may exceed the client's own call timeout — either way the client
+     sees an error, never a spurious success. *)
+  (match group_invoke f "Increment" [ Value.Int 1 ] with
+  | Error _ -> ()
+  | Ok v -> Alcotest.failf "all-mode should fail: %s" (Value.to_string v));
+  System.run f.sys;
+  (* quorum-mode: succeeds (2/3). *)
+  (match Api.call f.sys f.ctx ~dst:f.group ~meth:"SetMode" ~args:[ Value.Str "quorum" ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "SetMode: %s" (Err.to_string e));
+  (match group_invoke f "Increment" [ Value.Int 1 ] with
+  | Ok (Value.Record fields) ->
+      Alcotest.(check bool) "2 ok" true (List.assoc_opt "ok" fields = Some (Value.Int 2))
+  | r ->
+      Alcotest.failf "quorum-mode should succeed: %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e));
+  (* any-mode trivially succeeds. *)
+  ignore (Api.call f.sys f.ctx ~dst:f.group ~meth:"SetMode" ~args:[ Value.Str "any" ]);
+  match group_invoke f "Get" [] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "any-mode: %s" (Err.to_string e)
+
+let test_group_empty_refused () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let group_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Group"
+      ~units:[ Group_part.unit_name ] ()
+  in
+  let group = Api.create_object_exn sys ctx ~cls:group_cls ~eager:true () in
+  match
+    Api.call sys ctx ~dst:group ~meth:"Invoke"
+      ~args:[ Value.Str "Get"; Value.List [] ]
+  with
+  | Error (Err.Refused _) -> ()
+  | _ -> Alcotest.fail "empty group must refuse"
+
+let test_group_state_survives_deactivation () =
+  let f = make_group () in
+  ignore
+    (Api.call f.sys f.ctx ~dst:f.group ~meth:"SetMode" ~args:[ Value.Str "quorum" ]);
+  (* Find the magistrate holding the group object and bounce it. *)
+  let holder =
+    List.find_opt
+      (fun m ->
+        match Api.call f.sys f.ctx ~dst:m ~meth:"ListObjects" ~args:[] with
+        | Ok (Value.List vs) ->
+            List.exists
+              (fun v ->
+                match Loid.of_value v with
+                | Ok l -> Loid.equal l f.group
+                | _ -> false)
+              vs
+        | _ -> false)
+      (System.magistrates f.sys)
+  in
+  (match holder with
+  | Some m ->
+      ignore
+        (Api.call f.sys f.ctx ~dst:m ~meth:"Deactivate" ~args:[ Loid.to_value f.group ])
+  | None -> Alcotest.fail "no holder");
+  (* Members and mode persisted. *)
+  (match Api.call f.sys f.ctx ~dst:f.group ~meth:"ListMembers" ~args:[] with
+  | Ok (Value.List vs) -> Alcotest.(check int) "members persisted" 3 (List.length vs)
+  | _ -> Alcotest.fail "ListMembers after reactivation");
+  match group_invoke f "Increment" [ Value.Int 2 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-reactivation invoke: %s" (Err.to_string e)
+
+(* --- End-to-end partition behaviour --- *)
+
+let test_partition_and_heal () =
+  let f = make_group () in
+  ignore (group_invoke f "Increment" [ Value.Int 1 ]);
+  (* Partition site c away; all-mode invocations fail, quorum-mode
+     continue (2 of 3 members reachable). *)
+  Network.set_partitioned (System.net f.sys) 0 2 true;
+  Network.set_partitioned (System.net f.sys) 1 2 true;
+  (match group_invoke f "Increment" [ Value.Int 1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "all-mode across a partition should fail");
+  ignore (Api.call f.sys f.ctx ~dst:f.group ~meth:"SetMode" ~args:[ Value.Str "quorum" ]);
+  (match group_invoke f "Increment" [ Value.Int 1 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "quorum under partition: %s" (Err.to_string e));
+  (* Heal: the member behind the partition is stale by two updates —
+     the divergence the paper warns application groups must manage. *)
+  Network.set_partitioned (System.net f.sys) 0 2 false;
+  Network.set_partitioned (System.net f.sys) 1 2 false;
+  let v_behind = member_value f (List.nth f.members 2) in
+  let v_front = member_value f (List.nth f.members 0) in
+  (* The reachable members got the quorum update (and possibly
+     duplicates from client retries of the non-idempotent Invoke — the
+     at-least-once behaviour the retry machinery implies); the
+     partitioned member is strictly behind. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "partitioned member diverged (%d < %d)" v_behind v_front)
+    true (v_behind < v_front)
+
+let () =
+  Alcotest.run "group"
+    [
+      ( "object groups",
+        [
+          Alcotest.test_case "broadcast keeps members convergent" `Quick
+            test_group_broadcast;
+          Alcotest.test_case "membership" `Quick test_group_membership;
+          Alcotest.test_case "modes under member failure" `Quick
+            test_group_modes_under_failure;
+          Alcotest.test_case "empty group refuses" `Quick test_group_empty_refused;
+          Alcotest.test_case "state survives deactivation" `Quick
+            test_group_state_survives_deactivation;
+        ] );
+      ( "partitions",
+        [ Alcotest.test_case "partition and heal" `Quick test_partition_and_heal ] );
+    ]

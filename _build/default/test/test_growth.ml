@@ -1,0 +1,141 @@
+(* Tests for run-time system growth (§4.2.1: "New Host Objects and
+   Magistrates will be added as the Legion system expands") and the
+   Fig. 8 host-class hierarchy (UnixHost / SPMDHost / UnixSMMP derived
+   from LegionHost). *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Network = Legion_net.Network
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Well_known = Legion_core.Well_known
+module Host_part = Legion_host.Host_part
+module System = Legion.System
+module Api = Legion.Api
+module H = Helpers
+
+let test_grow_site () =
+  let sys = H.boot_two_sites () in
+  let hosts_before = Network.host_count (System.net sys) in
+  let new_hosts = System.grow_site sys ~site:0 ~n:2 () in
+  Alcotest.(check int) "two host objects" 2 (List.length new_hosts);
+  Alcotest.(check int) "two net hosts" (hosts_before + 2)
+    (Network.host_count (System.net sys));
+  let ctx = System.client sys () in
+  (* The new Host Objects answer through normal resolution (they
+     registered with LegionHost). *)
+  List.iter
+    (fun h ->
+      match Api.call sys ctx ~dst:h ~meth:"GetState" ~args:[] with
+      | Ok (Value.Record _) -> ()
+      | r ->
+          Alcotest.failf "GetState: %s"
+            (match r with
+            | Ok v -> Value.to_string v
+            | Error e -> Err.to_string e))
+    new_hosts;
+  (* The Magistrate can place objects on them: grow, then force
+     placement by host hint. *)
+  let cls = H.make_counter_class sys ctx () in
+  let target = List.hd new_hosts in
+  let loid =
+    Api.create_object_exn sys ctx ~cls ~eager:true
+      ~magistrate:(System.site sys 0).System.magistrate ~host:target ()
+  in
+  match Runtime.find_proc (System.rt sys) loid with
+  | Some p ->
+      Alcotest.(check bool) "runs on a grown host" true
+        (Runtime.proc_host p >= hosts_before)
+  | None -> Alcotest.fail "not active"
+
+let test_host_class_hierarchy () =
+  (* Fig. 8: UnixHost and SPMDHost derive from LegionHost; UnixSMMP from
+     UnixHost. Host objects registered under a subclass resolve through
+     that subclass. *)
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let unix_host =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_host ~name:"UnixHost"
+      ~kind:Well_known.kind_host ()
+  in
+  let spmd_host =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_host ~name:"SPMDHost"
+      ~kind:Well_known.kind_host ()
+  in
+  let unix_smmp =
+    Api.derive_class_exn sys ctx ~parent:unix_host ~name:"UnixSMMP"
+      ~kind:Well_known.kind_host ()
+  in
+  (* All are classes with distinct identifiers under LegionHost's
+     subclass list. *)
+  Alcotest.(check bool) "distinct cids" true
+    (List.length
+       (List.sort_uniq Int64.compare
+          (List.map Loid.class_id [ unix_host; spmd_host; unix_smmp ]))
+    = 3);
+  (match Api.call sys ctx ~dst:Well_known.legion_host ~meth:"ListSubclasses" ~args:[] with
+  | Ok (Value.List vs) ->
+      Alcotest.(check bool) "LegionHost has the two direct subclasses" true
+        (List.length vs >= 2)
+  | _ -> Alcotest.fail "ListSubclasses");
+  (* The derived classes inherit the host machinery: their instance
+     units include legion.host. *)
+  (match Api.call sys ctx ~dst:unix_smmp ~meth:"GetInheritInfo" ~args:[] with
+  | Ok info -> (
+      match Legion_core.Convert.str_list_field info "units" with
+      | Ok units ->
+          Alcotest.(check bool) "host unit inherited" true
+            (List.mem Host_part.unit_name units)
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.failf "GetInheritInfo: %s" (Err.to_string e));
+  (* Grow a site with UnixSMMP hosts: the new host objects are instances
+     of the subclass and resolve through it. *)
+  let new_hosts = System.grow_site sys ~site:1 ~host_class:unix_smmp ~n:1 () in
+  let h = List.hd new_hosts in
+  Alcotest.(check int64) "instance of UnixSMMP" (Loid.class_id unix_smmp)
+    (Loid.class_id h);
+  (* A fresh client at the other site resolves it through the subclass
+     chain: UnixSMMP <- UnixHost <- LegionHost <- LegionClass pairs. *)
+  let ctx2 = System.client sys ~site:0 () in
+  match Api.call sys ctx2 ~dst:h ~meth:"GetState" ~args:[] with
+  | Ok (Value.Record _) -> ()
+  | r ->
+      Alcotest.failf "resolution through subclass chain failed: %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e)
+
+let test_grown_host_participates_in_recovery () =
+  (* An object crashes; the magistrate may reactivate it on a host that
+     did not exist at boot. *)
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let site0 = System.site sys 0 in
+  let new_hosts = System.grow_site sys ~site:0 ~n:1 () in
+  let loid =
+    Api.create_object_exn sys ctx ~cls ~magistrate:site0.System.magistrate ()
+  in
+  ignore (Api.call_exn sys ctx ~dst:loid ~meth:"Increment" ~args:[ Value.Int 6 ]);
+  (* Checkpoint, then crash whatever host it runs on. *)
+  ignore
+    (Api.call sys ctx ~dst:site0.System.magistrate ~meth:"Deactivate"
+       ~args:[ Loid.to_value loid ]);
+  ignore (Api.call_exn sys ctx ~dst:loid ~meth:"Get" ~args:[]);
+  (match Runtime.find_proc (System.rt sys) loid with
+  | Some p -> Runtime.crash_host (System.rt sys) (Runtime.proc_host p)
+  | None -> Alcotest.fail "inactive");
+  let v = H.int_exn (Api.call_exn sys ctx ~dst:loid ~meth:"Get" ~args:[]) in
+  Alcotest.(check int) "recovered" 6 v;
+  ignore new_hosts
+
+let () =
+  Alcotest.run "growth"
+    [
+      ( "grow site",
+        [
+          Alcotest.test_case "hosts join at run time" `Quick test_grow_site;
+          Alcotest.test_case "Fig. 8 host class hierarchy" `Quick
+            test_host_class_hierarchy;
+          Alcotest.test_case "grown hosts serve recovery" `Quick
+            test_grown_host_participates_in_recovery;
+        ] );
+    ]

@@ -1,0 +1,341 @@
+(* Tests for LOIDs, Object Addresses, Bindings and the binding cache. *)
+
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Binding = Legion_naming.Binding
+module Cache = Legion_naming.Cache
+module Prng = Legion_util.Prng
+
+let loid_t = Alcotest.testable Loid.pp Loid.equal
+let addr_t = Alcotest.testable Address.pp Address.equal
+let binding_t = Alcotest.testable Binding.pp Binding.equal
+
+(* --- LOIDs (§3.2) --- *)
+
+let test_loid_fields () =
+  let l = Loid.make ~public_key:"pk" ~class_id:7L ~class_specific:42L () in
+  Alcotest.(check int64) "cid" 7L (Loid.class_id l);
+  Alcotest.(check int64) "spec" 42L (Loid.class_specific l);
+  Alcotest.(check string) "key" "pk" (Loid.public_key l);
+  Alcotest.(check bool) "not a class" false (Loid.is_class l)
+
+let test_loid_responsible_class () =
+  let l = Loid.make ~public_key:"pk" ~class_id:7L ~class_specific:42L () in
+  let c = Loid.responsible_class l in
+  Alcotest.(check int64) "same cid" 7L (Loid.class_id c);
+  Alcotest.(check int64) "spec zeroed" 0L (Loid.class_specific c);
+  Alcotest.(check string) "no key" "" (Loid.public_key c);
+  Alcotest.(check bool) "is a class" true (Loid.is_class c);
+  (* Idempotent on key-less classes (§3.7 convention). *)
+  Alcotest.check loid_t "idempotent" c (Loid.responsible_class c)
+
+let test_loid_equality_covers_key () =
+  let a = Loid.make ~public_key:"x" ~class_id:1L ~class_specific:1L () in
+  let b = Loid.make ~public_key:"y" ~class_id:1L ~class_specific:1L () in
+  Alcotest.(check bool) "keys distinguish" false (Loid.equal a b);
+  Alcotest.(check bool) "compare nonzero" true (Loid.compare a b <> 0)
+
+let test_loid_table () =
+  let tbl = Loid.Table.create () in
+  let l1 = Loid.make ~class_id:1L ~class_specific:1L () in
+  let l2 = Loid.make ~class_id:1L ~class_specific:2L () in
+  Loid.Table.set tbl l1 "one";
+  Loid.Table.set tbl l2 "two";
+  Alcotest.(check (option string)) "find" (Some "one") (Loid.Table.find tbl l1);
+  Loid.Table.set tbl l1 "uno";
+  Alcotest.(check (option string)) "replace" (Some "uno") (Loid.Table.find tbl l1);
+  Alcotest.(check int) "length" 2 (Loid.Table.length tbl);
+  Loid.Table.remove tbl l1;
+  Alcotest.(check bool) "removed" false (Loid.Table.mem tbl l1)
+
+let loid_gen =
+  QCheck.Gen.(
+    map3
+      (fun cid spec key -> Loid.make ~public_key:key ~class_id:cid ~class_specific:spec ())
+      int64 int64 (string_size (0 -- 8)))
+
+let arbitrary_loid = QCheck.make ~print:Loid.to_string loid_gen
+
+let loid_roundtrip =
+  QCheck.Test.make ~name:"loid wire roundtrip" ~count:300 arbitrary_loid
+    (fun l ->
+      match Loid.of_value (Loid.to_value l) with
+      | Ok l' -> Loid.equal l l'
+      | Error _ -> false)
+
+(* --- Addresses (§3.4) --- *)
+
+let element_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun h p -> Address.Ip { host = h; port = p land 0xFFFF }) int32 int;
+        map3
+          (fun h p n -> Address.Ip_node { host = h; port = p land 0xFFFF; node = n land 0xFF })
+          int32 int int;
+        map2 (fun h s -> Address.Sim { host = h land 0xFFFF; slot = s land 0xFFFF }) int int;
+        map2
+          (fun t payload -> Address.Raw { addr_type = t; payload })
+          int32 (string_size (0 -- 8));
+      ])
+
+let semantic_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Address.All;
+        return Address.Any_random;
+        map (fun k -> Address.First_k (abs k mod 5)) int;
+        map (fun k -> Address.K_random (abs k mod 5)) int;
+        return Address.Ordered_failover;
+        map (fun s -> Address.Custom s) (string_size (1 -- 6));
+      ])
+
+let address_gen =
+  QCheck.Gen.(
+    map2
+      (fun els sem -> Address.make ~semantic:sem els)
+      (list_size (1 -- 5) element_gen)
+      semantic_gen)
+
+let arbitrary_address =
+  QCheck.make ~print:(Format.asprintf "%a" Address.pp) address_gen
+
+let address_roundtrip =
+  QCheck.Test.make ~name:"address wire roundtrip" ~count:300 arbitrary_address
+    (fun a ->
+      match Address.of_value (Address.to_value a) with
+      | Ok a' -> Address.equal a a'
+      | Error _ -> false)
+
+let test_address_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Address.make: empty element list")
+    (fun () -> ignore (Address.make []))
+
+let test_address_targets () =
+  let e1 = Address.Sim { host = 1; slot = 1 } in
+  let e2 = Address.Sim { host = 2; slot = 2 } in
+  let e3 = Address.Sim { host = 3; slot = 3 } in
+  let prng = Prng.create ~seed:1L in
+  let all = Address.make ~semantic:Address.All [ e1; e2; e3 ] in
+  Alcotest.(check int) "all" 3 (List.length (Address.targets all prng));
+  let k2 = Address.make ~semantic:(Address.First_k 2) [ e1; e2; e3 ] in
+  Alcotest.(check int) "first 2" 2 (List.length (Address.targets k2 prng));
+  let anyr = Address.make ~semantic:Address.Any_random [ e1; e2; e3 ] in
+  for _ = 1 to 20 do
+    match Address.targets anyr prng with
+    | [ e ] ->
+        Alcotest.(check bool) "member" true (List.mem e [ e1; e2; e3 ])
+    | _ -> Alcotest.fail "any_random must pick exactly one"
+  done;
+  let fo = Address.make ~semantic:Address.Ordered_failover [ e1; e2; e3 ] in
+  Alcotest.(check bool) "failover preserves order" true
+    (Address.targets fo prng = [ e1; e2; e3 ]);
+  let kr = Address.make ~semantic:(Address.K_random 2) [ e1; e2; e3 ] in
+  for _ = 1 to 20 do
+    let ts = Address.targets kr prng in
+    Alcotest.(check int) "k random picks k" 2 (List.length ts);
+    Alcotest.(check int) "k random distinct" 2
+      (List.length (List.sort_uniq compare ts));
+    List.iter
+      (fun e -> Alcotest.(check bool) "member" true (List.mem e [ e1; e2; e3 ]))
+      ts
+  done;
+  (* Oversized k clamps to N. *)
+  let kr9 = Address.make ~semantic:(Address.K_random 9) [ e1; e2 ] in
+  Alcotest.(check int) "k clamps" 2 (List.length (Address.targets kr9 prng))
+
+let test_address_types () =
+  Alcotest.(check int32) "ip" 1l (Address.addr_type (Address.Ip { host = 0l; port = 0 }));
+  Alcotest.(check int32) "sim" 3l
+    (Address.addr_type (Address.Sim { host = 0; slot = 0 }));
+  Alcotest.(check (option int)) "sim host" (Some 4)
+    (Address.sim_host (Address.Sim { host = 4; slot = 0 }));
+  Alcotest.(check (option int)) "ip no sim host" None
+    (Address.sim_host (Address.Ip { host = 0l; port = 0 }))
+
+(* --- Bindings (§3.5) --- *)
+
+let sample_loid = Loid.make ~class_id:9L ~class_specific:9L ()
+let sample_addr = Address.singleton (Address.Sim { host = 0; slot = 0 })
+
+let test_binding_validity () =
+  let never = Binding.make ~loid:sample_loid ~address:sample_addr () in
+  Alcotest.(check bool) "no expiry valid" true (Binding.is_valid ~now:1e12 never);
+  let till5 = Binding.make ~expires:5.0 ~loid:sample_loid ~address:sample_addr () in
+  Alcotest.(check bool) "before expiry" true (Binding.is_valid ~now:4.9 till5);
+  Alcotest.(check bool) "at expiry invalid" false (Binding.is_valid ~now:5.0 till5);
+  let refreshed = Binding.with_expiry till5 None in
+  Alcotest.(check bool) "expiry cleared" true (Binding.is_valid ~now:1e12 refreshed)
+
+let binding_gen =
+  QCheck.Gen.(
+    map3
+      (fun l a e ->
+        Binding.make ?expires:(if e < 0.0 then None else Some e) ~loid:l ~address:a ())
+      loid_gen address_gen (float_range (-1.0) 100.0))
+
+let arbitrary_binding =
+  QCheck.make ~print:(Format.asprintf "%a" Binding.pp) binding_gen
+
+let binding_roundtrip =
+  QCheck.Test.make ~name:"binding wire roundtrip" ~count:300 arbitrary_binding
+    (fun b ->
+      match Binding.of_value (Binding.to_value b) with
+      | Ok b' -> Binding.equal b b'
+      | Error _ -> false)
+
+(* --- Cache --- *)
+
+let mk_binding ?expires i =
+  let loid = Loid.make ~class_id:100L ~class_specific:(Int64.of_int i) () in
+  Binding.make ?expires ~loid ~address:(Address.singleton (Address.Sim { host = i; slot = i })) ()
+
+let loid_of i = Loid.make ~class_id:100L ~class_specific:(Int64.of_int i) ()
+
+let test_cache_hit_miss () =
+  let c = Cache.create () in
+  Cache.add c ~now:0.0 (mk_binding 1);
+  Alcotest.(check bool) "hit" true (Cache.find c ~now:0.0 (loid_of 1) <> None);
+  Alcotest.(check bool) "miss" true (Cache.find c ~now:0.0 (loid_of 2) = None);
+  Alcotest.(check int) "lookups" 2 (Cache.lookups c);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check (float 1e-9)) "rate" 0.5 (Cache.hit_rate c)
+
+let test_cache_expiry () =
+  let c = Cache.create () in
+  Cache.add c ~now:0.0 (mk_binding ~expires:5.0 1);
+  Alcotest.(check bool) "valid before" true (Cache.find c ~now:4.0 (loid_of 1) <> None);
+  Alcotest.(check bool) "expired after" true (Cache.find c ~now:6.0 (loid_of 1) = None);
+  Alcotest.(check int) "purged" 0 (Cache.length c);
+  (* Adding an already-expired binding is a no-op. *)
+  Cache.add c ~now:10.0 (mk_binding ~expires:5.0 2);
+  Alcotest.(check int) "expired not added" 0 (Cache.length c)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c ~now:0.0 (mk_binding 1);
+  Cache.add c ~now:0.0 (mk_binding 2);
+  (* Touch 1 so 2 is the LRU victim. *)
+  ignore (Cache.find c ~now:0.0 (loid_of 1));
+  Cache.add c ~now:0.0 (mk_binding 3);
+  Alcotest.(check bool) "1 kept" true (Cache.mem c ~now:0.0 (loid_of 1));
+  Alcotest.(check bool) "2 evicted" false (Cache.mem c ~now:0.0 (loid_of 2));
+  Alcotest.(check bool) "3 present" true (Cache.mem c ~now:0.0 (loid_of 3));
+  Alcotest.(check int) "bounded" 2 (Cache.length c);
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c)
+
+let test_cache_replace_no_evict () =
+  let c = Cache.create ~capacity:1 () in
+  Cache.add c ~now:0.0 (mk_binding 1);
+  (* Replacing the same LOID must not evict. *)
+  Cache.add c ~now:0.0 (mk_binding 1);
+  Alcotest.(check int) "no eviction on replace" 0 (Cache.evictions c);
+  Alcotest.(check int) "length 1" 1 (Cache.length c)
+
+let test_cache_zero_capacity () =
+  let c = Cache.create ~capacity:0 () in
+  Cache.add c ~now:0.0 (mk_binding 1);
+  Alcotest.(check int) "nothing cached" 0 (Cache.length c)
+
+let test_cache_invalidate () =
+  let c = Cache.create () in
+  let b1 = mk_binding 1 in
+  Cache.add c ~now:0.0 b1;
+  Cache.invalidate c (loid_of 1);
+  Alcotest.(check bool) "gone" false (Cache.mem c ~now:0.0 (loid_of 1));
+  Cache.add c ~now:0.0 b1;
+  (* invalidate_exact with a different binding is a no-op. *)
+  let other =
+    Binding.make ~loid:(loid_of 1)
+      ~address:(Address.singleton (Address.Sim { host = 99; slot = 99 }))
+      ()
+  in
+  Cache.invalidate_exact c other;
+  Alcotest.(check bool) "exact mismatch kept" true (Cache.mem c ~now:0.0 (loid_of 1));
+  Cache.invalidate_exact c b1;
+  Alcotest.(check bool) "exact match removed" false (Cache.mem c ~now:0.0 (loid_of 1))
+
+let test_cache_clear_and_stats_persist () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.add c ~now:0.0 (mk_binding 1);
+  ignore (Cache.find c ~now:0.0 (loid_of 1));
+  Cache.clear c;
+  Alcotest.(check int) "emptied" 0 (Cache.length c);
+  (* Statistics survive a clear — they describe the cache's life, not
+     its contents. *)
+  Alcotest.(check int) "lookups kept" 1 (Cache.lookups c);
+  Cache.add c ~now:0.0 (mk_binding 2);
+  Alcotest.(check bool) "usable after clear" true (Cache.mem c ~now:0.0 (loid_of 2));
+  Alcotest.(check (option int)) "capacity preserved" (Some 4) (Cache.capacity c)
+
+let test_loid_map_set () =
+  let l1 = Loid.make ~class_id:1L ~class_specific:1L () in
+  let l2 = Loid.make ~class_id:1L ~class_specific:2L () in
+  let m = Loid.Map.(add l1 "a" (add l2 "b" empty)) in
+  Alcotest.(check (option string)) "map find" (Some "a") (Loid.Map.find_opt l1 m);
+  let s = Loid.Set.of_list [ l1; l2; l1 ] in
+  Alcotest.(check int) "set dedups" 2 (Loid.Set.cardinal s)
+
+let cache_never_exceeds_capacity =
+  QCheck.Test.make ~name:"cache never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 20)))
+    (fun (cap, ops) ->
+      let c = Cache.create ~capacity:cap () in
+      List.iter (fun i -> Cache.add c ~now:0.0 (mk_binding i)) ops;
+      Cache.length c <= cap)
+
+let cache_never_returns_expired =
+  QCheck.Test.make ~name:"cache never returns an expired binding" ~count:200
+    QCheck.(small_list (pair (int_range 0 10) (float_range 0.1 10.0)))
+    (fun ops ->
+      let c = Cache.create () in
+      List.iter (fun (i, e) -> Cache.add c ~now:0.0 (mk_binding ~expires:e i)) ops;
+      List.for_all
+        (fun (i, _) ->
+          match Cache.find c ~now:5.0 (loid_of i) with
+          | None -> true
+          | Some b -> Binding.is_valid ~now:5.0 b)
+        ops)
+
+let () =
+  Alcotest.run "naming"
+    [
+      ( "loid",
+        [
+          Alcotest.test_case "fields" `Quick test_loid_fields;
+          Alcotest.test_case "responsible class" `Quick test_loid_responsible_class;
+          Alcotest.test_case "public key in identity" `Quick
+            test_loid_equality_covers_key;
+          Alcotest.test_case "table" `Quick test_loid_table;
+          Alcotest.test_case "map and set" `Quick test_loid_map_set;
+          QCheck_alcotest.to_alcotest loid_roundtrip;
+        ] );
+      ( "address",
+        [
+          Alcotest.test_case "empty rejected" `Quick test_address_empty_rejected;
+          Alcotest.test_case "semantics resolve targets" `Quick test_address_targets;
+          Alcotest.test_case "address type tags" `Quick test_address_types;
+          QCheck_alcotest.to_alcotest address_roundtrip;
+        ] );
+      ( "binding",
+        [
+          Alcotest.test_case "validity and expiry" `Quick test_binding_validity;
+          QCheck_alcotest.to_alcotest binding_roundtrip;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit and miss accounting" `Quick test_cache_hit_miss;
+          Alcotest.test_case "expiry" `Quick test_cache_expiry;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru;
+          Alcotest.test_case "replace does not evict" `Quick test_cache_replace_no_evict;
+          Alcotest.test_case "zero capacity" `Quick test_cache_zero_capacity;
+          Alcotest.test_case "invalidation forms" `Quick test_cache_invalidate;
+          Alcotest.test_case "clear keeps statistics" `Quick
+            test_cache_clear_and_stats_persist;
+          QCheck_alcotest.to_alcotest cache_never_exceeds_capacity;
+          QCheck_alcotest.to_alcotest cache_never_returns_expired;
+        ] );
+    ]
+
+let _ = ignore (addr_t, binding_t)

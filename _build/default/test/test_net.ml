@@ -1,0 +1,175 @@
+(* Tests for the simulated internetwork. *)
+
+module Engine = Legion_sim.Engine
+module Network = Legion_net.Network
+module Value = Legion_wire.Value
+module Prng = Legion_util.Prng
+
+let make_net ?latency () =
+  let sim = Engine.create () in
+  let net = Network.create ~sim ~prng:(Prng.create ~seed:1L) ?latency () in
+  let s0 = Network.add_site net ~name:"s0" in
+  let s1 = Network.add_site net ~name:"s1" in
+  let h0 = Network.add_host net ~site:s0 ~name:"h0" in
+  let h1 = Network.add_host net ~site:s0 ~name:"h1" in
+  let h2 = Network.add_host net ~site:s1 ~name:"h2" in
+  (sim, net, h0, h1, h2)
+
+let test_topology () =
+  let _, net, h0, h1, h2 = make_net () in
+  Alcotest.(check int) "sites" 2 (Network.site_count net);
+  Alcotest.(check int) "hosts" 3 (Network.host_count net);
+  Alcotest.(check int) "site of h0" (Network.site_of net h0) (Network.site_of net h1);
+  Alcotest.(check bool) "h2 other site" true
+    (Network.site_of net h2 <> Network.site_of net h0);
+  Alcotest.(check string) "name" "h2" (Network.host_name net h2);
+  Alcotest.(check (list int)) "hosts of site 0" [ h0; h1 ]
+    (Network.hosts_of_site net (Network.site_of net h0))
+
+let test_latency_tiers () =
+  let _, net, h0, h1, h2 = make_net () in
+  let l = Network.default_latency in
+  Alcotest.(check (float 1e-12)) "intra-host" l.Network.intra_host
+    (Network.latency_between net h0 h0);
+  Alcotest.(check (float 1e-12)) "intra-site" l.Network.intra_site
+    (Network.latency_between net h0 h1);
+  Alcotest.(check (float 1e-12)) "inter-site" l.Network.inter_site
+    (Network.latency_between net h0 h2)
+
+let test_delivery_and_timing () =
+  let sim, net, h0, _, h2 = make_net () in
+  let received = ref None in
+  Network.set_receiver net h2 (fun ~src payload -> received := Some (src, payload));
+  Network.send net ~src:h0 ~dst:h2 (Value.Str "hello");
+  Alcotest.(check bool) "not yet delivered" true (!received = None);
+  Engine.run sim;
+  (match !received with
+  | Some (src, Value.Str "hello") -> Alcotest.(check int) "src" h0 src
+  | _ -> Alcotest.fail "not delivered");
+  (* Arrival time within [l, l*(1+jitter)]. *)
+  let l = Network.default_latency.Network.inter_site in
+  let t = Engine.now sim in
+  Alcotest.(check bool) "arrival in jitter window" true
+    (t >= l && t <= l *. 1.1 +. 1e-12)
+
+let test_message_counters () =
+  let sim, net, h0, h1, h2 = make_net () in
+  Network.set_receiver net h0 (fun ~src:_ _ -> ());
+  Network.set_receiver net h1 (fun ~src:_ _ -> ());
+  Network.set_receiver net h2 (fun ~src:_ _ -> ());
+  Network.send net ~src:h0 ~dst:h0 Value.Unit;
+  Network.send net ~src:h0 ~dst:h1 Value.Unit;
+  Network.send net ~src:h0 ~dst:h2 Value.Unit;
+  Engine.run sim;
+  Alcotest.(check int) "sent" 3 (Network.messages_sent net);
+  let ih, is_, ws = Network.messages_by_tier net in
+  Alcotest.(check (list int)) "tiers" [ 1; 1; 1 ] [ ih; is_; ws ];
+  Alcotest.(check bool) "bytes counted" true (Network.bytes_sent net > 0);
+  Alcotest.(check int) "none dropped" 0 (Network.messages_dropped net)
+
+let test_down_host_drops () =
+  let sim, net, h0, _, h2 = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net h2 (fun ~src:_ _ -> incr received);
+  Network.set_host_up net h2 false;
+  Alcotest.(check bool) "host marked down" false (Network.host_is_up net h2);
+  Network.send net ~src:h0 ~dst:h2 Value.Unit;
+  Engine.run sim;
+  Alcotest.(check int) "nothing delivered" 0 !received;
+  Alcotest.(check int) "counted dropped" 1 (Network.messages_dropped net);
+  (* Back up: delivery resumes. *)
+  Network.set_host_up net h2 true;
+  Network.send net ~src:h0 ~dst:h2 Value.Unit;
+  Engine.run sim;
+  Alcotest.(check int) "delivered after recovery" 1 !received
+
+let test_down_in_flight () =
+  (* The destination dies while the message is in flight: it must be
+     lost at arrival time. *)
+  let sim, net, h0, _, h2 = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net h2 (fun ~src:_ _ -> incr received);
+  Network.send net ~src:h0 ~dst:h2 Value.Unit;
+  ignore (Engine.schedule sim ~delay:0.001 (fun () -> Network.set_host_up net h2 false));
+  Engine.run sim;
+  Alcotest.(check int) "lost in flight" 0 !received
+
+let test_down_source_drops () =
+  let sim, net, h0, _, h2 = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net h2 (fun ~src:_ _ -> incr received);
+  Network.set_host_up net h0 false;
+  Network.send net ~src:h0 ~dst:h2 Value.Unit;
+  Engine.run sim;
+  Alcotest.(check int) "dead source sends nothing" 0 !received
+
+let test_no_receiver_drops () =
+  let sim, net, h0, h1, _ = make_net () in
+  Network.send net ~src:h0 ~dst:h1 Value.Unit;
+  Engine.run sim;
+  Alcotest.(check int) "dropped" 1 (Network.messages_dropped net)
+
+let test_drop_rate () =
+  let sim, net, h0, h1, _ = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net h1 (fun ~src:_ _ -> incr received);
+  Network.set_drop_rate net 0.5;
+  let n = 2000 in
+  for _ = 1 to n do
+    Network.send net ~src:h0 ~dst:h1 Value.Unit
+  done;
+  Engine.run sim;
+  let rate = float_of_int !received /. float_of_int n in
+  if abs_float (rate -. 0.5) > 0.05 then Alcotest.failf "delivery rate %f" rate;
+  Alcotest.check_raises "bad rate" (Invalid_argument "Network.set_drop_rate")
+    (fun () -> Network.set_drop_rate net 1.5)
+
+let test_partition () =
+  let sim, net, h0, h1, h2 = make_net () in
+  let received = ref 0 in
+  Network.set_receiver net h2 (fun ~src:_ _ -> incr received);
+  Network.set_receiver net h1 (fun ~src:_ _ -> incr received);
+  let s0 = Network.site_of net h0 and s1 = Network.site_of net h2 in
+  Network.set_partitioned net s0 s1 true;
+  Alcotest.(check bool) "partitioned" true (Network.is_partitioned net s0 s1);
+  Alcotest.(check bool) "symmetric" true (Network.is_partitioned net s1 s0);
+  Network.send net ~src:h0 ~dst:h2 Value.Unit;
+  Engine.run sim;
+  Alcotest.(check int) "cross-site lost" 0 !received;
+  (* Intra-site unaffected. *)
+  Network.send net ~src:h0 ~dst:h1 Value.Unit;
+  Engine.run sim;
+  Alcotest.(check int) "intra-site flows" 1 !received;
+  (* Heal. *)
+  Network.set_partitioned net s0 s1 false;
+  Network.send net ~src:h0 ~dst:h2 Value.Unit;
+  Engine.run sim;
+  Alcotest.(check int) "healed" 2 !received;
+  (* Partitioning a site with itself is a no-op. *)
+  Network.set_partitioned net s0 s0 true;
+  Alcotest.(check bool) "self never partitioned" false
+    (Network.is_partitioned net s0 s0)
+
+let test_bad_host_id () =
+  let _, net, _, _, _ = make_net () in
+  Alcotest.check_raises "bad id" (Invalid_argument "Network: bad host id") (fun () ->
+      ignore (Network.host_name net 99))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "topology" `Quick test_topology;
+          Alcotest.test_case "latency tiers" `Quick test_latency_tiers;
+          Alcotest.test_case "delivery and timing" `Quick test_delivery_and_timing;
+          Alcotest.test_case "message counters" `Quick test_message_counters;
+          Alcotest.test_case "down host drops" `Quick test_down_host_drops;
+          Alcotest.test_case "down in flight" `Quick test_down_in_flight;
+          Alcotest.test_case "down source drops" `Quick test_down_source_drops;
+          Alcotest.test_case "no receiver drops" `Quick test_no_receiver_drops;
+          Alcotest.test_case "drop rate" `Slow test_drop_rate;
+          Alcotest.test_case "site partitions" `Quick test_partition;
+          Alcotest.test_case "bad host id" `Quick test_bad_host_id;
+        ] );
+    ]

@@ -1,0 +1,559 @@
+(* Tests for the standard object library: file, key-value store, queue
+   and barrier units — each through the full machinery (typed classes,
+   deactivation round trips, concurrent callers). *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Well_known = Legion_core.Well_known
+module Std = Legion_objects.Std_parts
+module System = Legion.System
+module Api = Legion.Api
+module H = Helpers
+
+let boot () =
+  Std.register ();
+  H.register_counter_unit ();
+  Legion.System.boot ~seed:71L ~sites:[ ("a", 3); ("b", 3) ] ()
+
+let derive sys ctx ~name ~unit_ ~idl =
+  Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name
+    ~units:[ unit_ ] ~idl ~typed:true ()
+
+let bounce sys ctx loid =
+  (* Deactivate wherever it is; the next call reactivates. *)
+  let deactivated =
+    List.exists
+      (fun m ->
+        match Api.call sys ctx ~dst:m ~meth:"Deactivate" ~args:[ Loid.to_value loid ] with
+        | Ok _ -> true
+        | Error _ -> false)
+      (System.magistrates sys)
+  in
+  Alcotest.(check bool) "deactivated" true deactivated
+
+(* --- File --- *)
+
+let test_file () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = derive sys ctx ~name:"File" ~unit_:Std.file_unit ~idl:Std.file_idl in
+  let f = Api.create_object_exn sys ctx ~cls () in
+  (match Api.call_exn sys ctx ~dst:f ~meth:"Write" ~args:[ Value.Str "one" ] with
+  | Value.Int 1 -> ()
+  | v -> Alcotest.failf "Write: %s" (Value.to_string v));
+  (match Api.call_exn sys ctx ~dst:f ~meth:"Append" ~args:[ Value.Str " two" ] with
+  | Value.Int 2 -> ()
+  | v -> Alcotest.failf "Append: %s" (Value.to_string v));
+  Alcotest.(check int) "size" 7
+    (H.int_exn (Api.call_exn sys ctx ~dst:f ~meth:"Size" ~args:[]));
+  bounce sys ctx f;
+  match Api.call_exn sys ctx ~dst:f ~meth:"Read" ~args:[] with
+  | Value.Record fields ->
+      Alcotest.(check bool) "contents survive" true
+        (List.assoc_opt "data" fields = Some (Value.Str "one two"));
+      Alcotest.(check bool) "version survives" true
+        (List.assoc_opt "version" fields = Some (Value.Int 2))
+  | v -> Alcotest.failf "Read: %s" (Value.to_string v)
+
+(* --- Key-value store --- *)
+
+let test_kv () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = derive sys ctx ~name:"Kv" ~unit_:Std.kv_unit ~idl:Std.kv_idl in
+  let kv = Api.create_object_exn sys ctx ~cls () in
+  ignore
+    (Api.call_exn sys ctx ~dst:kv ~meth:"Put"
+       ~args:[ Value.Str "a"; Value.Int 1 ]);
+  ignore
+    (Api.call_exn sys ctx ~dst:kv ~meth:"Put"
+       ~args:[ Value.Str "b"; Value.List [ Value.Str "nested" ] ]);
+  Alcotest.(check int) "count" 2
+    (H.int_exn (Api.call_exn sys ctx ~dst:kv ~meth:"Count" ~args:[]));
+  (* Overwrite. *)
+  ignore (Api.call_exn sys ctx ~dst:kv ~meth:"Put" ~args:[ Value.Str "a"; Value.Int 7 ]);
+  Alcotest.(check int) "still 2 keys" 2
+    (H.int_exn (Api.call_exn sys ctx ~dst:kv ~meth:"Count" ~args:[]));
+  (match Api.call_exn sys ctx ~dst:kv ~meth:"GetKey" ~args:[ Value.Str "a" ] with
+  | Value.Int 7 -> ()
+  | v -> Alcotest.failf "GetKey: %s" (Value.to_string v));
+  (* Missing keys are a definitive Not_bound. *)
+  (match Api.call sys ctx ~dst:kv ~meth:"GetKey" ~args:[ Value.Str "zzz" ] with
+  | Error (Err.Not_bound _) -> ()
+  | _ -> Alcotest.fail "missing key must be not_bound");
+  bounce sys ctx kv;
+  (match Api.call_exn sys ctx ~dst:kv ~meth:"Keys" ~args:[] with
+  | Value.List [ Value.Str "a"; Value.Str "b" ] -> ()
+  | v -> Alcotest.failf "Keys after bounce: %s" (Value.to_string v));
+  (match Api.call_exn sys ctx ~dst:kv ~meth:"DeleteKey" ~args:[ Value.Str "a" ] with
+  | Value.Bool true -> ()
+  | v -> Alcotest.failf "DeleteKey: %s" (Value.to_string v));
+  match Api.call_exn sys ctx ~dst:kv ~meth:"DeleteKey" ~args:[ Value.Str "a" ] with
+  | Value.Bool false -> ()
+  | v -> Alcotest.failf "DeleteKey twice: %s" (Value.to_string v)
+
+(* --- Queue --- *)
+
+let test_queue () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls = derive sys ctx ~name:"Queue" ~unit_:Std.queue_unit ~idl:Std.queue_idl in
+  let q = Api.create_object_exn sys ctx ~cls () in
+  (match Api.call sys ctx ~dst:q ~meth:"Pop" ~args:[] with
+  | Error (Err.Not_bound _) -> ()
+  | _ -> Alcotest.fail "empty pop must be not_bound");
+  List.iter
+    (fun i -> ignore (Api.call_exn sys ctx ~dst:q ~meth:"Push" ~args:[ Value.Int i ]))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3
+    (H.int_exn (Api.call_exn sys ctx ~dst:q ~meth:"Length" ~args:[]));
+  bounce sys ctx q;
+  (* FIFO order survives the round trip. *)
+  List.iter
+    (fun expect ->
+      match Api.call_exn sys ctx ~dst:q ~meth:"Pop" ~args:[] with
+      | Value.Int v -> Alcotest.(check int) "fifo" expect v
+      | v -> Alcotest.failf "Pop: %s" (Value.to_string v))
+    [ 1; 2; 3 ]
+
+let test_queue_producers_consumers () =
+  (* Two producers at one site, two consumers at the other, through one
+     queue object: everything pushed is popped exactly once. *)
+  let sys = boot () in
+  let p1 = System.client sys ~site:0 () in
+  let p2 = System.client sys ~site:0 () in
+  let c1 = System.client sys ~site:1 () in
+  let c2 = System.client sys ~site:1 () in
+  let cls = derive sys p1 ~name:"WorkQueue" ~unit_:Std.queue_unit ~idl:Std.queue_idl in
+  let q = Api.create_object_exn sys p1 ~cls ~eager:true () in
+  for i = 1 to 10 do
+    let producer = if i mod 2 = 0 then p1 else p2 in
+    ignore (Api.call_exn sys producer ~dst:q ~meth:"Push" ~args:[ Value.Int i ])
+  done;
+  let popped = ref [] in
+  let rec drain consumer =
+    match Api.call sys consumer ~dst:q ~meth:"Pop" ~args:[] with
+    | Ok (Value.Int v) ->
+        popped := v :: !popped;
+        drain consumer
+    | Ok v -> Alcotest.failf "Pop: %s" (Value.to_string v)
+    | Error (Err.Not_bound _) -> ()
+    | Error e -> Alcotest.failf "Pop: %s" (Err.to_string e)
+  in
+  (* Consumers alternate drains; between them they get everything. *)
+  drain c1;
+  drain c2;
+  Alcotest.(check (list int)) "exactly once, in order" (List.init 10 (fun i -> i + 1))
+    (List.rev !popped)
+
+(* --- Barrier --- *)
+
+let test_barrier () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    derive sys ctx ~name:"Barrier" ~unit_:Std.barrier_unit ~idl:Std.barrier_idl
+  in
+  let b = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  ignore (Api.call_exn sys ctx ~dst:b ~meth:"Configure" ~args:[ Value.Int 3 ]);
+  (* Three parties arrive asynchronously; none is released until the
+     last one arrives. *)
+  let released = ref [] in
+  let parties =
+    List.init 3 (fun i ->
+        let c = System.client sys ~site:(i mod 2) () in
+        (i, c))
+  in
+  (* Arrive blocks until the phase completes: callers raise their
+     deadline so the comm layer does not retry a deferred reply. *)
+  List.iter
+    (fun (i, c) ->
+      Runtime.invoke c ~timeout:3600.0 ~dst:b ~meth:"Arrive" ~args:[] (fun r ->
+          match r with
+          | Ok (Value.Int n) -> released := (i, n) :: !released
+          | Ok _ | Error _ -> ()))
+    parties;
+  System.run sys;
+  Alcotest.(check int) "all released together" 3 (List.length !released);
+  List.iter
+    (fun (_, n) -> Alcotest.(check int) "arrival count" 3 n)
+    !released;
+  Alcotest.(check int) "barrier empty again" 0
+    (H.int_exn (Api.call_exn sys ctx ~dst:b ~meth:"Waiting" ~args:[]));
+  (* Reconfiguring with waiters releases them with a refusal. *)
+  let got_refused = ref false in
+  Runtime.invoke ctx ~timeout:3600.0 ~dst:b ~meth:"Arrive" ~args:[] (fun r ->
+      match r with Error (Err.Refused _) -> got_refused := true | _ -> ());
+  System.run_for sys 1.0;
+  ignore (Api.call_exn sys ctx ~dst:b ~meth:"Configure" ~args:[ Value.Int 2 ]);
+  Alcotest.(check bool) "waiter released on reconfigure" true !got_refused
+
+let test_barrier_waiting_count () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    derive sys ctx ~name:"Barrier2" ~unit_:Std.barrier_unit ~idl:Std.barrier_idl
+  in
+  let b = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  ignore (Api.call_exn sys ctx ~dst:b ~meth:"Configure" ~args:[ Value.Int 5 ]);
+  let other = System.client sys () in
+  Runtime.invoke other ~timeout:3600.0 ~dst:b ~meth:"Arrive" ~args:[] (fun _ -> ());
+  System.run_for sys 1.0;
+  Alcotest.(check int) "one waiting" 1
+    (H.int_exn (Api.call_exn sys ctx ~dst:b ~meth:"Waiting" ~args:[]))
+
+(* --- Lock --- *)
+
+let test_lock_mutual_exclusion () =
+  let sys = boot () in
+  let owner = System.client sys () in
+  let cls = derive sys owner ~name:"Lock" ~unit_:Std.lock_unit ~idl:Std.lock_idl in
+  let lock = Api.create_object_exn sys owner ~cls ~eager:true () in
+  let alice = System.client sys ~site:0 () in
+  let bob = System.client sys ~site:1 () in
+  (* Alice acquires immediately. *)
+  (match Api.call sys alice ~dst:lock ~meth:"Acquire" ~args:[] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "acquire: %s" (Err.to_string e));
+  (match Api.call sys owner ~dst:lock ~meth:"Holder" ~args:[] with
+  | Ok v -> (
+      match Loid.of_value v with
+      | Ok h ->
+          Alcotest.check H.loid_t "alice holds it"
+            (Runtime.proc_loid alice.Runtime.self) h
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.failf "holder: %s" (Err.to_string e));
+  (* Bob's acquire defers; a long deadline avoids comm-layer retries. *)
+  let bob_got_it = ref false in
+  Runtime.invoke bob ~timeout:3600.0 ~dst:lock ~meth:"Acquire" ~args:[] (fun r ->
+      match r with Ok _ -> bob_got_it := true | Error _ -> ());
+  System.run_for sys 1.0;
+  Alcotest.(check bool) "bob still waiting" false !bob_got_it;
+  Alcotest.(check int) "queue length" 1
+    (H.int_exn (Api.call_exn sys owner ~dst:lock ~meth:"QueueLength" ~args:[]));
+  (* Bob cannot release what he does not hold. *)
+  (match Api.call sys bob ~dst:lock ~meth:"Release" ~args:[] with
+  | Error (Err.Refused _) -> ()
+  | _ -> Alcotest.fail "non-holder released");
+  (* Alice releases: bob is granted. *)
+  (match Api.call sys alice ~dst:lock ~meth:"Release" ~args:[] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "release: %s" (Err.to_string e));
+  System.run sys;
+  Alcotest.(check bool) "bob granted" true !bob_got_it;
+  (* Releasing a free lock (after bob releases) is refused. *)
+  (match Api.call sys bob ~dst:lock ~meth:"Release" ~args:[] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "bob release: %s" (Err.to_string e));
+  match Api.call sys bob ~dst:lock ~meth:"Release" ~args:[] with
+  | Error (Err.Refused _) -> ()
+  | _ -> Alcotest.fail "double release accepted"
+
+let test_lock_fifo_handoff () =
+  let sys = boot () in
+  let owner = System.client sys () in
+  let cls = derive sys owner ~name:"Lock2" ~unit_:Std.lock_unit ~idl:Std.lock_idl in
+  let lock = Api.create_object_exn sys owner ~cls ~eager:true () in
+  ignore (Api.call_exn sys owner ~dst:lock ~meth:"Acquire" ~args:[]);
+  let order = ref [] in
+  let contenders = List.init 3 (fun i -> (i, System.client sys ~site:(i mod 2) ())) in
+  (* Stagger the requests so arrival order is deterministic. *)
+  List.iter
+    (fun (i, c) ->
+      Runtime.invoke c ~timeout:3600.0 ~dst:lock ~meth:"Acquire" ~args:[] (fun r ->
+          match r with
+          | Ok _ ->
+              order := i :: !order;
+              (* Immediately pass it on. *)
+              Runtime.invoke c ~dst:lock ~meth:"Release" ~args:[] (fun _ -> ())
+          | Error _ -> ());
+      System.run_for sys 0.5)
+    contenders;
+  ignore (Api.call_exn sys owner ~dst:lock ~meth:"Release" ~args:[]);
+  System.run sys;
+  Alcotest.(check (list int)) "FIFO grant order" [ 0; 1; 2 ] (List.rev !order)
+
+(* --- Tuple space --- *)
+
+let tuple vs = Value.List vs
+
+let test_tspace_basics () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    derive sys ctx ~name:"TSpace" ~unit_:Std.tspace_unit ~idl:Std.tspace_idl
+  in
+  let ts = Api.create_object_exn sys ctx ~cls () in
+  (* Deposit a few tuples. *)
+  List.iter
+    (fun t -> ignore (Api.call_exn sys ctx ~dst:ts ~meth:"Out" ~args:[ t ]))
+    [
+      tuple [ Value.Str "job"; Value.Int 1 ];
+      tuple [ Value.Str "job"; Value.Int 2 ];
+      tuple [ Value.Str "result"; Value.Int 10 ];
+    ];
+  Alcotest.(check int) "size" 3
+    (H.int_exn (Api.call_exn sys ctx ~dst:ts ~meth:"Size" ~args:[]));
+  (* Rd matches without removing; wildcard "_" is the formal. *)
+  (match
+     Api.call_exn sys ctx ~dst:ts ~meth:"Rd"
+       ~args:[ tuple [ Value.Str "job"; Value.Str "_" ] ]
+   with
+  | Value.List [ Value.Str "job"; Value.Int 1 ] -> ()
+  | v -> Alcotest.failf "Rd: %s" (Value.to_string v));
+  Alcotest.(check int) "rd kept it" 3
+    (H.int_exn (Api.call_exn sys ctx ~dst:ts ~meth:"Size" ~args:[]));
+  (* In takes destructively, matching by actual value. *)
+  (match
+     Api.call_exn sys ctx ~dst:ts ~meth:"In"
+       ~args:[ tuple [ Value.Str "job"; Value.Int 2 ] ]
+   with
+  | Value.List [ Value.Str "job"; Value.Int 2 ] -> ()
+  | v -> Alcotest.failf "In: %s" (Value.to_string v));
+  Alcotest.(check int) "in removed it" 2
+    (H.int_exn (Api.call_exn sys ctx ~dst:ts ~meth:"Size" ~args:[]));
+  (* Try* are non-blocking. *)
+  (match
+     Api.call sys ctx ~dst:ts ~meth:"TryIn"
+       ~args:[ tuple [ Value.Str "nope"; Value.Str "_" ] ]
+   with
+  | Error (Err.Not_bound _) -> ()
+  | _ -> Alcotest.fail "TryIn must not block");
+  (* Pattern arity matters: a 1-element pattern matches no 2-tuples. *)
+  match
+    Api.call sys ctx ~dst:ts ~meth:"TryRd" ~args:[ tuple [ Value.Str "_" ] ]
+  with
+  | Error (Err.Not_bound _) -> ()
+  | _ -> Alcotest.fail "arity ignored"
+
+let test_tspace_blocking_in () =
+  (* A consumer's In defers until a producer's Out arrives — Linda's
+     rendezvous, over Legion deferred replies. *)
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    derive sys ctx ~name:"TSpace2" ~unit_:Std.tspace_unit ~idl:Std.tspace_idl
+  in
+  let ts = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  let consumer = System.client sys ~site:1 () in
+  let got = ref None in
+  Runtime.invoke consumer ~timeout:3600.0 ~dst:ts ~meth:"In"
+    ~args:[ tuple [ Value.Str "answer"; Value.Str "_" ] ]
+    (fun r -> match r with Ok v -> got := Some v | Error _ -> ());
+  System.run_for sys 1.0;
+  Alcotest.(check bool) "still waiting" true (!got = None);
+  ignore
+    (Api.call_exn sys ctx ~dst:ts ~meth:"Out"
+       ~args:[ tuple [ Value.Str "answer"; Value.Int 42 ] ]);
+  System.run sys;
+  (match !got with
+  | Some (Value.List [ Value.Str "answer"; Value.Int 42 ]) -> ()
+  | Some v -> Alcotest.failf "wrong tuple: %s" (Value.to_string v)
+  | None -> Alcotest.fail "consumer never released");
+  Alcotest.(check int) "space empty" 0
+    (H.int_exn (Api.call_exn sys ctx ~dst:ts ~meth:"Size" ~args:[]))
+
+let test_tspace_flush_releases_waiters () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    derive sys ctx ~name:"TSpace4" ~unit_:Std.tspace_unit ~idl:Std.tspace_idl
+  in
+  let ts = Api.create_object_exn sys ctx ~cls ~eager:true () in
+  ignore
+    (Api.call_exn sys ctx ~dst:ts ~meth:"Out" ~args:[ tuple [ Value.Int 1 ] ]);
+  let waiter_result = ref None in
+  let w = System.client sys ~site:1 () in
+  Runtime.invoke w ~timeout:3600.0 ~dst:ts ~meth:"In"
+    ~args:[ tuple [ Value.Str "never"; Value.Str "_" ] ]
+    (fun r -> waiter_result := Some r);
+  System.run_for sys 1.0;
+  (match Api.call_exn sys ctx ~dst:ts ~meth:"Flush" ~args:[] with
+  | Value.Int 1 -> ()
+  | v -> Alcotest.failf "Flush: %s" (Value.to_string v));
+  System.run_for sys 1.0;
+  (match !waiter_result with
+  | Some (Error (Err.Refused _)) -> ()
+  | Some _ -> Alcotest.fail "waiter released oddly"
+  | None -> Alcotest.fail "waiter not released");
+  Alcotest.(check int) "empty" 0
+    (H.int_exn (Api.call_exn sys ctx ~dst:ts ~meth:"Size" ~args:[]))
+
+let test_tspace_persists () =
+  let sys = boot () in
+  let ctx = System.client sys () in
+  let cls =
+    derive sys ctx ~name:"TSpace3" ~unit_:Std.tspace_unit ~idl:Std.tspace_idl
+  in
+  let ts = Api.create_object_exn sys ctx ~cls () in
+  ignore
+    (Api.call_exn sys ctx ~dst:ts ~meth:"Out"
+       ~args:[ tuple [ Value.Str "kept"; Value.Int 1 ] ]);
+  bounce sys ctx ts;
+  match
+    Api.call_exn sys ctx ~dst:ts ~meth:"TryRd"
+      ~args:[ tuple [ Value.Str "kept"; Value.Str "_" ] ]
+  with
+  | Value.List _ -> ()
+  | v -> Alcotest.failf "tuple lost: %s" (Value.to_string v)
+
+(* --- Model-based properties: random op sequences (with deactivation
+   bounces mixed in) agree with reference structures. --- *)
+
+type kv_op = KPut of int * int | KGet of int | KDel of int | KBounce
+
+let kv_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> KPut (abs k mod 6, v)) int small_int);
+        (3, map (fun k -> KGet (abs k mod 6)) int);
+        (2, map (fun k -> KDel (abs k mod 6)) int);
+        (1, return KBounce);
+      ])
+
+let kv_model_prop =
+  QCheck.Test.make ~name:"kv agrees with a map model" ~count:20
+    (QCheck.make
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | KPut (k, v) -> Printf.sprintf "Put(%d,%d)" k v
+                | KGet k -> Printf.sprintf "Get(%d)" k
+                | KDel k -> Printf.sprintf "Del(%d)" k
+                | KBounce -> "Bounce")
+              ops))
+       QCheck.Gen.(list_size (1 -- 20) kv_op_gen))
+    (fun ops ->
+      let sys = boot () in
+      let ctx = System.client sys () in
+      let cls = derive sys ctx ~name:"KvM" ~unit_:Std.kv_unit ~idl:Std.kv_idl in
+      let kv = Api.create_object_exn sys ctx ~cls () in
+      let model : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let key k = Printf.sprintf "k%d" k in
+      List.for_all
+        (fun op ->
+          match op with
+          | KPut (k, v) -> (
+              Hashtbl.replace model (key k) v;
+              match
+                Api.call sys ctx ~dst:kv ~meth:"Put"
+                  ~args:[ Value.Str (key k); Value.Int v ]
+              with
+              | Ok _ -> true
+              | Error _ -> false)
+          | KGet k -> (
+              match
+                ( Api.call sys ctx ~dst:kv ~meth:"GetKey" ~args:[ Value.Str (key k) ],
+                  Hashtbl.find_opt model (key k) )
+              with
+              | Ok (Value.Int v), Some v' -> v = v'
+              | Error (Err.Not_bound _), None -> true
+              | _ -> false)
+          | KDel k -> (
+              let present = Hashtbl.mem model (key k) in
+              Hashtbl.remove model (key k);
+              match
+                Api.call sys ctx ~dst:kv ~meth:"DeleteKey" ~args:[ Value.Str (key k) ]
+              with
+              | Ok (Value.Bool b) -> b = present
+              | _ -> false)
+          | KBounce ->
+              List.exists
+                (fun m ->
+                  match
+                    Api.call sys ctx ~dst:m ~meth:"Deactivate"
+                      ~args:[ Loid.to_value kv ]
+                  with
+                  | Ok _ -> true
+                  | Error _ -> false)
+                (System.magistrates sys))
+        ops)
+
+type q_op = QPush of int | QPop | QBounce
+
+let q_op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, map (fun v -> QPush v) small_int); (3, return QPop); (1, return QBounce) ])
+
+let queue_model_prop =
+  QCheck.Test.make ~name:"queue agrees with a fifo model" ~count:20
+    (QCheck.make
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | QPush v -> Printf.sprintf "Push(%d)" v
+                | QPop -> "Pop"
+                | QBounce -> "Bounce")
+              ops))
+       QCheck.Gen.(list_size (1 -- 20) q_op_gen))
+    (fun ops ->
+      let sys = boot () in
+      let ctx = System.client sys () in
+      let cls = derive sys ctx ~name:"QM" ~unit_:Std.queue_unit ~idl:Std.queue_idl in
+      let q = Api.create_object_exn sys ctx ~cls () in
+      let model : int Queue.t = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | QPush v -> (
+              Queue.push v model;
+              match Api.call sys ctx ~dst:q ~meth:"Push" ~args:[ Value.Int v ] with
+              | Ok (Value.Int n) -> n = Queue.length model
+              | _ -> false)
+          | QPop -> (
+              match (Api.call sys ctx ~dst:q ~meth:"Pop" ~args:[], Queue.take_opt model) with
+              | Ok (Value.Int v), Some v' -> v = v'
+              | Error (Err.Not_bound _), None -> true
+              | _ -> false)
+          | QBounce ->
+              List.exists
+                (fun m ->
+                  match
+                    Api.call sys ctx ~dst:m ~meth:"Deactivate" ~args:[ Loid.to_value q ]
+                  with
+                  | Ok _ -> true
+                  | Error _ -> false)
+                (System.magistrates sys))
+        ops)
+
+let () =
+  Alcotest.run "objects"
+    [
+      ("file", [ Alcotest.test_case "versioned contents" `Quick test_file ]);
+      ("kv", [ Alcotest.test_case "map semantics" `Quick test_kv ]);
+      ( "queue",
+        [
+          Alcotest.test_case "fifo across deactivation" `Quick test_queue;
+          Alcotest.test_case "producers and consumers" `Quick
+            test_queue_producers_consumers;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "n-party release" `Quick test_barrier;
+          Alcotest.test_case "waiting count" `Quick test_barrier_waiting_count;
+        ] );
+      ( "lock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_lock_mutual_exclusion;
+          Alcotest.test_case "FIFO handoff" `Quick test_lock_fifo_handoff;
+        ] );
+      ( "tuple space",
+        [
+          Alcotest.test_case "out/in/rd semantics" `Quick test_tspace_basics;
+          Alcotest.test_case "blocking In rendezvous" `Quick test_tspace_blocking_in;
+          Alcotest.test_case "tuples persist" `Quick test_tspace_persists;
+          Alcotest.test_case "Flush releases waiters" `Quick
+            test_tspace_flush_releases_waiters;
+        ] );
+      ( "models",
+        [
+          QCheck_alcotest.to_alcotest kv_model_prop;
+          QCheck_alcotest.to_alcotest queue_model_prop;
+        ] );
+    ]

@@ -1,0 +1,458 @@
+(* Tests for the object runtime: process lifecycle, the RPC protocol,
+   address semantics, timeouts, and the stale-binding machinery. *)
+
+module Engine = Legion_sim.Engine
+module Network = Legion_net.Network
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
+module Binding = Legion_naming.Binding
+module Counter = Legion_util.Counter
+module Prng = Legion_util.Prng
+module Env = Legion_sec.Env
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+
+let loid i = Loid.make ~class_id:50L ~class_specific:(Int64.of_int i) ()
+
+type fixture = {
+  sim : Engine.t;
+  rt : Runtime.t;
+  net : Network.t;
+  hosts : int list;
+}
+
+let make_fixture ?config ?(hosts_per_site = 2) ?(sites = 2) () =
+  let sim = Engine.create () in
+  let prng = Prng.create ~seed:1L in
+  let registry = Counter.Registry.create () in
+  let net = Network.create ~sim ~prng:(Prng.split prng) () in
+  let hosts =
+    List.concat_map
+      (fun s ->
+        let sid = Network.add_site net ~name:(Printf.sprintf "s%d" s) in
+        List.init hosts_per_site (fun i ->
+            Network.add_host net ~site:sid ~name:(Printf.sprintf "s%d-h%d" s i)))
+      (List.init sites (fun s -> s))
+  in
+  let rt = Runtime.create ~sim ~net ~registry ~prng:(Prng.split prng) ?config () in
+  { sim; rt; net; hosts }
+
+(* An echo object: replies with its argument; "Fail" replies an error;
+   "Silent" never replies (for timeout tests). *)
+let echo_handler : Runtime.handler =
+ fun _ctx call k ->
+  match call.Runtime.meth with
+  | "Echo" -> k (Ok (Value.List call.Runtime.args))
+  | "Fail" -> k (Error (Err.Refused "no"))
+  | "Silent" -> ()
+  | m -> k (Error (Err.No_such_method m))
+
+let spawn_echo f ~host ~id =
+  Runtime.spawn f.rt ~host ~loid:(loid id) ~kind:"app" ~handler:echo_handler ()
+
+let spawn_client f ~host ~id =
+  Runtime.spawn f.rt ~host ~loid:(loid id) ~kind:"client"
+    ~handler:(fun _ _ k -> k (Error (Err.Refused "client")))
+    ()
+
+let sync f start =
+  let r = ref None in
+  start (fun x -> r := Some x);
+  Engine.run f.sim;
+  match !r with Some x -> x | None -> Alcotest.fail "no reply before quiescence"
+
+let call f ctx ~dst_proc ~meth ~args =
+  sync f (fun k ->
+      Runtime.invoke_address ctx
+        ~address:(Runtime.address_of dst_proc)
+        ~dst:(Runtime.proc_loid dst_proc) ~meth ~args
+        ~env:(Env.of_self (Runtime.proc_loid ctx.Runtime.self))
+        k)
+
+let test_spawn_and_echo () =
+  let f = make_fixture () in
+  let server = spawn_echo f ~host:(List.nth f.hosts 1) ~id:1 in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  (match call f ctx ~dst_proc:server ~meth:"Echo" ~args:[ Value.Int 42 ] with
+  | Ok (Value.List [ Value.Int 42 ]) -> ()
+  | Ok v -> Alcotest.failf "bad echo: %s" (Value.to_string v)
+  | Error e -> Alcotest.failf "echo failed: %s" (Err.to_string e));
+  Alcotest.(check int) "server counted one request" 1 (Runtime.requests_of server);
+  Alcotest.(check int) "runtime delivered one call" 1
+    (Runtime.total_calls_delivered f.rt)
+
+let test_error_reply () =
+  let f = make_fixture () in
+  let server = spawn_echo f ~host:(List.nth f.hosts 1) ~id:1 in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  match call f ctx ~dst_proc:server ~meth:"Fail" ~args:[] with
+  | Error (Err.Refused "no") -> ()
+  | r ->
+      Alcotest.failf "expected refusal, got %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e)
+
+let test_timeout () =
+  let f = make_fixture ~config:{ Runtime.default_config with call_timeout = 0.5 } () in
+  let server = spawn_echo f ~host:(List.nth f.hosts 1) ~id:1 in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  (match call f ctx ~dst_proc:server ~meth:"Silent" ~args:[] with
+  | Error Err.Timeout -> ()
+  | r ->
+      Alcotest.failf "expected timeout, got %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e));
+  Alcotest.(check bool) "timed out at configured deadline" true
+    (Engine.now f.sim >= 0.5)
+
+let test_kill_and_no_such_object () =
+  let f = make_fixture () in
+  let server = spawn_echo f ~host:(List.nth f.hosts 1) ~id:1 in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  Runtime.kill f.rt server;
+  Alcotest.(check bool) "not live" false (Runtime.is_live server);
+  Alcotest.(check bool) "no placements" true
+    (Runtime.placements f.rt (loid 1) = []);
+  match call f ctx ~dst_proc:server ~meth:"Echo" ~args:[] with
+  | Error Err.No_such_object -> ()
+  | r ->
+      Alcotest.failf "expected no_such_object, got %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e)
+
+let test_loid_mismatch_rejected () =
+  (* A message routed to the right slot but naming a different LOID must
+     be rejected: the slot was reused by another object. *)
+  let f = make_fixture () in
+  let server = spawn_echo f ~host:(List.nth f.hosts 1) ~id:1 in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  let wrong = loid 99 in
+  match
+    sync f (fun k ->
+        Runtime.invoke_address ctx ~address:(Runtime.address_of server) ~dst:wrong
+          ~meth:"Echo" ~args:[] ~env:(Env.of_self (loid 2)) k)
+  with
+  | Error Err.No_such_object -> ()
+  | _ -> Alcotest.fail "mismatched loid accepted"
+
+let test_replication_all_semantics () =
+  let f = make_fixture () in
+  let r1 = spawn_echo f ~host:(List.nth f.hosts 0) ~id:1 in
+  let r2 =
+    Runtime.spawn f.rt ~host:(List.nth f.hosts 2) ~loid:(loid 1) ~kind:"app"
+      ~handler:echo_handler ()
+  in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  let address =
+    Address.make ~semantic:Address.All
+      [ Runtime.element_of r1; Runtime.element_of r2 ]
+  in
+  (* Both replicas receive the call; the first reply wins. *)
+  (match
+     sync f (fun k ->
+         Runtime.invoke_address ctx ~address ~dst:(loid 1) ~meth:"Echo"
+           ~args:[ Value.Int 1 ] ~env:(Env.of_self (loid 2)) k)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "replicated call failed: %s" (Err.to_string e));
+  Alcotest.(check int) "replica 1 got it" 1 (Runtime.requests_of r1);
+  Alcotest.(check int) "replica 2 got it" 1 (Runtime.requests_of r2)
+
+let test_k_random_semantics () =
+  let f = make_fixture () in
+  let replicas =
+    List.init 3 (fun i ->
+        Runtime.spawn f.rt ~host:(List.nth f.hosts i) ~loid:(loid 1) ~kind:"app"
+          ~handler:echo_handler ())
+  in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  let address =
+    Address.make ~semantic:(Address.K_random 2) (List.map Runtime.element_of replicas)
+  in
+  (match
+     sync f (fun k ->
+         Runtime.invoke_address ctx ~address ~dst:(loid 1) ~meth:"Echo" ~args:[]
+           ~env:(Env.of_self (loid 2)) k)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "k-random call: %s" (Err.to_string e));
+  (* Exactly two of the three replicas were contacted. *)
+  let contacted =
+    List.length (List.filter (fun p -> Runtime.requests_of p = 1) replicas)
+  in
+  Alcotest.(check int) "two targets" 2 contacted
+
+let test_failover_semantics () =
+  let f = make_fixture ~config:{ Runtime.default_config with call_timeout = 0.3 } () in
+  let dead =
+    Runtime.spawn f.rt ~host:(List.nth f.hosts 0) ~loid:(loid 1) ~kind:"app"
+      ~handler:echo_handler ()
+  in
+  let live =
+    Runtime.spawn f.rt ~host:(List.nth f.hosts 2) ~loid:(loid 1) ~kind:"app"
+      ~handler:echo_handler ()
+  in
+  Runtime.kill f.rt dead;
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  let address =
+    Address.make ~semantic:Address.Ordered_failover
+      [ Runtime.element_of dead; Runtime.element_of live ]
+  in
+  (match
+     sync f (fun k ->
+         Runtime.invoke_address ctx ~address ~dst:(loid 1) ~meth:"Echo" ~args:[]
+           ~env:(Env.of_self (loid 2)) k)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "failover failed: %s" (Err.to_string e));
+  Alcotest.(check int) "live replica served" 1 (Runtime.requests_of live)
+
+let test_failover_stops_on_real_reply () =
+  (* Application errors must NOT fail over: only delivery failures do. *)
+  let f = make_fixture () in
+  let refuser =
+    Runtime.spawn f.rt ~host:(List.nth f.hosts 0) ~loid:(loid 1) ~kind:"app"
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "policy")))
+      ()
+  in
+  let fallback =
+    Runtime.spawn f.rt ~host:(List.nth f.hosts 2) ~loid:(loid 1) ~kind:"app"
+      ~handler:echo_handler ()
+  in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  let address =
+    Address.make ~semantic:Address.Ordered_failover
+      [ Runtime.element_of refuser; Runtime.element_of fallback ]
+  in
+  (match
+     sync f (fun k ->
+         Runtime.invoke_address ctx ~address ~dst:(loid 1) ~meth:"Echo" ~args:[]
+           ~env:(Env.of_self (loid 2)) k)
+   with
+  | Error (Err.Refused _) -> ()
+  | r ->
+      Alcotest.failf "expected refusal, got %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e));
+  Alcotest.(check int) "fallback not consulted" 0 (Runtime.requests_of fallback)
+
+(* A toy Binding Agent handler good enough for the comm-layer tests: it
+   serves bindings from a mutable table. *)
+let table_agent table : Runtime.handler =
+ fun ctx call k ->
+  match (call.Runtime.meth, call.Runtime.args) with
+  | "GetBinding", [ arg ] -> (
+      let target =
+        match Loid.of_value arg with
+        | Ok l -> Ok l
+        | Error _ -> Result.map Binding.loid (Binding.of_value arg)
+      in
+      match target with
+      | Error _ -> k (Error (Err.Bad_args "GetBinding"))
+      | Ok target -> (
+          match Loid.Table.find table target with
+          | Some proc ->
+              (* Serve the table entry even if the process has died —
+                 exactly the staleness the comm layer must survive. *)
+              k (Ok (Binding.to_value (Runtime.binding_of ctx.Runtime.rt proc)))
+          | None -> k (Error (Err.Not_bound "unknown"))))
+  | _ -> k (Error (Err.No_such_method call.Runtime.meth))
+
+let test_invoke_resolves_via_agent () =
+  let f = make_fixture () in
+  let table = Loid.Table.create () in
+  let agent =
+    Runtime.spawn f.rt ~host:(List.hd f.hosts) ~loid:(loid 100)
+      ~kind:"binding_agent" ~handler:(table_agent table) ()
+  in
+  let server = spawn_echo f ~host:(List.nth f.hosts 3) ~id:1 in
+  Loid.Table.set table (loid 1) server;
+  let client =
+    Runtime.spawn f.rt ~host:(List.hd f.hosts) ~loid:(loid 2) ~kind:"client"
+      ~binding_agent:(Runtime.address_of agent)
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "client")))
+      ()
+  in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  (match
+     sync f (fun k -> Runtime.invoke ctx ~dst:(loid 1) ~meth:"Echo" ~args:[] k)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "resolve+call failed: %s" (Err.to_string e));
+  Alcotest.(check int) "agent consulted once" 1 (Runtime.requests_of agent);
+  (* Second call: served from the client's comm cache, agent idle. *)
+  (match
+     sync f (fun k -> Runtime.invoke ctx ~dst:(loid 1) ~meth:"Echo" ~args:[] k)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "cached call failed: %s" (Err.to_string e));
+  Alcotest.(check int) "cache hit, no new agent traffic" 1
+    (Runtime.requests_of agent)
+
+let test_stale_binding_rebind () =
+  (* The object migrates; the client's cached binding fails; the comm
+     layer refreshes through the agent and retries (§4.1.4). *)
+  let f = make_fixture () in
+  let table = Loid.Table.create () in
+  let agent =
+    Runtime.spawn f.rt ~host:(List.hd f.hosts) ~loid:(loid 100)
+      ~kind:"binding_agent" ~handler:(table_agent table) ()
+  in
+  let server_v1 = spawn_echo f ~host:(List.nth f.hosts 1) ~id:1 in
+  Loid.Table.set table (loid 1) server_v1;
+  let client =
+    Runtime.spawn f.rt ~host:(List.hd f.hosts) ~loid:(loid 2) ~kind:"client"
+      ~binding_agent:(Runtime.address_of agent)
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "client")))
+      ()
+  in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  (match
+     sync f (fun k -> Runtime.invoke ctx ~dst:(loid 1) ~meth:"Echo" ~args:[] k)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first call: %s" (Err.to_string e));
+  (* "Migrate": kill v1, start v2 elsewhere, update the agent's table. *)
+  Runtime.kill f.rt server_v1;
+  let server_v2 = spawn_echo f ~host:(List.nth f.hosts 3) ~id:1 in
+  Loid.Table.set table (loid 1) server_v2;
+  (match
+     sync f (fun k -> Runtime.invoke ctx ~dst:(loid 1) ~meth:"Echo" ~args:[] k)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-migration call: %s" (Err.to_string e));
+  Alcotest.(check int) "new placement served" 1 (Runtime.requests_of server_v2)
+
+let test_rebind_gives_up () =
+  let f =
+    make_fixture
+      ~config:{ Runtime.default_config with call_timeout = 0.2; max_rebinds = 2 }
+      ()
+  in
+  let table = Loid.Table.create () in
+  let agent =
+    Runtime.spawn f.rt ~host:(List.hd f.hosts) ~loid:(loid 100)
+      ~kind:"binding_agent" ~handler:(table_agent table) ()
+  in
+  let server = spawn_echo f ~host:(List.nth f.hosts 1) ~id:1 in
+  Loid.Table.set table (loid 1) server;
+  let client =
+    Runtime.spawn f.rt ~host:(List.hd f.hosts) ~loid:(loid 2) ~kind:"client"
+      ~binding_agent:(Runtime.address_of agent)
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "client")))
+      ()
+  in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  ignore (sync f (fun k -> Runtime.invoke ctx ~dst:(loid 1) ~meth:"Echo" ~args:[] k));
+  (* Kill the object but leave the agent's table stale: every rebind
+     returns the same dead address; the comm layer must give up. *)
+  Runtime.kill f.rt server;
+  match
+    sync f (fun k -> Runtime.invoke ctx ~dst:(loid 1) ~meth:"Echo" ~args:[] k)
+  with
+  | Error e when Err.is_delivery_failure e -> ()
+  | r ->
+      Alcotest.failf "expected delivery failure, got %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e)
+
+let test_no_agent_unreachable () =
+  let f = make_fixture () in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  match
+    sync f (fun k -> Runtime.invoke ctx ~dst:(loid 1) ~meth:"Echo" ~args:[] k)
+  with
+  | Error (Err.Unreachable _) -> ()
+  | _ -> Alcotest.fail "expected unreachable"
+
+let test_double_reply_ignored () =
+  (* A buggy handler replying twice must not corrupt the pending table:
+     the first reply wins, the duplicate is dropped. *)
+  let f = make_fixture () in
+  let server =
+    Runtime.spawn f.rt ~host:(List.nth f.hosts 1) ~loid:(loid 1) ~kind:"app"
+      ~handler:(fun _ _ k ->
+        k (Ok (Value.Int 1));
+        k (Ok (Value.Int 2)))
+      ()
+  in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  let replies = ref [] in
+  Runtime.invoke_address ctx ~address:(Runtime.address_of server) ~dst:(loid 1)
+    ~meth:"Echo" ~args:[] ~env:(Env.of_self (loid 2)) (fun r ->
+      replies := r :: !replies);
+  Engine.run f.sim;
+  (* Exactly-once delivery of the continuation; which duplicate wins
+     depends on network jitter. *)
+  match !replies with
+  | [ Ok (Value.Int (1 | 2)) ] -> ()
+  | rs -> Alcotest.failf "continuation fired %d times" (List.length rs)
+
+let test_seed_binding_skips_agent () =
+  let f = make_fixture () in
+  let server = spawn_echo f ~host:(List.nth f.hosts 1) ~id:1 in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  Runtime.seed_binding client (Runtime.binding_of f.rt server);
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  match
+    sync f (fun k -> Runtime.invoke ctx ~dst:(loid 1) ~meth:"Echo" ~args:[] k)
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "seeded call failed: %s" (Err.to_string e)
+
+let test_non_sim_element_unreachable () =
+  let f = make_fixture () in
+  let client = spawn_client f ~host:(List.hd f.hosts) ~id:2 in
+  let ctx = { Runtime.rt = f.rt; self = client } in
+  let address = Address.singleton (Address.Ip { host = 0x7F000001l; port = 80 }) in
+  match
+    sync f (fun k ->
+        Runtime.invoke_address ctx ~address ~dst:(loid 1) ~meth:"Echo" ~args:[]
+          ~env:(Env.of_self (loid 2)) k)
+  with
+  | Error (Err.Unreachable _) -> ()
+  | _ -> Alcotest.fail "IP element should be unroutable in simulation"
+
+let () =
+  Alcotest.run "rt"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "spawn and echo" `Quick test_spawn_and_echo;
+          Alcotest.test_case "error replies" `Quick test_error_reply;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "kill then no_such_object" `Quick
+            test_kill_and_no_such_object;
+          Alcotest.test_case "loid mismatch rejected" `Quick
+            test_loid_mismatch_rejected;
+        ] );
+      ( "addressing",
+        [
+          Alcotest.test_case "replication: All semantics" `Quick
+            test_replication_all_semantics;
+          Alcotest.test_case "ordered failover" `Quick test_failover_semantics;
+          Alcotest.test_case "K_random races k targets" `Quick test_k_random_semantics;
+          Alcotest.test_case "failover stops on real reply" `Quick
+            test_failover_stops_on_real_reply;
+          Alcotest.test_case "non-sim element unreachable" `Quick
+            test_non_sim_element_unreachable;
+        ] );
+      ( "binding",
+        [
+          Alcotest.test_case "resolution via agent + caching" `Quick
+            test_invoke_resolves_via_agent;
+          Alcotest.test_case "stale binding rebinds" `Quick test_stale_binding_rebind;
+          Alcotest.test_case "rebind gives up eventually" `Quick test_rebind_gives_up;
+          Alcotest.test_case "no agent means unreachable" `Quick
+            test_no_agent_unreachable;
+          Alcotest.test_case "seeded binding" `Quick test_seed_binding_skips_agent;
+          Alcotest.test_case "double reply ignored" `Quick test_double_reply_ignored;
+        ] );
+    ]

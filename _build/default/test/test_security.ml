@@ -1,0 +1,285 @@
+(* Tests for the security model (§2.4): call environments, policies,
+   MayI, and Magistrate-level site autonomy (§2.1.3's DOE story). *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Env = Legion_sec.Env
+module Policy = Legion_sec.Policy
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Object_part = Legion_core.Object_part
+module System = Legion.System
+module Api = Legion.Api
+module H = Helpers
+
+let l i = Loid.make ~class_id:70L ~class_specific:(Int64.of_int i) ()
+
+(* --- Env --- *)
+
+let test_env_roundtrip () =
+  let e = Env.make ~responsible:(l 1) ~security:(l 2) ~calling:(l 3) in
+  match Env.of_value (Env.to_value e) with
+  | Ok e' -> Alcotest.(check bool) "roundtrip" true (Env.equal e e')
+  | Error msg -> Alcotest.fail msg
+
+let test_env_delegate () =
+  let e = Env.make ~responsible:(l 1) ~security:(l 2) ~calling:(l 3) in
+  let d = Env.delegate e ~calling:(l 4) in
+  Alcotest.(check bool) "ra kept" true (Loid.equal d.Env.responsible (l 1));
+  Alcotest.(check bool) "sa kept" true (Loid.equal d.Env.security (l 2));
+  Alcotest.(check bool) "ca replaced" true (Loid.equal d.Env.calling (l 4));
+  let s = Env.of_self (l 9) in
+  Alcotest.(check bool) "self-sovereign" true
+    (Loid.equal s.Env.responsible (l 9) && Loid.equal s.Env.calling (l 9))
+
+(* --- Policies --- *)
+
+let env_from caller = Env.of_self caller
+
+let test_policy_basic () =
+  Alcotest.(check bool) "allow_all" true
+    (Policy.check Policy.Allow_all ~meth:"X" ~env:(env_from (l 1)) = Policy.Allow);
+  (match Policy.check (Policy.Deny_all "r") ~meth:"X" ~env:(env_from (l 1)) with
+  | Policy.Deny "r" -> ()
+  | _ -> Alcotest.fail "deny_all");
+  let p = Policy.allow_loids [ l 1; l 2 ] in
+  Alcotest.(check bool) "listed caller" true
+    (Policy.check p ~meth:"X" ~env:(env_from (l 1)) = Policy.Allow);
+  (match Policy.check p ~meth:"X" ~env:(env_from (l 3)) with
+  | Policy.Deny _ -> ()
+  | Policy.Allow -> Alcotest.fail "unlisted caller allowed")
+
+let test_policy_responsible () =
+  let p = Policy.Allow_responsible (Loid.Set.of_list [ l 1 ]) in
+  let e = Env.make ~responsible:(l 1) ~security:(l 5) ~calling:(l 9) in
+  Alcotest.(check bool) "trusted RA" true (Policy.check p ~meth:"X" ~env:e = Policy.Allow);
+  let e' = Env.make ~responsible:(l 2) ~security:(l 5) ~calling:(l 1) in
+  (match Policy.check p ~meth:"X" ~env:e' with
+  | Policy.Deny _ -> ()
+  | Policy.Allow -> Alcotest.fail "untrusted RA allowed")
+
+let test_policy_combinators () =
+  let p =
+    Policy.Deny_methods ([ "Delete" ], Policy.All_of [ Policy.Allow_all; Policy.Allow_all ])
+  in
+  Alcotest.(check bool) "other method ok" true
+    (Policy.check p ~meth:"Get" ~env:(env_from (l 1)) = Policy.Allow);
+  (match Policy.check p ~meth:"Delete" ~env:(env_from (l 1)) with
+  | Policy.Deny _ -> ()
+  | Policy.Allow -> Alcotest.fail "denied method allowed");
+  let conj = Policy.All_of [ Policy.Allow_all; Policy.Deny_all "nope" ] in
+  match Policy.check conj ~meth:"X" ~env:(env_from (l 1)) with
+  | Policy.Deny "nope" -> ()
+  | _ -> Alcotest.fail "conjunction must deny"
+
+let test_policy_custom_registry () =
+  Policy.register_custom "only-even"
+    (fun ~meth ~env:_ ->
+      if String.length meth mod 2 = 0 then Policy.Allow else Policy.Deny "odd");
+  let p = Policy.Custom ("only-even", Option.get (Policy.find_custom "only-even")) in
+  (* Round-trips through serialization by name. *)
+  (match Policy.of_value (Policy.to_value p) with
+  | Ok (Policy.Custom ("only-even", f)) ->
+      Alcotest.(check bool) "restored behaviour" true
+        (f ~meth:"ab" ~env:(env_from (l 1)) = Policy.Allow)
+  | _ -> Alcotest.fail "custom did not round-trip");
+  (* Unknown custom policies fail closed. *)
+  match
+    Policy.of_value
+      (Value.Record [ ("p", Value.Str "custom"); ("n", Value.Str "never-registered") ])
+  with
+  | Ok (Policy.Deny_all _) -> ()
+  | _ -> Alcotest.fail "unknown custom must decode to deny-all"
+
+let test_policy_roundtrip_structured () =
+  let p =
+    Policy.All_of
+      [
+        Policy.Allow_calling (Loid.Set.of_list [ l 1; l 2 ]);
+        Policy.Deny_methods ([ "A"; "B" ], Policy.Allow_responsible (Loid.Set.of_list [ l 3 ]));
+      ]
+  in
+  match Policy.of_value (Policy.to_value p) with
+  | Ok p' ->
+      (* Behavioural equivalence on a few probes. *)
+      List.iter
+        (fun (meth, caller) ->
+          let env = env_from caller in
+          Alcotest.(check bool)
+            (Printf.sprintf "same decision for %s" meth)
+            (Policy.check p ~meth ~env = Policy.Allow)
+            (Policy.check p' ~meth ~env = Policy.Allow))
+        [ ("A", l 1); ("C", l 1); ("C", l 9) ]
+  | Error e -> Alcotest.fail e
+
+(* --- End-to-end: object-level MayI --- *)
+
+let test_object_allowlist () =
+  let sys = H.boot_two_sites () in
+  let ctx_friend = System.client sys ~site:0 () in
+  let ctx_stranger = System.client sys ~site:1 () in
+  let friend_loid = Runtime.proc_loid ctx_friend.Runtime.self in
+  let cls = H.make_counter_class sys ctx_friend () in
+  (* Create an instance whose policy admits only the friend. *)
+  let policy = Policy.allow_loids [ friend_loid ] in
+  let loid =
+    Api.create_object_exn sys ctx_friend ~cls
+      ~init:
+        [ (Legion_core.Well_known.unit_object, Object_part.state_value ~policy ()) ]
+      ()
+  in
+  let v = Api.call_exn sys ctx_friend ~dst:loid ~meth:"Increment" ~args:[ Value.Int 1 ] in
+  Alcotest.(check int) "friend admitted" 1 (H.int_exn v);
+  (match Api.call sys ctx_stranger ~dst:loid ~meth:"Increment" ~args:[ Value.Int 1 ] with
+  | Error (Err.Refused _) -> ()
+  | r ->
+      Alcotest.failf "stranger not refused: %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e));
+  (* MayI tells the stranger in advance (§2.4). *)
+  match Api.call sys ctx_stranger ~dst:loid ~meth:"MayI" ~args:[ Value.Str "Increment" ] with
+  | Ok (Value.Bool false) -> ()
+  | _ -> Alcotest.fail "MayI must report the refusal"
+
+(* --- End-to-end: Magistrate site autonomy --- *)
+
+let test_magistrate_site_autonomy () =
+  (* The DOE story (§2.1.3): a Jurisdiction whose Magistrate only
+     accepts requests from Responsible Agents it trusts. *)
+  let sys = H.boot_two_sites () in
+  let ctx_trusted = System.client sys ~site:0 () in
+  let ctx_outsider = System.client sys ~site:1 () in
+  let trusted_loid = Runtime.proc_loid ctx_trusted.Runtime.self in
+  let doe_mag = (System.site sys 1).System.magistrate in
+  (* Install the restriction on the "DOE" magistrate. *)
+  let policy =
+    Policy.Allow_responsible (Loid.Set.of_list [ trusted_loid ])
+  in
+  (match
+     Api.call sys ctx_trusted ~dst:doe_mag ~meth:"SetActivationPolicy"
+       ~args:[ Policy.to_value policy ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "SetActivationPolicy: %s" (Err.to_string e));
+  let cls = H.make_counter_class sys ctx_trusted () in
+  (* The trusted agent can place objects there... *)
+  (match Api.create_object sys ctx_trusted ~cls ~magistrate:doe_mag ~eager:true () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "trusted create: %s" (Err.to_string e));
+  (* ...the outsider is turned away: its Create reaches the class, whose
+     StoreObject request runs under the outsider's Responsible Agent. *)
+  match Api.create_object sys ctx_outsider ~cls ~magistrate:doe_mag () with
+  | Error (Err.Refused _) -> ()
+  | r ->
+      Alcotest.failf "outsider not refused: %s"
+        (match r with
+        | Ok (l, _) -> Loid.to_string l
+        | Error e -> Err.to_string e)
+
+let test_magistrate_refuses_migration () =
+  (* Site autonomy over data movement: a Jurisdiction that refuses to
+     let its objects leave (Deny Copy/Move), while everything else
+     works — "member function calls on Magistrates should be thought of
+     as requests rather than commands" (§3.8). *)
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let m0 = (System.site sys 0).System.magistrate in
+  let m1 = (System.site sys 1).System.magistrate in
+  let policy = Policy.Deny_methods ([ "Copy"; "Move" ], Policy.Allow_all) in
+  (match
+     Api.call sys ctx ~dst:m0 ~meth:"SetActivationPolicy"
+       ~args:[ Policy.to_value policy ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "SetActivationPolicy: %s" (Err.to_string e));
+  let cls = H.make_counter_class sys ctx () in
+  let loid = Api.create_object_exn sys ctx ~cls ~magistrate:m0 () in
+  ignore (Api.call_exn sys ctx ~dst:loid ~meth:"Increment" ~args:[ Value.Int 1 ]);
+  (* Migration refused... *)
+  (match
+     Api.call sys ctx ~dst:m0 ~meth:"Move" ~args:[ Loid.to_value loid; Loid.to_value m1 ]
+   with
+  | Error (Err.Refused _) -> ()
+  | r ->
+      Alcotest.failf "Move not refused: %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e));
+  (match
+     Api.call sys ctx ~dst:m0 ~meth:"Copy" ~args:[ Loid.to_value loid; Loid.to_value m1 ]
+   with
+  | Error (Err.Refused _) -> ()
+  | _ -> Alcotest.fail "Copy not refused");
+  (* ...ordinary lifecycle continues. *)
+  (match Api.call sys ctx ~dst:m0 ~meth:"Deactivate" ~args:[ Loid.to_value loid ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "Deactivate: %s" (Err.to_string e));
+  let v = H.int_exn (Api.call_exn sys ctx ~dst:loid ~meth:"Get" ~args:[]) in
+  Alcotest.(check int) "object stays home and works" 1 v
+
+(* --- LOID public keys (§3.2) --- *)
+
+let test_public_key_identity () =
+  let sys = H.boot_two_sites () in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let loid =
+    Api.create_object_exn sys ctx ~cls ~public_key:"sekrit-key-bits" ()
+  in
+  Alcotest.(check string) "key embedded" "sekrit-key-bits" (Loid.public_key loid);
+  (* The genuine reference works (activation on demand included). *)
+  let v =
+    match Api.call sys ctx ~dst:loid ~meth:"Increment" ~args:[ Value.Int 2 ] with
+    | Ok (Value.Int v) -> v
+    | r ->
+        Alcotest.failf "keyed call: %s"
+          (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e)
+  in
+  Alcotest.(check int) "works" 2 v;
+  (* A forged reference — right class and sequence number, wrong key —
+     names a different, nonexistent object: the class refuses to bind
+     it. *)
+  let forged =
+    Loid.make ~public_key:"wrong-key"
+      ~class_id:(Loid.class_id loid)
+      ~class_specific:(Loid.class_specific loid) ()
+  in
+  (match Api.call sys ctx ~dst:forged ~meth:"Increment" ~args:[ Value.Int 99 ] with
+  | Error (Err.Not_bound _) -> ()
+  | r ->
+      Alcotest.failf "forged key accepted: %s"
+        (match r with Ok v -> Value.to_string v | Error e -> Err.to_string e));
+  (* A keyless forgery fails identically. *)
+  let bare =
+    Loid.make ~class_id:(Loid.class_id loid)
+      ~class_specific:(Loid.class_specific loid) ()
+  in
+  match Api.call sys ctx ~dst:bare ~meth:"Get" ~args:[] with
+  | Error (Err.Not_bound _) -> ()
+  | _ -> Alcotest.fail "keyless forgery accepted"
+
+let () =
+  Alcotest.run "security"
+    [
+      ( "env",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_env_roundtrip;
+          Alcotest.test_case "delegate" `Quick test_env_delegate;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "basic decisions" `Quick test_policy_basic;
+          Alcotest.test_case "responsible agent" `Quick test_policy_responsible;
+          Alcotest.test_case "combinators" `Quick test_policy_combinators;
+          Alcotest.test_case "custom registry" `Quick test_policy_custom_registry;
+          Alcotest.test_case "structured roundtrip" `Quick
+            test_policy_roundtrip_structured;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "object allowlist via MayI" `Quick test_object_allowlist;
+          Alcotest.test_case "magistrate site autonomy" `Quick
+            test_magistrate_site_autonomy;
+          Alcotest.test_case "LOID public keys are identity" `Quick
+            test_public_key_identity;
+          Alcotest.test_case "jurisdiction refuses migration" `Quick
+            test_magistrate_refuses_migration;
+        ] );
+    ]

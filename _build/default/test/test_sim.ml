@@ -1,0 +1,143 @@
+(* Tests for the discrete-event engine. *)
+
+module Engine = Legion_sim.Engine
+
+let test_time_ordering () =
+  let sim = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule sim ~delay:3.0 (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule sim ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule sim ~delay:2.0 (fun () -> log := 2 :: !log));
+  Engine.run sim;
+  Alcotest.(check (list int)) "fires in time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Engine.now sim)
+
+let test_same_time_fifo () =
+  let sim = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule sim ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run sim;
+  Alcotest.(check (list int)) "FIFO at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_nested_scheduling () =
+  let sim = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule sim ~delay:1.0 (fun () ->
+         log := "a" :: !log;
+         ignore (Engine.schedule sim ~delay:0.5 (fun () -> log := "c" :: !log))));
+  ignore (Engine.schedule sim ~delay:1.2 (fun () -> log := "b" :: !log));
+  Engine.run sim;
+  Alcotest.(check (list string)) "nested event interleaves" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_negative_delay_clamped () =
+  let sim = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule sim ~delay:(-5.0) (fun () -> fired := true));
+  Engine.run sim;
+  Alcotest.(check bool) "fires now" true !fired;
+  Alcotest.(check (float 1e-9)) "clock unmoved" 0.0 (Engine.now sim)
+
+let test_cancel () =
+  let sim = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule sim ~delay:1.0 (fun () -> fired := true) in
+  Alcotest.(check int) "pending" 1 (Engine.pending sim);
+  Engine.cancel h;
+  Alcotest.(check bool) "marked cancelled" true (Engine.is_cancelled h);
+  Alcotest.(check int) "not pending" 0 (Engine.pending sim);
+  Engine.run sim;
+  Alcotest.(check bool) "never fires" false !fired;
+  (* Cancelling twice is fine. *)
+  Engine.cancel h
+
+let test_cancel_from_event () =
+  let sim = Engine.create () in
+  let fired = ref false in
+  let h = ref None in
+  ignore
+    (Engine.schedule sim ~delay:1.0 (fun () ->
+         match !h with Some h -> Engine.cancel h | None -> ()));
+  h := Some (Engine.schedule sim ~delay:2.0 (fun () -> fired := true));
+  Engine.run sim;
+  Alcotest.(check bool) "cancelled later event skipped" false !fired
+
+let test_run_until () =
+  let sim = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule sim ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule sim ~delay:2.0 (fun () -> log := 2 :: !log));
+  ignore (Engine.schedule sim ~delay:3.0 (fun () -> log := 3 :: !log));
+  Engine.run ~until:2.0 sim;
+  (* Events at exactly [until] fire; later ones wait. *)
+  Alcotest.(check (list int)) "fired through until" [ 1; 2 ] (List.rev !log);
+  Alcotest.(check int) "one pending" 1 (Engine.pending sim);
+  Engine.run sim;
+  Alcotest.(check (list int)) "resumes" [ 1; 2; 3 ] (List.rev !log)
+
+let test_max_events () =
+  let sim = Engine.create () in
+  let n = ref 0 in
+  for _ = 1 to 10 do
+    ignore (Engine.schedule sim ~delay:1.0 (fun () -> incr n))
+  done;
+  Engine.run ~max_events:4 sim;
+  Alcotest.(check int) "bounded" 4 !n;
+  Alcotest.(check int) "fired counter" 4 (Engine.events_fired sim);
+  Engine.run sim;
+  Alcotest.(check int) "rest fire" 10 !n
+
+let test_step () =
+  let sim = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step sim);
+  ignore (Engine.schedule sim ~delay:1.0 (fun () -> ()));
+  Alcotest.(check bool) "step fires" true (Engine.step sim);
+  Alcotest.(check bool) "then empty" false (Engine.step sim)
+
+let test_schedule_at_past_clamped () =
+  let sim = Engine.create () in
+  ignore (Engine.schedule sim ~delay:5.0 (fun () -> ()));
+  Engine.run sim;
+  let fired_at = ref 0.0 in
+  ignore (Engine.schedule_at sim ~time:1.0 (fun () -> fired_at := Engine.now sim));
+  Engine.run sim;
+  Alcotest.(check (float 1e-9)) "clamped to now" 5.0 !fired_at
+
+let monotonic_clock =
+  QCheck.Test.make ~name:"clock is monotonic over random schedules" ~count:100
+    QCheck.(small_list (float_range 0.0 10.0))
+    (fun delays ->
+      let sim = Engine.create () in
+      let ok = ref true in
+      let last = ref 0.0 in
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.schedule sim ~delay:d (fun () ->
+                 if Engine.now sim < !last then ok := false;
+                 last := Engine.now sim)))
+        delays;
+      Engine.run sim;
+      !ok)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_time_ordering;
+          Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "negative delay clamps" `Quick test_negative_delay_clamped;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel from event" `Quick test_cancel_from_event;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "max events" `Quick test_max_events;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "past schedule clamps" `Quick test_schedule_at_past_clamped;
+          QCheck_alcotest.to_alcotest monotonic_clock;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Tests for the Legion data model and its binary codec. *)
+
+module Value = Legion_wire.Value
+module Codec = Legion_wire.Codec
+
+let value_t : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+
+(* A sized generator of arbitrary values for the round-trip properties. *)
+let value_gen : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let scalar =
+            oneof
+              [
+                return Value.Unit;
+                map (fun b -> Value.Bool b) bool;
+                map (fun i -> Value.Int i) int;
+                map (fun i -> Value.I64 i) int64;
+                (* NaN breaks equality; generate finite floats. *)
+                map (fun f -> Value.Float f) (float_bound_exclusive 1e12);
+                map (fun s -> Value.Str s) (string_size (0 -- 12));
+                map (fun s -> Value.Blob s) (string_size (0 -- 12));
+              ]
+          in
+          if n <= 1 then scalar
+          else
+            frequency
+              [
+                (3, scalar);
+                (1, map (fun vs -> Value.List vs) (list_size (0 -- 4) (self (n / 2))));
+                ( 1,
+                  map
+                    (fun vs ->
+                      Value.Record
+                        (List.mapi (fun i v -> (Printf.sprintf "f%d" i, v)) vs))
+                    (list_size (0 -- 4) (self (n / 2))) );
+              ])
+        (min n 12))
+
+let arbitrary_value = QCheck.make ~print:Value.to_string value_gen
+
+let roundtrip =
+  QCheck.Test.make ~name:"decode (encode v) = v" ~count:500 arbitrary_value
+    (fun v ->
+      match Codec.decode (Codec.encode v) with
+      | Ok v' -> Value.equal v v'
+      | Error _ -> false)
+
+let size_matches =
+  QCheck.Test.make ~name:"size_bytes = |encode v|" ~count:500 arbitrary_value
+    (fun v -> Value.size_bytes v = String.length (Codec.encode v))
+
+let decode_never_raises =
+  QCheck.Test.make ~name:"decode of garbage never raises" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      match Codec.decode s with Ok _ | Error _ -> true)
+
+(* Mutation fuzz: flip one byte of a valid encoding — decode must fail
+   cleanly or succeed on a different value, never raise. *)
+let decode_mutation_robust =
+  QCheck.Test.make ~name:"decode survives single-byte corruption" ~count:500
+    QCheck.(triple arbitrary_value small_nat (int_bound 255))
+    (fun (v, pos, byte) ->
+      let enc = Bytes.of_string (Codec.encode v) in
+      if Bytes.length enc = 0 then true
+      else begin
+        let pos = pos mod Bytes.length enc in
+        Bytes.set enc pos (Char.chr byte);
+        match Codec.decode (Bytes.to_string enc) with
+        | Ok _ | Error _ -> true
+      end)
+
+let pp_total =
+  QCheck.Test.make ~name:"pp never raises" ~count:300 arbitrary_value
+    (fun v -> String.length (Value.to_string v) >= 0)
+
+let compare_consistent_with_equal =
+  QCheck.Test.make ~name:"compare = 0 iff equal" ~count:300
+    QCheck.(pair arbitrary_value arbitrary_value)
+    (fun (a, b) -> Value.equal a b = (Value.compare a b = 0))
+
+let test_scalar_roundtrips () =
+  List.iter
+    (fun v ->
+      match Codec.decode (Codec.encode v) with
+      | Ok v' -> Alcotest.check value_t "roundtrip" v v'
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    [
+      Value.Unit;
+      Value.Bool true;
+      Value.Bool false;
+      Value.Int 0;
+      Value.Int (-1);
+      Value.Int max_int;
+      Value.Int min_int;
+      Value.I64 Int64.max_int;
+      Value.I64 Int64.min_int;
+      Value.Float 0.0;
+      Value.Float (-3.25);
+      Value.Float infinity;
+      Value.Str "";
+      Value.Str "héllo";
+      Value.Blob (String.init 256 Char.chr);
+      Value.List [];
+      Value.Record [];
+      Value.Record [ ("a", Value.List [ Value.Int 1; Value.Str "x" ]) ];
+    ]
+
+let test_truncated_fails () =
+  let enc = Codec.encode (Value.Str "hello world") in
+  for cut = 0 to String.length enc - 1 do
+    match Codec.decode (String.sub enc 0 cut) with
+    | Ok _ -> Alcotest.failf "truncation at %d decoded" cut
+    | Error _ -> ()
+  done
+
+let test_trailing_fails () =
+  let enc = Codec.encode Value.Unit ^ "x" in
+  match Codec.decode enc with
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+  | Error msg ->
+      Alcotest.(check bool) "mentions trailing" true
+        (String.length msg > 0)
+
+let test_unknown_tag_fails () =
+  match Codec.decode "\xff" with
+  | Ok _ -> Alcotest.fail "unknown tag accepted"
+  | Error _ -> ()
+
+let test_deep_nesting_rejected () =
+  (* A crafted buffer of 100k nested list headers must fail cleanly,
+     not blow the stack. *)
+  let buf = Buffer.create 600_000 in
+  for _ = 1 to 100_000 do
+    Buffer.add_string buf "\x07\x00\x00\x00\x01"
+  done;
+  Buffer.add_char buf '\x00';
+  (match Codec.decode (Buffer.contents buf) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "absurd nesting accepted");
+  (* Moderate nesting still decodes. *)
+  let rec nest n v = if n = 0 then v else nest (n - 1) (Value.List [ v ]) in
+  let v = nest 100 Value.Unit in
+  match Codec.decode (Codec.encode v) with
+  | Ok v' -> Alcotest.(check bool) "100 levels ok" true (Value.equal v v')
+  | Error e -> Alcotest.failf "100 levels rejected: %s" e
+
+let test_record_duplicate_rejected () =
+  Alcotest.check_raises "duplicate field"
+    (Invalid_argument "Value.record: duplicate field names") (fun () ->
+      ignore (Value.record [ ("a", Value.Unit); ("a", Value.Int 1) ]))
+
+let test_accessors () =
+  Alcotest.(check bool) "to_int ok" true (Value.to_int (Value.Int 3) = Ok 3);
+  Alcotest.(check bool) "to_int wrong" true
+    (Result.is_error (Value.to_int Value.Unit));
+  Alcotest.(check bool) "field ok" true
+    (Value.field (Value.Record [ ("x", Value.Int 1) ]) "x" = Ok (Value.Int 1));
+  Alcotest.(check bool) "field missing" true
+    (Result.is_error (Value.field (Value.Record []) "x"));
+  Alcotest.(check bool) "field on non-record" true
+    (Result.is_error (Value.field Value.Unit "x"));
+  Alcotest.(check bool) "to_list" true
+    (Value.to_list Value.to_int (Value.List [ Value.Int 1; Value.Int 2 ])
+    = Ok [ 1; 2 ]);
+  Alcotest.(check bool) "to_list inner failure" true
+    (Result.is_error (Value.to_list Value.to_int (Value.List [ Value.Unit ])));
+  Alcotest.(check bool) "option none" true
+    (Value.to_option Value.to_int (Value.List []) = Ok None);
+  Alcotest.(check bool) "option some" true
+    (Value.to_option Value.to_int (Value.List [ Value.Int 5 ]) = Ok (Some 5))
+
+let test_of_option_roundtrip () =
+  let v = Value.of_option Value.of_int (Some 3) in
+  Alcotest.(check bool) "some" true (Value.to_option Value.to_int v = Ok (Some 3));
+  let v = Value.of_option Value.of_int None in
+  Alcotest.(check bool) "none" true (Value.to_option Value.to_int v = Ok None)
+
+let test_depth () =
+  Alcotest.(check int) "scalar" 1 (Value.depth Value.Unit);
+  Alcotest.(check int) "nested" 3
+    (Value.depth (Value.List [ Value.Record [ ("a", Value.Int 1) ] ]))
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "scalar roundtrips" `Quick test_scalar_roundtrips;
+          Alcotest.test_case "truncated input fails" `Quick test_truncated_fails;
+          Alcotest.test_case "trailing bytes fail" `Quick test_trailing_fails;
+          Alcotest.test_case "unknown tag fails" `Quick test_unknown_tag_fails;
+          Alcotest.test_case "deep nesting rejected" `Quick test_deep_nesting_rejected;
+          QCheck_alcotest.to_alcotest roundtrip;
+          QCheck_alcotest.to_alcotest size_matches;
+          QCheck_alcotest.to_alcotest decode_never_raises;
+          QCheck_alcotest.to_alcotest decode_mutation_robust;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "duplicate record fields" `Quick
+            test_record_duplicate_rejected;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "option encoding" `Quick test_of_option_roundtrip;
+          Alcotest.test_case "depth" `Quick test_depth;
+          QCheck_alcotest.to_alcotest compare_consistent_with_equal;
+          QCheck_alcotest.to_alcotest pp_total;
+        ] );
+    ]

@@ -15,6 +15,8 @@ module Impl = Legion_core.Impl
 module Well_known = Legion_core.Well_known
 module Runtime = Legion_rt.Runtime
 module Err = Legion_rt.Err
+module Event = Legion_obs.Event
+module Recorder = Legion_obs.Recorder
 module System = Legion.System
 module Api = Legion.Api
 open Cmdliner
@@ -162,49 +164,83 @@ let cmd_drive =
 
 let cmd_trace =
   let verbose_arg =
-    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every protocol message.")
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every trace event.")
   in
-  let run sites seed verbose =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the structured event trace as JSON on stdout.")
+  in
+  let run sites seed verbose json =
     let sys = boot_system ~sites ~seed in
-    if verbose then
-      Network.set_tap (System.net sys)
-        (Some
-           (fun ~src ~dst payload ->
-             match Runtime.describe_message payload with
-             | Some line ->
-                 Format.printf "  [%8.3f ms] %s->%s  %s@."
-                   (System.now sys *. 1000.0)
-                   (Network.host_name (System.net sys) src)
-                   (Network.host_name (System.net sys) dst)
-                   line
-             | None -> ()));
+    let obs = System.obs sys in
     let ctx = System.client sys () in
     let cls =
       Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Counter"
         ~units:[ counter_unit ] ()
     in
     let loid = Api.create_object_exn sys ctx ~cls () in
-    Format.printf "created %s (inert)@." (Loid.to_string loid);
-    let stages =
-      [
-        ("first reference (cold)", fun () -> Api.call sys ctx ~dst:loid ~meth:"Get" ~args:[]);
-        ("second reference (cached)", fun () -> Api.call sys ctx ~dst:loid ~meth:"Get" ~args:[]);
-      ]
+    if not json then Format.printf "created %s (inert)@." (Loid.to_string loid);
+    (* Each stage runs against a cleared recorder, so its event list is
+       exactly the §4.1 sequence the stage exercises. *)
+    let stage label f =
+      Recorder.clear obs;
+      let m0 = Network.messages_sent (System.net sys) in
+      let t0 = System.now sys in
+      let err = match f () with Ok _ -> None | Error e -> Some (Err.to_string e) in
+      ( label,
+        Network.messages_sent (System.net sys) - m0,
+        (System.now sys -. t0) *. 1000.0,
+        err,
+        Recorder.events obs )
     in
-    List.iter
-      (fun (label, f) ->
-        let m0 = Network.messages_sent (System.net sys) in
-        let t0 = System.now sys in
-        (match f () with
-        | Ok _ -> ()
-        | Error e -> Format.printf "  (%s)@." (Err.to_string e));
-        Format.printf "%-28s %2d messages, %.3f virtual ms@." label
-          (Network.messages_sent (System.net sys) - m0)
-          ((System.now sys -. t0) *. 1000.0))
-      stages
+    let deactivate () =
+      (* The managing Magistrate is whichever accepted the placement;
+         asking all of them deactivates the object exactly once. *)
+      List.iter
+        (fun m ->
+          ignore
+            (Api.call sys ctx ~dst:m ~meth:"Deactivate" ~args:[ Loid.to_value loid ]))
+        (System.magistrates sys);
+      Ok Value.Unit
+    in
+    let get () = Api.call sys ctx ~dst:loid ~meth:"Get" ~args:[] in
+    (* Evaluation order matters (each stage advances the simulation), so
+       bind them in sequence rather than inside the list literal. *)
+    let s1 = stage "first reference (cold)" get in
+    let s2 = stage "second reference (cached)" get in
+    let s3 = stage "deactivate (goes inert)" deactivate in
+    let s4 = stage "reference after deactivation (stale binding)" get in
+    let stages = [ s1; s2; s3; s4 ] in
+    if json then begin
+      let stage_json (label, msgs, ms, err, events) =
+        Printf.sprintf "{%S:%S,%S:%d,%S:%.6f%s,%S:[%s]}" "label" label
+          "messages" msgs "virtual_ms" ms
+          (match err with
+          | None -> ""
+          | Some e -> Printf.sprintf ",%S:%S" "error" e)
+          "events"
+          (String.concat "," (List.map Event.to_json events))
+      in
+      print_string
+        (Printf.sprintf "{%S:[%s]}\n" "stages"
+           (String.concat "," (List.map stage_json stages)))
+    end
+    else
+      List.iter
+        (fun (label, msgs, ms, err, events) ->
+          Format.printf "%-44s %2d messages, %.3f virtual ms%s@." label msgs ms
+            (match err with None -> "" | Some e -> Printf.sprintf "  (%s)" e);
+          if verbose then
+            List.iter (fun e -> Format.printf "  %a@." Event.pp e) events)
+        stages
   in
-  let info = Cmd.info "trace" ~doc:"Trace a cold and a warm binding resolution." in
-  Cmd.v info Term.(const run $ sites_arg $ seed_arg $ verbose_arg)
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Trace the Fig. 17 binding sequences (cold, warm, stale) as \
+         structured events."
+  in
+  Cmd.v info Term.(const run $ sites_arg $ seed_arg $ verbose_arg $ json_arg)
 
 (* --- soak --- *)
 

@@ -1,1 +1,1 @@
-lib/binding/agent_part.ml: Legion_core Legion_naming Legion_rt Legion_sec Legion_wire Result
+lib/binding/agent_part.ml: Legion_core Legion_naming Legion_obs Legion_rt Legion_sec Legion_wire Result

@@ -42,6 +42,8 @@ let state_value ?capacity ?parent ~legion_class () =
 let factory (ctx : Runtime.ctx) : Impl.part =
   let rt = ctx.Runtime.rt in
   let self = Runtime.proc_loid ctx.Runtime.self in
+  let host = Runtime.proc_host ctx.Runtime.self in
+  let emit kind = Runtime.emit rt ~host kind in
   let st =
     {
       cache = Cache.create ();
@@ -170,6 +172,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   in
 
   let resolve target ~stale k =
+    emit
+      (Legion_obs.Event.Resolve
+         { owner = self; target; stale = stale <> None });
     if Loid.is_class target then resolve_class_target target ~stale k
     else begin
       st.resolved <- st.resolved + 1;
@@ -191,8 +196,12 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         match C.loid_arg arg with
         | Ok target -> (
             match Cache.find st.cache ~now:(now ()) target with
-            | Some b -> finish (Ok b)
-            | None -> resolve target ~stale:None finish)
+            | Some b ->
+                emit (Legion_obs.Event.Cache_hit { owner = self; target });
+                finish (Ok b)
+            | None ->
+                emit (Legion_obs.Event.Cache_miss { owner = self; target });
+                resolve target ~stale:None finish)
         | Error _ -> (
             match C.binding_arg arg with
             | Error _ -> Impl.bad_args k "GetBinding expects a loid or a binding"
@@ -205,8 +214,12 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                     Cache.invalidate st.cache target
                 | Some _ | None -> ());
                 (match Cache.find st.cache ~now:(now ()) target with
-                | Some fresh -> finish (Ok fresh)
-                | None -> resolve target ~stale:(Some stale) finish)))
+                | Some fresh ->
+                    emit (Legion_obs.Event.Cache_hit { owner = self; target });
+                    finish (Ok fresh)
+                | None ->
+                    emit (Legion_obs.Event.Cache_miss { owner = self; target });
+                    resolve target ~stale:(Some stale) finish)))
     | _ -> Impl.bad_args k "GetBinding expects one argument"
   in
 

@@ -1,1 +1,1 @@
-lib/jurisdiction/magistrate_part.ml: Hashtbl Legion_core Legion_naming Legion_rt Legion_sec Legion_store Legion_wire List Option Printf Result
+lib/jurisdiction/magistrate_part.ml: Hashtbl Legion_core Legion_naming Legion_obs Legion_rt Legion_sec Legion_store Legion_wire List Option Printf Result

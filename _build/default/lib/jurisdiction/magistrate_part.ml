@@ -405,6 +405,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                             | Error e -> k (Error e)
                             | Ok _ ->
                                 st.migrations <- st.migrations + 1;
+                                Runtime.emit rt
+                                  ~host:(Runtime.proc_host ctx.Runtime.self)
+                                  (Legion_obs.Event.Migrate { loid; dst });
                                 notify_class loid ~add:[ dst ] ~remove:[]
                                   (fun () -> k (Ok ()))))
                 | None, _ -> k (Error (Err.Not_bound "no persistent representation"))

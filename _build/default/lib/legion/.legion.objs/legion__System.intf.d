@@ -1,1 +1,1 @@
-lib/legion/system.mli: Legion_naming Legion_net Legion_rt Legion_sim Legion_store Legion_util
+lib/legion/system.mli: Legion_naming Legion_net Legion_obs Legion_rt Legion_sim Legion_store Legion_util

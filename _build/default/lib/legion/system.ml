@@ -42,6 +42,7 @@ type t = {
   rt : Runtime.t;
   registry : Counter.Registry.r;
   prng : Prng.t;
+  obs : Legion_obs.Recorder.t;
   sites : site list;
   legion_class_binding : Binding.t;
   mutable next_ext : int64;
@@ -52,6 +53,7 @@ let net t = t.net
 let rt t = t.rt
 let registry t = t.registry
 let prng t = t.prng
+let obs t = t.obs
 let sites t = t.sites
 let site t i = List.nth t.sites i
 let legion_class_binding t = t.legion_class_binding
@@ -157,15 +159,23 @@ let abstract_flags =
   { Class_part.abstract = true; private_ = false; fixed = false }
 
 let boot ?(seed = 42L) ?latency ?rt_config ?agent_cache_capacity
-    ?object_cache_capacity ~sites:site_spec () =
+    ?object_cache_capacity ?trace_capacity ~sites:site_spec () =
   if site_spec = [] then invalid_arg "System.boot: no sites";
   register_all_units ();
   let sim = Engine.create () in
   let prng = Prng.create ~seed in
   let registry = Counter.Registry.create () in
-  let net = Network.create ~sim ~prng:(Prng.split prng) ?latency () in
+  (* One recorder shared by the network and the runtime: the trace is a
+     single stream ordered by virtual time. *)
+  let obs =
+    Legion_obs.Recorder.create ?capacity:trace_capacity
+      ~clock:(fun () -> Engine.now sim)
+      ()
+  in
+  let net = Network.create ~sim ~prng:(Prng.split prng) ?latency ~obs () in
   let rt =
-    Runtime.create ~sim ~net ~registry ~prng:(Prng.split prng) ?config:rt_config ()
+    Runtime.create ~sim ~net ~registry ~prng:(Prng.split prng) ?config:rt_config
+      ~obs ()
   in
   (* Topology. *)
   let site_hosts =
@@ -357,6 +367,7 @@ let boot ?(seed = 42L) ?latency ?rt_config ?agent_cache_capacity
       rt;
       registry;
       prng;
+      obs;
       sites;
       legion_class_binding;
       next_ext = !next_ext;

@@ -38,13 +38,15 @@ val boot :
   ?rt_config:Runtime.config ->
   ?agent_cache_capacity:int ->
   ?object_cache_capacity:int ->
+  ?trace_capacity:int ->
   sites:(string * int) list ->
   unit ->
   t
 (** [boot ~sites:[("uva", 4); ("doe", 8)] ()] brings up a two-site
     Legion with 4 and 8 hosts. [object_cache_capacity] bounds the
     comm-layer cache of every object created thereafter through the
-    class machinery. @raise Failure if any bootstrap registration
+    class machinery. [trace_capacity] bounds the structured-event ring
+    buffer (see {!obs}). @raise Failure if any bootstrap registration
     fails. *)
 
 val sim : t -> Legion_sim.Engine.t
@@ -55,6 +57,14 @@ val prng : t -> Legion_util.Prng.t
 val sites : t -> site list
 val site : t -> int -> site
 val legion_class_binding : t -> Binding.t
+
+val obs : t -> Legion_obs.Recorder.t
+(** The structured-event recorder shared by the network and the
+    runtime: every [Send]/[Deliver]/[Drop], every comm-layer cache and
+    rebind decision, and every activation appears here in virtual-time
+    order. Query it with {!Legion_obs.Trace}. Note that boot itself
+    emits the bootstrap's events; {!Legion_obs.Recorder.clear} (or a
+    {!Legion_obs.Recorder.total} mark) isolates a scenario. *)
 
 val magistrates : t -> Loid.t list
 val host_objects : t -> Loid.t list

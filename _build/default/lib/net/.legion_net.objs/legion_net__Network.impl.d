@@ -1,1 +1,1 @@
-lib/net/network.ml: Array Legion_sim Legion_util Legion_wire List Stdlib
+lib/net/network.ml: Array Legion_obs Legion_sim Legion_util Legion_wire List Stdlib

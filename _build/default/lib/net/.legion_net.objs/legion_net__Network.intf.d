@@ -1,1 +1,1 @@
-lib/net/network.mli: Legion_sim Legion_util Legion_wire
+lib/net/network.mli: Legion_obs Legion_sim Legion_util Legion_wire

@@ -1,5 +1,7 @@
 module Prng = Legion_util.Prng
 module Value = Legion_wire.Value
+module Event = Legion_obs.Event
+module Recorder = Legion_obs.Recorder
 
 type host_id = int
 type site_id = int
@@ -32,6 +34,7 @@ type t = {
   mutable drop_rate : float;
   mutable partitions : (site_id * site_id) list;
   mutable tap : (src:host_id -> dst:host_id -> Value.t -> unit) option;
+  mutable obs : Recorder.t option;
   mutable sent : int;
   mutable bytes : int;
   mutable dropped : int;
@@ -40,7 +43,7 @@ type t = {
   mutable tier_wan : int;
 }
 
-let create ~sim ~prng ?(latency = default_latency) () =
+let create ~sim ~prng ?(latency = default_latency) ?obs () =
   {
     sim;
     prng;
@@ -52,6 +55,7 @@ let create ~sim ~prng ?(latency = default_latency) () =
     drop_rate = 0.0;
     partitions = [];
     tap = None;
+    obs;
     sent = 0;
     bytes = 0;
     dropped = 0;
@@ -143,6 +147,13 @@ let latency_between t a b =
   else t.latency.inter_site
 
 let set_tap t tap = t.tap <- tap
+let set_obs t obs = t.obs <- obs
+let obs t = t.obs
+
+let emit t ~host kind =
+  match t.obs with
+  | None -> ()
+  | Some r -> Recorder.emit r ~host ~site:t.host_tbl.(host).site kind
 
 let send t ~src ~dst payload =
   check_host t src;
@@ -151,25 +162,45 @@ let send t ~src ~dst payload =
   let size = Value.size_bytes payload in
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
-  if src = dst then t.tier_host <- t.tier_host + 1
-  else if t.host_tbl.(src).site = t.host_tbl.(dst).site then
-    t.tier_site <- t.tier_site + 1
-  else t.tier_wan <- t.tier_wan + 1;
-  if not t.host_tbl.(src).up then t.dropped <- t.dropped + 1
+  let tier =
+    if src = dst then begin
+      t.tier_host <- t.tier_host + 1;
+      Event.Intra_host
+    end
+    else if t.host_tbl.(src).site = t.host_tbl.(dst).site then begin
+      t.tier_site <- t.tier_site + 1;
+      Event.Intra_site
+    end
+    else begin
+      t.tier_wan <- t.tier_wan + 1;
+      Event.Inter_site
+    end
+  in
+  emit t ~host:src (Event.Send { src; dst; bytes = size; tier });
+  let drop ~at reason =
+    t.dropped <- t.dropped + 1;
+    emit t ~host:at (Event.Drop { src; dst; reason })
+  in
+  if not t.host_tbl.(src).up then drop ~at:src Event.Src_down
   else if is_partitioned t t.host_tbl.(src).site t.host_tbl.(dst).site then
-    t.dropped <- t.dropped + 1
+    drop ~at:src Event.Partitioned
   else if t.drop_rate > 0.0 && Prng.bernoulli t.prng ~p:t.drop_rate then
-    t.dropped <- t.dropped + 1
+    drop ~at:src Event.Random_loss
   else begin
     let base = latency_between t src dst in
     let delay = base *. (1.0 +. Prng.float t.prng t.latency.jitter) in
+    (match t.obs with
+    | None -> ()
+    | Some r -> Recorder.observe r ~component:"net.delay" delay);
     let deliver () =
       let h = t.host_tbl.(dst) in
-      if not h.up then t.dropped <- t.dropped + 1
+      if not h.up then drop ~at:dst Event.Dst_down
       else
         match h.receiver with
-        | None -> t.dropped <- t.dropped + 1
-        | Some f -> f ~src payload
+        | None -> drop ~at:dst Event.No_receiver
+        | Some f ->
+            emit t ~host:dst (Event.Deliver { src; dst });
+            f ~src payload
     in
     ignore (Legion_sim.Engine.schedule t.sim ~delay deliver)
   end

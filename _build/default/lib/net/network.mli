@@ -31,8 +31,12 @@ val create :
   sim:Legion_sim.Engine.t ->
   prng:Legion_util.Prng.t ->
   ?latency:latency ->
+  ?obs:Legion_obs.Recorder.t ->
   unit ->
   t
+(** [obs], when given, receives a structured event per message
+    ([Send], then exactly one of [Deliver]/[Drop]) plus a ["net.delay"]
+    latency sample per scheduled delivery. *)
 
 val sim : t -> Legion_sim.Engine.t
 
@@ -76,6 +80,11 @@ val send : t -> src:host_id -> dst:host_id -> Legion_wire.Value.t -> unit
 val set_tap : t -> (src:host_id -> dst:host_id -> Legion_wire.Value.t -> unit) option -> unit
 (** Observe every send attempt (before loss/partition filtering) —
     protocol debugging and test instrumentation. [None] removes it. *)
+
+val set_obs : t -> Legion_obs.Recorder.t option -> unit
+(** Attach or detach the structured-event recorder after creation. *)
+
+val obs : t -> Legion_obs.Recorder.t option
 
 val latency_between : t -> host_id -> host_id -> float
 (** Mean one-way latency (jitter excluded). *)

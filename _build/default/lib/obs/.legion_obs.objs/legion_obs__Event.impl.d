@@ -1,0 +1,1 @@
+lib/obs/event.ml: Buffer Char Float Format Int64 Legion_naming Legion_wire List Printf String

@@ -1,0 +1,1 @@
+lib/obs/recorder.ml: Array Event Hashtbl Legion_util List Stdlib String

@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Event Legion_naming List Printf Result String

@@ -1,0 +1,188 @@
+module Loid = Legion_naming.Loid
+module Value = Legion_wire.Value
+
+type tier = Intra_host | Intra_site | Inter_site
+
+type drop_reason = Src_down | Dst_down | Partitioned | Random_loss | No_receiver
+
+type kind =
+  | Send of { src : int; dst : int; bytes : int; tier : tier }
+  | Deliver of { src : int; dst : int }
+  | Drop of { src : int; dst : int; reason : drop_reason }
+  | Call of { id : int; src : Loid.t; dst : Loid.t; meth : string }
+  | Reply of { id : int; ok : bool }
+  | Timeout of { id : int }
+  | Cache_hit of { owner : Loid.t; target : Loid.t }
+  | Cache_miss of { owner : Loid.t; target : Loid.t }
+  | Resolve of { owner : Loid.t; target : Loid.t; stale : bool }
+  | Binding_install of { owner : Loid.t; target : Loid.t }
+  | Rebind of { owner : Loid.t; target : Loid.t; attempt : int }
+  | Activate of { loid : Loid.t }
+  | Deactivate of { loid : Loid.t }
+  | Migrate of { loid : Loid.t; dst : Loid.t }
+  | Replica_fanout of { target : Loid.t; width : int }
+
+type t = { time : float; host : int option; site : int option; kind : kind }
+
+let name = function
+  | Send _ -> "Send"
+  | Deliver _ -> "Deliver"
+  | Drop _ -> "Drop"
+  | Call _ -> "Call"
+  | Reply _ -> "Reply"
+  | Timeout _ -> "Timeout"
+  | Cache_hit _ -> "CacheHit"
+  | Cache_miss _ -> "CacheMiss"
+  | Resolve _ -> "Resolve"
+  | Binding_install _ -> "BindingInstall"
+  | Rebind _ -> "Rebind"
+  | Activate _ -> "Activate"
+  | Deactivate _ -> "Deactivate"
+  | Migrate _ -> "Migrate"
+  | Replica_fanout _ -> "ReplicaFanout"
+
+let tier_name = function
+  | Intra_host -> "host"
+  | Intra_site -> "site"
+  | Inter_site -> "wan"
+
+let drop_reason_name = function
+  | Src_down -> "src-down"
+  | Dst_down -> "dst-down"
+  | Partitioned -> "partitioned"
+  | Random_loss -> "loss"
+  | No_receiver -> "no-receiver"
+
+let owner e =
+  match e.kind with
+  | Call { src; _ } -> Some src
+  | Cache_hit { owner; _ }
+  | Cache_miss { owner; _ }
+  | Resolve { owner; _ }
+  | Binding_install { owner; _ }
+  | Rebind { owner; _ } ->
+      Some owner
+  | Activate { loid } | Deactivate { loid } | Migrate { loid; _ } -> Some loid
+  | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Replica_fanout _ -> None
+
+let target e =
+  match e.kind with
+  | Call { dst; _ } -> Some dst
+  | Cache_hit { target; _ }
+  | Cache_miss { target; _ }
+  | Resolve { target; _ }
+  | Binding_install { target; _ }
+  | Rebind { target; _ }
+  | Replica_fanout { target; _ } ->
+      Some target
+  | Migrate { dst; _ } -> Some dst
+  | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Activate _
+  | Deactivate _ ->
+      None
+
+let loid l = Value.Str (Loid.to_string l)
+
+let fields = function
+  | Send { src; dst; bytes; tier } ->
+      [
+        ("src", Value.Int src);
+        ("dst", Value.Int dst);
+        ("bytes", Value.Int bytes);
+        ("tier", Value.Str (tier_name tier));
+      ]
+  | Deliver { src; dst } -> [ ("src", Value.Int src); ("dst", Value.Int dst) ]
+  | Drop { src; dst; reason } ->
+      [
+        ("src", Value.Int src);
+        ("dst", Value.Int dst);
+        ("reason", Value.Str (drop_reason_name reason));
+      ]
+  | Call { id; src; dst; meth } ->
+      [
+        ("id", Value.Int id);
+        ("src", loid src);
+        ("dst", loid dst);
+        ("meth", Value.Str meth);
+      ]
+  | Reply { id; ok } -> [ ("id", Value.Int id); ("ok", Value.Bool ok) ]
+  | Timeout { id } -> [ ("id", Value.Int id) ]
+  | Cache_hit { owner; target } | Cache_miss { owner; target } ->
+      [ ("owner", loid owner); ("target", loid target) ]
+  | Resolve { owner; target; stale } ->
+      [ ("owner", loid owner); ("target", loid target); ("stale", Value.Bool stale) ]
+  | Binding_install { owner; target } ->
+      [ ("owner", loid owner); ("target", loid target) ]
+  | Rebind { owner; target; attempt } ->
+      [
+        ("owner", loid owner);
+        ("target", loid target);
+        ("attempt", Value.Int attempt);
+      ]
+  | Activate { loid = l } | Deactivate { loid = l } -> [ ("loid", loid l) ]
+  | Migrate { loid = l; dst } -> [ ("loid", loid l); ("dst", loid dst) ]
+  | Replica_fanout { target; width } ->
+      [ ("target", loid target); ("width", Value.Int width) ]
+
+let to_value e =
+  Value.Record
+    (("t", Value.Float e.time)
+    :: ((match e.host with Some h -> [ ("host", Value.Int h) ] | None -> [])
+       @ (match e.site with Some s -> [ ("site", Value.Int s) ] | None -> [])
+       @ (("ev", Value.Str (name e.kind)) :: fields e.kind)))
+
+(* Minimal JSON over the value shapes [to_value] produces. Floats never
+   carry inf/nan here, so %.9g is always a valid JSON number token
+   (possibly in exponent form). *)
+let rec json_of_value = function
+  | Value.Unit -> "null"
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Int i -> string_of_int i
+  | Value.I64 i -> Int64.to_string i
+  | Value.Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.1f" f
+      else Printf.sprintf "%.9g" f
+  | Value.Str s | Value.Blob s -> json_quote s
+  | Value.List vs ->
+      "[" ^ String.concat "," (List.map json_of_value vs) ^ "]"
+  | Value.Record fs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> json_quote k ^ ":" ^ json_of_value v) fs)
+      ^ "}"
+
+and json_quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json e = json_of_value (to_value e)
+
+let atom = function
+  | Value.Int i -> string_of_int i
+  | Value.Bool b -> string_of_bool b
+  | Value.Float f -> Printf.sprintf "%.6g" f
+  | Value.Str s -> s
+  | v -> Value.to_string v
+
+let pp ppf e =
+  Format.fprintf ppf "[%10.6f]%s %-14s%s" e.time
+    (match e.host with Some h -> Printf.sprintf " h%d" h | None -> "")
+    (name e.kind)
+    (String.concat ""
+       (List.map
+          (fun (k, v) -> Printf.sprintf " %s=%s" k (atom v))
+          (fields e.kind)))

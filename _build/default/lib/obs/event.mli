@@ -1,0 +1,80 @@
+(** Structured trace events.
+
+    Every mechanism the runtime exercises — message transport, the
+    comm-layer binding cache, Binding Agent resolution, rebind-and-retry,
+    activation — reifies its steps as typed events, stamped with virtual
+    time and the emitting host/site. The Fig. 17 sequences of §4.1 become
+    data a test can assert against (see {!Trace}), and
+    [legion-sim trace --json] dumps them for external tools. *)
+
+module Loid := Legion_naming.Loid
+module Value := Legion_wire.Value
+
+type tier = Intra_host | Intra_site | Inter_site
+
+type drop_reason = Src_down | Dst_down | Partitioned | Random_loss | No_receiver
+
+type kind =
+  | Send of { src : int; dst : int; bytes : int; tier : tier }
+      (** A datagram entered the network (before loss filtering). *)
+  | Deliver of { src : int; dst : int }
+      (** The datagram reached a live receiver. *)
+  | Drop of { src : int; dst : int; reason : drop_reason }
+      (** The datagram was lost; exactly one of [Deliver]/[Drop] follows
+          every [Send]. *)
+  | Call of { id : int; src : Loid.t; dst : Loid.t; meth : string }
+      (** The comm layer dispatched one method-call attempt. *)
+  | Reply of { id : int; ok : bool }  (** A reply reached the caller. *)
+  | Timeout of { id : int }  (** A call attempt's deadline fired. *)
+  | Cache_hit of { owner : Loid.t; target : Loid.t }
+  | Cache_miss of { owner : Loid.t; target : Loid.t }
+      (** Binding-cache lookups, both in an object's comm layer and
+          inside a Binding Agent ([owner] distinguishes them). *)
+  | Resolve of { owner : Loid.t; target : Loid.t; stale : bool }
+      (** [owner] asks the resolution machinery for a binding; [stale]
+          is the GetBinding(binding) refresh form of §3.6. *)
+  | Binding_install of { owner : Loid.t; target : Loid.t }
+      (** A freshly resolved binding entered [owner]'s comm cache. *)
+  | Rebind of { owner : Loid.t; target : Loid.t; attempt : int }
+      (** §4.1.4: a delivery failure invalidated the binding; attempt
+          [attempt] of the refresh-and-retry loop starts. *)
+  | Activate of { loid : Loid.t }  (** An instance started on [host]. *)
+  | Deactivate of { loid : Loid.t }  (** An instance left [host]. *)
+  | Migrate of { loid : Loid.t; dst : Loid.t }
+      (** A Magistrate shipped the object's OPR to Magistrate [dst]. *)
+  | Replica_fanout of { target : Loid.t; width : int }
+      (** One logical call raced [width] address elements. *)
+
+type t = {
+  time : float;  (** Virtual time of emission. *)
+  host : int option;  (** Emitting network host, when known. *)
+  site : int option;  (** Its site, when known. *)
+  kind : kind;
+}
+
+val name : kind -> string
+(** Stable event name: ["Send"], ["CacheMiss"], ["BindingInstall"], … *)
+
+val tier_name : tier -> string
+(** ["host"] / ["site"] / ["wan"]. *)
+
+val drop_reason_name : drop_reason -> string
+(** ["src-down"], ["dst-down"], ["partitioned"], ["loss"],
+    ["no-receiver"]. *)
+
+val owner : t -> Loid.t option
+(** The acting object, when the event names one ([owner], [src] of a
+    [Call], the [loid] of lifecycle events). *)
+
+val target : t -> Loid.t option
+(** The object acted upon, when the event names one. *)
+
+val to_value : t -> Value.t
+(** Flat record: [t], optional [host]/[site], [ev] (the {!name}), then
+    the kind's fields. LOIDs render as strings. *)
+
+val to_json : t -> string
+(** One-line JSON object, same shape as {!to_value}. *)
+
+val pp : Format.formatter -> t -> unit
+(** One human-readable line: time, host, name, fields. *)

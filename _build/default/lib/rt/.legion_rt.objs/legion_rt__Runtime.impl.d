@@ -1,1 +1,1 @@
-lib/rt/runtime.ml: Err Format Hashtbl Int64 Legion_naming Legion_net Legion_sec Legion_sim Legion_util Legion_wire List Option Printf Result
+lib/rt/runtime.ml: Err Format Hashtbl Int64 Legion_naming Legion_net Legion_obs Legion_sec Legion_sim Legion_util Legion_wire List Option Printf Result

@@ -1,1 +1,1 @@
-lib/rt/runtime.mli: Err Legion_naming Legion_net Legion_sec Legion_sim Legion_util Legion_wire
+lib/rt/runtime.mli: Err Legion_naming Legion_net Legion_obs Legion_sec Legion_sim Legion_util Legion_wire

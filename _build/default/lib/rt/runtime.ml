@@ -8,6 +8,8 @@ module Engine = Legion_sim.Engine
 module Network = Legion_net.Network
 module Counter = Legion_util.Counter
 module Prng = Legion_util.Prng
+module Event = Legion_obs.Event
+module Recorder = Legion_obs.Recorder
 
 type config = {
   call_timeout : float;
@@ -48,12 +50,18 @@ and t = {
   places : proc list Loid.Table.t;  (* loid -> active placements *)
   pending : (int, pending) Hashtbl.t;
   attached : (int, unit) Hashtbl.t;  (* hosts with a receiver installed *)
+  obs : Recorder.t;
   mutable next_slot : int;
   mutable next_call : int;
   mutable delivered : int;
 }
 
-let create ~sim ~net ~registry ~prng ?(config = default_config) () =
+let create ~sim ~net ~registry ~prng ?(config = default_config) ?obs () =
+  let obs =
+    match obs with
+    | Some r -> r
+    | None -> Recorder.create ~clock:(fun () -> Engine.now sim) ()
+  in
   let rt =
     {
       sim;
@@ -65,6 +73,7 @@ let create ~sim ~net ~registry ~prng ?(config = default_config) () =
       places = Loid.Table.create ();
       pending = Hashtbl.create 256;
       attached = Hashtbl.create 64;
+      obs;
       next_slot = 0;
       next_call = 0;
       delivered = 0;
@@ -78,6 +87,10 @@ let registry rt = rt.registry
 let prng rt = rt.prng
 let config rt = rt.config
 let now rt = Engine.now rt.sim
+let obs rt = rt.obs
+
+let emit rt ~host kind =
+  Recorder.emit rt.obs ~host ~site:(Network.site_of rt.net host) kind
 
 (* ------------------------------------------------------------------ *)
 (* Wire format of calls and replies.                                   *)
@@ -171,6 +184,7 @@ let on_receive rt host ~src payload =
       | Some p ->
           Hashtbl.remove rt.pending id;
           Engine.cancel p.timer;
+          emit rt ~host (Event.Reply { id; ok = Result.is_ok reply });
           p.cont reply)
   | In_call { id; src_host; dst_loid; dst_slot; call; _ } -> (
       let reply_to r =
@@ -229,11 +243,13 @@ let spawn rt ~host ~loid ~kind ?cache_capacity ?binding_agent ~handler () =
   Hashtbl.replace rt.slots (host, slot) proc;
   let existing = Option.value ~default:[] (Loid.Table.find rt.places loid) in
   Loid.Table.set rt.places loid (proc :: existing);
+  emit rt ~host (Event.Activate { loid });
   proc
 
 let kill rt proc =
   if proc.live then begin
     proc.live <- false;
+    emit rt ~host:proc.host (Event.Deactivate { loid = proc.loid });
     Hashtbl.remove rt.slots (proc.host, proc.slot);
     let remaining =
       List.filter
@@ -301,9 +317,12 @@ let send_one ctx ?timeout ~dst_loid ~element c k =
             | None -> ()
             | Some _ ->
                 Hashtbl.remove rt.pending id;
+                emit rt ~host:ctx.self.host (Event.Timeout { id });
                 k (Error Err.Timeout))
       in
       Hashtbl.replace rt.pending id { cont = k; timer };
+      emit rt ~host:ctx.self.host
+        (Event.Call { id; src = ctx.self.loid; dst = dst_loid; meth = c.meth });
       let msg =
         encode_call ~id ~src_loid:ctx.self.loid ~src_host:ctx.self.host
           ~dst_loid ~dst_slot c
@@ -321,6 +340,9 @@ let race ctx ?timeout ~dst_loid ~elements c k =
   | [] -> k (Error (Err.Unreachable "empty target list"))
   | _ ->
       let n = List.length elements in
+      if n > 1 then
+        emit ctx.rt ~host:ctx.self.host
+          (Event.Replica_fanout { target = dst_loid; width = n });
       let failures = ref 0 in
       let done_ = ref false in
       let on_reply r =
@@ -371,6 +393,15 @@ let resolve_via_agent ctx ?timeout ~dst ~env ~stale k =
   match ctx.self.ba with
   | None -> k (Error (Err.Unreachable "object has no binding agent"))
   | Some ba_address ->
+      let rt = ctx.rt in
+      emit rt ~host:ctx.self.host
+        (Event.Resolve
+           { owner = ctx.self.loid; target = dst; stale = stale <> None });
+      let t0 = now rt in
+      let k r =
+        Recorder.observe rt.obs ~component:"rt.resolve" (now rt -. t0);
+        k r
+      in
       let args =
         match stale with
         | None -> [ Loid.to_value dst ]
@@ -395,6 +426,18 @@ let invoke ctx ?timeout ?max_rebinds ~dst ~meth ~args ?env k =
   let env = match env with Some e -> e | None -> Env.of_self ctx.self.loid in
   let rebind_budget = Option.value ~default:rt.config.max_rebinds max_rebinds in
   let c = { meth; args; env } in
+  let self_loid = ctx.self.loid in
+  let self_host = ctx.self.host in
+  let t0 = now rt in
+  let k r =
+    Recorder.observe rt.obs ~component:"rt.invoke" (now rt -. t0);
+    k r
+  in
+  let install fresh =
+    Cache.add ctx.self.cache ~now:(now rt) fresh;
+    emit rt ~host:self_host
+      (Event.Binding_install { owner = self_loid; target = dst })
+  in
   (* One delivery attempt against a binding; on a delivery failure,
      refresh through the Binding Agent and retry (§4.1.4). *)
   let rec attempt binding rebinds_left =
@@ -403,24 +446,37 @@ let invoke ctx ?timeout ?max_rebinds ~dst ~meth ~args ?env k =
         | Error e when Err.is_delivery_failure e ->
             Cache.invalidate_exact ctx.self.cache binding;
             if rebinds_left <= 0 then k (Error e)
-            else
+            else begin
+              emit rt ~host:self_host
+                (Event.Rebind
+                   {
+                     owner = self_loid;
+                     target = dst;
+                     attempt = rebind_budget - rebinds_left + 1;
+                   });
               resolve_via_agent ctx ?timeout ~dst ~env ~stale:(Some binding)
                 (fun rb ->
                   match rb with
                   | Error e' -> k (Error e')
                   | Ok fresh ->
-                      Cache.add ctx.self.cache ~now:(now rt) fresh;
+                      install fresh;
                       attempt fresh (rebinds_left - 1))
+            end
         | r -> k r)
   in
   match Cache.find ctx.self.cache ~now:(now rt) dst with
-  | Some binding -> attempt binding rebind_budget
+  | Some binding ->
+      emit rt ~host:self_host
+        (Event.Cache_hit { owner = self_loid; target = dst });
+      attempt binding rebind_budget
   | None ->
+      emit rt ~host:self_host
+        (Event.Cache_miss { owner = self_loid; target = dst });
       resolve_via_agent ctx ?timeout ~dst ~env ~stale:None (fun rb ->
           match rb with
           | Error e -> k (Error e)
           | Ok binding ->
-              Cache.add ctx.self.cache ~now:(now rt) binding;
+              install binding;
               attempt binding rebind_budget)
 
 (* ------------------------------------------------------------------ *)

@@ -46,8 +46,13 @@ val create :
   registry:Legion_util.Counter.Registry.r ->
   prng:Legion_util.Prng.t ->
   ?config:config ->
+  ?obs:Legion_obs.Recorder.t ->
   unit ->
   t
+(** [obs] is the structured-event recorder the runtime emits protocol
+    events to; share one recorder with the network to get a single
+    virtual-time-ordered stream. Defaults to a fresh private recorder,
+    so emission is always unconditional. *)
 
 val sim : t -> Legion_sim.Engine.t
 val net : t -> Legion_net.Network.t
@@ -55,6 +60,13 @@ val registry : t -> Legion_util.Counter.Registry.r
 val prng : t -> Legion_util.Prng.t
 val config : t -> config
 val now : t -> float
+
+val obs : t -> Legion_obs.Recorder.t
+
+val emit : t -> host:Legion_net.Network.host_id -> Legion_obs.Event.kind -> unit
+(** Emit an event at [host], stamping its site — for object
+    implementations (Binding Agents, Magistrates) that surface their own
+    protocol steps into the shared trace. *)
 
 (** {1 Calls and handlers} *)
 

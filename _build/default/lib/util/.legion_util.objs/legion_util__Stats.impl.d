@@ -1,1 +1,1 @@
-lib/util/stats.ml: Array Float Format List
+lib/util/stats.ml: Array Float Format List Stdlib

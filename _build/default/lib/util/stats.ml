@@ -40,6 +40,7 @@ let add t x =
 let add_list t xs = List.iter (add t) xs
 
 let count t = t.len
+let is_empty t = t.len = 0
 let total t = t.sum
 let mean t = if t.len = 0 then 0.0 else t.sum /. float_of_int t.len
 
@@ -122,6 +123,13 @@ module Histogram = struct
     done;
     { bounds = Array.copy buckets; cells = Array.make (n + 1) 0; tot = 0 }
 
+  let linear ~lo ~width ~count =
+    if count <= 0 then invalid_arg "Histogram.linear: count must be positive";
+    if width <= 0.0 then invalid_arg "Histogram.linear: width must be positive";
+    create ~buckets:(Array.init count (fun i -> lo +. (width *. float_of_int (i + 1))))
+
+  let bounds h = Array.copy h.bounds
+
   let add h x =
     let n = Array.length h.bounds in
     let rec find i = if i = n then n else if x <= h.bounds.(i) then i else find (i + 1) in
@@ -135,6 +143,37 @@ module Histogram = struct
         if i = n then (None, h.cells.(i)) else (Some h.bounds.(i), h.cells.(i)))
 
   let total h = h.tot
+
+  let merge a b =
+    if a.bounds <> b.bounds then
+      invalid_arg "Histogram.merge: mismatched buckets";
+    {
+      bounds = Array.copy a.bounds;
+      cells = Array.init (Array.length a.cells) (fun i -> a.cells.(i) + b.cells.(i));
+      tot = a.tot + b.tot;
+    }
+
+  let percentile h p =
+    if h.tot = 0 then invalid_arg "Histogram.percentile: empty";
+    if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: out of range";
+    (* Nearest-rank: the k-th smallest sample with
+       k = ceil(p/100 * n), clamped to [1, n]. We only know which bucket
+       that sample fell in, so report the bucket's upper bound
+       (infinity for the overflow bucket). *)
+    let n = h.tot in
+    let k =
+      Stdlib.min n
+        (Stdlib.max 1
+           (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n))))
+    in
+    let nb = Array.length h.bounds in
+    let rec walk i cum =
+      if i = nb then infinity
+      else
+        let cum = cum + h.cells.(i) in
+        if cum >= k then h.bounds.(i) else walk (i + 1) cum
+    in
+    walk 0 0
 
   let pp ppf h =
     let pp_cell ppf (bound, c) =

@@ -1,1 +1,1 @@
-test/test_net.ml: Alcotest Legion_net Legion_sim Legion_util Legion_wire
+test/test_net.ml: Alcotest Array Legion_net Legion_obs Legion_sim Legion_util Legion_wire List Printf

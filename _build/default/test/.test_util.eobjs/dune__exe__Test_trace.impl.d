@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Format Helpers Int64 Legion Legion_naming Legion_obs Legion_rt Legion_util Legion_wire List Option String Sys

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Format Gen Int64 Legion_util List Printf QCheck QCheck_alcotest String
+test/test_util.ml: Alcotest Array Float Format Gen Int64 Legion_util List Printf QCheck QCheck_alcotest String

@@ -150,6 +150,62 @@ let test_partition () =
   Alcotest.(check bool) "self never partitioned" false
     (Network.is_partitioned net s0 s0)
 
+module Recorder = Legion_obs.Recorder
+module Trace = Legion_obs.Trace
+
+(* Property (100 random topologies/fault mixes): the [messages_dropped]
+   counter agrees with the Drop events in the structured trace, and
+   every Send resolves to exactly one Deliver or Drop once the
+   simulation quiesces. *)
+let test_drop_accounting_matches_trace () =
+  let master = Prng.create ~seed:0xDECAF1L in
+  for _iter = 1 to 100 do
+    let sim = Engine.create () in
+    let obs =
+      Recorder.create ~capacity:4096 ~clock:(fun () -> Engine.now sim) ()
+    in
+    let net = Network.create ~sim ~prng:(Prng.split master) ~obs () in
+    let s0 = Network.add_site net ~name:"s0" in
+    let s1 = Network.add_site net ~name:"s1" in
+    let hosts =
+      List.concat_map
+        (fun s ->
+          List.init 4 (fun i ->
+              Network.add_host net ~site:s ~name:(Printf.sprintf "s%d-h%d" s i)))
+        [ s0; s1 ]
+    in
+    List.iter
+      (fun h ->
+        if Prng.bernoulli master ~p:0.7 then
+          Network.set_receiver net h (fun ~src:_ _ -> ()))
+      hosts;
+    Network.set_drop_rate net (Prng.float master 0.5);
+    if Prng.bernoulli master ~p:0.3 then Network.set_partitioned net s0 s1 true;
+    List.iter
+      (fun h ->
+        if Prng.bernoulli master ~p:0.2 then Network.set_host_up net h false)
+      hosts;
+    let host_arr = Array.of_list hosts in
+    let n_hosts = Array.length host_arr in
+    let n = 1 + Prng.int master 100 in
+    for _ = 1 to n do
+      let src = host_arr.(Prng.int master n_hosts) in
+      let dst = host_arr.(Prng.int master n_hosts) in
+      Network.send net ~src ~dst Value.Unit
+    done;
+    Engine.run sim;
+    let events = Recorder.events obs in
+    let sends = Trace.count_of (Trace.send ()) events in
+    let delivers = Trace.count_of (Trace.deliver ()) events in
+    let drops = Trace.count_of (Trace.drop ()) events in
+    Alcotest.(check int) "Send events match messages_sent"
+      (Network.messages_sent net) sends;
+    Alcotest.(check int) "Drop events match messages_dropped"
+      (Network.messages_dropped net) drops;
+    Alcotest.(check int) "every send delivered or dropped" sends
+      (delivers + drops)
+  done
+
 let test_bad_host_id () =
   let _, net, _, _, _ = make_net () in
   Alcotest.check_raises "bad id" (Invalid_argument "Network: bad host id") (fun () ->
@@ -170,6 +226,8 @@ let () =
           Alcotest.test_case "no receiver drops" `Quick test_no_receiver_drops;
           Alcotest.test_case "drop rate" `Slow test_drop_rate;
           Alcotest.test_case "site partitions" `Quick test_partition;
+          Alcotest.test_case "drop accounting matches trace" `Quick
+            test_drop_accounting_matches_trace;
           Alcotest.test_case "bad host id" `Quick test_bad_host_id;
         ] );
     ]

@@ -181,6 +181,128 @@ let test_histogram () =
     (Invalid_argument "Histogram.create: bounds not strictly ascending")
     (fun () -> ignore (Stats.Histogram.create ~buckets:[| 2.0; 1.0 |]))
 
+let test_stats_is_empty () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "fresh is empty" true (Stats.is_empty s);
+  Stats.add s 1.0;
+  Alcotest.(check bool) "not empty after add" false (Stats.is_empty s);
+  Stats.clear s;
+  Alcotest.(check bool) "empty after clear" true (Stats.is_empty s)
+
+let test_histogram_linear () =
+  let h = Stats.Histogram.linear ~lo:0.0 ~width:2.0 ~count:3 in
+  Alcotest.(check (array (float 1e-12))) "bounds" [| 2.0; 4.0; 6.0 |]
+    (Stats.Histogram.bounds h);
+  Alcotest.check_raises "bad count"
+    (Invalid_argument "Histogram.linear: count must be positive") (fun () ->
+      ignore (Stats.Histogram.linear ~lo:0.0 ~width:1.0 ~count:0));
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Histogram.linear: width must be positive") (fun () ->
+      ignore (Stats.Histogram.linear ~lo:0.0 ~width:0.0 ~count:2))
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create ~buckets:[| 1.0; 2.0 |] in
+  let b = Stats.Histogram.create ~buckets:[| 1.0; 2.0 |] in
+  List.iter (Stats.Histogram.add a) [ 0.5; 1.5 ];
+  List.iter (Stats.Histogram.add b) [ 1.5; 9.0 ];
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged total" 4 (Stats.Histogram.total m);
+  (match Stats.Histogram.counts m with
+  | [ (Some 1.0, 1); (Some 2.0, 2); (None, 1) ] -> ()
+  | _ -> Alcotest.fail "bad merged counts");
+  (* The inputs are untouched. *)
+  Alcotest.(check int) "a untouched" 2 (Stats.Histogram.total a);
+  let c = Stats.Histogram.create ~buckets:[| 3.0 |] in
+  Alcotest.check_raises "mismatched bounds"
+    (Invalid_argument "Histogram.merge: mismatched buckets") (fun () ->
+      ignore (Stats.Histogram.merge a c))
+
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create ~buckets:[| 1.0; 2.0; 3.0 |] in
+  Alcotest.check_raises "empty" (Invalid_argument "Histogram.percentile: empty")
+    (fun () -> ignore (Stats.Histogram.percentile h 50.0));
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 2.5; 2.6 ];
+  Alcotest.(check (float 1e-12)) "p25 first bucket" 1.0
+    (Stats.Histogram.percentile h 25.0);
+  Alcotest.(check (float 1e-12)) "p50 second bucket" 2.0
+    (Stats.Histogram.percentile h 50.0);
+  Alcotest.(check (float 1e-12)) "p100 third bucket" 3.0
+    (Stats.Histogram.percentile h 100.0);
+  Alcotest.(check (float 1e-12)) "p0 clamps to first sample" 1.0
+    (Stats.Histogram.percentile h 0.0);
+  Stats.Histogram.add h 99.0;
+  Alcotest.(check bool) "overflow is infinity" true
+    (Stats.Histogram.percentile h 100.0 = infinity);
+  Alcotest.check_raises "range" (Invalid_argument "Histogram.percentile: out of range")
+    (fun () -> ignore (Stats.Histogram.percentile h 101.0))
+
+(* Random strictly-ascending bounds plus random samples (some outside the
+   range): each sample must land in the first bucket whose bound covers
+   it, overflow otherwise. *)
+let hist_bucket_assignment =
+  QCheck.Test.make ~name:"histogram bucket assignment" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 8) (int_bound 100))
+              (list_of_size Gen.(0 -- 50) (int_bound 140)))
+    (fun (bound_ints, sample_ints) ->
+      let bounds =
+        List.sort_uniq compare bound_ints |> List.map float_of_int
+      in
+      QCheck.assume (bounds <> []);
+      let bounds = Array.of_list bounds in
+      let samples = List.map (fun i -> float_of_int i -. 20.0) sample_ints in
+      let h = Stats.Histogram.create ~buckets:bounds in
+      List.iter (Stats.Histogram.add h) samples;
+      let n = Array.length bounds in
+      let expected = Array.make (n + 1) 0 in
+      List.iter
+        (fun x ->
+          let rec idx i =
+            if i = n then n else if x <= bounds.(i) then i else idx (i + 1)
+          in
+          let i = idx 0 in
+          expected.(i) <- expected.(i) + 1)
+        samples;
+      let actual = Array.of_list (List.map snd (Stats.Histogram.counts h)) in
+      expected = actual && Stats.Histogram.total h = List.length samples)
+
+let hist_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative" ~count:200
+    QCheck.(triple (small_list (float_bound_exclusive 10.0))
+              (small_list (float_bound_exclusive 10.0))
+              (small_list (float_bound_exclusive 10.0)))
+    (fun (xs, ys, zs) ->
+      let mk samples =
+        let h = Stats.Histogram.linear ~lo:0.0 ~width:2.5 ~count:3 in
+        List.iter (Stats.Histogram.add h) samples;
+        h
+      in
+      let a = mk xs and b = mk ys and c = mk zs in
+      let open Stats.Histogram in
+      counts (merge a (merge b c)) = counts (merge (merge a b) c)
+      && total (merge a (merge b c)) = total (merge (merge a b) c))
+
+(* At integral ranks p = 100*i/(n-1), [Stats.percentile] degenerates to
+   the i-th order statistic, and the histogram reports that sample's
+   bucket upper bound — so the two agree to within one bucket width. *)
+let hist_percentile_close =
+  QCheck.Test.make ~name:"histogram percentile within one bucket of exact"
+    ~count:200
+    QCheck.(list_of_size Gen.(2 -- 40) (float_bound_exclusive 100.0))
+    (fun samples ->
+      let n = List.length samples in
+      let s = Stats.create () in
+      Stats.add_list s samples;
+      let width = 5.0 in
+      let h = Stats.Histogram.linear ~lo:0.0 ~width ~count:20 in
+      List.iter (Stats.Histogram.add h) samples;
+      List.for_all
+        (fun i ->
+          let p = 100.0 *. float_of_int i /. float_of_int (n - 1) in
+          let exact = Stats.percentile s p in
+          let coarse = Stats.Histogram.percentile h p in
+          Float.abs (coarse -. exact) <= width +. 1e-6)
+        (List.init n (fun i -> i)))
+
 (* --- Heap --- *)
 
 let test_heap_ordering () =
@@ -349,7 +471,15 @@ let () =
           Alcotest.test_case "merge and clear" `Quick test_stats_merge_clear;
           Alcotest.test_case "cache invalidation" `Quick test_stats_add_after_percentile;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "is_empty" `Quick test_stats_is_empty;
+          Alcotest.test_case "histogram linear" `Quick test_histogram_linear;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "histogram percentile" `Quick
+            test_histogram_percentile;
           QCheck_alcotest.to_alcotest stats_percentile_bounded;
+          QCheck_alcotest.to_alcotest hist_bucket_assignment;
+          QCheck_alcotest.to_alcotest hist_merge_associative;
+          QCheck_alcotest.to_alcotest hist_percentile_close;
         ] );
       ( "heap",
         [

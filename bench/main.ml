@@ -24,6 +24,7 @@ let experiments =
     ("e10", "the locality assumption (5.2)", Exp_locality.run);
     ("e11", "ablation: scheduling policies (3.7-3.8)", Exp_sched.run);
     ("e13", "jurisdiction splitting (2.2)", Exp_split.run);
+    ("e14", "goodput and retry traffic under message loss (4.1.4)", Exp_faults.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

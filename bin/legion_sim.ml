@@ -4,6 +4,7 @@
      boot     bring a system up, print its inventory, run idle
      drive    run a synthetic workload and report per-component load
      trace    run one binding resolution with full message accounting
+     faults   run an open-loop workload under a scripted fault schedule
      idl      parse an IDL file and echo the normalized interfaces *)
 
 module Value = Legion_wire.Value
@@ -17,6 +18,8 @@ module Runtime = Legion_rt.Runtime
 module Err = Legion_rt.Err
 module Event = Legion_obs.Event
 module Recorder = Legion_obs.Recorder
+module Trace = Legion_obs.Trace
+module Script = Legion_sim.Script
 module System = Legion.System
 module Api = Legion.Api
 open Cmdliner
@@ -317,6 +320,143 @@ let cmd_soak =
   in
   Cmd.v info Term.(const run $ sites_arg $ seed_arg $ rounds_arg $ chaos_arg)
 
+(* --- faults --- *)
+
+let cmd_faults =
+  let ramp_arg =
+    Arg.(value & opt string "0,0.01,0.05,0.2,0"
+         & info [ "ramp" ] ~docv:"P0,P1,..."
+             ~doc:"Drop-rate ramp: the values are stepped through evenly over the run.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 20.0
+         & info [ "duration" ] ~docv:"S" ~doc:"Virtual seconds of workload.")
+  in
+  let period_arg =
+    Arg.(value & opt float 0.05
+         & info [ "period" ] ~docv:"S" ~doc:"Seconds between calls (open loop).")
+  in
+  let partition_arg =
+    Arg.(value & opt (some string) None
+         & info [ "partition" ] ~docv:"T:W"
+             ~doc:"Partition the first two sites from T for W seconds.")
+  in
+  let crash_arg =
+    Arg.(value & opt (some float) None
+         & info [ "crash" ] ~docv:"T"
+             ~doc:"Crash a non-infrastructure host at T; it reboots 5 s later.")
+  in
+  let parse_window spec =
+    match String.split_on_char ':' spec with
+    | [ t; w ] -> (float_of_string t, float_of_string w)
+    | _ -> failwith "window spec must look like  8.0:2.0"
+  in
+  let run sites seed ramp duration period partition crash =
+    let sys = boot_system ~sites ~seed in
+    let ctx = System.client sys () in
+    let cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Counter"
+        ~units:[ counter_unit ] ()
+    in
+    let n_objects = 16 in
+    let objs =
+      Array.init n_objects (fun _ -> Api.create_object_exn sys ctx ~cls ~eager:true ())
+    in
+    Array.iter (fun o -> ignore (Api.call sys ctx ~dst:o ~meth:"Get" ~args:[])) objs;
+    let sim = System.sim sys and net = System.net sys and obs = System.obs sys in
+    let mark = Recorder.total obs in
+    let values =
+      List.map float_of_string (String.split_on_char ',' ramp)
+    in
+    let steps = max 1 (List.length values - 1) in
+    let t0 = System.now sys in
+    let t_end = t0 +. duration in
+    Script.ramp sim ~start:t0 ~until:t_end ~steps ~values
+      (Network.set_drop_rate net);
+    (match partition with
+    | None -> ()
+    | Some spec ->
+        let t, w = parse_window spec in
+        let sites = System.sites sys in
+        if List.length sites < 2 then failwith "--partition needs two sites";
+        let a = (List.nth sites 0).System.site_id
+        and b = (List.nth sites 1).System.site_id in
+        Script.pulse sim ~start:(t0 +. t) ~width:w
+          ~on:(fun () -> Network.set_partitioned net a b true)
+          ~off:(fun () -> Network.set_partitioned net a b false));
+    (match crash with
+    | None -> ()
+    | Some t ->
+        let infra = List.map (fun s -> List.hd s.System.net_hosts) (System.sites sys) in
+        let victim =
+          match List.filter (fun h -> not (List.mem h infra)) (Network.hosts net) with
+          | h :: _ -> h
+          | [] -> failwith "--crash needs a non-infrastructure host"
+        in
+        Script.at sim ~time:(t0 +. t) (fun () ->
+            Runtime.crash_host (System.rt sys) victim);
+        Script.at sim ~time:(t0 +. t +. 5.0) (fun () ->
+            Network.set_host_up net victim true));
+    (* The open-loop workload: outcomes are bucketed by issue time so
+       goodput can be read per ramp step. *)
+    let step_width = duration /. float_of_int steps in
+    let issued = Array.make steps 0 and ok = Array.make steps 0 in
+    let giveup_errors = ref 0 in
+    let prng = Prng.create ~seed:(Int64.of_int (seed + 7)) in
+    Script.every sim ~period ~until:(t_end -. 1e-9) (fun () ->
+        let step =
+          min (steps - 1)
+            (int_of_float ((System.now sys -. t0) /. step_width))
+        in
+        issued.(step) <- issued.(step) + 1;
+        let target = objs.(Prng.int prng n_objects) in
+        Runtime.invoke ctx ~dst:target ~meth:"Increment" ~args:[ Value.Int 1 ]
+          (function
+            | Ok _ -> ok.(step) <- ok.(step) + 1
+            | Error _ -> incr giveup_errors));
+    System.run sys;
+    let events = Recorder.events_since obs mark in
+    let retries = Trace.count_of (Trace.retry ()) events in
+    let giveups = Trace.count_of (Trace.giveup ()) events in
+    let cancels = Trace.count_of (Trace.cancel ()) events in
+    Format.printf "%-10s %-10s %-8s %-8s %-8s@." "window s" "drop" "issued" "ok" "goodput";
+    List.iteri
+      (fun i v ->
+        if i < steps then
+          Format.printf "%4.1f-%-5.1f %-10.2f %-8d %-8d %5.1f%%@."
+            (float_of_int i *. step_width)
+            (float_of_int (i + 1) *. step_width)
+            v issued.(i) ok.(i)
+            (if issued.(i) = 0 then 100.0
+             else 100.0 *. float_of_int ok.(i) /. float_of_int issued.(i)))
+      values;
+    Format.printf
+      "@.%d retransmissions, %d exhausted budgets, %d cancelled calls; %d calls failed@."
+      retries giveups cancels !giveup_errors;
+    (match Recorder.latency obs ~component:"rt.recovery" with
+    | Some h ->
+        Format.printf
+          "recovery latency: %d samples, p50 %.0f ms, p99 %.0f ms@."
+          (Legion_util.Stats.Histogram.total h)
+          (1000.0 *. Legion_util.Stats.Histogram.percentile h 50.0)
+          (1000.0 *. Legion_util.Stats.Histogram.percentile h 99.0)
+    | None -> Format.printf "recovery latency: no samples@.");
+    let ih, is_, ws = Network.messages_by_tier net in
+    Format.printf "messages: %d intra-host, %d intra-site, %d wide-area (%d dropped)@."
+      ih is_ ws
+      (Network.messages_dropped net)
+  in
+  let info =
+    Cmd.info "faults"
+      ~doc:
+        "Run an open-loop workload under a scripted fault schedule (drop-rate \
+         ramp, site partition, host crash) and report goodput and retry traffic."
+  in
+  Cmd.v info
+    Term.(
+      const run $ sites_arg $ seed_arg $ ramp_arg $ duration_arg $ period_arg
+      $ partition_arg $ crash_arg)
+
 (* --- idl --- *)
 
 let cmd_idl =
@@ -372,4 +512,4 @@ let () =
     Cmd.info "legion-sim" ~version:"1.0"
       ~doc:"Drive the simulated Core Legion Object Model from the command line."
   in
-  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_idl ]))
+  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_idl ]))

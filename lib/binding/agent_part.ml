@@ -31,12 +31,12 @@ type state = {
   mutable revenue : int;
 }
 
-let state_value ?capacity ?parent ~legion_class () =
+let state_value ?capacity ?parent ?legion_class () =
   Value.Record
     [
       ("cap", C.vopt Value.of_int capacity);
       ("parent", C.vopt Address.to_value parent);
-      ("lc", Binding.to_value legion_class);
+      ("lc", C.vopt Binding.to_value legion_class);
     ]
 
 let factory (ctx : Runtime.ctx) : Impl.part =
@@ -56,22 +56,23 @@ let factory (ctx : Runtime.ctx) : Impl.part =
       revenue = 0;
     }
   in
-  let self_env = Env.of_self self in
   let now () = Runtime.now rt in
 
   (* Direct invocation by binding — Binding Agents never use a Binding
      Agent themselves. Resolution performed on behalf of a request
      keeps the requester's Responsible/Security Agents with this agent
-     as the Calling Agent (§2.4); [renv] holds that delegated
-     environment for the duration of one resolution. *)
-  let renv = ref self_env in
-  let call_binding b meth args k =
-    Runtime.invoke_binding ctx ~binding:b ~meth ~args ~env:!renv k
+     as the Calling Agent (§2.4). The delegated environment [renv] is
+     threaded through the whole resolution as a parameter: concurrent
+     GetBinding resolutions interleave across these continuations, so a
+     shared mutable cell would leak one requester's authority into
+     another's upward calls. *)
+  let call_binding renv b meth args k =
+    Runtime.invoke_binding ctx ~binding:b ~meth ~args ~env:renv k
   in
 
   (* Obtain a binding for a class object [cls], recursing up the class
      hierarchy. [depth] guards against corrupted pair tables. *)
-  let rec class_binding cls depth k =
+  let rec class_binding renv cls depth k =
     if depth > max_resolution_depth then
       k (Error (Err.Not_bound "class resolution depth exceeded"))
     else
@@ -80,23 +81,23 @@ let factory (ctx : Runtime.ctx) : Impl.part =
       | _ -> (
           match Cache.find st.cache ~now:(now ()) cls with
           | Some b -> k (Ok b)
-          | None -> resolve_class cls ~stale:None depth k)
+          | None -> resolve_class renv cls ~stale:None depth k)
 
   (* A class target: ask LegionClass who is responsible, then ask the
      responsible class for the binding. [stale] (the refresh form) is
      forwarded to the creator so it can drop its own stale table entry. *)
-  and resolve_class cls ~stale depth k =
+  and resolve_class renv cls ~stale depth k =
     match st.legion_class with
     | None -> k (Error (Err.Not_bound "agent has no LegionClass binding"))
     | Some lc ->
-        call_binding lc "LocateClass" [ Loid.to_value cls ] (fun r ->
+        call_binding renv lc "LocateClass" [ Loid.to_value cls ] (fun r ->
             match r with
             | Error e -> k (Error e)
             | Ok reply -> (
                 match C.loid_field reply "creator" with
                 | Error msg -> k (Error (Err.Internal msg))
                 | Ok creator ->
-                    class_binding creator (depth + 1) (fun r ->
+                    class_binding renv creator (depth + 1) (fun r ->
                         match r with
                         | Error e -> k (Error e)
                         | Ok creator_b ->
@@ -105,7 +106,8 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                               | Some b -> Binding.to_value b
                               | None -> Loid.to_value cls
                             in
-                            call_binding creator_b "GetBinding" [ arg ] (fun r ->
+                            call_binding renv creator_b "GetBinding" [ arg ]
+                              (fun r ->
                                 match r with
                                 | Error e -> k (Error e)
                                 | Ok bv -> (
@@ -118,9 +120,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   (* An instance target: the responsible class is the LOID with the
      Class Specific field zeroed (§4.1.3). [stale] is passed through to
      the class so it can refresh its own table entry. *)
-  and resolve_instance target ~stale k =
+  and resolve_instance renv target ~stale k =
     let cls = Loid.responsible_class target in
-    class_binding cls 0 (fun r ->
+    class_binding renv cls 0 (fun r ->
         match r with
         | Error e -> k (Error e)
         | Ok cls_b ->
@@ -129,7 +131,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
               | Some b -> Binding.to_value b
               | None -> Loid.to_value target
             in
-            call_binding cls_b "GetBinding" [ arg ] (fun r ->
+            call_binding renv cls_b "GetBinding" [ arg ] (fun r ->
                 match r with
                 | Error e -> k (Error e)
                 | Ok bv -> (
@@ -142,7 +144,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
 
   (* Cache miss on a class target: forward up the combining tree when a
      parent is configured (§5.2.2), else resolve through LegionClass. *)
-  let resolve_class_target target ~stale k =
+  let resolve_class_target renv target ~stale k =
     match st.parent with
     | Some parent_addr ->
         st.forwarded <- st.forwarded + 1;
@@ -153,7 +155,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         in
         let wildcard = Loid.make ~class_id:0L ~class_specific:0L () in
         Runtime.invoke_address ctx ~address:parent_addr ~dst:wildcard
-          ~meth:"GetBinding" ~args:[ arg ] ~env:!renv (fun r ->
+          ~meth:"GetBinding" ~args:[ arg ] ~env:renv (fun r ->
             match r with
             | Error e -> k (Error e)
             | Ok bv -> (
@@ -168,22 +170,22 @@ let factory (ctx : Runtime.ctx) : Impl.part =
           match st.legion_class with
           | Some lc -> k (Ok lc)
           | None -> k (Error (Err.Not_bound "agent has no LegionClass binding"))
-        else resolve_class target ~stale 0 k
+        else resolve_class renv target ~stale 0 k
   in
 
-  let resolve target ~stale k =
+  let resolve renv target ~stale k =
     emit
       (Legion_obs.Event.Resolve
          { owner = self; target; stale = stale <> None });
-    if Loid.is_class target then resolve_class_target target ~stale k
+    if Loid.is_class target then resolve_class_target renv target ~stale k
     else begin
       st.resolved <- st.resolved + 1;
-      resolve_instance target ~stale k
+      resolve_instance renv target ~stale k
     end
   in
 
   let get_binding _ctx args env k =
-    renv := Env.delegate env ~calling:self;
+    let renv = Env.delegate env ~calling:self in
     match args with
     | [ arg ] -> (
         let finish r =
@@ -201,25 +203,23 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                 finish (Ok b)
             | None ->
                 emit (Legion_obs.Event.Cache_miss { owner = self; target });
-                resolve target ~stale:None finish)
+                resolve renv target ~stale:None finish)
         | Error _ -> (
             match C.binding_arg arg with
             | Error _ -> Impl.bad_args k "GetBinding expects a loid or a binding"
-            | Ok stale ->
+            | Ok stale -> (
                 (* Refresh request: never serve the cache if it still
-                   holds the failing binding. *)
+                   holds the failing binding. [find_refresh] decides in
+                   one counted lookup, so each refresh request moves the
+                   hit-rate statistics by exactly one. *)
                 let target = Binding.loid stale in
-                (match Cache.find st.cache ~now:(now ()) target with
-                | Some cached when Binding.equal cached stale ->
-                    Cache.invalidate st.cache target
-                | Some _ | None -> ());
-                (match Cache.find st.cache ~now:(now ()) target with
+                match Cache.find_refresh st.cache ~now:(now ()) ~stale with
                 | Some fresh ->
                     emit (Legion_obs.Event.Cache_hit { owner = self; target });
                     finish (Ok fresh)
                 | None ->
                     emit (Legion_obs.Event.Cache_miss { owner = self; target });
-                    resolve target ~stale:(Some stale) finish)))
+                    resolve renv target ~stale:(Some stale) finish)))
     | _ -> Impl.bad_args k "GetBinding expects one argument"
   in
 
@@ -296,17 +296,12 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   in
 
   let save () =
+    (* An unconfigured agent saves an absent LegionClass binding and
+       restores as unconfigured — fabricating a placeholder here would
+       turn "not bound" into "bound to host 0". *)
     let base =
       state_value ?capacity:st.capacity ?parent:st.parent
-      ~legion_class:
-        (match st.legion_class with
-        | Some lc -> lc
-        | None ->
-            Binding.make
-              ~loid:Well_known.legion_class
-              ~address:(Address.singleton (Address.Sim { host = 0; slot = 0 }))
-              ())
-        ()
+        ?legion_class:st.legion_class ()
     in
     match base with
     | Value.Record fields ->
@@ -318,12 +313,11 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     let ( let* ) r f = Result.bind r f in
     let* cap = C.opt_int_field v "cap" in
     let* parent = C.opt_address_field v "parent" in
-    let* lc_v = C.field v "lc" in
-    let* lc = Binding.of_value lc_v in
+    let* lc = C.opt_field v "lc" Binding.of_value in
     st.capacity <- cap;
     st.cache <- Cache.create ?capacity:cap ();
     st.parent <- parent;
-    st.legion_class <- Some lc;
+    st.legion_class <- lc;
     (match C.int_field v "price" with Ok p -> st.price <- p | Error _ -> ());
     (match C.int_field v "rev" with Ok r -> st.revenue <- r | Error _ -> ());
     Ok ()

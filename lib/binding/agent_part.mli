@@ -39,12 +39,14 @@ val unit_name : string
 val state_value :
   ?capacity:int ->
   ?parent:Address.t ->
-  legion_class:Binding.t ->
+  ?legion_class:Binding.t ->
   unit ->
   Value.t
-(** Initial unit state: the seeded LegionClass binding (mandatory — it
-    is the recursion's base case), an optional parent agent, and a cache
-    capacity ([None] = unbounded). *)
+(** Initial unit state: the seeded LegionClass binding (the recursion's
+    base case — an agent without one can only answer from its cache or
+    forward to a parent), an optional parent agent, and a cache capacity
+    ([None] = unbounded). All three round-trip through save/restore
+    as-is: an unconfigured agent stays unconfigured. *)
 
 val factory : Impl.factory
 val register : unit -> unit

@@ -80,9 +80,33 @@ let invalidate_exact t binding =
   | Some e when Binding.equal e.binding binding -> Loid.Table.remove t.entries loid
   | Some _ | None -> ()
 
+let find_refresh t ~now ~stale =
+  let loid = Binding.loid stale in
+  t.lookups <- t.lookups + 1;
+  match Loid.Table.find t.entries loid with
+  | None -> None
+  | Some e ->
+      if
+        (not (Binding.is_valid ~now e.binding))
+        || Binding.equal e.binding stale
+      then begin
+        Loid.Table.remove t.entries loid;
+        None
+      end
+      else begin
+        t.hits <- t.hits + 1;
+        touch t e;
+        Some e.binding
+      end
+
 let mem t ~now loid =
   match Loid.Table.find t.entries loid with
-  | Some e -> Binding.is_valid ~now e.binding
+  | Some e ->
+      if Binding.is_valid ~now e.binding then true
+      else begin
+        Loid.Table.remove t.entries loid;
+        false
+      end
   | None -> false
 
 let length t = Loid.Table.length t.entries
@@ -91,7 +115,11 @@ let capacity t = t.capacity
 let clear t =
   List.iter
     (fun (loid, _) -> Loid.Table.remove t.entries loid)
-    (Loid.Table.to_list t.entries)
+    (Loid.Table.to_list t.entries);
+  t.tick <- 0;
+  t.lookups <- 0;
+  t.hits <- 0;
+  t.evictions <- 0
 
 let lookups t = t.lookups
 let hits t = t.hits

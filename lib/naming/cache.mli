@@ -27,10 +27,24 @@ val invalidate_exact : t -> Binding.t -> unit
 (** Drop the entry only if it equals the given binding exactly
     (InvalidateBinding(binding) form, §3.6). *)
 
+val find_refresh : t -> now:float -> stale:Binding.t -> Binding.t option
+(** Lookup backing the GetBinding(binding) refresh form (§3.6): the
+    target is [Binding.loid stale]. An entry equal to [stale] (or
+    expired) is dropped and reported as a miss, so a refresh never
+    re-serves the failing binding; a {e different} cached binding is a
+    hit. Exactly one lookup is counted either way, keeping the §5
+    hit-rate statistics honest. *)
+
 val mem : t -> now:float -> Loid.t -> bool
+(** Like {!find} but without counting a lookup or refreshing recency.
+    Expired entries are purged, exactly as [find] would. *)
+
 val length : t -> int
 val capacity : t -> int option
+
 val clear : t -> unit
+(** Drop every entry and reset the LRU clock and all statistics to the
+    freshly-created state. *)
 
 (** {1 Statistics} *)
 

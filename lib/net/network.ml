@@ -123,6 +123,8 @@ let set_drop_rate t r =
   if r < 0.0 || r > 1.0 then invalid_arg "Network.set_drop_rate";
   t.drop_rate <- r
 
+let drop_rate t = t.drop_rate
+
 let norm_pair a b = if a <= b then (a, b) else (b, a)
 
 let set_partitioned t a b cut =

@@ -60,6 +60,9 @@ val host_is_up : t -> host_id -> bool
 val set_drop_rate : t -> float -> unit
 (** Fraction of messages lost uniformly at random; default [0.]. *)
 
+val drop_rate : t -> float
+(** The currently configured uniform loss fraction. *)
+
 val set_partitioned : t -> site_id -> site_id -> bool -> unit
 (** Sever (or heal) the link between two sites: messages crossing it in
     either direction are silently lost. Intra-site traffic is never

@@ -12,6 +12,9 @@ type kind =
   | Call of { id : int; src : Loid.t; dst : Loid.t; meth : string }
   | Reply of { id : int; ok : bool }
   | Timeout of { id : int }
+  | Retry of { id : int; attempt : int }
+  | Giveup of { id : int; attempts : int }
+  | Cancel of { id : int }
   | Cache_hit of { owner : Loid.t; target : Loid.t }
   | Cache_miss of { owner : Loid.t; target : Loid.t }
   | Resolve of { owner : Loid.t; target : Loid.t; stale : bool }
@@ -31,6 +34,9 @@ let name = function
   | Call _ -> "Call"
   | Reply _ -> "Reply"
   | Timeout _ -> "Timeout"
+  | Retry _ -> "Retry"
+  | Giveup _ -> "Giveup"
+  | Cancel _ -> "Cancel"
   | Cache_hit _ -> "CacheHit"
   | Cache_miss _ -> "CacheMiss"
   | Resolve _ -> "Resolve"
@@ -63,7 +69,9 @@ let owner e =
   | Rebind { owner; _ } ->
       Some owner
   | Activate { loid } | Deactivate { loid } | Migrate { loid; _ } -> Some loid
-  | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Replica_fanout _ -> None
+  | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
+  | Cancel _ | Replica_fanout _ ->
+      None
 
 let target e =
   match e.kind with
@@ -76,8 +84,8 @@ let target e =
   | Replica_fanout { target; _ } ->
       Some target
   | Migrate { dst; _ } -> Some dst
-  | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Activate _
-  | Deactivate _ ->
+  | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
+  | Cancel _ | Activate _ | Deactivate _ ->
       None
 
 let loid l = Value.Str (Loid.to_string l)
@@ -106,6 +114,11 @@ let fields = function
       ]
   | Reply { id; ok } -> [ ("id", Value.Int id); ("ok", Value.Bool ok) ]
   | Timeout { id } -> [ ("id", Value.Int id) ]
+  | Retry { id; attempt } ->
+      [ ("id", Value.Int id); ("attempt", Value.Int attempt) ]
+  | Giveup { id; attempts } ->
+      [ ("id", Value.Int id); ("attempts", Value.Int attempts) ]
+  | Cancel { id } -> [ ("id", Value.Int id) ]
   | Cache_hit { owner; target } | Cache_miss { owner; target } ->
       [ ("owner", loid owner); ("target", loid target) ]
   | Resolve { owner; target; stale } ->

@@ -26,6 +26,15 @@ type kind =
       (** The comm layer dispatched one method-call attempt. *)
   | Reply of { id : int; ok : bool }  (** A reply reached the caller. *)
   | Timeout of { id : int }  (** A call attempt's deadline fired. *)
+  | Retry of { id : int; attempt : int }
+      (** The retry policy retransmitted call [id]; this is transmission
+          number [attempt] (the original send was attempt 1). *)
+  | Giveup of { id : int; attempts : int }
+      (** The retry policy exhausted its attempt/deadline budget after
+          [attempts] transmissions; the call fails with [Timeout]. *)
+  | Cancel of { id : int }
+      (** A pending call was reaped before completing — a racing
+          replica's losing attempt after the winner replied. *)
   | Cache_hit of { owner : Loid.t; target : Loid.t }
   | Cache_miss of { owner : Loid.t; target : Loid.t }
       (** Binding-cache lookups, both in an object's comm layer and

@@ -110,6 +110,17 @@ let reply ?ok () e =
 let timeout () e =
   match e.Event.kind with Event.Timeout _ -> true | _ -> false
 
+let retry ?id ?attempt () e =
+  match e.Event.kind with
+  | Event.Retry f -> opt_int id f.id && opt_int attempt f.attempt
+  | _ -> false
+
+let giveup ?id () e =
+  match e.Event.kind with Event.Giveup f -> opt_int id f.id | _ -> false
+
+let cancel ?id () e =
+  match e.Event.kind with Event.Cancel f -> opt_int id f.id | _ -> false
+
 let cache_hit ?owner ?target () e =
   match e.Event.kind with
   | Event.Cache_hit f -> opt_loid owner f.owner && opt_loid target f.target

@@ -79,6 +79,9 @@ val drop : ?src:int -> ?dst:int -> ?reason:Event.drop_reason -> unit -> pred
 val call : ?src:Loid.t -> ?dst:Loid.t -> ?meth:string -> unit -> pred
 val reply : ?ok:bool -> unit -> pred
 val timeout : unit -> pred
+val retry : ?id:int -> ?attempt:int -> unit -> pred
+val giveup : ?id:int -> unit -> pred
+val cancel : ?id:int -> unit -> pred
 val cache_hit : ?owner:Loid.t -> ?target:Loid.t -> unit -> pred
 val cache_miss : ?owner:Loid.t -> ?target:Loid.t -> unit -> pred
 val resolve : ?owner:Loid.t -> ?target:Loid.t -> ?stale:bool -> unit -> pred

@@ -1,0 +1,31 @@
+module Prng = Legion_util.Prng
+
+type t = {
+  max_attempts : int;
+  attempt_timeout : float;
+  multiplier : float;
+  jitter : float;
+}
+
+let default =
+  { max_attempts = 5; attempt_timeout = 0.3; multiplier = 2.0; jitter = 0.1 }
+
+let none =
+  { max_attempts = 1; attempt_timeout = infinity; multiplier = 1.0; jitter = 0.0 }
+
+let attempt_window t ~attempt ~prng =
+  let base = t.attempt_timeout *. (t.multiplier ** float_of_int (attempt - 1)) in
+  if t.jitter <= 0.0 || not (Float.is_finite base) then base
+  else
+    (* Uniform in [1 - jitter, 1 + jitter]. *)
+    let u = (2.0 *. Prng.float prng 1.0) -. 1.0 in
+    base *. (1.0 +. (t.jitter *. u))
+
+let validate t =
+  if t.max_attempts < 1 then Error "max_attempts must be >= 1"
+  else if not (t.attempt_timeout > 0.0) then
+    Error "attempt_timeout must be positive"
+  else if not (t.multiplier >= 1.0) then Error "multiplier must be >= 1"
+  else if not (t.jitter >= 0.0 && t.jitter < 1.0) then
+    Error "jitter must lie in [0, 1)"
+  else Ok t

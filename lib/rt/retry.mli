@@ -1,0 +1,47 @@
+(** Retransmission policy for the communication layer.
+
+    §4.1.4 makes rebind-and-retry the answer to {e stale} bindings; this
+    policy is the answer to {e lost messages} on a binding that is still
+    good. A call governed by a policy is transmitted up to
+    [max_attempts] times, each attempt guarded by its own deadline; the
+    deadlines grow exponentially ([multiplier]) from [attempt_timeout]
+    and are jittered so replicated callers do not retransmit in
+    lockstep. The whole exchange still lives under the caller's overall
+    deadline ([call_timeout] or the explicit [?timeout]); attempt
+    windows are clamped to the budget that remains.
+
+    Retransmissions reuse the call id, so the exchange is at-least-once:
+    a target may execute a retransmitted method twice, and the caller
+    takes the first reply and drops duplicates. Methods that defer their
+    reply past the first attempt window (barrier [Arrive]) must keep
+    using an explicit [?timeout], which the runtime treats as a
+    single-attempt caller-managed deadline. *)
+
+type t = {
+  max_attempts : int;
+      (** Total transmissions, counting the first send. [1] disables
+          retransmission. *)
+  attempt_timeout : float;
+      (** Deadline of the first attempt, seconds of virtual time. *)
+  multiplier : float;
+      (** Growth factor applied to each subsequent attempt's deadline. *)
+  jitter : float;
+      (** Fractional spread: each window is scaled by a uniform draw
+          from [[1 - jitter, 1 + jitter]]. [0.] is deterministic. *)
+}
+
+val default : t
+(** 5 attempts, 0.3 s first window, doubling, 10% jitter — four
+    retransmissions fit inside the default 5 s call budget. *)
+
+val none : t
+(** Single attempt: the pre-retry behaviour, also what an explicit
+    [?timeout] argument selects. *)
+
+val attempt_window : t -> attempt:int -> prng:Legion_util.Prng.t -> float
+(** The jittered deadline for transmission number [attempt] (1-based).
+    Draws from [prng] only when [jitter > 0]. *)
+
+val validate : t -> (t, string) result
+(** Reject non-positive attempt counts, windows, or multipliers and
+    jitter outside [[0, 1)]. *)

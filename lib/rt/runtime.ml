@@ -15,9 +15,11 @@ type config = {
   call_timeout : float;
   max_rebinds : int;
   binding_ttl : float option;
+  retry : Retry.t;
 }
 
-let default_config = { call_timeout = 5.0; max_rebinds = 3; binding_ttl = None }
+let default_config =
+  { call_timeout = 5.0; max_rebinds = 3; binding_ttl = None; retry = Retry.default }
 
 type call = { meth : string; args : Value.t list; env : Env.t }
 type reply = (Value.t, Err.t) result
@@ -38,7 +40,13 @@ type proc = {
 and ctx = { rt : t; self : proc }
 and handler = ctx -> call -> (reply -> unit) -> unit
 
-and pending = { cont : reply -> unit; timer : Engine.handle }
+and pending = {
+  cont : reply -> unit;
+  dst_host : int;  (* where the call is headed; crash_host reaps by this *)
+  mutable timer : Engine.handle option;  (* current attempt deadline *)
+  mutable attempts : int;  (* transmissions so far, >= 1 once sent *)
+  started : float;  (* virtual time of the first transmission *)
+}
 
 and t = {
   sim : Engine.t;
@@ -183,8 +191,13 @@ let on_receive rt host ~src payload =
       | None -> () (* late duplicate (racing replica) or post-timeout reply *)
       | Some p ->
           Hashtbl.remove rt.pending id;
-          Engine.cancel p.timer;
+          Option.iter Engine.cancel p.timer;
           emit rt ~host (Event.Reply { id; ok = Result.is_ok reply });
+          if p.attempts > 1 then
+            (* The call survived loss only thanks to retransmission;
+               record how long recovery took end to end. *)
+            Recorder.observe rt.obs ~component:"rt.recovery"
+              (Engine.now rt.sim -. p.started);
           p.cont reply)
   | In_call { id; src_host; dst_loid; dst_slot; call; _ } -> (
       let reply_to r =
@@ -271,7 +284,25 @@ let procs_on_host rt host =
 
 let crash_host rt host =
   Network.set_host_up rt.net host false;
-  List.iter (kill rt) (procs_on_host rt host)
+  List.iter (kill rt) (procs_on_host rt host);
+  (* Fail in-flight calls headed to the dead host promptly instead of
+     letting each burn its full attempt/retry budget. Continuations run
+     from a zero-delay event so callers never re-enter crash_host's
+     caller synchronously. *)
+  let doomed =
+    Hashtbl.fold
+      (fun id p acc -> if p.dst_host = host then (id, p) :: acc else acc)
+      rt.pending []
+  in
+  List.iter
+    (fun (id, p) ->
+      Hashtbl.remove rt.pending id;
+      Option.iter Engine.cancel p.timer;
+      emit rt ~host (Event.Cancel { id });
+      ignore
+        (Engine.schedule rt.sim ~delay:0.0 (fun () ->
+             p.cont (Error (Err.Unreachable "destination host crashed")))))
+    doomed
 
 let find_proc rt loid =
   match placements rt loid with [] -> None | p :: _ -> Some p
@@ -301,40 +332,86 @@ let cache_of p = p.cache
 (* ------------------------------------------------------------------ *)
 (* Invocation.                                                         *)
 
-(* Send one call to one element and register the continuation with a
-   timeout. Non-Sim elements cannot be routed by the simulated network;
-   they fail asynchronously so callers see a uniform interface. *)
+(* Send one call to one element and register the continuation. Default-
+   budget calls are governed by the configured retry policy: the call is
+   retransmitted (same id — at-least-once) under exponentially growing,
+   jittered attempt windows until a reply lands, the attempt budget runs
+   out, or the overall deadline passes. An explicit [timeout] is a
+   caller-managed deadline and selects a single attempt: probes and
+   deferred-reply methods (barrier Arrive) depend on exactly one
+   transmission per logical call.
+
+   Returns a cancel thunk that reaps the pending entry without running
+   the continuation — racing callers use it to retire losers. Non-Sim
+   elements cannot be routed by the simulated network; they fail
+   asynchronously so callers see a uniform interface. *)
 let send_one ctx ?timeout ~dst_loid ~element c k =
   let rt = ctx.rt in
   match element with
   | Address.Sim { host = dst_host; slot = dst_slot } ->
       let id = rt.next_call in
       rt.next_call <- rt.next_call + 1;
-      let deadline = Option.value ~default:rt.config.call_timeout timeout in
-      let timer =
-        Engine.schedule rt.sim ~delay:deadline (fun () ->
-            match Hashtbl.find_opt rt.pending id with
-            | None -> ()
-            | Some _ ->
-                Hashtbl.remove rt.pending id;
-                emit rt ~host:ctx.self.host (Event.Timeout { id });
-                k (Error Err.Timeout))
+      let policy =
+        match timeout with Some _ -> Retry.none | None -> rt.config.retry
       in
-      Hashtbl.replace rt.pending id { cont = k; timer };
-      emit rt ~host:ctx.self.host
-        (Event.Call { id; src = ctx.self.loid; dst = dst_loid; meth = c.meth });
+      let overall = Option.value ~default:rt.config.call_timeout timeout in
+      let started = now rt in
+      let deadline = started +. overall in
       let msg =
         encode_call ~id ~src_loid:ctx.self.loid ~src_host:ctx.self.host
           ~dst_loid ~dst_slot c
       in
-      Network.send rt.net ~src:ctx.self.host ~dst:dst_host msg
+      let p = { cont = k; dst_host; timer = None; attempts = 0; started } in
+      Hashtbl.replace rt.pending id p;
+      let give_up () =
+        Hashtbl.remove rt.pending id;
+        emit rt ~host:ctx.self.host (Event.Timeout { id });
+        if policy.Retry.max_attempts > 1 then
+          emit rt ~host:ctx.self.host
+            (Event.Giveup { id; attempts = p.attempts });
+        k (Error Err.Timeout)
+      in
+      let rec transmit () =
+        p.attempts <- p.attempts + 1;
+        if p.attempts > 1 then
+          emit rt ~host:ctx.self.host
+            (Event.Retry { id; attempt = p.attempts });
+        emit rt ~host:ctx.self.host
+          (Event.Call { id; src = ctx.self.loid; dst = dst_loid; meth = c.meth });
+        let window =
+          Float.min
+            (Retry.attempt_window policy ~attempt:p.attempts ~prng:rt.prng)
+            (deadline -. now rt)
+        in
+        p.timer <- Some (Engine.schedule rt.sim ~delay:window on_expire);
+        Network.send rt.net ~src:ctx.self.host ~dst:dst_host msg
+      and on_expire () =
+        if Hashtbl.mem rt.pending id then begin
+          p.timer <- None;
+          if p.attempts < policy.Retry.max_attempts
+             && deadline -. now rt > 1e-9
+          then transmit ()
+          else give_up ()
+        end
+      in
+      transmit ();
+      fun () ->
+        if Hashtbl.mem rt.pending id then begin
+          Hashtbl.remove rt.pending id;
+          Option.iter Engine.cancel p.timer;
+          emit rt ~host:ctx.self.host (Event.Cancel { id })
+        end
   | Address.Ip _ | Address.Ip_node _ | Address.Raw _ ->
       ignore
         (Engine.schedule rt.sim ~delay:0.0 (fun () ->
-             k (Error (Err.Unreachable "non-simulated address element"))))
+             k (Error (Err.Unreachable "non-simulated address element"))));
+      fun () -> ()
 
 (* Race: send to every element at once; first reply that is not a
-   delivery failure wins; if everything fails, report the last failure. *)
+   delivery failure wins and retires the losers — their timers are
+   cancelled and their pending entries reaped, so no spurious Timeout
+   fires after the exchange is decided. If everything fails, report the
+   last failure. *)
 let race ctx ?timeout ~dst_loid ~elements c k =
   match elements with
   | [] -> k (Error (Err.Unreachable "empty target list"))
@@ -345,6 +422,7 @@ let race ctx ?timeout ~dst_loid ~elements c k =
           (Event.Replica_fanout { target = dst_loid; width = n });
       let failures = ref 0 in
       let done_ = ref false in
+      let cancels = ref [] in
       let on_reply r =
         if not !done_ then
           match r with
@@ -356,22 +434,32 @@ let race ctx ?timeout ~dst_loid ~elements c k =
               end
           | r ->
               done_ := true;
+              (* The winner's entry is already gone; cancelling it is a
+                 no-op, so retire everything still pending. *)
+              List.iter (fun cancel -> cancel ()) !cancels;
               k r
       in
-      List.iter
-        (fun el -> send_one ctx ?timeout ~dst_loid ~element:el c on_reply)
-        elements
+      (* send_one never runs the continuation synchronously (delivery and
+         deadlines are both scheduled events), so the losers' cancel
+         thunks are all collected before any reply can fire. *)
+      cancels :=
+        List.map
+          (fun el -> send_one ctx ?timeout ~dst_loid ~element:el c on_reply)
+          elements
 
 (* Ordered failover: walk the list, advancing only on delivery failure. *)
 let rec failover ctx ?timeout ~dst_loid ~elements c k =
   match elements with
   | [] -> k (Error (Err.Unreachable "all address elements failed"))
   | el :: rest ->
-      send_one ctx ?timeout ~dst_loid ~element:el c (fun r ->
-          match r with
-          | Error e when Err.is_delivery_failure e && rest <> [] ->
-              failover ctx ?timeout ~dst_loid ~elements:rest c k
-          | r -> k r)
+      let (_cancel : unit -> unit) =
+        send_one ctx ?timeout ~dst_loid ~element:el c (fun r ->
+            match r with
+            | Error e when Err.is_delivery_failure e && rest <> [] ->
+                failover ctx ?timeout ~dst_loid ~elements:rest c k
+            | r -> k r)
+      in
+      ()
 
 let invoke_address ctx ?timeout ~address ~dst ~meth ~args ~env k =
   let c = { meth; args; env } in

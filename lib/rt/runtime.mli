@@ -35,10 +35,18 @@ type config = {
   binding_ttl : float option;
       (** Expiry attached to bindings minted by [binding_of]; [None]
           means bindings never explicitly expire (§3.5). *)
+  retry : Retry.t;
+      (** Retransmission policy for calls running under the default
+          [call_timeout] budget: lost messages are resent (same call id,
+          at-least-once) under exponentially backed-off, jittered
+          attempt windows instead of burning the whole deadline. Calls
+          that pass an explicit [?timeout] opt out — that argument is a
+          caller-managed single-attempt deadline (probes, deferred-reply
+          methods). See {!Retry}. *)
 }
 
 val default_config : config
-(** 5 s timeout, 3 rebinds, no expiry. *)
+(** 5 s timeout, 3 rebinds, no expiry, {!Retry.default} retransmission. *)
 
 val create :
   sim:Legion_sim.Engine.t ->
@@ -110,7 +118,10 @@ val procs_on_host : t -> Legion_net.Network.host_id -> proc list
 
 val crash_host : t -> Legion_net.Network.host_id -> unit
 (** Fault injection: mark the network host down and kill every process
-    on it — unsaved state is lost, exactly as a real host crash. The
+    on it — unsaved state is lost, exactly as a real host crash. Calls
+    already in flight {e to} the dead host are failed promptly with
+    [Unreachable] (their pending entries reaped, a [Cancel] event
+    emitted) rather than left to burn their full timeout budget. The
     host can later be brought back up with
     {!Legion_net.Network.set_host_up}; objects return via their
     Magistrates' last saved Object Persistent Representations. *)
@@ -170,12 +181,15 @@ val invoke :
 (** Full communication layer: cache → Binding Agent → send; on delivery
     failure, invalidate, refresh via the Binding Agent ([GetBinding]
     with the stale binding), retry up to [max_rebinds]. [env] defaults
-    to the caller's self-sovereign environment. [timeout] overrides the
-    configured per-attempt deadline — probes that feed a decision inside
-    a larger call chain must use a short one or they exhaust the
-    upstream caller's budget. [max_rebinds] similarly overrides the
-    rebind budget — failure-detector-style scans over possibly-dead
-    components set both low. *)
+    to the caller's self-sovereign environment. [timeout] replaces the
+    configured deadline {e and} disables the retransmission policy —
+    the call becomes a single attempt under a caller-managed budget.
+    Probes that feed a decision inside a larger call chain must use a
+    short one or they exhaust the upstream caller's budget; methods
+    that defer their reply (barrier [Arrive]) must use a long one so
+    the single transmission is never repeated. [max_rebinds] similarly
+    overrides the rebind budget — failure-detector-style scans over
+    possibly-dead components set both low. *)
 
 val invoke_address :
   ctx ->

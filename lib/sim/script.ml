@@ -1,0 +1,35 @@
+let at eng ~time f = ignore (Engine.schedule_at eng ~time f)
+
+let every eng ~period ?start ~until f =
+  if period <= 0.0 then invalid_arg "Script.every: period must be positive";
+  let first = match start with Some t -> t | None -> Engine.now eng +. period in
+  let rec arm time =
+    if time <= until then
+      ignore
+        (Engine.schedule_at eng ~time (fun () ->
+             f ();
+             arm (time +. period)))
+  in
+  arm first
+
+let ramp eng ~start ~until ~steps ~values f =
+  if steps < 1 then invalid_arg "Script.ramp: steps must be >= 1";
+  (match values with [] -> invalid_arg "Script.ramp: no values" | _ -> ());
+  let last = List.length values - 1 in
+  let step_width = (until -. start) /. float_of_int steps in
+  for i = 0 to steps do
+    let v = List.nth values (min i last) in
+    at eng ~time:(start +. (float_of_int i *. step_width)) (fun () -> f v)
+  done
+
+let pulse eng ~start ~width ~on ~off =
+  at eng ~time:start on;
+  at eng ~time:(start +. width) off
+
+let pulses eng ~start ~width ~period ~count ~on ~off =
+  if count < 0 then invalid_arg "Script.pulses: count must be >= 0";
+  if width < 0.0 then invalid_arg "Script.pulses: width must be >= 0";
+  if period <= 0.0 then invalid_arg "Script.pulses: period must be positive";
+  for k = 0 to count - 1 do
+    pulse eng ~start:(start +. (float_of_int k *. period)) ~width ~on ~off
+  done

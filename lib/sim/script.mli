@@ -1,0 +1,55 @@
+(** Scripted fault schedules over the virtual clock.
+
+    A fault-injection experiment is a {e schedule}: at these instants,
+    set the drop rate; between those, partition two sites; crash a host
+    here and restart it there. The combinators below compile such
+    schedules onto the engine's event queue. They know nothing about
+    the network — actions are plain closures, so the same schedule
+    shapes can drive drop rates, partitions, host power, or anything
+    else an experiment wants to vary over time. Schedules are
+    deterministic: same engine, same script, same firing order. *)
+
+type t := Engine.t
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** Run the action at the absolute virtual [time]. *)
+
+val every : t -> period:float -> ?start:float -> until:float -> (unit -> unit) -> unit
+(** Run the action at [start] (default [period] from now) and then every
+    [period] seconds, while the firing time is [<= until].
+    @raise Invalid_argument if [period <= 0]. *)
+
+val ramp :
+  t ->
+  start:float ->
+  until:float ->
+  steps:int ->
+  values:float list ->
+  (float -> unit) ->
+  unit
+(** Step through [values] left to right: value [i] is applied at
+    [start +. i * (until - start) / steps]; when [values] is shorter
+    than [steps + 1] the last value holds. A drop-rate ramp is
+    [ramp eng ~start:0. ~until:60. ~steps:3 ~values:[0.; 0.05; 0.2; 0.]
+    (Network.set_drop_rate net)].
+    @raise Invalid_argument if [steps < 1] or [values = []]. *)
+
+val pulse :
+  t -> start:float -> width:float -> on:(unit -> unit) -> off:(unit -> unit) -> unit
+(** A transient fault: [on] fires at [start], [off] at
+    [start +. width]. Partitions and host crash/restart windows are
+    pulses — [on] partitions (or crashes), [off] heals (or restarts). *)
+
+val pulses :
+  t ->
+  start:float ->
+  width:float ->
+  period:float ->
+  count:int ->
+  on:(unit -> unit) ->
+  off:(unit -> unit) ->
+  unit
+(** [count] pulses of the given [width], the k-th starting at
+    [start +. k * period].
+    @raise Invalid_argument if [count < 0], [width < 0] or
+    [period <= 0]. *)

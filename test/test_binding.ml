@@ -285,6 +285,189 @@ let test_set_parent_runtime () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "SetParent some: %s" (Err.to_string e)
 
+
+(* --- Regression tests for the agent's concurrency and persistence
+   fixes --- *)
+
+module Engine = Legion_sim.Engine
+module Network = Legion_net.Network
+module Prng = Legion_util.Prng
+module Counter = Legion_util.Counter
+module Env = Legion_sec.Env
+module Recorder = Legion_obs.Recorder
+module C = Legion_core.Convert
+
+(* A bare runtime (no System boot) so the test controls every object the
+   agent talks to, including a scripted stand-in for LegionClass. *)
+type rt_fixture = { sim : Engine.t; rt : Runtime.t; hosts : Network.host_id list }
+
+let make_rt_fixture ?(sites = 2) ?(hosts_per_site = 2) () =
+  let sim = Engine.create () in
+  let prng = Prng.create ~seed:23L in
+  let registry = Counter.Registry.create () in
+  let obs = Recorder.create ~clock:(fun () -> Engine.now sim) () in
+  let net = Network.create ~sim ~prng:(Prng.split prng) ~obs () in
+  let hosts =
+    List.concat_map
+      (fun s ->
+        let sid = Network.add_site net ~name:(Printf.sprintf "s%d" s) in
+        List.init hosts_per_site (fun i ->
+            Network.add_host net ~site:sid ~name:(Printf.sprintf "s%d-h%d" s i)))
+      (List.init sites (fun s -> s))
+  in
+  let rt = Runtime.create ~sim ~net ~registry ~prng:(Prng.split prng) ~obs () in
+  { sim; rt; hosts }
+
+(* Two GetBinding resolutions interleave inside one agent: the first
+   request's upward call to the creator class fires only after a WAN
+   round-trip to LegionClass, by which time the second request has
+   already been admitted. Each upward call must carry the environment
+   delegated from *its own* requester (§2.4) — a shared mutable
+   environment cell leaks the second requester's Responsible Agent into
+   the first resolution's upward calls. *)
+let test_interleaved_resolutions_keep_envs () =
+  Agent_part.register ();
+  let f = make_rt_fixture () in
+  let lc_loid = Loid.make ~class_id:999L ~class_specific:0L () in
+  let seen = ref [] in
+  let lc_handler : Runtime.handler =
+   fun _ctx call k ->
+    match call.Runtime.meth with
+    | "LocateClass" -> k (Ok (Value.Record [ ("creator", Loid.to_value lc_loid) ]))
+    | "GetBinding" -> (
+        match call.Runtime.args with
+        | [ av ] -> (
+            match Loid.of_value av with
+            | Ok target ->
+                seen := (target, call.Runtime.env.Env.responsible) :: !seen;
+                k
+                  (Ok
+                     (Binding.to_value
+                        (Binding.make ~loid:target
+                           ~address:
+                             (Address.singleton (Address.Sim { host = 0; slot = 500 }))
+                           ())))
+            | Error msg -> k (Error (Err.Internal msg)))
+        | _ -> k (Error (Err.Bad_args "GetBinding expects one loid")))
+    | m -> k (Error (Err.No_such_method m))
+  in
+  (* LegionClass on the far site (WAN latency), agent and clients
+     co-located: request 2 arrives ~2 ms in, request 1's upward
+     GetBinding only goes out ~80 ms in. *)
+  let lc_proc =
+    Runtime.spawn f.rt ~host:(List.nth f.hosts 2) ~loid:lc_loid ~kind:"class"
+      ~handler:lc_handler ()
+  in
+  let agent_loid = Loid.make ~class_id:60L ~class_specific:1L () in
+  let opr =
+    Opr.make
+      ~states:
+        [
+          ( Agent_part.unit_name,
+            Agent_part.state_value ~legion_class:(Runtime.binding_of f.rt lc_proc) ()
+          );
+        ]
+      ~kind:Well_known.kind_binding_agent
+      ~units:[ Agent_part.unit_name ] ()
+  in
+  let agent =
+    match Impl.activate f.rt ~host:(List.hd f.hosts) ~loid:agent_loid opr with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "activate agent: %s" msg
+  in
+  let client i =
+    Runtime.spawn f.rt ~host:(List.nth f.hosts 1)
+      ~loid:(Loid.make ~class_id:50L ~class_specific:(Int64.of_int i) ())
+      ~kind:"client"
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "client")))
+      ()
+  in
+  let c1 = client 1 and c2 = client 2 in
+  let cls1 = Loid.make ~class_id:100L ~class_specific:0L () in
+  let cls2 = Loid.make ~class_id:101L ~class_specific:0L () in
+  let results = ref [] in
+  let ask client target ~delay =
+    ignore
+      (Engine.schedule f.sim ~delay (fun () ->
+           Runtime.invoke_address
+             { Runtime.rt = f.rt; self = client }
+             ~address:(Runtime.address_of agent)
+             ~dst:agent_loid ~meth:"GetBinding" ~args:[ Loid.to_value target ]
+             ~env:(Env.of_self (Runtime.proc_loid client))
+             (fun r -> results := r :: !results)))
+  in
+  ask c1 cls1 ~delay:0.0;
+  ask c2 cls2 ~delay:0.002;
+  Engine.run f.sim;
+  Alcotest.(check int) "both resolutions replied" 2 (List.length !results);
+  List.iter
+    (function
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "resolution failed: %s" (Err.to_string e))
+    !results;
+  let responsible_for cls =
+    match List.find_opt (fun (t, _) -> Loid.equal t cls) !seen with
+    | Some (_, r) -> r
+    | None -> Alcotest.fail "no upward GetBinding recorded for the class"
+  in
+  Alcotest.check H.loid_t "first resolution keeps its requester's RA"
+    (Runtime.proc_loid c1) (responsible_for cls1);
+  Alcotest.check H.loid_t "second resolution keeps its requester's RA"
+    (Runtime.proc_loid c2) (responsible_for cls2)
+
+(* An unconfigured agent must save an *absent* LegionClass binding — not
+   a fabricated host-0 placeholder — and a configured one must
+   round-trip its binding exactly. *)
+let test_save_restore_honest () =
+  Agent_part.register ();
+  let f = make_rt_fixture () in
+  let proc =
+    Runtime.spawn f.rt ~host:(List.hd f.hosts)
+      ~loid:(Loid.make ~class_id:60L ~class_specific:9L ())
+      ~kind:"binding_agent"
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "inert")))
+      ()
+  in
+  let ctx = { Runtime.rt = f.rt; self = proc } in
+  let opt_lc v =
+    match C.opt_field v "lc" Binding.of_value with
+    | Ok o -> o
+    | Error msg -> Alcotest.failf "bad lc field: %s" msg
+  in
+  let p1 = Agent_part.factory ctx in
+  let v1 = p1.Impl.save () in
+  (match opt_lc v1 with
+  | None -> ()
+  | Some b ->
+      Alcotest.failf "unconfigured agent fabricated a LegionClass binding: %s"
+        (Value.to_string (Binding.to_value b)));
+  let p2 = Agent_part.factory ctx in
+  (match p2.Impl.restore v1 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "restore: %s" msg);
+  Alcotest.(check string) "save/restore/save is a fixed point"
+    (Value.to_string v1)
+    (Value.to_string (p2.Impl.save ()));
+  let lc =
+    Binding.make
+      ~loid:(Loid.make ~class_id:1L ~class_specific:0L ())
+      ~address:(Address.singleton (Address.Sim { host = 0; slot = 3 }))
+      ()
+  in
+  let p3 = Agent_part.factory ctx in
+  (match p3.Impl.restore (Agent_part.state_value ~capacity:8 ~legion_class:lc ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "restore configured: %s" msg);
+  let v3 = p3.Impl.save () in
+  (match opt_lc v3 with
+  | Some b ->
+      Alcotest.(check bool) "LegionClass binding round-trips" true
+        (Binding.equal lc b)
+  | None -> Alcotest.fail "configured LegionClass binding lost on save");
+  match C.opt_int_field v3 "cap" with
+  | Ok (Some 8) -> ()
+  | _ -> Alcotest.fail "cache capacity lost on save"
+
 let () =
   Alcotest.run "binding"
     [
@@ -306,5 +489,12 @@ let () =
           Alcotest.test_case "arrange_agent_tree over site agents" `Quick
             test_arrange_agent_tree;
           Alcotest.test_case "SetParent" `Quick test_set_parent_runtime;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "interleaved resolutions keep their environments"
+            `Quick test_interleaved_resolutions_keep_envs;
+          Alcotest.test_case "save/restore is honest about configuration" `Quick
+            test_save_restore_honest;
         ] );
     ]

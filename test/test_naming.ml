@@ -256,18 +256,122 @@ let test_cache_invalidate () =
   Cache.invalidate_exact c b1;
   Alcotest.(check bool) "exact match removed" false (Cache.mem c ~now:0.0 (loid_of 1))
 
-let test_cache_clear_and_stats_persist () =
-  let c = Cache.create ~capacity:4 () in
+let test_cache_clear_resets_stats () =
+  let c = Cache.create ~capacity:1 () in
   Cache.add c ~now:0.0 (mk_binding 1);
   ignore (Cache.find c ~now:0.0 (loid_of 1));
+  Cache.add c ~now:0.0 (mk_binding 2) (* evicts 1 *);
   Cache.clear c;
   Alcotest.(check int) "emptied" 0 (Cache.length c);
-  (* Statistics survive a clear — they describe the cache's life, not
-     its contents. *)
-  Alcotest.(check int) "lookups kept" 1 (Cache.lookups c);
+  (* A cleared cache is statistically indistinguishable from a fresh
+     one: lookups, hits, evictions and the LRU clock all reset. *)
+  Alcotest.(check int) "lookups reset" 0 (Cache.lookups c);
+  Alcotest.(check int) "hits reset" 0 (Cache.hits c);
+  Alcotest.(check int) "evictions reset" 0 (Cache.evictions c);
+  Alcotest.(check (float 1e-9)) "rate reset" 0.0 (Cache.hit_rate c);
   Cache.add c ~now:0.0 (mk_binding 2);
   Alcotest.(check bool) "usable after clear" true (Cache.mem c ~now:0.0 (loid_of 2));
-  Alcotest.(check (option int)) "capacity preserved" (Some 4) (Cache.capacity c)
+  Alcotest.(check (option int)) "capacity preserved" (Some 1) (Cache.capacity c)
+
+let test_cache_mem_purges_and_counts_nothing () =
+  let c = Cache.create () in
+  Cache.add c ~now:0.0 (mk_binding ~expires:5.0 1);
+  Alcotest.(check bool) "present before expiry" true (Cache.mem c ~now:1.0 (loid_of 1));
+  Alcotest.(check int) "mem counts no lookups" 0 (Cache.lookups c);
+  Alcotest.(check bool) "absent after expiry" false (Cache.mem c ~now:6.0 (loid_of 1));
+  Alcotest.(check int) "expired entry purged by mem" 0 (Cache.length c);
+  Alcotest.(check int) "still no lookups" 0 (Cache.lookups c);
+  Alcotest.(check int) "still no hits" 0 (Cache.hits c)
+
+let test_cache_find_refresh () =
+  let c = Cache.create () in
+  let stale = mk_binding 1 in
+  Cache.add c ~now:0.0 stale;
+  (* The cache still holds the failing binding: refresh must not
+     re-serve it — purge, report a miss, count one lookup. *)
+  Alcotest.(check bool) "stale entry is a miss" true
+    (Cache.find_refresh c ~now:0.0 ~stale = None);
+  Alcotest.(check int) "stale entry purged" 0 (Cache.length c);
+  Alcotest.(check int) "one lookup counted" 1 (Cache.lookups c);
+  Alcotest.(check int) "no hit" 0 (Cache.hits c);
+  (* A *different* cached binding for the same LOID is a hit. *)
+  let fresh =
+    Binding.make ~loid:(loid_of 1)
+      ~address:(Address.singleton (Address.Sim { host = 9; slot = 9 }))
+      ()
+  in
+  Cache.add c ~now:0.0 fresh;
+  (match Cache.find_refresh c ~now:0.0 ~stale with
+  | Some b ->
+      Alcotest.(check bool) "different binding served" true (Binding.equal b fresh)
+  | None -> Alcotest.fail "fresh binding not served");
+  Alcotest.(check int) "two lookups" 2 (Cache.lookups c);
+  Alcotest.(check int) "one hit" 1 (Cache.hits c);
+  (* An expired replacement is a miss too, and gets purged. *)
+  let expiring =
+    Binding.make ~expires:5.0 ~loid:(loid_of 1)
+      ~address:(Address.singleton (Address.Sim { host = 8; slot = 8 }))
+      ()
+  in
+  Cache.add c ~now:0.0 expiring;
+  Alcotest.(check bool) "expired replacement is a miss" true
+    (Cache.find_refresh c ~now:6.0 ~stale = None);
+  Alcotest.(check int) "expired replacement purged" 0 (Cache.length c)
+
+(* Replay a random op sequence against a counter model: exactly [find]
+   and [find_refresh] count lookups, hits never exceed lookups, [clear]
+   resets to a fresh cache, and no op ever serves an expired or
+   known-stale binding. *)
+let cache_stats_invariants =
+  QCheck.Test.make ~name:"cache statistics invariants" ~count:300
+    QCheck.(
+      pair (int_range 1 6)
+        (small_list
+           (pair (int_range 0 5) (pair (int_range 0 6) (float_range 0.5 20.0)))))
+    (fun (cap, ops) ->
+      let c = Cache.create ~capacity:cap () in
+      let lookups = ref 0 and hits = ref 0 in
+      let now = ref 0.0 in
+      let ok = ref true in
+      List.iter
+        (fun (tag, (i, e)) ->
+          now := !now +. 0.25;
+          (match tag with
+          | 0 -> Cache.add c ~now:!now (mk_binding ~expires:(!now +. e) i)
+          | 1 -> (
+              incr lookups;
+              match Cache.find c ~now:!now (loid_of i) with
+              | Some b ->
+                  incr hits;
+                  if not (Binding.is_valid ~now:!now b) then ok := false
+              | None -> ())
+          | 2 ->
+              (* mem agrees with find and counts nothing itself; the
+                 cross-checking find is modelled as one lookup. *)
+              let m = Cache.mem c ~now:!now (loid_of i) in
+              incr lookups;
+              let f = Cache.find c ~now:!now (loid_of i) in
+              if m <> (f <> None) then ok := false;
+              if f <> None then incr hits
+          | 3 -> Cache.invalidate c (loid_of i)
+          | 4 -> (
+              incr lookups;
+              match Cache.find_refresh c ~now:!now ~stale:(mk_binding i) with
+              | Some b ->
+                  incr hits;
+                  if Binding.equal b (mk_binding i) then ok := false;
+                  if not (Binding.is_valid ~now:!now b) then ok := false
+              | None -> ())
+          | _ ->
+              Cache.clear c;
+              lookups := 0;
+              hits := 0);
+          if Cache.lookups c <> !lookups then ok := false;
+          if Cache.hits c <> !hits then ok := false;
+          if Cache.hits c > Cache.lookups c then ok := false;
+          if Cache.length c > cap then ok := false)
+        ops;
+      !ok)
 
 let test_loid_map_set () =
   let l1 = Loid.make ~class_id:1L ~class_specific:1L () in
@@ -331,10 +435,15 @@ let () =
           Alcotest.test_case "replace does not evict" `Quick test_cache_replace_no_evict;
           Alcotest.test_case "zero capacity" `Quick test_cache_zero_capacity;
           Alcotest.test_case "invalidation forms" `Quick test_cache_invalidate;
-          Alcotest.test_case "clear keeps statistics" `Quick
-            test_cache_clear_and_stats_persist;
+          Alcotest.test_case "clear resets statistics" `Quick
+            test_cache_clear_resets_stats;
+          Alcotest.test_case "mem purges and counts nothing" `Quick
+            test_cache_mem_purges_and_counts_nothing;
+          Alcotest.test_case "find_refresh (GetBinding refresh form)" `Quick
+            test_cache_find_refresh;
           QCheck_alcotest.to_alcotest cache_never_exceeds_capacity;
           QCheck_alcotest.to_alcotest cache_never_returns_expired;
+          QCheck_alcotest.to_alcotest cache_stats_invariants;
         ] );
     ]
 

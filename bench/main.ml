@@ -25,6 +25,7 @@ let experiments =
     ("e11", "ablation: scheduling policies (3.7-3.8)", Exp_sched.run);
     ("e13", "jurisdiction splitting (2.2)", Exp_split.run);
     ("e14", "goodput and retry traffic under message loss (4.1.4)", Exp_faults.run);
+    ("e15", "crash recovery: checkpoints, failure detection, fencing", Exp_recover.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

@@ -351,7 +351,12 @@ let cmd_faults =
     | [ t; w ] -> (float_of_string t, float_of_string w)
     | _ -> failwith "window spec must look like  8.0:2.0"
   in
-  let run sites seed ramp duration period partition crash =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the report as one JSON object (goodput windows, retry \
+               counters, MTTR percentiles).")
+  in
+  let run sites seed ramp duration period partition crash json =
     let sys = boot_system ~sites ~seed in
     let ctx = System.client sys () in
     let cls =
@@ -419,32 +424,72 @@ let cmd_faults =
     let retries = Trace.count_of (Trace.retry ()) events in
     let giveups = Trace.count_of (Trace.giveup ()) events in
     let cancels = Trace.count_of (Trace.cancel ()) events in
-    Format.printf "%-10s %-10s %-8s %-8s %-8s@." "window s" "drop" "issued" "ok" "goodput";
-    List.iteri
-      (fun i v ->
-        if i < steps then
-          Format.printf "%4.1f-%-5.1f %-10.2f %-8d %-8d %5.1f%%@."
-            (float_of_int i *. step_width)
-            (float_of_int (i + 1) *. step_width)
-            v issued.(i) ok.(i)
-            (if issued.(i) = 0 then 100.0
-             else 100.0 *. float_of_int ok.(i) /. float_of_int issued.(i)))
-      values;
-    Format.printf
-      "@.%d retransmissions, %d exhausted budgets, %d cancelled calls; %d calls failed@."
-      retries giveups cancels !giveup_errors;
-    (match Recorder.latency obs ~component:"rt.recovery" with
-    | Some h ->
-        Format.printf
-          "recovery latency: %d samples, p50 %.0f ms, p99 %.0f ms@."
-          (Legion_util.Stats.Histogram.total h)
-          (1000.0 *. Legion_util.Stats.Histogram.percentile h 50.0)
-          (1000.0 *. Legion_util.Stats.Histogram.percentile h 99.0)
-    | None -> Format.printf "recovery latency: no samples@.");
-    let ih, is_, ws = Network.messages_by_tier net in
-    Format.printf "messages: %d intra-host, %d intra-site, %d wide-area (%d dropped)@."
-      ih is_ ws
-      (Network.messages_dropped net)
+    let hist_json name h =
+      match h with
+      | None -> Printf.sprintf "\"%s\":{\"samples\":0}" name
+      | Some h ->
+          let module H = Legion_util.Stats.Histogram in
+          Printf.sprintf
+            "\"%s\":{\"samples\":%d,\"p50_ms\":%.1f,\"p90_ms\":%.1f,\"p99_ms\":%.1f}"
+            name (H.total h)
+            (1000.0 *. H.percentile h 50.0)
+            (1000.0 *. H.percentile h 90.0)
+            (1000.0 *. H.percentile h 99.0)
+    in
+    if json then begin
+      let window_json i v =
+        Printf.sprintf
+          "{\"from\":%.2f,\"to\":%.2f,\"drop\":%.3f,\"issued\":%d,\"ok\":%d}"
+          (float_of_int i *. step_width)
+          (float_of_int (i + 1) *. step_width)
+          v issued.(i) ok.(i)
+      in
+      let windows =
+        List.filteri (fun i _ -> i < steps) values
+        |> List.mapi window_json |> String.concat ","
+      in
+      let ih, is_, ws = Network.messages_by_tier net in
+      Format.printf
+        "{\"windows\":[%s],\"retries\":%d,\"giveups\":%d,\"cancels\":%d,\
+         \"failed\":%d,%s,%s,\"messages\":{\"intra_host\":%d,\"intra_site\":%d,\
+         \"wide_area\":%d,\"dropped\":%d}}@."
+        windows retries giveups cancels !giveup_errors
+        (hist_json "recovery" (Recorder.latency obs ~component:"rt.recovery"))
+        (hist_json "mttr" (Recorder.latency obs ~component:"rt.mttr"))
+        ih is_ ws
+        (Network.messages_dropped net)
+    end
+    else begin
+      Format.printf "%-10s %-10s %-8s %-8s %-8s@." "window s" "drop" "issued" "ok" "goodput";
+      List.iteri
+        (fun i v ->
+          if i < steps then
+            Format.printf "%4.1f-%-5.1f %-10.2f %-8d %-8d %5.1f%%@."
+              (float_of_int i *. step_width)
+              (float_of_int (i + 1) *. step_width)
+              v issued.(i) ok.(i)
+              (if issued.(i) = 0 then 100.0
+               else 100.0 *. float_of_int ok.(i) /. float_of_int issued.(i)))
+        values;
+      Format.printf
+        "@.%d retransmissions, %d exhausted budgets, %d cancelled calls; %d calls failed@."
+        retries giveups cancels !giveup_errors;
+      let hist_line name h =
+        match h with
+        | Some h ->
+            Format.printf "%s: %d samples, p50 %.0f ms, p99 %.0f ms@." name
+              (Legion_util.Stats.Histogram.total h)
+              (1000.0 *. Legion_util.Stats.Histogram.percentile h 50.0)
+              (1000.0 *. Legion_util.Stats.Histogram.percentile h 99.0)
+        | None -> Format.printf "%s: no samples@." name
+      in
+      hist_line "recovery latency" (Recorder.latency obs ~component:"rt.recovery");
+      hist_line "mttr" (Recorder.latency obs ~component:"rt.mttr");
+      let ih, is_, ws = Network.messages_by_tier net in
+      Format.printf "messages: %d intra-host, %d intra-site, %d wide-area (%d dropped)@."
+        ih is_ ws
+        (Network.messages_dropped net)
+    end
   in
   let info =
     Cmd.info "faults"
@@ -455,7 +500,123 @@ let cmd_faults =
   Cmd.v info
     Term.(
       const run $ sites_arg $ seed_arg $ ramp_arg $ duration_arg $ period_arg
-      $ partition_arg $ crash_arg)
+      $ partition_arg $ crash_arg $ json_arg)
+
+(* --- recover --- *)
+
+let cmd_recover =
+  let duration_arg =
+    Arg.(value & opt float 20.0
+         & info [ "duration" ] ~docv:"S" ~doc:"Virtual seconds of workload.")
+  in
+  let period_arg =
+    Arg.(value & opt float 0.1
+         & info [ "period" ] ~docv:"S" ~doc:"Seconds between calls (open loop).")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt float 1.0
+         & info [ "checkpoint-period" ] ~docv:"S"
+             ~doc:"Seconds between Magistrate checkpoint sweeps.")
+  in
+  let heartbeat_arg =
+    Arg.(value & opt float 0.25
+         & info [ "heartbeat-period" ] ~docv:"S"
+             ~doc:"Seconds between Host Object heartbeat probes.")
+  in
+  let threshold_arg =
+    Arg.(value & opt int 3
+         & info [ "threshold" ] ~docv:"N"
+             ~doc:"Missed heartbeats before a host is confirmed dead.")
+  in
+  let crash_arg =
+    Arg.(value & opt float 5.0
+         & info [ "crash" ] ~docv:"T"
+             ~doc:"Power-fail a non-infrastructure host at T.")
+  in
+  let reboot_arg =
+    Arg.(value & opt float 5.0
+         & info [ "reboot-after" ] ~docv:"W"
+             ~doc:"Seconds after the crash at which the host reboots.")
+  in
+  let run sites seed duration period checkpoint_period heartbeat_period
+      threshold crash reboot_after =
+    let sys = boot_system ~sites ~seed in
+    let ctx = System.client sys () in
+    let cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Counter"
+        ~units:[ counter_unit ] ()
+    in
+    let n_objects = 8 in
+    let objs =
+      Array.init n_objects (fun _ -> Api.create_object_exn sys ctx ~cls ~eager:true ())
+    in
+    Array.iter (fun o -> ignore (Api.call sys ctx ~dst:o ~meth:"Get" ~args:[])) objs;
+    let sim = System.sim sys and net = System.net sys and obs = System.obs sys in
+    let mark = Recorder.total obs in
+    let t0 = System.now sys in
+    let t_end = t0 +. duration in
+    System.enable_recovery sys ~checkpoint_period ~heartbeat_period ~threshold
+      ~until:t_end ();
+    let infra = List.map (fun s -> List.hd s.System.net_hosts) (System.sites sys) in
+    let victim =
+      match List.filter (fun h -> not (List.mem h infra)) (Network.hosts net) with
+      | h :: _ -> h
+      | [] -> failwith "recover needs a non-infrastructure host (use site:2 or more)"
+    in
+    Script.at sim ~time:(t0 +. crash) (fun () ->
+        Runtime.power_fail (System.rt sys) victim);
+    Script.at sim ~time:(t0 +. crash +. reboot_after) (fun () ->
+        Network.set_host_up net victim true);
+    let acked = Array.make n_objects 0 in
+    let prng = Prng.create ~seed:(Int64.of_int (seed + 11)) in
+    Script.every sim ~period ~until:(t_end -. 1e-9) (fun () ->
+        let i = Prng.int prng n_objects in
+        Runtime.invoke ctx ~dst:objs.(i) ~meth:"Increment" ~args:[ Value.Int 1 ]
+          (function
+            | Ok (Value.Int n) -> acked.(i) <- max acked.(i) n
+            | Ok _ | Error _ -> ()));
+    System.run sys;
+    let events = Recorder.events_since obs mark in
+    let count p = Trace.count_of p events in
+    Format.printf "power-failed host %d at %.1f s, rebooted at %.1f s@." victim
+      crash (crash +. reboot_after);
+    Format.printf
+      "events: %d checkpoints, %d suspects, %d confirmed dead, %d reactivations, %d fenced@."
+      (count (Trace.checkpoint ()))
+      (count (Trace.suspect ()))
+      (count (Trace.confirm_dead ()))
+      (count (Trace.reactivate ()))
+      (count (Trace.fence ()));
+    let lost = ref 0 and checked = ref 0 in
+    Array.iteri
+      (fun i o ->
+        match Api.call sys ctx ~dst:o ~meth:"Get" ~args:[] with
+        | Ok (Value.Int n) ->
+            incr checked;
+            if n < acked.(i) then lost := !lost + (acked.(i) - n)
+        | Ok _ | Error _ -> ())
+      objs;
+    Format.printf "state: %d/%d objects answered; %d acked updates lost@."
+      !checked n_objects !lost;
+    (match Recorder.latency obs ~component:"rt.mttr" with
+    | Some h ->
+        Format.printf "mttr: %d samples, p50 %.2f s, p99 %.2f s@."
+          (Legion_util.Stats.Histogram.total h)
+          (Legion_util.Stats.Histogram.percentile h 50.0)
+          (Legion_util.Stats.Histogram.percentile h 99.0)
+    | None -> Format.printf "mttr: no samples@.")
+  in
+  let info =
+    Cmd.info "recover"
+      ~doc:
+        "Power-fail a host under an open-loop workload with checkpointing and \
+         heartbeat failure detection armed, and report detection events, lost \
+         updates, and MTTR."
+  in
+  Cmd.v info
+    Term.(
+      const run $ sites_arg $ seed_arg $ duration_arg $ period_arg
+      $ checkpoint_arg $ heartbeat_arg $ threshold_arg $ crash_arg $ reboot_arg)
 
 (* --- idl --- *)
 
@@ -512,4 +673,4 @@ let () =
     Cmd.info "legion-sim" ~version:"1.0"
       ~doc:"Drive the simulated Core Legion Object Model from the command line."
   in
-  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_idl ]))
+  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_recover; cmd_idl ]))

@@ -731,6 +731,35 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     | _ -> Impl.bad_args k "NotifyMagistrates expects (loid, add, remove)"
   in
 
+  (* NotifyDead: a failure detector (a Magistrate heartbeat) reports
+     the instance's host dead. Responsibility pairs (§3.7) make this
+     class the recovery authority: drop the stale address and
+     reactivate from the last OPR on a surviving host through the
+     usual magistrate scan — proactively, with no caller waiting for
+     the answer. *)
+  let notify_dead _ctx args env k =
+    match args with
+    | [ loid_v ] -> (
+        match C.loid_arg loid_v with
+        | Error msg -> Impl.bad_args k msg
+        | Ok loid -> (
+            match find_row st loid with
+            | None ->
+                k (Error (Err.Not_bound "object not created by this class"))
+            | Some row ->
+                row.address <- None;
+                activate_via_magistrates ~env row loid ~stale:None
+                  ~host_hint:None (fun r ->
+                    match r with
+                    | Ok _ ->
+                        Runtime.emit rt
+                          ~host:(Runtime.proc_host ctx.Runtime.self)
+                          (Legion_obs.Event.Reactivate { loid });
+                        k Impl.ok_unit
+                    | Error e -> k (Error e))))
+    | _ -> Impl.bad_args k "NotifyDead expects one loid"
+  in
+
   let set_defaults _ctx args _env k =
     match args with
     | [ v ] -> (
@@ -813,6 +842,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         ("RegisterInstance", register_instance);
         ("NotifyAddress", notify_address);
         ("NotifyMagistrates", notify_magistrates);
+        ("NotifyDead", notify_dead);
         ("SetDefaults", set_defaults);
         ("ListInstances", list_instances);
         ("ListSubclasses", list_subclasses);

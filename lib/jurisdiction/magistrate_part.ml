@@ -8,8 +8,11 @@ module Runtime = Legion_rt.Runtime
 module Err = Legion_rt.Err
 module Impl = Legion_core.Impl
 module C = Legion_core.Convert
+module Opr = Legion_core.Opr
 module Persistent = Legion_store.Persistent
 module Opa = Legion_store.Persistent.Opa
+module Engine = Legion_sim.Engine
+module Event = Legion_obs.Event
 
 let unit_name = "legion.magistrate"
 
@@ -31,6 +34,10 @@ type state = {
   mutable host_load : (Loid.t * int) list;  (* local activation counts *)
   mutable activations : int;
   mutable migrations : int;
+  (* Failure-detector soft state: re-derived by heartbeats after a
+     restore, so deliberately not persisted. *)
+  mutable dead_hosts : Loid.t list;
+  mutable missed : (Loid.t * int) list;  (* consecutive missed beats *)
 }
 
 let state_value ?(hosts = []) ?(activation_policy = Policy.Allow_all)
@@ -83,6 +90,8 @@ let factory (ctx : Runtime.ctx) : Impl.part =
       host_load = [];
       activations = 0;
       migrations = 0;
+      dead_hosts = [];
+      missed = [];
     }
   in
   let env = Env.of_self self in
@@ -111,6 +120,13 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     st.host_load <-
       (host, load_of host + 1) :: List.remove_assoc host st.host_load
   in
+  let is_dead h = List.exists (Loid.equal h) st.dead_hosts in
+  (* Hosts the failure detector has confirmed dead are skipped by
+     placement decisions until a heartbeat reaches them again. *)
+  let live_hosts () = List.filter (fun h -> not (is_dead h)) st.hosts in
+  let emit_ev kind =
+    Runtime.emit rt ~host:(Runtime.proc_host ctx.Runtime.self) kind
+  in
   let check_policy ~meth call_env k yes =
     match Policy.check st.activation_policy ~meth ~env:call_env with
     | Policy.Allow -> yes ()
@@ -119,7 +135,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   let mint_binding loid address =
     let ttl = (Runtime.config rt).Runtime.binding_ttl in
     let expires = Option.map (fun d -> Runtime.now rt +. d) ttl in
-    Binding.make ?expires ~loid ~address ()
+    Binding.make ?expires
+      ~epoch:(Runtime.current_epoch rt loid)
+      ~loid ~address ()
   in
   (* Tell the responsible class about magistrate-set changes so its
      Current Magistrate List stays accurate. The continuation fires once
@@ -145,7 +163,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     match host_hint with
     | Some h -> k (Ok h)
     | None -> (
-        match st.hosts with
+        match live_hosts () with
         | [] -> k (Error (Err.Refused "jurisdiction has no hosts"))
         | hosts -> (
             match sched with
@@ -190,6 +208,11 @@ let factory (ctx : Runtime.ctx) : Impl.part =
             match Persistent.get store opa with
             | None -> k (Error (Err.Internal "persistent representation missing"))
             | Some blob ->
+                (* Every reactivation opens a new incarnation: the spawn
+                   below picks the bumped epoch up, and any placement of
+                   an older incarnation still lingering somewhere is
+                   fenced instead of answering. *)
+                ignore (Runtime.bump_epoch rt loid);
                 (* On a delivery failure (the chosen Host Object is dead
                    or unreachable) fall over to the remaining hosts — a
                    crashed host must not wedge its whole Jurisdiction. *)
@@ -233,7 +256,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                     | Error e -> k (Error e)
                     | Ok host ->
                         let fallbacks =
-                          List.filter (fun h -> not (Loid.equal h host)) st.hosts
+                          List.filter
+                            (fun h -> not (Loid.equal h host))
+                            (live_hosts ())
                         in
                         try_host host ~fallbacks)))
   in
@@ -515,6 +540,163 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     | _ -> Impl.bad_args k "SweepIdle expects one float"
   in
 
+  (* Checkpoint one active object *in place*: capture SaveState over
+     its recorded address without deactivating it, keep the stored
+     OPR's identity fields (kind/units/agent/capacity) and replace only
+     the state record, re-writing the same OPA. A crash then loses at
+     most one checkpoint interval of state instead of everything since
+     the last explicit Deactivate. Best effort: any failure leaves the
+     previous OPR in place for the next sweep. *)
+  let checkpoint_record loid record k =
+    match (record.active, record.opa, storage ()) with
+    | Some (_, address), Some opa, Ok store -> (
+        match Option.map Opr.of_blob (Persistent.get store opa) with
+        | None | Some (Error _) -> k false
+        | Some (Ok opr) ->
+            let budget = (Runtime.config rt).Runtime.call_timeout /. 4.0 in
+            Runtime.invoke_address ctx ~timeout:budget ~address ~dst:loid
+              ~meth:"SaveState" ~args:[] ~env (fun r ->
+                match r with
+                | Ok (Value.Record states) -> (
+                    let opr' =
+                      Opr.make ~states ?binding_agent:opr.Opr.binding_agent
+                        ?cache_capacity:opr.Opr.cache_capacity
+                        ~kind:opr.Opr.kind ~units:opr.Opr.units ()
+                    in
+                    match Persistent.put_at store opa (Opr.to_blob opr') with
+                    | Ok () ->
+                        emit_ev (Event.Checkpoint { loid });
+                        k true
+                    | Error _ -> k false)
+                | Ok _ | Error _ -> k false))
+    | _ -> k false
+  in
+  let checkpoint_all k =
+    let snapshot = st.records in
+    let count = ref 0 in
+    let rec go = function
+      | [] -> k !count
+      | (loid, record) :: rest ->
+          checkpoint_record loid record (fun ok ->
+              if ok then incr count;
+              go rest)
+    in
+    go snapshot
+  in
+  let sweep_checkpoint _ctx args call_env k =
+    match args with
+    | [] ->
+        check_policy ~meth:"SweepCheckpoint" call_env k (fun () ->
+            checkpoint_all (fun n -> k (Ok (Value.Int n))))
+    | _ -> Impl.bad_args k "SweepCheckpoint takes no arguments"
+  in
+  (* StartCheckpointing: arm a periodic SweepCheckpoint until the given
+     absolute virtual time. The horizon is explicit so a simulation
+     that runs to quiescence still terminates. *)
+  let start_checkpointing _ctx args call_env k =
+    match args with
+    | [ Value.Float period; Value.Float until ] ->
+        check_policy ~meth:"StartCheckpointing" call_env k (fun () ->
+            if period <= 0.0 then
+              Impl.bad_args k "StartCheckpointing: period must be positive"
+            else begin
+              let sim = Runtime.sim rt in
+              let rec sweep () =
+                if Runtime.is_live ctx.Runtime.self then
+                  checkpoint_all (fun _ ->
+                      if Engine.now sim +. period <= until then
+                        ignore (Engine.schedule sim ~delay:period sweep))
+              in
+              ignore (Engine.schedule sim ~delay:period sweep);
+              k Impl.ok_unit
+            end)
+    | _ -> Impl.bad_args k "StartCheckpointing expects (period, until)"
+  in
+
+  (* Failure detection (heartbeats): probe every Host Object each
+     period; consecutive misses move it Suspect -> ConfirmDead at the
+     threshold, at which point every resident object is recovered
+     proactively — its record is cleared, the MTTR clock started, and
+     its responsible class told to reactivate it (NotifyDead) on a
+     surviving host. No caller has to trip over the corpse first. A
+     later successful probe revives the host for placement. *)
+  let missed_of h =
+    match List.find_opt (fun (l, _) -> Loid.equal l h) st.missed with
+    | Some (_, n) -> n
+    | None -> 0
+  in
+  let set_missed h n =
+    st.missed <-
+      (h, n) :: List.filter (fun (l, _) -> not (Loid.equal l h)) st.missed
+  in
+  let confirm_dead h =
+    if not (is_dead h) then begin
+      st.dead_hosts <- h :: st.dead_hosts;
+      let victims =
+        List.filter
+          (fun (_, r) ->
+            match r.active with
+            | Some (hh, _) -> Loid.equal hh h
+            | None -> false)
+          st.records
+      in
+      emit_ev
+        (Event.Confirm_dead { host_obj = h; objects = List.length victims });
+      List.iter
+        (fun (loid, record) ->
+          record.active <- None;
+          Runtime.mark_dead rt loid;
+          (* Classes recover lazily through the agent chain; only
+             instances get the proactive push. *)
+          if not (Loid.is_class loid) then
+            invoke (Loid.responsible_class loid) "NotifyDead"
+              [ Loid.to_value loid ]
+              (fun _ -> ()))
+        victims
+    end
+  in
+  let probe_host ~threshold h k =
+    let probe = (Runtime.config rt).Runtime.call_timeout /. 10.0 in
+    Runtime.invoke ctx ~timeout:probe ~max_rebinds:0 ~dst:h ~meth:"GetState"
+      ~args:[] ~env (fun r ->
+        (match r with
+        | Ok _ ->
+            if is_dead h then
+              st.dead_hosts <-
+                List.filter (fun l -> not (Loid.equal l h)) st.dead_hosts;
+            set_missed h 0
+        | Error _ ->
+            let n = missed_of h + 1 in
+            set_missed h n;
+            emit_ev (Event.Suspect { host_obj = h; missed = n });
+            if n >= threshold then confirm_dead h);
+        k ())
+  in
+  let start_heartbeat _ctx args call_env k =
+    match args with
+    | [ Value.Float period; Value.Int threshold; Value.Float until ] ->
+        check_policy ~meth:"StartHeartbeat" call_env k (fun () ->
+            if period <= 0.0 || threshold < 1 then
+              Impl.bad_args k "StartHeartbeat: bad period/threshold"
+            else begin
+              let sim = Runtime.sim rt in
+              let rec beat () =
+                if Runtime.is_live ctx.Runtime.self then begin
+                  let rec per_host = function
+                    | [] ->
+                        if Engine.now sim +. period <= until then
+                          ignore (Engine.schedule sim ~delay:period beat)
+                    | h :: rest -> probe_host ~threshold h (fun () -> per_host rest)
+                  in
+                  per_host st.hosts
+                end
+              in
+              ignore (Engine.schedule sim ~delay:period beat);
+              k Impl.ok_unit
+            end)
+    | _ -> Impl.bad_args k "StartHeartbeat expects (period, threshold, until)"
+  in
+
   (* AdoptObject: accept responsibility for an object whose OPR already
      sits on storage this Jurisdiction can see — the §2.2 non-disjoint
      storage case, used by jurisdiction splitting. *)
@@ -693,6 +875,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         ("Copy", copy);
         ("Move", move);
         ("SweepIdle", sweep_idle);
+        ("SweepCheckpoint", sweep_checkpoint);
+        ("StartCheckpointing", start_checkpointing);
+        ("StartHeartbeat", start_heartbeat);
         ("AdoptObject", adopt_object);
         ("TransferObjects", transfer_objects);
         ("AddHost", add_host);

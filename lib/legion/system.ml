@@ -108,6 +108,7 @@ let class_idl =
   \  RegisterInstance(obj: loid, addr: any);\n\
   \  NotifyAddress(obj: loid, addr: any);\n\
   \  NotifyMagistrates(obj: loid, add: list<loid>, remove: list<loid>);\n\
+  \  NotifyDead(obj: loid);\n\
   \  SetDefaults(defaults: any);\n\
   \  ListInstances(): list<loid>;\n\
   \  ListSubclasses(): list<loid>;\n\
@@ -137,6 +138,9 @@ let magistrate_idl =
   \  AddHost(host: loid);\n\
   \  RemoveHost(host: loid);\n\
   \  SetActivationPolicy(policy: any);\n\
+  \  SweepCheckpoint(): int;\n\
+  \  StartCheckpointing(period: float, until: float);\n\
+  \  StartHeartbeat(period: float, threshold: int, until: float);\n\
   \  ListObjects(): list<loid>;\n\
   \  GetJurisdictionInfo(): any;\n\
    }"
@@ -328,6 +332,7 @@ let boot ?(seed = 42L) ?latency ?rt_config ?agent_cache_capacity
                 Disk.create ~name:(name ^ "-disk0");
                 Disk.create ~name:(name ^ "-disk1");
               ]
+            ()
         in
         Magistrate_part.register_storage name storage;
         let mag_loid = fresh Well_known.legion_magistrate in
@@ -674,6 +679,50 @@ let checkpoint_all t =
   Engine.run t.sim;
   Runtime.kill t.rt driver;
   !swept
+
+let enable_recovery t ?(checkpoint_period = 1.0) ?(heartbeat_period = 0.25)
+    ?(threshold = 3) ~until () =
+  let driver_loid = fresh_instance_loid t ~of_class:Well_known.legion_object in
+  let driver =
+    Runtime.spawn t.rt
+      ~host:(List.hd (List.hd t.sites).net_hosts)
+      ~loid:driver_loid ~kind:Well_known.kind_client
+      ~binding_agent:(List.hd t.sites).agent_address
+      ~handler:(fun _ _ k -> k (Error (Err.Refused "recovery driver")))
+      ()
+  in
+  let ctx = { Runtime.rt = t.rt; self = driver } in
+  let pending = ref 0 in
+  let failure = ref None in
+  let start meth args s =
+    incr pending;
+    Runtime.invoke ctx ~dst:s.magistrate ~meth ~args (fun r ->
+        decr pending;
+        match r with
+        | Ok _ -> ()
+        | Error e -> failure := Some (Err.to_string e))
+  in
+  List.iter
+    (fun s ->
+      start "StartCheckpointing"
+        [ Value.Float checkpoint_period; Value.Float until ]
+        s;
+      start "StartHeartbeat"
+        [ Value.Float heartbeat_period; Value.Int threshold; Value.Float until ]
+        s)
+    t.sites;
+  (* Drive only until the Start* replies land: a plain [Engine.run] would
+     simulate the whole recovery horizon because the magistrate loops keep
+     scheduling future beats up to [until]. *)
+  let budget = ref 100_000 in
+  while !pending > 0 && !budget > 0 && Engine.step t.sim do
+    decr budget
+  done;
+  Runtime.kill t.rt driver;
+  (match !failure with
+  | Some msg -> failwith ("enable_recovery: " ^ msg)
+  | None -> ());
+  if !pending > 0 then failwith "enable_recovery: magistrates did not reply"
 
 let run t = Engine.run t.sim
 

@@ -121,6 +121,27 @@ val checkpoint_all : t -> int
     infrastructure (Magistrates, Host Objects, Binding Agents) keeps
     running; everything deactivated returns on its next reference. *)
 
+val enable_recovery :
+  t ->
+  ?checkpoint_period:float ->
+  ?heartbeat_period:float ->
+  ?threshold:int ->
+  until:float ->
+  unit ->
+  unit
+(** Arm the crash-recovery machinery on every Magistrate: a periodic
+    [SweepCheckpoint] loop (default period 1.0) that snapshots active
+    objects' [SaveState] into fresh OPRs without deactivating them, and
+    a heartbeat loop (default period 0.25, threshold 3) that probes the
+    Jurisdiction's Host Objects and, once a host misses [threshold]
+    consecutive beats, confirms it dead and notifies each stranded
+    object's responsible class ([NotifyDead]) so it reactivates the
+    object from its last checkpoint on a surviving host. Both loops
+    stop at absolute simulation time [until] so [run] still terminates.
+    Only the arming handshake is simulated here; the loops themselves
+    fire during subsequent [run]/[run_for] calls.
+    @raise Failure when a Magistrate rejects the arming call. *)
+
 val run : t -> unit
 (** Run the simulation until quiescence. *)
 

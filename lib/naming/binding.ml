@@ -1,11 +1,19 @@
 module Value = Legion_wire.Value
 
-type t = { loid : Loid.t; address : Address.t; expires : float option }
+type t = {
+  loid : Loid.t;
+  address : Address.t;
+  expires : float option;
+  epoch : int;
+}
 
-let make ?expires ~loid ~address () = { loid; address; expires }
+let make ?expires ?(epoch = 0) ~loid ~address () =
+  { loid; address; expires; epoch }
+
 let loid t = t.loid
 let address t = t.address
 let expires t = t.expires
+let epoch t = t.epoch
 
 let is_valid ~now t =
   match t.expires with None -> true | Some e -> now < e
@@ -16,14 +24,15 @@ let equal a b =
   Loid.equal a.loid b.loid
   && Address.equal a.address b.address
   && Option.equal Float.equal a.expires b.expires
+  && Int.equal a.epoch b.epoch
 
 let pp ppf t =
   let pp_exp ppf = function
     | None -> Format.fprintf ppf "never"
     | Some e -> Format.fprintf ppf "%.3f" e
   in
-  Format.fprintf ppf "%a->%a(exp:%a)" Loid.pp t.loid Address.pp t.address pp_exp
-    t.expires
+  Format.fprintf ppf "%a->%a(exp:%a;e%d)" Loid.pp t.loid Address.pp t.address
+    pp_exp t.expires t.epoch
 
 let to_value t =
   Value.Record
@@ -34,6 +43,7 @@ let to_value t =
         match t.expires with
         | None -> Value.List []
         | Some e -> Value.List [ Value.Float e ] );
+      ("epo", Value.Int t.epoch);
     ]
 
 let of_value v =
@@ -50,4 +60,8 @@ let of_value v =
     | Value.List [ Value.Float e ] -> Ok (Some e)
     | _ -> Error "binding: bad expiry"
   in
-  Ok { loid; address; expires }
+  (* Bindings minted before epochs existed decode as epoch 0. *)
+  let epoch =
+    match Value.field v "epo" with Ok (Value.Int e) -> e | _ -> 0
+  in
+  Ok { loid; address; expires; epoch }

@@ -7,12 +7,20 @@
 
 type t
 
-val make : ?expires:float -> loid:Loid.t -> address:Address.t -> unit -> t
+val make :
+  ?expires:float -> ?epoch:int -> loid:Loid.t -> address:Address.t -> unit -> t
+
 val loid : t -> Loid.t
 val address : t -> Address.t
 
 val expires : t -> float option
 (** Absolute simulated time of expiry, or [None] for never. *)
+
+val epoch : t -> int
+(** Incarnation number of the placement this binding points at
+    (default [0]). Bumped each time a Magistrate reactivates the
+    object, so a binding minted before a crash can be recognised as
+    pointing at a fenced zombie placement. *)
 
 val is_valid : now:float -> t -> bool
 (** True when [expires] is [None] or strictly in the future. *)

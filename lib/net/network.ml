@@ -34,6 +34,7 @@ type t = {
   mutable drop_rate : float;
   mutable partitions : (site_id * site_id) list;
   mutable tap : (src:host_id -> dst:host_id -> Value.t -> unit) option;
+  mutable host_watcher : (host_id -> up:bool -> unit) option;
   mutable obs : Recorder.t option;
   mutable sent : int;
   mutable bytes : int;
@@ -55,6 +56,7 @@ let create ~sim ~prng ?(latency = default_latency) ?obs () =
     drop_rate = 0.0;
     partitions = [];
     tap = None;
+    host_watcher = None;
     obs;
     sent = 0;
     bytes = 0;
@@ -113,7 +115,12 @@ let site_name t s =
 
 let set_host_up t h up =
   check_host t h;
-  t.host_tbl.(h).up <- up
+  let was = t.host_tbl.(h).up in
+  t.host_tbl.(h).up <- up;
+  if was <> up then
+    match t.host_watcher with None -> () | Some f -> f h ~up
+
+let set_host_watcher t f = t.host_watcher <- f
 
 let host_is_up t h =
   check_host t h;

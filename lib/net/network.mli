@@ -57,6 +57,12 @@ val site_name : t -> site_id -> string
 
 val set_host_up : t -> host_id -> bool -> unit
 val host_is_up : t -> host_id -> bool
+
+val set_host_watcher : t -> (host_id -> up:bool -> unit) option -> unit
+(** Observe host up/down {e transitions} (calls that do not change the
+    state fire nothing). The runtime installs one to reap fenced zombie
+    placements when a crashed host reboots. [None] removes it. *)
+
 val set_drop_rate : t -> float -> unit
 (** Fraction of messages lost uniformly at random; default [0.]. *)
 

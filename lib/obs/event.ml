@@ -24,6 +24,11 @@ type kind =
   | Deactivate of { loid : Loid.t }
   | Migrate of { loid : Loid.t; dst : Loid.t }
   | Replica_fanout of { target : Loid.t; width : int }
+  | Checkpoint of { loid : Loid.t }
+  | Suspect of { host_obj : Loid.t; missed : int }
+  | Confirm_dead of { host_obj : Loid.t; objects : int }
+  | Reactivate of { loid : Loid.t }
+  | Fence of { loid : Loid.t; epoch : int; current : int }
 
 type t = { time : float; host : int option; site : int option; kind : kind }
 
@@ -46,6 +51,11 @@ let name = function
   | Deactivate _ -> "Deactivate"
   | Migrate _ -> "Migrate"
   | Replica_fanout _ -> "ReplicaFanout"
+  | Checkpoint _ -> "Checkpoint"
+  | Suspect _ -> "Suspect"
+  | Confirm_dead _ -> "ConfirmDead"
+  | Reactivate _ -> "Reactivate"
+  | Fence _ -> "Fence"
 
 let tier_name = function
   | Intra_host -> "host"
@@ -68,7 +78,14 @@ let owner e =
   | Binding_install { owner; _ }
   | Rebind { owner; _ } ->
       Some owner
-  | Activate { loid } | Deactivate { loid } | Migrate { loid; _ } -> Some loid
+  | Activate { loid }
+  | Deactivate { loid }
+  | Migrate { loid; _ }
+  | Checkpoint { loid }
+  | Reactivate { loid }
+  | Fence { loid; _ } ->
+      Some loid
+  | Suspect { host_obj; _ } | Confirm_dead { host_obj; _ } -> Some host_obj
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
   | Cancel _ | Replica_fanout _ ->
       None
@@ -85,7 +102,8 @@ let target e =
       Some target
   | Migrate { dst; _ } -> Some dst
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
-  | Cancel _ | Activate _ | Deactivate _ ->
+  | Cancel _ | Activate _ | Deactivate _ | Checkpoint _ | Suspect _
+  | Confirm_dead _ | Reactivate _ | Fence _ ->
       None
 
 let loid l = Value.Str (Loid.to_string l)
@@ -135,6 +153,17 @@ let fields = function
   | Migrate { loid = l; dst } -> [ ("loid", loid l); ("dst", loid dst) ]
   | Replica_fanout { target; width } ->
       [ ("target", loid target); ("width", Value.Int width) ]
+  | Checkpoint { loid = l } | Reactivate { loid = l } -> [ ("loid", loid l) ]
+  | Suspect { host_obj; missed } ->
+      [ ("host_obj", loid host_obj); ("missed", Value.Int missed) ]
+  | Confirm_dead { host_obj; objects } ->
+      [ ("host_obj", loid host_obj); ("objects", Value.Int objects) ]
+  | Fence { loid = l; epoch; current } ->
+      [
+        ("loid", loid l);
+        ("epoch", Value.Int epoch);
+        ("current", Value.Int current);
+      ]
 
 let to_value e =
   Value.Record

@@ -53,6 +53,22 @@ type kind =
       (** A Magistrate shipped the object's OPR to Magistrate [dst]. *)
   | Replica_fanout of { target : Loid.t; width : int }
       (** One logical call raced [width] address elements. *)
+  | Checkpoint of { loid : Loid.t }
+      (** A Magistrate sweep refreshed the object's OPR from a live
+          [SaveState] without deactivating it. *)
+  | Suspect of { host_obj : Loid.t; missed : int }
+      (** A heartbeat probe of a Host Object failed; [missed]
+          consecutive beats have now been lost. *)
+  | Confirm_dead of { host_obj : Loid.t; objects : int }
+      (** The missed-beat threshold fired: the Magistrate declares the
+          host dead and starts recovery of its [objects] residents. *)
+  | Reactivate of { loid : Loid.t }
+      (** The responsible class brought a dead instance back from its
+          last OPR on a surviving host. *)
+  | Fence of { loid : Loid.t; epoch : int; current : int }
+      (** The runtime refused a stale placement: either a delivery to a
+          placement whose [epoch] is below the LOID's [current] epoch,
+          or the reaping of such a zombie when its host reboots. *)
 
 type t = {
   time : float;  (** Virtual time of emission. *)

@@ -169,3 +169,28 @@ let replica_fanout ?target () e =
   match e.Event.kind with
   | Event.Replica_fanout f -> opt_loid target f.target
   | _ -> false
+
+let checkpoint ?loid () e =
+  match e.Event.kind with
+  | Event.Checkpoint f -> opt_loid loid f.loid
+  | _ -> false
+
+let suspect ?host_obj () e =
+  match e.Event.kind with
+  | Event.Suspect f -> opt_loid host_obj f.host_obj
+  | _ -> false
+
+let confirm_dead ?host_obj () e =
+  match e.Event.kind with
+  | Event.Confirm_dead f -> opt_loid host_obj f.host_obj
+  | _ -> false
+
+let reactivate ?loid () e =
+  match e.Event.kind with
+  | Event.Reactivate f -> opt_loid loid f.loid
+  | _ -> false
+
+let fence ?loid ?epoch () e =
+  match e.Event.kind with
+  | Event.Fence f -> opt_loid loid f.loid && opt_int epoch f.epoch
+  | _ -> false

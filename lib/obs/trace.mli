@@ -91,3 +91,8 @@ val activate : ?loid:Loid.t -> unit -> pred
 val deactivate : ?loid:Loid.t -> unit -> pred
 val migrate : ?loid:Loid.t -> unit -> pred
 val replica_fanout : ?target:Loid.t -> unit -> pred
+val checkpoint : ?loid:Loid.t -> unit -> pred
+val suspect : ?host_obj:Loid.t -> unit -> pred
+val confirm_dead : ?host_obj:Loid.t -> unit -> pred
+val reactivate : ?loid:Loid.t -> unit -> pred
+val fence : ?loid:Loid.t -> ?epoch:int -> unit -> pred

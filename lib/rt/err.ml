@@ -8,15 +8,18 @@ type t =
   | Not_bound of string
   | Timeout
   | Unreachable of string
+  | Stale_epoch
   | Internal of string
 
 let is_delivery_failure = function
-  | No_such_object | Timeout | Unreachable _ -> true
+  | No_such_object | Timeout | Unreachable _ | Stale_epoch -> true
   | No_such_method _ | Refused _ | Bad_args _ | Not_bound _ | Internal _ -> false
 
 let equal a b =
   match (a, b) with
-  | No_such_object, No_such_object | Timeout, Timeout -> true
+  | No_such_object, No_such_object | Timeout, Timeout | Stale_epoch, Stale_epoch
+    ->
+      true
   | No_such_method x, No_such_method y
   | Refused x, Refused y
   | Bad_args x, Bad_args y
@@ -25,7 +28,7 @@ let equal a b =
   | Internal x, Internal y ->
       String.equal x y
   | ( ( No_such_object | No_such_method _ | Refused _ | Bad_args _ | Not_bound _
-      | Timeout | Unreachable _ | Internal _ ),
+      | Timeout | Unreachable _ | Stale_epoch | Internal _ ),
       _ ) ->
       false
 
@@ -37,6 +40,7 @@ let pp ppf = function
   | Not_bound r -> Format.fprintf ppf "not bound: %s" r
   | Timeout -> Format.fprintf ppf "timeout"
   | Unreachable r -> Format.fprintf ppf "unreachable: %s" r
+  | Stale_epoch -> Format.fprintf ppf "stale epoch"
   | Internal r -> Format.fprintf ppf "internal error: %s" r
 
 let to_string t = Format.asprintf "%a" pp t
@@ -49,6 +53,7 @@ let to_value = function
   | Not_bound r -> Value.Record [ ("c", Value.Str "nbd"); ("d", Value.Str r) ]
   | Timeout -> Value.Record [ ("c", Value.Str "tmo") ]
   | Unreachable r -> Value.Record [ ("c", Value.Str "unr"); ("d", Value.Str r) ]
+  | Stale_epoch -> Value.Record [ ("c", Value.Str "stl") ]
   | Internal r -> Value.Record [ ("c", Value.Str "int"); ("d", Value.Str r) ]
 
 let of_value v =
@@ -73,6 +78,7 @@ let of_value v =
       let* d = detail () in
       Ok (Not_bound d)
   | "tmo" -> Ok Timeout
+  | "stl" -> Ok Stale_epoch
   | "unr" ->
       let* d = detail () in
       Ok (Unreachable d)

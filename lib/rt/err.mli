@@ -24,11 +24,18 @@ type t =
   | Unreachable of string
       (** The communication layer gave up: no route, no binding agent,
           or retries exhausted. *)
+  | Stale_epoch
+      (** The destination placement belongs to a superseded incarnation
+          of the object: it has been reactivated elsewhere with a higher
+          epoch, and the runtime fences the old placement rather than
+          let it answer. A delivery failure — rebinding finds the
+          current incarnation. *)
   | Internal of string
 
 val is_delivery_failure : t -> bool
-(** True for [No_such_object], [Timeout] and [Unreachable] — failures
-    where refreshing the binding and retrying is meaningful. *)
+(** True for [No_such_object], [Timeout], [Unreachable] and
+    [Stale_epoch] — failures where refreshing the binding and retrying
+    is meaningful. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -29,6 +29,7 @@ type proc = {
   host : Network.host_id;
   slot : int;
   kind : string;
+  epoch : int;  (* incarnation this placement was spawned into *)
   cache : Cache.t;
   counter : Counter.t;
   mutable live : bool;
@@ -58,11 +59,65 @@ and t = {
   places : proc list Loid.Table.t;  (* loid -> active placements *)
   pending : (int, pending) Hashtbl.t;
   attached : (int, unit) Hashtbl.t;  (* hosts with a receiver installed *)
+  epochs : int Loid.Table.t;  (* loid -> current incarnation, absent = 0 *)
+  dead_since : float Loid.Table.t;
+      (* loid -> ConfirmDead time, until the first post-recovery delivery *)
   obs : Recorder.t;
   mutable next_slot : int;
   mutable next_call : int;
   mutable delivered : int;
 }
+
+let emit rt ~host kind =
+  Recorder.emit rt.obs ~host ~site:(Network.site_of rt.net host) kind
+
+(* ------------------------------------------------------------------ *)
+(* Epochs (incarnation numbers).                                       *)
+
+let current_epoch rt loid =
+  Option.value ~default:0 (Loid.Table.find rt.epochs loid)
+
+let bump_epoch rt loid =
+  let e = current_epoch rt loid + 1 in
+  Loid.Table.set rt.epochs loid e;
+  e
+
+let kill rt proc =
+  if proc.live then begin
+    proc.live <- false;
+    emit rt ~host:proc.host (Event.Deactivate { loid = proc.loid });
+    Hashtbl.remove rt.slots (proc.host, proc.slot);
+    let remaining =
+      List.filter
+        (fun p -> not (p.host = proc.host && p.slot = proc.slot))
+        (Option.value ~default:[] (Loid.Table.find rt.places proc.loid))
+    in
+    if remaining = [] then Loid.Table.remove rt.places proc.loid
+    else Loid.Table.set rt.places proc.loid remaining
+  end
+
+let placements rt loid = Option.value ~default:[] (Loid.Table.find rt.places loid)
+
+let kill_loid rt loid = List.iter (kill rt) (placements rt loid)
+
+let procs_on_host rt host =
+  Hashtbl.fold
+    (fun (h, _) proc acc -> if h = host && proc.live then proc :: acc else acc)
+    rt.slots []
+
+(* A rebooted host must not resurrect placements that were superseded
+   while it was down: any surviving proc whose epoch trails its LOID's
+   current incarnation is fenced off and reaped, never heard from. *)
+let reap_rebooted rt host =
+  List.iter
+    (fun p ->
+      let cur = current_epoch rt p.loid in
+      if p.epoch < cur then begin
+        emit rt ~host
+          (Event.Fence { loid = p.loid; epoch = p.epoch; current = cur });
+        kill rt p
+      end)
+    (procs_on_host rt host)
 
 let create ~sim ~net ~registry ~prng ?(config = default_config) ?obs () =
   let obs =
@@ -81,12 +136,16 @@ let create ~sim ~net ~registry ~prng ?(config = default_config) ?obs () =
       places = Loid.Table.create ();
       pending = Hashtbl.create 256;
       attached = Hashtbl.create 64;
+      epochs = Loid.Table.create ();
+      dead_since = Loid.Table.create ();
       obs;
       next_slot = 0;
       next_call = 0;
       delivered = 0;
     }
   in
+  Network.set_host_watcher net
+    (Some (fun h ~up -> if up then reap_rebooted rt h));
   rt
 
 let sim rt = rt.sim
@@ -97,8 +156,9 @@ let config rt = rt.config
 let now rt = Engine.now rt.sim
 let obs rt = rt.obs
 
-let emit rt ~host kind =
-  Recorder.emit rt.obs ~host ~site:(Network.site_of rt.net host) kind
+let mark_dead rt loid =
+  if not (Loid.Table.mem rt.dead_since loid) then
+    Loid.Table.set rt.dead_since loid (now rt)
 
 (* ------------------------------------------------------------------ *)
 (* Wire format of calls and replies.                                   *)
@@ -212,10 +272,26 @@ let on_receive rt host ~src payload =
       in
       match Hashtbl.find_opt rt.slots (host, dst_slot) with
       | Some proc when proc.live && (is_wildcard || Loid.equal proc.loid dst_loid) ->
-          proc.counter |> Counter.incr;
-          proc.last_delivery <- Engine.now rt.sim;
-          rt.delivered <- rt.delivered + 1;
-          proc.handler { rt; self = proc } call reply_to
+          let cur = current_epoch rt proc.loid in
+          if proc.epoch < cur then begin
+            (* A superseded incarnation must never answer: fence it so
+               the caller's rebind machinery finds the current one. *)
+            emit rt ~host
+              (Event.Fence { loid = proc.loid; epoch = proc.epoch; current = cur });
+            reply_to (Error Err.Stale_epoch)
+          end
+          else begin
+            proc.counter |> Counter.incr;
+            proc.last_delivery <- Engine.now rt.sim;
+            rt.delivered <- rt.delivered + 1;
+            (match Loid.Table.find rt.dead_since proc.loid with
+            | Some t0 ->
+                Loid.Table.remove rt.dead_since proc.loid;
+                Recorder.observe rt.obs ~component:"rt.mttr"
+                  (Engine.now rt.sim -. t0)
+            | None -> ());
+            proc.handler { rt; self = proc } call reply_to
+          end
       | Some _ | None -> reply_to (Error Err.No_such_object))
 
 let attach_host rt host =
@@ -228,8 +304,12 @@ let attach_host rt host =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle.                                                          *)
 
-let spawn rt ~host ~loid ~kind ?cache_capacity ?binding_agent ~handler () =
+let spawn rt ~host ~loid ~kind ?epoch ?cache_capacity ?binding_agent ~handler ()
+    =
   attach_host rt host;
+  let epoch =
+    match epoch with Some e -> e | None -> current_epoch rt loid
+  in
   let slot = rt.next_slot in
   rt.next_slot <- rt.next_slot + 1;
   (* Replicas share a LOID but not a counter: the placement's slot
@@ -245,6 +325,7 @@ let spawn rt ~host ~loid ~kind ?cache_capacity ?binding_agent ~handler () =
       host;
       slot;
       kind;
+      epoch;
       cache;
       counter;
       live = true;
@@ -259,36 +340,11 @@ let spawn rt ~host ~loid ~kind ?cache_capacity ?binding_agent ~handler () =
   emit rt ~host (Event.Activate { loid });
   proc
 
-let kill rt proc =
-  if proc.live then begin
-    proc.live <- false;
-    emit rt ~host:proc.host (Event.Deactivate { loid = proc.loid });
-    Hashtbl.remove rt.slots (proc.host, proc.slot);
-    let remaining =
-      List.filter
-        (fun p -> not (p.host = proc.host && p.slot = proc.slot))
-        (Option.value ~default:[] (Loid.Table.find rt.places proc.loid))
-    in
-    if remaining = [] then Loid.Table.remove rt.places proc.loid
-    else Loid.Table.set rt.places proc.loid remaining
-  end
-
-let placements rt loid = Option.value ~default:[] (Loid.Table.find rt.places loid)
-
-let kill_loid rt loid = List.iter (kill rt) (placements rt loid)
-
-let procs_on_host rt host =
-  Hashtbl.fold
-    (fun (h, _) proc acc -> if h = host && proc.live then proc :: acc else acc)
-    rt.slots []
-
-let crash_host rt host =
-  Network.set_host_up rt.net host false;
-  List.iter (kill rt) (procs_on_host rt host);
-  (* Fail in-flight calls headed to the dead host promptly instead of
-     letting each burn its full attempt/retry budget. Continuations run
-     from a zero-delay event so callers never re-enter crash_host's
-     caller synchronously. *)
+(* Fail in-flight calls headed to a dead host promptly instead of
+   letting each burn its full attempt/retry budget. Continuations run
+   from a zero-delay event so callers never re-enter the fault
+   injector's caller synchronously. *)
+let fail_inflight_to rt host =
   let doomed =
     Hashtbl.fold
       (fun id p acc -> if p.dst_host = host then (id, p) :: acc else acc)
@@ -304,6 +360,20 @@ let crash_host rt host =
              p.cont (Error (Err.Unreachable "destination host crashed")))))
     doomed
 
+let crash_host rt host =
+  Network.set_host_up rt.net host false;
+  List.iter (kill rt) (procs_on_host rt host);
+  fail_inflight_to rt host
+
+(* A power failure, unlike [crash_host], leaves the process table
+   intact: when the host reboots its placements are still there —
+   zombies, if the objects were reactivated elsewhere in the meantime —
+   which is exactly what the epoch fence and the reboot reaper exist
+   to neutralise. *)
+let power_fail rt host =
+  Network.set_host_up rt.net host false;
+  fail_inflight_to rt host
+
 let find_proc rt loid =
   match placements rt loid with [] -> None | p :: _ -> Some p
 
@@ -312,6 +382,7 @@ let last_delivery p = p.last_delivery
 let proc_loid p = p.loid
 let proc_host p = p.host
 let proc_kind p = p.kind
+let proc_epoch p = p.epoch
 let set_handler p h = p.handler <- h
 let set_binding_agent p ba = p.ba <- ba
 let binding_agent p = p.ba
@@ -324,7 +395,7 @@ let address_of p = Address.singleton (element_of p)
 
 let binding_of rt p =
   let expires = Option.map (fun ttl -> now rt +. ttl) rt.config.binding_ttl in
-  Binding.make ?expires ~loid:p.loid ~address:(address_of p) ()
+  Binding.make ?expires ~epoch:p.epoch ~loid:p.loid ~address:(address_of p) ()
 
 let seed_binding p b = Cache.add p.cache ~now:0.0 b
 let cache_of p = p.cache

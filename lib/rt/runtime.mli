@@ -95,6 +95,7 @@ val spawn :
   host:Legion_net.Network.host_id ->
   loid:Loid.t ->
   kind:string ->
+  ?epoch:int ->
   ?cache_capacity:int ->
   ?binding_agent:Address.t ->
   handler:handler ->
@@ -102,9 +103,13 @@ val spawn :
   proc
 (** Start an active object instance on [host]. [kind] groups the
     object's request counter (e.g. ["class"], ["binding_agent"],
-    ["app"]). [cache_capacity] bounds the comm-layer binding cache
-    (default unbounded). [binding_agent] is the Object Address of the
-    object's Binding Agent, "part of its persistent state" (§3.6). *)
+    ["app"]). [epoch] stamps the placement's incarnation; it defaults
+    to the LOID's {!current_epoch}, so a spawn following a
+    {!bump_epoch} automatically belongs to the new incarnation while
+    replica deployments of one incarnation share a number.
+    [cache_capacity] bounds the comm-layer binding cache (default
+    unbounded). [binding_agent] is the Object Address of the object's
+    Binding Agent, "part of its persistent state" (§3.6). *)
 
 val kill : t -> proc -> unit
 (** Remove the instance; subsequent messages to its address are answered
@@ -125,6 +130,35 @@ val crash_host : t -> Legion_net.Network.host_id -> unit
     host can later be brought back up with
     {!Legion_net.Network.set_host_up}; objects return via their
     Magistrates' last saved Object Persistent Representations. *)
+
+val power_fail : t -> Legion_net.Network.host_id -> unit
+(** Fault injection: mark the host down and fail in-flight calls to it,
+    but — unlike {!crash_host} — leave its process table intact, as a
+    power failure would. While down, its placements receive nothing;
+    when the host comes back up ({!Legion_net.Network.set_host_up}),
+    any placement superseded in the meantime (its epoch trails the
+    LOID's {!current_epoch}) is reaped with a [Fence] event instead of
+    being resurrected as a zombie. *)
+
+(** {1 Epochs and recovery} *)
+
+val current_epoch : t -> Loid.t -> int
+(** The LOID's current incarnation number ([0] until first bumped). *)
+
+val bump_epoch : t -> Loid.t -> int
+(** Open a new incarnation and return its number. Magistrates call this
+    on every reactivation; live placements of older incarnations are
+    thereafter refused delivery with [Stale_epoch] (and reaped when
+    their host reboots). *)
+
+val proc_epoch : proc -> int
+(** The incarnation this placement was spawned into. *)
+
+val mark_dead : t -> Loid.t -> unit
+(** Start the MTTR clock for a LOID (idempotent until recovery): the
+    failure detector calls this at [ConfirmDead]; the first call
+    subsequently delivered to the object stops the clock and records
+    the elapsed virtual time in the ["rt.mttr"] histogram. *)
 
 val is_live : proc -> bool
 

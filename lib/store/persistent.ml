@@ -18,15 +18,54 @@ module Opa = struct
     Ok { disk = d; file = f }
 end
 
-type t = { disks : Disk.t list; mutable rr : int; mutable version : int }
+type t = {
+  disks : Disk.t list;
+  keep : int;
+  mutable rr : int;
+  mutable version : int;
+}
 
-let create ~disks =
+let create ?(keep = 2) ~disks () =
   if disks = [] then invalid_arg "Persistent.create: no disks";
-  { disks; rr = 0; version = 0 }
+  if keep < 1 then invalid_arg "Persistent.create: keep < 1";
+  { disks; keep; rr = 0; version = 0 }
 
 let disks t = t.disks
 
 let find_disk t name = List.find_opt (fun d -> String.equal (Disk.name d) name) t.disks
+
+(* Version files for one LOID are scattered round-robin across the disk
+   set; without pruning, every [put] (an explicit store or a periodic
+   checkpoint falling back to a fresh file) leaks the superseded
+   version forever. Keep the newest [t.keep] and drop the rest. *)
+let prune t ~loid =
+  let prefix = Loid.to_string loid ^ ".v" in
+  let version_of file =
+    (* "<loid>.v<N>.opr" -> N *)
+    let tail = String.sub file (String.length prefix)
+        (String.length file - String.length prefix)
+    in
+    match String.index_opt tail '.' with
+    | None -> None
+    | Some dot -> int_of_string_opt (String.sub tail 0 dot)
+  in
+  let versions =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun key ->
+            if String.starts_with ~prefix key then
+              Option.map (fun v -> (v, d, key)) (version_of key)
+            else None)
+          (Disk.keys d))
+      t.disks
+  in
+  let newest_first =
+    List.sort (fun (a, _, _) (b, _, _) -> Int.compare b a) versions
+  in
+  List.iteri
+    (fun i (_, d, key) -> if i >= t.keep then Disk.delete d ~key)
+    newest_first
 
 let put t ~loid blob =
   let disk = List.nth t.disks (t.rr mod List.length t.disks) in
@@ -34,6 +73,7 @@ let put t ~loid blob =
   t.version <- t.version + 1;
   let file = Printf.sprintf "%s.v%d.opr" (Loid.to_string loid) t.version in
   Disk.write disk ~key:file blob;
+  prune t ~loid;
   { Opa.disk = Disk.name disk; file }
 
 let put_at t (opa : Opa.t) blob =

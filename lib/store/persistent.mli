@@ -18,14 +18,20 @@ end
 
 type t
 
-val create : disks:Disk.t list -> t
-(** @raise Invalid_argument on an empty disk list. *)
+val create : ?keep:int -> disks:Disk.t list -> unit -> t
+(** [keep] bounds how many version files survive per LOID (default 2:
+    the newest plus its predecessor, so an address handed out just
+    before a re-store stays readable).
+    @raise Invalid_argument on an empty disk list or [keep < 1]. *)
 
 val disks : t -> Disk.t list
 
 val put : t -> loid:Legion_naming.Loid.t -> string -> Opa.t
-(** Store a blob for an object; each call writes a fresh version file
-    and returns its address. *)
+(** Store a blob for an object: writes a fresh version file and returns
+    its address, then prunes older versions of the same LOID beyond the
+    configured [keep] — repeated stores (periodic checkpoints) keep
+    [total_files]/[total_bytes] bounded instead of leaking every
+    superseded version. *)
 
 val put_at : t -> Opa.t -> string -> (unit, string) result
 (** Overwrite a specific address (re-storing at a known OPA). Fails if

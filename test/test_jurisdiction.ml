@@ -27,7 +27,7 @@ let test_disk_basic () =
 
 let test_persistent_stripes () =
   let d0 = Disk.create ~name:"d0" and d1 = Disk.create ~name:"d1" in
-  let p = Persistent.create ~disks:[ d0; d1 ] in
+  let p = Persistent.create ~disks:[ d0; d1 ] () in
   let l = Loid.make ~class_id:1L ~class_specific:1L () in
   let opa1 = Persistent.put p ~loid:l "v1" in
   let opa2 = Persistent.put p ~loid:l "v2" in

@@ -113,6 +113,14 @@ let fmt_ms t = Printf.sprintf "%.2f" (t *. 1000.0)
 let fmt_f f = Printf.sprintf "%.3f" f
 let fmt_i = string_of_int
 
+(* --- Machine-readable results for CI artifacts. --- *)
+
+let write_bench_json ~file json =
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" file
+
 (* --- Timing one synchronous call in virtual time. --- *)
 
 let timed_call sys ctx ~dst ~meth ~args =

@@ -200,7 +200,23 @@ let run_one ~interval =
   ]
 
 let run () =
-  let rows = List.map (fun interval -> run_one ~interval) [ 0.5; 1.0; 2.0 ] in
+  let intervals = [ 0.5; 1.0; 2.0 ] in
+  let rows = List.map (fun interval -> run_one ~interval) intervals in
+  let row_json interval row =
+    match row with
+    | [ _; ckpts; suspects; confirmed; reactivated; fenced; detect; mttr; lost;
+        zombies ] ->
+        Printf.sprintf
+          "{\"interval\":%.2f,\"checkpoints\":%s,\"suspects\":%s,\
+           \"confirmed\":%s,\"reactivated\":%s,\"fenced\":%s,\"detect_s\":%s,\
+           \"mttr_p50_s\":%s,\"lost\":%s,\"zombies\":%s}"
+          interval ckpts suspects confirmed reactivated fenced detect mttr lost
+          zombies
+    | _ -> "{}"
+  in
+  write_bench_json ~file:"BENCH_E15.json"
+    (Printf.sprintf "{\"experiment\":\"e15\",\"rows\":[%s]}"
+       (String.concat "," (List.map2 row_json intervals rows)));
   print_table
     ~title:
       (Printf.sprintf

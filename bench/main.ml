@@ -26,6 +26,7 @@ let experiments =
     ("e13", "jurisdiction splitting (2.2)", Exp_split.run);
     ("e14", "goodput and retry traffic under message loss (4.1.4)", Exp_faults.run);
     ("e15", "crash recovery: checkpoints, failure detection, fencing", Exp_recover.run);
+    ("e16", "overload: admission control, shedding, circuit breakers", Exp_overload.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

@@ -5,6 +5,8 @@
      drive    run a synthetic workload and report per-component load
      trace    run one binding resolution with full message accounting
      faults   run an open-loop workload under a scripted fault schedule
+     overload drive a serial bottleneck past saturation and report
+              shedding and circuit-breaker activity
      idl      parse an IDL file and echo the normalized interfaces *)
 
 module Value = Legion_wire.Value
@@ -451,9 +453,10 @@ let cmd_faults =
       let ih, is_, ws = Network.messages_by_tier net in
       Format.printf
         "{\"windows\":[%s],\"retries\":%d,\"giveups\":%d,\"cancels\":%d,\
-         \"failed\":%d,%s,%s,\"messages\":{\"intra_host\":%d,\"intra_site\":%d,\
-         \"wide_area\":%d,\"dropped\":%d}}@."
+         \"failed\":%d,\"sheds\":%d,%s,%s,\"messages\":{\"intra_host\":%d,\
+         \"intra_site\":%d,\"wide_area\":%d,\"messages_dropped\":%d}}@."
         windows retries giveups cancels !giveup_errors
+        (Runtime.total_sheds (System.rt sys))
         (hist_json "recovery" (Recorder.latency obs ~component:"rt.recovery"))
         (hist_json "mttr" (Recorder.latency obs ~component:"rt.mttr"))
         ih is_ ws
@@ -501,6 +504,208 @@ let cmd_faults =
     Term.(
       const run $ sites_arg $ seed_arg $ ramp_arg $ duration_arg $ period_arg
       $ partition_arg $ crash_arg $ json_arg)
+
+(* --- overload --- *)
+
+let cmd_overload =
+  let rates_arg =
+    Arg.(value & opt string "0.5,1.0,1.5,2.0,2.5"
+         & info [ "rates" ] ~docv:"M0,M1,..."
+             ~doc:"Offered-load ramp as multiples of the measured saturation \
+                   rate, one step each.")
+  in
+  let step_arg =
+    Arg.(value & opt float 5.0
+         & info [ "step" ] ~docv:"S" ~doc:"Virtual seconds per ramp step.")
+  in
+  let service_arg =
+    Arg.(value & opt float 0.02
+         & info [ "service" ] ~docv:"S"
+             ~doc:"Service time of the serial bottleneck object.")
+  in
+  let no_protection_arg =
+    Arg.(value & flag & info [ "no-protection" ]
+         ~doc:"Disable admission control and circuit breakers (the \
+               collapse baseline).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the report as one JSON object (per-step goodput, shed \
+               and breaker counts, message totals, rt.mttr percentiles).")
+  in
+  let run sites seed rates step service no_protection json =
+    let slow_unit = "cli.slow_counter" in
+    let factory (ctx : Runtime.ctx) : Impl.part =
+      let eng = Runtime.sim ctx.Runtime.rt in
+      let n = ref 0 in
+      let busy_until = ref 0.0 in
+      let serve k reply =
+        let start = Float.max (Legion_sim.Engine.now eng) !busy_until in
+        busy_until := start +. service;
+        ignore
+          (Legion_sim.Engine.schedule_at eng ~time:!busy_until (fun () ->
+               k reply))
+      in
+      Impl.part
+        ~methods:
+          [
+            ( "Increment",
+              fun _ args _ k ->
+                match args with
+                | [ Value.Int d ] ->
+                    n := !n + d;
+                    serve k (Ok (Value.Int !n))
+                | _ -> Impl.bad_args k "Increment expects one int" );
+            ("Get", fun _ _ _ k -> serve k (Ok (Value.Int !n)));
+          ]
+        ~save:(fun () -> Value.Int !n)
+        ~restore:(fun v ->
+          match v with
+          | Value.Int i ->
+              n := i;
+              Ok ()
+          | _ -> Error "bad counter state")
+        slow_unit
+    in
+    Impl.register slow_unit factory;
+    let retry =
+      {
+        Legion_rt.Retry.max_attempts = 6;
+        attempt_timeout = 0.05;
+        multiplier = 2.0;
+        jitter = 0.1;
+      }
+    in
+    let rt_config =
+      let common = { Runtime.default_config with call_timeout = 1.5; retry } in
+      if no_protection then common
+      else
+        {
+          common with
+          admission =
+            Some
+              {
+                Runtime.max_inflight = 4;
+                max_queue = 16;
+                retry_after_hint = service;
+              };
+          breaker = Some Legion_rt.Breaker.default_config;
+        }
+    in
+    Impl.register counter_unit counter_factory;
+    let sys =
+      System.boot ~seed:(Int64.of_int seed) ~rt_config ~sites:(parse_sites sites) ()
+    in
+    let ctx = System.client sys () in
+    let cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object
+        ~name:"SlowCounter" ~units:[ slow_unit ] ()
+    in
+    let obj = Api.create_object_exn sys ctx ~cls ~eager:true () in
+    ignore (Api.call sys ctx ~dst:obj ~meth:"Get" ~args:[]);
+    let warm = 20 in
+    let t_warm = System.now sys in
+    for _ = 1 to warm do
+      ignore (Api.call sys ctx ~dst:obj ~meth:"Increment" ~args:[ Value.Int 1 ])
+    done;
+    let saturation = float_of_int warm /. (System.now sys -. t_warm) in
+    let multipliers =
+      List.map float_of_string (String.split_on_char ',' rates)
+    in
+    let steps = List.length multipliers in
+    if steps = 0 then failwith "--rates needs at least one value";
+    let sim = System.sim sys and obs = System.obs sys and rt = System.rt sys in
+    let net = System.net sys in
+    let mark = Recorder.total obs in
+    let t0 = System.now sys in
+    let t_end = t0 +. (float_of_int steps *. step) in
+    let issued = Array.make steps 0
+    and ok = Array.make steps 0
+    and failed = Array.make steps 0 in
+    Script.load_ramp sim ~start:t0 ~until:(t_end -. 1e-9)
+      ~steps:(max 1 (steps - 1))
+      ~rates:(List.map (fun m -> m *. saturation) multipliers)
+      (fun _ ->
+        let i =
+          min (steps - 1) (int_of_float ((System.now sys -. t0) /. step))
+        in
+        issued.(i) <- issued.(i) + 1;
+        Runtime.invoke ctx ~max_rebinds:0 ~dst:obj ~meth:"Increment"
+          ~args:[ Value.Int 1 ]
+          (function
+            | Ok _ -> ok.(i) <- ok.(i) + 1
+            | Error _ -> failed.(i) <- failed.(i) + 1));
+    System.run sys;
+    let events = Recorder.events_since obs mark in
+    let count p = Trace.count_of p events in
+    let sheds = Runtime.total_sheds rt in
+    let opens = count (Trace.breaker_open ())
+    and probes = count (Trace.breaker_probe ())
+    and closes = count (Trace.breaker_close ())
+    and retries = count (Trace.retry ()) in
+    let hist_json name h =
+      match h with
+      | None -> Printf.sprintf "\"%s\":{\"samples\":0}" name
+      | Some h ->
+          let module H = Legion_util.Stats.Histogram in
+          Printf.sprintf
+            "\"%s\":{\"samples\":%d,\"p50_ms\":%.1f,\"p90_ms\":%.1f,\"p99_ms\":%.1f}"
+            name (H.total h)
+            (1000.0 *. H.percentile h 50.0)
+            (1000.0 *. H.percentile h 90.0)
+            (1000.0 *. H.percentile h 99.0)
+    in
+    if json then begin
+      let step_json i m =
+        Printf.sprintf
+          "{\"offered\":%.2f,\"rate\":%.2f,\"issued\":%d,\"ok\":%d,\
+           \"failed\":%d,\"goodput\":%.2f}"
+          m (m *. saturation) issued.(i) ok.(i) failed.(i)
+          (float_of_int ok.(i) /. step)
+      in
+      let ih, is_, ws = Network.messages_by_tier net in
+      Format.printf
+        "{\"saturation\":%.2f,\"protected\":%b,\"steps\":[%s],\"sheds\":%d,\
+         \"breaker\":{\"opens\":%d,\"probes\":%d,\"closes\":%d},\"retries\":%d,\
+         %s,\"messages\":{\"intra_host\":%d,\"intra_site\":%d,\"wide_area\":%d,\
+         \"messages_dropped\":%d}}@."
+        saturation (not no_protection)
+        (String.concat "," (List.mapi step_json multipliers))
+        sheds opens probes closes retries
+        (hist_json "mttr" (Recorder.latency obs ~component:"rt.mttr"))
+        ih is_ ws
+        (Network.messages_dropped net)
+    end
+    else begin
+      Format.printf "measured saturation %.1f calls/s; protection %s@.@."
+        saturation
+        (if no_protection then "off" else "on");
+      Format.printf "%-8s %-8s %-8s %-8s %-10s@." "offered" "issued" "ok"
+        "failed" "goodput/s";
+      List.iteri
+        (fun i m ->
+          Format.printf "%-8s %-8d %-8d %-8d %-10.1f@."
+            (Printf.sprintf "%.1fx" m)
+            issued.(i) ok.(i) failed.(i)
+            (float_of_int ok.(i) /. step))
+        multipliers;
+      Format.printf
+        "@.%d sheds, %d retransmissions; breaker: %d opens, %d probes, %d \
+         closes; %d messages dropped@."
+        sheds retries opens probes closes
+        (Network.messages_dropped net)
+    end
+  in
+  let info =
+    Cmd.info "overload"
+      ~doc:
+        "Drive a serial-service object through an open-loop saturation ramp \
+         and report goodput, shedding, and circuit-breaker activity."
+  in
+  Cmd.v info
+    Term.(
+      const run $ sites_arg $ seed_arg $ rates_arg $ step_arg $ service_arg
+      $ no_protection_arg $ json_arg)
 
 (* --- recover --- *)
 
@@ -673,4 +878,10 @@ let () =
     Cmd.info "legion-sim" ~version:"1.0"
       ~doc:"Drive the simulated Core Legion Object Model from the command line."
   in
-  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_recover; cmd_idl ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_overload;
+            cmd_recover; cmd_idl;
+          ]))

@@ -219,7 +219,26 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                     finish (Ok fresh)
                 | None ->
                     emit (Legion_obs.Event.Cache_miss { owner = self; target });
-                    resolve renv target ~stale:(Some stale) finish)))
+                    (* Graceful degradation (§5.2.2 spirit): if the
+                       upstream resolver — parent agent or class — is
+                       shedding load, a stale-but-unexpired binding the
+                       caller already holds beats failing the lookup.
+                       The caller may find the placement still answers
+                       (its failure was transient); if not, it will be
+                       back after the resolver drains. The binding goes
+                       back in the cache: it remains our best answer
+                       until a refresh can actually run. *)
+                    resolve renv target ~stale:(Some stale) (fun r ->
+                        match r with
+                        | Error e
+                          when Err.is_overload e
+                               && Binding.is_valid ~now:(now ()) stale ->
+                            emit
+                              (Legion_obs.Event.Stale_serve
+                                 { owner = self; target });
+                            Cache.add st.cache ~now:(now ()) stale;
+                            finish (Ok stale)
+                        | r -> finish r))))
     | _ -> Impl.bad_args k "GetBinding expects one argument"
   in
 

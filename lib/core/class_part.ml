@@ -172,6 +172,12 @@ let dedup_units units =
   List.rev
     (List.fold_left (fun acc u -> if List.mem u acc then acc else u :: acc) [] units)
 
+(* Load factor past which the class sheds Create/Derive by policy.
+   Lookups (GetBinding) are never policy-shed: under overload the
+   control plane degrades before the data plane, so existing objects
+   stay reachable while new-object churn is pushed back. *)
+let create_shed_threshold = 0.5
+
 let mint_binding rt loid address =
   let ttl = (Runtime.config rt).Runtime.binding_ttl in
   let expires = Option.map (fun d -> Runtime.now rt +. d) ttl in
@@ -319,7 +325,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   let create _ctx args env k =
     match args with
     | [ init_states; hints ] -> (
-        if st.flags.abstract then
+        if Runtime.load_factor ctx.Runtime.self >= create_shed_threshold then
+          k (Error (Runtime.shed_reply rt ctx.Runtime.self ~meth:"Create"))
+        else if st.flags.abstract then
           k (Error (Err.Refused "abstract class: no direct instances"))
         else
           let states =
@@ -409,7 +417,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
 
   (* Derive(spec): the kind-of relation. Also used by Clone(). *)
   let do_derive ~env spec k =
-    if st.flags.private_ then
+    if Runtime.load_factor ctx.Runtime.self >= create_shed_threshold then
+      k (Error (Runtime.shed_reply rt ctx.Runtime.self ~meth:"Derive"))
+    else if st.flags.private_ then
       k (Error (Err.Refused "private class: no subclasses"))
     else
       let decoded =

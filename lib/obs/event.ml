@@ -29,6 +29,12 @@ type kind =
   | Confirm_dead of { host_obj : Loid.t; objects : int }
   | Reactivate of { loid : Loid.t }
   | Fence of { loid : Loid.t; epoch : int; current : int }
+  | Admit of { loid : Loid.t; meth : string; queued : bool }
+  | Shed of { loid : Loid.t; meth : string; queue : int }
+  | Breaker_open of { host : int; failures : int }
+  | Breaker_probe of { host : int }
+  | Breaker_close of { host : int }
+  | Stale_serve of { owner : Loid.t; target : Loid.t }
 
 type t = { time : float; host : int option; site : int option; kind : kind }
 
@@ -56,6 +62,12 @@ let name = function
   | Confirm_dead _ -> "ConfirmDead"
   | Reactivate _ -> "Reactivate"
   | Fence _ -> "Fence"
+  | Admit _ -> "Admit"
+  | Shed _ -> "Shed"
+  | Breaker_open _ -> "BreakerOpen"
+  | Breaker_probe _ -> "BreakerProbe"
+  | Breaker_close _ -> "BreakerClose"
+  | Stale_serve _ -> "StaleServe"
 
 let tier_name = function
   | Intra_host -> "host"
@@ -76,18 +88,22 @@ let owner e =
   | Cache_miss { owner; _ }
   | Resolve { owner; _ }
   | Binding_install { owner; _ }
-  | Rebind { owner; _ } ->
+  | Rebind { owner; _ }
+  | Stale_serve { owner; _ } ->
       Some owner
   | Activate { loid }
   | Deactivate { loid }
   | Migrate { loid; _ }
   | Checkpoint { loid }
   | Reactivate { loid }
-  | Fence { loid; _ } ->
+  | Fence { loid; _ }
+  | Admit { loid; _ }
+  | Shed { loid; _ } ->
       Some loid
   | Suspect { host_obj; _ } | Confirm_dead { host_obj; _ } -> Some host_obj
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
-  | Cancel _ | Replica_fanout _ ->
+  | Cancel _ | Replica_fanout _ | Breaker_open _ | Breaker_probe _
+  | Breaker_close _ ->
       None
 
 let target e =
@@ -98,12 +114,14 @@ let target e =
   | Resolve { target; _ }
   | Binding_install { target; _ }
   | Rebind { target; _ }
-  | Replica_fanout { target; _ } ->
+  | Replica_fanout { target; _ }
+  | Stale_serve { target; _ } ->
       Some target
   | Migrate { dst; _ } -> Some dst
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
   | Cancel _ | Activate _ | Deactivate _ | Checkpoint _ | Suspect _
-  | Confirm_dead _ | Reactivate _ | Fence _ ->
+  | Confirm_dead _ | Reactivate _ | Fence _ | Admit _ | Shed _
+  | Breaker_open _ | Breaker_probe _ | Breaker_close _ ->
       None
 
 let loid l = Value.Str (Loid.to_string l)
@@ -164,6 +182,16 @@ let fields = function
         ("epoch", Value.Int epoch);
         ("current", Value.Int current);
       ]
+  | Admit { loid = l; meth; queued } ->
+      [ ("loid", loid l); ("meth", Value.Str meth); ("queued", Value.Bool queued) ]
+  | Shed { loid = l; meth; queue } ->
+      [ ("loid", loid l); ("meth", Value.Str meth); ("queue", Value.Int queue) ]
+  | Breaker_open { host; failures } ->
+      [ ("dst", Value.Int host); ("failures", Value.Int failures) ]
+  | Breaker_probe { host } -> [ ("dst", Value.Int host) ]
+  | Breaker_close { host } -> [ ("dst", Value.Int host) ]
+  | Stale_serve { owner; target } ->
+      [ ("owner", loid owner); ("target", loid target) ]
 
 let to_value e =
   Value.Record

@@ -69,6 +69,30 @@ type kind =
       (** The runtime refused a stale placement: either a delivery to a
           placement whose [epoch] is below the LOID's [current] epoch,
           or the reaping of such a zombie when its host reboots. *)
+  | Admit of { loid : Loid.t; meth : string; queued : bool }
+      (** Admission control accepted a call for an object running under
+          an inflight/queue budget; [queued] means it waited in the
+          object's admission queue first. Only emitted for budgeted
+          objects — unbudgeted delivery stays silent. *)
+  | Shed of { loid : Loid.t; meth : string; queue : int }
+      (** The call was rejected to protect the object: either the
+          admission queue was full ([queue] is its length at rejection)
+          or the object's implementation shed it by policy (a class
+          refusing creates under load). The caller sees
+          [Err.Overloaded] with a [retry_after] hint. *)
+  | Breaker_open of { host : int; failures : int }
+      (** The per-destination circuit breaker tripped after [failures]
+          consecutive call failures to [host]; calls now fail fast. *)
+  | Breaker_probe of { host : int }
+      (** The breaker's cooldown elapsed; one probe call is let through
+          (HalfOpen). *)
+  | Breaker_close of { host : int }
+      (** A call to [host] completed while the breaker was Open or
+          HalfOpen; the circuit closes and traffic resumes. *)
+  | Stale_serve of { owner : Loid.t; target : Loid.t }
+      (** Graceful degradation in a Binding Agent: the upstream resolver
+          was overloaded, so [owner] served its stale-but-unexpired
+          cached binding for [target] instead of failing the lookup. *)
 
 type t = {
   time : float;  (** Virtual time of emission. *)

@@ -194,3 +194,34 @@ let fence ?loid ?epoch () e =
   match e.Event.kind with
   | Event.Fence f -> opt_loid loid f.loid && opt_int epoch f.epoch
   | _ -> false
+
+let admit ?loid ?meth ?queued () e =
+  match e.Event.kind with
+  | Event.Admit f ->
+      opt_loid loid f.loid && opt_str meth f.meth && opt_bool queued f.queued
+  | _ -> false
+
+let shed ?loid ?meth () e =
+  match e.Event.kind with
+  | Event.Shed f -> opt_loid loid f.loid && opt_str meth f.meth
+  | _ -> false
+
+let breaker_open ?host () e =
+  match e.Event.kind with
+  | Event.Breaker_open f -> opt_int host f.host
+  | _ -> false
+
+let breaker_probe ?host () e =
+  match e.Event.kind with
+  | Event.Breaker_probe f -> opt_int host f.host
+  | _ -> false
+
+let breaker_close ?host () e =
+  match e.Event.kind with
+  | Event.Breaker_close f -> opt_int host f.host
+  | _ -> false
+
+let stale_serve ?owner ?target () e =
+  match e.Event.kind with
+  | Event.Stale_serve f -> opt_loid owner f.owner && opt_loid target f.target
+  | _ -> false

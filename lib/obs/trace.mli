@@ -96,3 +96,9 @@ val suspect : ?host_obj:Loid.t -> unit -> pred
 val confirm_dead : ?host_obj:Loid.t -> unit -> pred
 val reactivate : ?loid:Loid.t -> unit -> pred
 val fence : ?loid:Loid.t -> ?epoch:int -> unit -> pred
+val admit : ?loid:Loid.t -> ?meth:string -> ?queued:bool -> unit -> pred
+val shed : ?loid:Loid.t -> ?meth:string -> unit -> pred
+val breaker_open : ?host:int -> unit -> pred
+val breaker_probe : ?host:int -> unit -> pred
+val breaker_close : ?host:int -> unit -> pred
+val stale_serve : ?owner:Loid.t -> ?target:Loid.t -> unit -> pred

@@ -1,0 +1,119 @@
+(* Per-destination circuit breakers for the communication layer. *)
+
+type config = {
+  failure_threshold : int;
+  cooldown : float;
+  shed_cooldown : float;
+}
+
+let default_config =
+  { failure_threshold = 5; cooldown = 1.0; shed_cooldown = 0.1 }
+
+let validate c =
+  if c.failure_threshold < 1 then Error "failure_threshold must be >= 1"
+  else if not (c.cooldown > 0.0) then Error "cooldown must be positive"
+  else if not (c.shed_cooldown > 0.0) then Error "shed_cooldown must be positive"
+  else Ok c
+
+type outcome = Success | Saturated of float | Transport_failure
+
+type phase = Closed | Open of { until : float } | Half_open
+
+type cell = {
+  mutable phase : phase;
+  mutable failures : int;  (* consecutive failures while Closed *)
+  mutable saturated : bool;  (* the run of failures was overload sheds *)
+  mutable hint : float;  (* last retry_after the destination sent *)
+}
+
+type t = { config : config; cells : (int, cell) Hashtbl.t }
+
+let create config = { config; cells = Hashtbl.create 16 }
+
+let cell t host =
+  match Hashtbl.find_opt t.cells host with
+  | Some c -> c
+  | None ->
+      let c = { phase = Closed; failures = 0; saturated = false; hint = 0.0 } in
+      Hashtbl.add t.cells host c;
+      c
+
+type decision =
+  | Allow
+  | Probe
+  | Reject of { error : Err.t; retry_after : float }
+
+(* What the fail-fast rejection looks like mirrors why the circuit
+   opened: a saturated destination yields [Overloaded] (retryable, not a
+   delivery failure — the binding is fine), while a dead or unreachable
+   one yields [Unreachable], a delivery failure, so the caller's rebind
+   machinery keeps looking for the object's next incarnation without
+   hammering the corpse. *)
+let rejection c ~now ~host ~until =
+  let retry_after = Float.max (until -. now) 1e-6 in
+  let error =
+    if c.saturated then Err.Overloaded { retry_after }
+    else Err.Unreachable (Printf.sprintf "circuit open to host %d" host)
+  in
+  Reject { error; retry_after }
+
+let before_send t ~now host =
+  let c = cell t host in
+  match c.phase with
+  | Closed -> Allow
+  | Open { until } when now >= until -. 1e-12 ->
+      c.phase <- Half_open;
+      Probe
+  | Open { until } -> rejection c ~now ~host ~until
+  | Half_open ->
+      (* One probe at a time; everyone else waits out its verdict. *)
+      let until =
+        now +. if c.saturated then t.config.shed_cooldown else t.config.cooldown
+      in
+      rejection c ~now ~host ~until
+
+type transition = Opened of { failures : int } | Closed_circuit
+
+let open_duration t c =
+  if c.saturated then Float.max c.hint t.config.shed_cooldown
+  else t.config.cooldown
+
+let record t ~now host outcome =
+  let c = cell t host in
+  match outcome with
+  | Success -> (
+      c.failures <- 0;
+      c.hint <- 0.0;
+      match c.phase with
+      | Closed -> None
+      | Open _ | Half_open ->
+          (* Any completed call proves the path works again. *)
+          c.phase <- Closed;
+          c.saturated <- false;
+          Some Closed_circuit)
+  | Saturated _ | Transport_failure -> (
+      (match outcome with
+      | Saturated ra ->
+          c.saturated <- true;
+          c.hint <- Float.max c.hint ra
+      | _ -> c.saturated <- false);
+      match c.phase with
+      | Closed ->
+          c.failures <- c.failures + 1;
+          if c.failures >= t.config.failure_threshold then begin
+            c.phase <- Open { until = now +. open_duration t c };
+            Some (Opened { failures = c.failures })
+          end
+          else None
+      | Half_open ->
+          (* The probe failed: back to Open for another cooldown. *)
+          c.failures <- c.failures + 1;
+          c.phase <- Open { until = now +. open_duration t c };
+          Some (Opened { failures = c.failures })
+      | Open _ -> None (* a straggler from before the trip *))
+
+let phase_name t host =
+  match (cell t host).phase with
+  | Closed -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half-open"

@@ -1,0 +1,68 @@
+(** Per-destination circuit breakers (Closed → Open → HalfOpen).
+
+    The retransmission policy ({!Retry}) protects one call from loss;
+    the breaker protects the {e fabric} from pathological destinations.
+    Every completed call reports its outcome for its destination host;
+    [failure_threshold] consecutive failures trip the circuit and
+    subsequent sends fail fast — no message, no timer — until a cooldown
+    passes, after which a single probe (HalfOpen) decides whether the
+    circuit closes again.
+
+    The fail-fast error mirrors why the circuit opened. A run of
+    overload sheds opens a {e saturated} circuit whose rejections are
+    [Err.Overloaded] (retryable; the binding is good, give the
+    destination [retry_after] to drain — its own hint is honoured as a
+    floor on the cooldown). A run of timeouts or transport failures
+    opens a {e dead} circuit whose rejections are [Err.Unreachable], a
+    delivery failure, so callers rebind toward the object's next
+    incarnation instead of burning attempt budgets against a corpse. *)
+
+type config = {
+  failure_threshold : int;
+      (** Consecutive completed-call failures before the circuit opens. *)
+  cooldown : float;
+      (** Seconds of virtual time an [Unreachable]-class circuit stays
+          open before admitting a probe. *)
+  shed_cooldown : float;
+      (** Cooldown floor for a saturation-class circuit; the
+          destination's last [retry_after] hint raises it. Typically
+          much shorter than [cooldown]: a queue drains faster than a
+          host reboots. *)
+}
+
+val default_config : config
+(** 5 consecutive failures, 1 s dead-host cooldown, 0.1 s shed cooldown. *)
+
+val validate : config -> (config, string) result
+
+type t
+(** Breaker state for every destination the owning runtime talks to. *)
+
+val create : config -> t
+
+type outcome =
+  | Success  (** Any reply at all — even an application error — proves the path. *)
+  | Saturated of float  (** An [Overloaded] reply, carrying its [retry_after]. *)
+  | Transport_failure  (** Timeout, unreachable: nothing came back. *)
+
+type decision =
+  | Allow  (** Circuit closed: send normally. *)
+  | Probe
+      (** Cooldown elapsed: circuit is now HalfOpen and this send is the
+          probe. The caller should emit [BreakerProbe]. *)
+  | Reject of { error : Err.t; retry_after : float }
+      (** Fail fast without sending; [retry_after] is when the next
+          probe could go. *)
+
+val before_send : t -> now:float -> int -> decision
+(** Consult the circuit for a destination host before transmitting. *)
+
+type transition = Opened of { failures : int } | Closed_circuit
+
+val record : t -> now:float -> int -> outcome -> transition option
+(** Report a completed call's outcome for its destination. A returned
+    transition is the state-machine edge the caller should surface as a
+    [BreakerOpen]/[BreakerClose] event. *)
+
+val phase_name : t -> int -> string
+(** ["closed"], ["open"] or ["half-open"] — for stats output. *)

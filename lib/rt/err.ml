@@ -9,11 +9,18 @@ type t =
   | Timeout
   | Unreachable of string
   | Stale_epoch
+  | Overloaded of { retry_after : float }
   | Internal of string
 
 let is_delivery_failure = function
   | No_such_object | Timeout | Unreachable _ | Stale_epoch -> true
-  | No_such_method _ | Refused _ | Bad_args _ | Not_bound _ | Internal _ -> false
+  | No_such_method _ | Refused _ | Bad_args _ | Not_bound _ | Overloaded _
+  | Internal _ ->
+      false
+
+let is_overload = function Overloaded _ -> true | _ -> false
+
+let retry_after = function Overloaded { retry_after } -> Some retry_after | _ -> None
 
 let equal a b =
   match (a, b) with
@@ -27,8 +34,9 @@ let equal a b =
   | Unreachable x, Unreachable y
   | Internal x, Internal y ->
       String.equal x y
+  | Overloaded a, Overloaded b -> Float.equal a.retry_after b.retry_after
   | ( ( No_such_object | No_such_method _ | Refused _ | Bad_args _ | Not_bound _
-      | Timeout | Unreachable _ | Stale_epoch | Internal _ ),
+      | Timeout | Unreachable _ | Stale_epoch | Overloaded _ | Internal _ ),
       _ ) ->
       false
 
@@ -41,6 +49,8 @@ let pp ppf = function
   | Timeout -> Format.fprintf ppf "timeout"
   | Unreachable r -> Format.fprintf ppf "unreachable: %s" r
   | Stale_epoch -> Format.fprintf ppf "stale epoch"
+  | Overloaded { retry_after } ->
+      Format.fprintf ppf "overloaded (retry after %.3fs)" retry_after
   | Internal r -> Format.fprintf ppf "internal error: %s" r
 
 let to_string t = Format.asprintf "%a" pp t
@@ -54,6 +64,8 @@ let to_value = function
   | Timeout -> Value.Record [ ("c", Value.Str "tmo") ]
   | Unreachable r -> Value.Record [ ("c", Value.Str "unr"); ("d", Value.Str r) ]
   | Stale_epoch -> Value.Record [ ("c", Value.Str "stl") ]
+  | Overloaded { retry_after } ->
+      Value.Record [ ("c", Value.Str "ovl"); ("ra", Value.Float retry_after) ]
   | Internal r -> Value.Record [ ("c", Value.Str "int"); ("d", Value.Str r) ]
 
 let of_value v =
@@ -79,6 +91,12 @@ let of_value v =
       Ok (Not_bound d)
   | "tmo" -> Ok Timeout
   | "stl" -> Ok Stale_epoch
+  | "ovl" ->
+      let* ra =
+        Result.map_error err
+          (Result.bind (Value.field v "ra") Value.to_float)
+      in
+      Ok (Overloaded { retry_after = ra })
   | "unr" ->
       let* d = detail () in
       Ok (Unreachable d)

@@ -30,12 +30,27 @@ type t =
           epoch, and the runtime fences the old placement rather than
           let it answer. A delivery failure — rebinding finds the
           current incarnation. *)
+  | Overloaded of { retry_after : float }
+      (** The destination (or the circuit breaker guarding the path to
+          it) shed the call to protect itself: admission budgets were
+          exhausted. The object is alive and correctly bound, so this is
+          {e not} a delivery failure — rebinding will not help — but it
+          {e is} retryable: the caller should back off at least
+          [retry_after] seconds of virtual time and try again, which the
+          comm layer does automatically within the call budget. *)
   | Internal of string
 
 val is_delivery_failure : t -> bool
 (** True for [No_such_object], [Timeout], [Unreachable] and
     [Stale_epoch] — failures where refreshing the binding and retrying
-    is meaningful. *)
+    is meaningful. [Overloaded] is deliberately excluded: the binding is
+    good, the destination just wants the caller to slow down. *)
+
+val is_overload : t -> bool
+(** True for [Overloaded]. *)
+
+val retry_after : t -> float option
+(** The backoff hint carried by [Overloaded], [None] otherwise. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

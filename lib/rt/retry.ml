@@ -21,6 +21,12 @@ let attempt_window t ~attempt ~prng =
     let u = (2.0 *. Prng.float prng 1.0) -. 1.0 in
     base *. (1.0 +. (t.jitter *. u))
 
+(* Backpressure-aware backoff: never retry an overloaded destination
+   sooner than it asked for, and never sooner than the policy's own
+   (growing, jittered) window for this attempt — whichever is longer. *)
+let backoff_window t ~attempt ~retry_after ~prng =
+  Float.max retry_after (attempt_window t ~attempt ~prng)
+
 let validate t =
   if t.max_attempts < 1 then Error "max_attempts must be >= 1"
   else if not (t.attempt_timeout > 0.0) then

@@ -42,6 +42,13 @@ val attempt_window : t -> attempt:int -> prng:Legion_util.Prng.t -> float
 (** The jittered deadline for transmission number [attempt] (1-based).
     Draws from [prng] only when [jitter > 0]. *)
 
+val backoff_window : t -> attempt:int -> retry_after:float -> prng:Legion_util.Prng.t -> float
+(** Backoff before retrying a destination that answered
+    [Err.Overloaded]: the larger of the destination's [retry_after] hint
+    and this attempt's {!attempt_window}, so backpressure is honoured
+    but the policy's exponential growth still applies under repeated
+    shedding. *)
+
 val validate : t -> (t, string) result
 (** Reject non-positive attempt counts, windows, or multipliers and
     jitter outside [[0, 1)]. *)

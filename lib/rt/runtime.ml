@@ -11,15 +11,33 @@ module Prng = Legion_util.Prng
 module Event = Legion_obs.Event
 module Recorder = Legion_obs.Recorder
 
+type admission = {
+  max_inflight : int;
+  max_queue : int;
+  retry_after_hint : float;
+}
+
+let default_admission =
+  { max_inflight = 8; max_queue = 32; retry_after_hint = 0.05 }
+
 type config = {
   call_timeout : float;
   max_rebinds : int;
   binding_ttl : float option;
   retry : Retry.t;
+  admission : admission option;
+  breaker : Breaker.config option;
 }
 
 let default_config =
-  { call_timeout = 5.0; max_rebinds = 3; binding_ttl = None; retry = Retry.default }
+  {
+    call_timeout = 5.0;
+    max_rebinds = 3;
+    binding_ttl = None;
+    retry = Retry.default;
+    admission = None;
+    breaker = None;
+  }
 
 type call = { meth : string; args : Value.t list; env : Env.t }
 type reply = (Value.t, Err.t) result
@@ -32,6 +50,9 @@ type proc = {
   epoch : int;  (* incarnation this placement was spawned into *)
   cache : Cache.t;
   counter : Counter.t;
+  queue : (call * (reply -> unit)) Queue.t;  (* admission wait queue *)
+  mutable admission : admission option;
+  mutable inflight : int;  (* handlers started, reply not yet sent *)
   mutable live : bool;
   mutable handler : handler;
   mutable ba : Address.t option;
@@ -63,9 +84,11 @@ and t = {
   dead_since : float Loid.Table.t;
       (* loid -> ConfirmDead time, until the first post-recovery delivery *)
   obs : Recorder.t;
+  breakers : Breaker.t option;  (* per-destination circuit state *)
   mutable next_slot : int;
   mutable next_call : int;
   mutable delivered : int;
+  mutable sheds : int;  (* calls rejected by admission control *)
 }
 
 let emit rt ~host kind =
@@ -86,6 +109,15 @@ let kill rt proc =
   if proc.live then begin
     proc.live <- false;
     emit rt ~host:proc.host (Event.Deactivate { loid = proc.loid });
+    (* Calls parked in the admission queue will never run; answer them
+       rather than leaving their callers to time out. *)
+    Queue.iter
+      (fun (_call, reply_to) ->
+        ignore
+          (Engine.schedule rt.sim ~delay:0.0 (fun () ->
+               reply_to (Error Err.No_such_object))))
+      proc.queue;
+    Queue.clear proc.queue;
     Hashtbl.remove rt.slots (proc.host, proc.slot);
     let remaining =
       List.filter
@@ -139,9 +171,11 @@ let create ~sim ~net ~registry ~prng ?(config = default_config) ?obs () =
       epochs = Loid.Table.create ();
       dead_since = Loid.Table.create ();
       obs;
+      breakers = Option.map Breaker.create config.breaker;
       next_slot = 0;
       next_call = 0;
       delivered = 0;
+      sheds = 0;
     }
   in
   Network.set_host_watcher net
@@ -240,7 +274,106 @@ let decode_incoming v : incoming =
   match parse with Ok msg -> msg | Error e -> In_garbage e
 
 (* ------------------------------------------------------------------ *)
-(* Delivery.                                                           *)
+(* Breaker bookkeeping.                                                *)
+
+(* Every completed call reports its outcome for its destination host so
+   the per-destination circuit can open (fail fast) and close again.
+   Any real reply — even an application error — proves the path and the
+   destination are alive; only sheds and transport-level silence count
+   against the circuit. *)
+let breaker_outcome : reply -> Breaker.outcome = function
+  | Ok _ -> Breaker.Success
+  | Error (Err.Overloaded { retry_after }) -> Breaker.Saturated retry_after
+  | Error (Err.Timeout | Err.Unreachable _) -> Breaker.Transport_failure
+  | Error _ -> Breaker.Success
+
+let breaker_note rt ~at_host ~dst_host outcome =
+  match rt.breakers with
+  | None -> ()
+  | Some b -> (
+      match Breaker.record b ~now:(Engine.now rt.sim) dst_host outcome with
+      | None -> ()
+      | Some (Breaker.Opened { failures }) ->
+          emit rt ~host:at_host (Event.Breaker_open { host = dst_host; failures })
+      | Some Breaker.Closed_circuit ->
+          emit rt ~host:at_host (Event.Breaker_close { host = dst_host }))
+
+(* ------------------------------------------------------------------ *)
+(* Delivery and admission control.                                     *)
+
+let overload_error a ~queued =
+  let fill = float_of_int queued /. float_of_int (max 1 a.max_queue) in
+  Err.Overloaded { retry_after = a.retry_after_hint *. (1.0 +. fill) }
+
+(* Also the degradation hook for object implementations: a part that
+   sheds by policy (a class refusing creates under load) uses the same
+   event and error shape as the admission layer. *)
+let shed_reply rt proc ~meth =
+  let queued = Queue.length proc.queue in
+  rt.sheds <- rt.sheds + 1;
+  emit rt ~host:proc.host
+    (Event.Shed { loid = proc.loid; meth; queue = queued });
+  let a = Option.value ~default:default_admission proc.admission in
+  overload_error a ~queued
+
+let shed_call rt proc ~meth reply_to =
+  reply_to (Error (shed_reply rt proc ~meth))
+
+(* Run the handler for an admitted call. The caller has already counted
+   the inflight slot; the wrapped reply continuation releases it and
+   pulls the next queued call in, so the budget is conserved even if a
+   handler replies synchronously. *)
+let rec deliver_call rt proc ~queued call reply_to =
+  proc.counter |> Counter.incr;
+  proc.last_delivery <- Engine.now rt.sim;
+  rt.delivered <- rt.delivered + 1;
+  (match Loid.Table.find rt.dead_since proc.loid with
+  | Some t0 ->
+      Loid.Table.remove rt.dead_since proc.loid;
+      Recorder.observe rt.obs ~component:"rt.mttr" (Engine.now rt.sim -. t0)
+  | None -> ());
+  (match proc.admission with
+  | Some _ ->
+      emit rt ~host:proc.host
+        (Event.Admit { loid = proc.loid; meth = call.meth; queued })
+  | None -> ());
+  let replied = ref false in
+  let reply_once r =
+    if not !replied then begin
+      replied := true;
+      proc.inflight <- proc.inflight - 1;
+      drain_queue rt proc;
+      reply_to r
+    end
+  in
+  proc.handler { rt; self = proc } call reply_once
+
+and drain_queue rt proc =
+  match proc.admission with
+  | Some a when proc.inflight < a.max_inflight && not (Queue.is_empty proc.queue)
+    ->
+      (* Reserve the freed slot now, dispatch from a fresh event so the
+         reply that released it finishes unwinding first. *)
+      let call, reply_to = Queue.pop proc.queue in
+      proc.inflight <- proc.inflight + 1;
+      ignore
+        (Engine.schedule rt.sim ~delay:0.0 (fun () ->
+             if proc.live then deliver_call rt proc ~queued:true call reply_to
+             else begin
+               proc.inflight <- proc.inflight - 1;
+               reply_to (Error Err.No_such_object)
+             end))
+  | _ -> ()
+
+let admit_call rt proc call reply_to =
+  match proc.admission with
+  | Some a when proc.inflight >= a.max_inflight ->
+      if Queue.length proc.queue < a.max_queue then
+        Queue.add (call, reply_to) proc.queue
+      else shed_call rt proc ~meth:call.meth reply_to
+  | _ ->
+      proc.inflight <- proc.inflight + 1;
+      deliver_call rt proc ~queued:false call reply_to
 
 let on_receive rt host ~src payload =
   ignore src;
@@ -258,6 +391,8 @@ let on_receive rt host ~src payload =
                record how long recovery took end to end. *)
             Recorder.observe rt.obs ~component:"rt.recovery"
               (Engine.now rt.sim -. p.started);
+          breaker_note rt ~at_host:host ~dst_host:p.dst_host
+            (breaker_outcome reply);
           p.cont reply)
   | In_call { id; src_host; dst_loid; dst_slot; call; _ } -> (
       let reply_to r =
@@ -280,18 +415,7 @@ let on_receive rt host ~src payload =
               (Event.Fence { loid = proc.loid; epoch = proc.epoch; current = cur });
             reply_to (Error Err.Stale_epoch)
           end
-          else begin
-            proc.counter |> Counter.incr;
-            proc.last_delivery <- Engine.now rt.sim;
-            rt.delivered <- rt.delivered + 1;
-            (match Loid.Table.find rt.dead_since proc.loid with
-            | Some t0 ->
-                Loid.Table.remove rt.dead_since proc.loid;
-                Recorder.observe rt.obs ~component:"rt.mttr"
-                  (Engine.now rt.sim -. t0)
-            | None -> ());
-            proc.handler { rt; self = proc } call reply_to
-          end
+          else admit_call rt proc call reply_to
       | Some _ | None -> reply_to (Error Err.No_such_object))
 
 let attach_host rt host =
@@ -304,9 +428,20 @@ let attach_host rt host =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle.                                                          *)
 
-let spawn rt ~host ~loid ~kind ?epoch ?cache_capacity ?binding_agent ~handler ()
-    =
+let spawn rt ~host ~loid ~kind ?epoch ?cache_capacity ?binding_agent ?admission
+    ~handler () =
   attach_host rt host;
+  (* [config.admission] is the default budget for application objects
+     only. Infrastructure processes (classes, magistrates, agents,
+     hosts) serve each other's bring-up and binding traffic, where a
+     budget can invert RPC dependency order; they degrade by policy
+     (load_factor / shed_reply) and are budgeted only when a caller
+     opts them in via [?admission] or [set_admission]. *)
+  let admission =
+    match admission with
+    | Some a -> a
+    | None -> if String.equal kind "app" then rt.config.admission else None
+  in
   let epoch =
     match epoch with Some e -> e | None -> current_epoch rt loid
   in
@@ -328,6 +463,9 @@ let spawn rt ~host ~loid ~kind ?epoch ?cache_capacity ?binding_agent ~handler ()
       epoch;
       cache;
       counter;
+      queue = Queue.create ();
+      admission;
+      inflight = 0;
       live = true;
       handler;
       ba = binding_agent;
@@ -355,6 +493,7 @@ let fail_inflight_to rt host =
       Hashtbl.remove rt.pending id;
       Option.iter Engine.cancel p.timer;
       emit rt ~host (Event.Cancel { id });
+      breaker_note rt ~at_host:host ~dst_host:host Breaker.Transport_failure;
       ignore
         (Engine.schedule rt.sim ~delay:0.0 (fun () ->
              p.cont (Error (Err.Unreachable "destination host crashed")))))
@@ -386,6 +525,20 @@ let proc_epoch p = p.epoch
 let set_handler p h = p.handler <- h
 let set_binding_agent p ba = p.ba <- ba
 let binding_agent p = p.ba
+let set_admission p a = p.admission <- a
+let admission_of p = p.admission
+let inflight p = p.inflight
+let queued_calls p = Queue.length p.queue
+
+(* 0 = idle or unbudgeted, 1 = the next call is shed. Parts use this to
+   degrade by policy before the hard limit bites (Class_part sheds
+   creates past 0.5 while lookups ride to the end). *)
+let load_factor p =
+  match p.admission with
+  | None -> 0.0
+  | Some a ->
+      float_of_int (p.inflight + Queue.length p.queue)
+      /. float_of_int (max 1 (a.max_inflight + a.max_queue))
 
 (* ------------------------------------------------------------------ *)
 (* Addresses.                                                          *)
@@ -432,30 +585,76 @@ let send_one ctx ?timeout ~dst_loid ~element c k =
         encode_call ~id ~src_loid:ctx.self.loid ~src_host:ctx.self.host
           ~dst_loid ~dst_slot c
       in
-      let p = { cont = k; dst_host; timer = None; attempts = 0; started } in
+      (* [cont] must be installed before [handle_reply] exists (the
+         closures are mutually recursive through the pending entry), so
+         route it through a forward reference. *)
+      let on_reply = ref k in
+      let p =
+        {
+          cont = (fun r -> !on_reply r);
+          dst_host;
+          timer = None;
+          attempts = 0;
+          started;
+        }
+      in
       Hashtbl.replace rt.pending id p;
+      let backoffs = ref 0 in
+      let fail_async e =
+        ignore (Engine.schedule rt.sim ~delay:0.0 (fun () -> k (Error e)))
+      in
       let give_up () =
         Hashtbl.remove rt.pending id;
         emit rt ~host:ctx.self.host (Event.Timeout { id });
         if policy.Retry.max_attempts > 1 then
           emit rt ~host:ctx.self.host
             (Event.Giveup { id; attempts = p.attempts });
+        breaker_note rt ~at_host:ctx.self.host ~dst_host
+          Breaker.Transport_failure;
         k (Error Err.Timeout)
       in
       let rec transmit () =
-        p.attempts <- p.attempts + 1;
-        if p.attempts > 1 then
-          emit rt ~host:ctx.self.host
-            (Event.Retry { id; attempt = p.attempts });
-        emit rt ~host:ctx.self.host
-          (Event.Call { id; src = ctx.self.loid; dst = dst_loid; meth = c.meth });
-        let window =
-          Float.min
-            (Retry.attempt_window policy ~attempt:p.attempts ~prng:rt.prng)
-            (deadline -. now rt)
+        let decision =
+          match rt.breakers with
+          | None -> Breaker.Allow
+          | Some b -> Breaker.before_send b ~now:(now rt) dst_host
         in
-        p.timer <- Some (Engine.schedule rt.sim ~delay:window on_expire);
-        Network.send rt.net ~src:ctx.self.host ~dst:dst_host msg
+        match decision with
+        | Breaker.Reject { error; retry_after } ->
+            (* Fail fast: no message, no attempt timer. If the call's
+               budget can absorb the wait, park it and try again when
+               the circuit may admit a probe. *)
+            incr backoffs;
+            let wait =
+              Retry.backoff_window policy
+                ~attempt:(p.attempts + !backoffs) ~retry_after ~prng:rt.prng
+            in
+            if deadline -. now rt > wait +. 1e-9 then
+              p.timer <-
+                Some
+                  (Engine.schedule rt.sim ~delay:wait (fun () ->
+                       p.timer <- None;
+                       if Hashtbl.mem rt.pending id then transmit ()))
+            else begin
+              Hashtbl.remove rt.pending id;
+              fail_async error
+            end
+        | Breaker.Allow | Breaker.Probe ->
+            (if decision = Breaker.Probe then
+               emit rt ~host:ctx.self.host (Event.Breaker_probe { host = dst_host }));
+            p.attempts <- p.attempts + 1;
+            if p.attempts > 1 then
+              emit rt ~host:ctx.self.host
+                (Event.Retry { id; attempt = p.attempts });
+            emit rt ~host:ctx.self.host
+              (Event.Call { id; src = ctx.self.loid; dst = dst_loid; meth = c.meth });
+            let window =
+              Float.min
+                (Retry.attempt_window policy ~attempt:p.attempts ~prng:rt.prng)
+                (deadline -. now rt)
+            in
+            p.timer <- Some (Engine.schedule rt.sim ~delay:window on_expire);
+            Network.send rt.net ~src:ctx.self.host ~dst:dst_host msg
       and on_expire () =
         if Hashtbl.mem rt.pending id then begin
           p.timer <- None;
@@ -464,7 +663,32 @@ let send_one ctx ?timeout ~dst_loid ~element c k =
           then transmit ()
           else give_up ()
         end
+      and handle_reply (r : reply) =
+        (* Runs after the pending entry is removed (reply delivered). *)
+        match r with
+        | Error (Err.Overloaded { retry_after })
+          when p.attempts < policy.Retry.max_attempts ->
+            (* Backpressure-aware backoff: the destination shed us and
+               said when to come back; honour the hint (and the policy's
+               growing window) inside the remaining call budget instead
+               of surfacing the shed. Re-register under the same id —
+               this is still the same logical call. *)
+            let wait =
+              Retry.backoff_window policy ~attempt:(p.attempts + 1)
+                ~retry_after ~prng:rt.prng
+            in
+            if deadline -. now rt > wait +. 1e-9 then begin
+              Hashtbl.replace rt.pending id p;
+              p.timer <-
+                Some
+                  (Engine.schedule rt.sim ~delay:wait (fun () ->
+                       p.timer <- None;
+                       if Hashtbl.mem rt.pending id then transmit ()))
+            end
+            else k r
+        | r -> k r
       in
+      on_reply := handle_reply;
       transmit ();
       fun () ->
         if Hashtbl.mem rt.pending id then begin
@@ -656,4 +880,8 @@ let describe_message payload =
 (* Accounting.                                                         *)
 
 let total_calls_delivered rt = rt.delivered
+let total_sheds rt = rt.sheds
 let requests_of p = Counter.value p.counter
+
+let breaker_phase rt host =
+  Option.map (fun b -> Breaker.phase_name b host) rt.breakers

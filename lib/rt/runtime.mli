@@ -27,6 +27,22 @@ type proc
 (** An active object instance (a "process" on a host). A replicated
     object has several [proc]s sharing one LOID. *)
 
+type admission = {
+  max_inflight : int;
+      (** Concurrent calls an object may be executing (handler started,
+          reply not yet sent). *)
+  max_queue : int;
+      (** Calls parked waiting for an inflight slot; arrivals beyond
+          this are shed with [Err.Overloaded]. *)
+  retry_after_hint : float;
+      (** Base of the [retry_after] hint attached to sheds; it scales
+          up to 2x with queue fill, so callers back off harder the
+          deeper the backlog. *)
+}
+
+val default_admission : admission
+(** 8 inflight, 32 queued, 50 ms base hint. *)
+
 type config = {
   call_timeout : float;  (** Seconds of virtual time before a call times out. *)
   max_rebinds : int;
@@ -43,10 +59,27 @@ type config = {
           that pass an explicit [?timeout] opt out — that argument is a
           caller-managed single-attempt deadline (probes, deferred-reply
           methods). See {!Retry}. *)
+  admission : admission option;
+      (** Default inflight/queue budget stamped on every spawned
+          {e application} object ([spawn ?admission] overrides per
+          object, and budgets any kind; so does {!set_admission}).
+          Infrastructure processes serve each other's bring-up and
+          binding traffic, where a budget can invert RPC dependency
+          order, so they are never budgeted by default — they degrade by
+          policy instead ({!load_factor} / {!shed_reply}). [None] — the
+          default — admits everything, the pre-overload-control
+          behaviour. Budgeted objects emit [Admit]/[Shed] events and
+          answer excess load with [Err.Overloaded]. *)
+  breaker : Breaker.config option;
+      (** Per-destination circuit breakers on the send path ([None] —
+          the default — disables them). See {!Breaker}: consecutive
+          failures open the circuit, sends then fail fast until a
+          cooldown admits a HalfOpen probe. *)
 }
 
 val default_config : config
-(** 5 s timeout, 3 rebinds, no expiry, {!Retry.default} retransmission. *)
+(** 5 s timeout, 3 rebinds, no expiry, {!Retry.default} retransmission,
+    no admission budgets, no breakers. *)
 
 val create :
   sim:Legion_sim.Engine.t ->
@@ -98,6 +131,7 @@ val spawn :
   ?epoch:int ->
   ?cache_capacity:int ->
   ?binding_agent:Address.t ->
+  ?admission:admission option ->
   handler:handler ->
   unit ->
   proc
@@ -109,7 +143,10 @@ val spawn :
     replica deployments of one incarnation share a number.
     [cache_capacity] bounds the comm-layer binding cache (default
     unbounded). [binding_agent] is the Object Address of the object's
-    Binding Agent, "part of its persistent state" (§3.6). *)
+    Binding Agent, "part of its persistent state" (§3.6). [admission]
+    overrides the config-wide default budget for this object —
+    [~admission:None] explicitly exempts it; omitting the argument
+    inherits [config.admission]. *)
 
 val kill : t -> proc -> unit
 (** Remove the instance; subsequent messages to its address are answered
@@ -181,6 +218,39 @@ val set_handler : proc -> handler -> unit
 val set_binding_agent : proc -> Address.t option -> unit
 val binding_agent : proc -> Address.t option
 
+(** {1 Admission control and load shedding}
+
+    A budgeted object ([admission] set at spawn or via
+    {!set_admission}) executes at most [max_inflight] calls at once;
+    arrivals beyond that park in a FIFO queue of at most [max_queue],
+    and anything further is {e shed}: answered immediately with
+    [Err.Overloaded] (a [Shed] event) instead of being allowed to rot
+    until timeout. Admitted calls emit [Admit]. Queued calls dispatch
+    in order as inflight slots free up. The caller's comm layer treats
+    [Overloaded] as retryable backpressure (see {!invoke}). *)
+
+val set_admission : proc -> admission option -> unit
+val admission_of : proc -> admission option
+
+val inflight : proc -> int
+(** Calls currently executing (handler started, reply pending). *)
+
+val queued_calls : proc -> int
+(** Calls parked in the admission queue. *)
+
+val load_factor : proc -> float
+(** [(inflight + queued) / (max_inflight + max_queue)] — [0.] when
+    unbudgeted or idle, approaching [1.] as the next arrival would be
+    shed. Parts use it to degrade by policy {e before} the hard limit:
+    {!Legion_core.Class_part} sheds creates past [0.5] while lookups
+    ride to the end. *)
+
+val shed_reply : t -> proc -> meth:string -> Err.t
+(** Shed by policy from inside a handler: emits the [Shed] event,
+    counts it, and returns the [Err.Overloaded] (with the same
+    queue-scaled [retry_after] hint the admission layer uses) for the
+    handler to reply with. *)
+
 (** {1 Addresses and bindings} *)
 
 val element_of : proc -> Address.element
@@ -223,7 +293,15 @@ val invoke :
     that defer their reply (barrier [Arrive]) must use a long one so
     the single transmission is never repeated. [max_rebinds] similarly
     overrides the rebind budget — failure-detector-style scans over
-    possibly-dead components set both low. *)
+    possibly-dead components set both low.
+
+    Backpressure: an [Overloaded] reply is retried under the same call
+    id after backing off at least the destination's [retry_after] hint
+    ({!Retry.backoff_window}), as long as attempt budget and deadline
+    remain — explicit-[?timeout] (single-attempt) calls surface it
+    immediately. When breakers are configured, sends consult the
+    destination's circuit first and may fail fast (or wait out the
+    cooldown, budget permitting) without touching the network. *)
 
 val invoke_address :
   ctx ->
@@ -261,5 +339,13 @@ val describe_message : Value.t -> string option
 (** {1 Accounting} *)
 
 val total_calls_delivered : t -> int
+val total_sheds : t -> int
+(** Calls rejected with [Overloaded] — by admission queues and by
+    parts shedding through {!shed_reply}. *)
+
 val requests_of : proc -> int
 (** Method calls delivered to this instance. *)
+
+val breaker_phase : t -> Legion_net.Network.host_id -> string option
+(** The circuit phase toward a destination host (["closed"], ["open"],
+    ["half-open"]); [None] when breakers are disabled. *)

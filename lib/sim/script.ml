@@ -22,6 +22,37 @@ let ramp eng ~start ~until ~steps ~values f =
     at eng ~time:(start +. (float_of_int i *. step_width)) (fun () -> f v)
   done
 
+let load_ramp eng ~start ~until ~steps ~rates fire =
+  if steps < 1 then invalid_arg "Script.load_ramp: steps must be >= 1";
+  (match rates with [] -> invalid_arg "Script.load_ramp: no rates" | _ -> ());
+  List.iter
+    (fun r -> if r < 0.0 then invalid_arg "Script.load_ramp: negative rate")
+    rates;
+  let rate = ref 0.0 in
+  let seq = ref 0 in
+  let armed = ref false in
+  (* The generator is open loop: arrivals are spaced 1/rate apart and
+     never wait for completions. It parks itself whenever the rate drops
+     to zero; the ramp below re-arms it on the next positive step. *)
+  let rec arm time =
+    if time <= until && !rate > 0.0 then
+      ignore
+        (Engine.schedule_at eng ~time (fun () ->
+             if !rate > 0.0 && Engine.now eng <= until then begin
+               incr seq;
+               fire !seq;
+               arm (Engine.now eng +. (1.0 /. !rate))
+             end
+             else armed := false))
+    else armed := false
+  in
+  ramp eng ~start ~until ~steps ~values:rates (fun r ->
+      rate := r;
+      if (not !armed) && r > 0.0 then begin
+        armed := true;
+        arm (Engine.now eng)
+      end)
+
 let pulse eng ~start ~width ~on ~off =
   at eng ~time:start on;
   at eng ~time:(start +. width) off

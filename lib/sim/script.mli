@@ -34,6 +34,24 @@ val ramp :
     (Network.set_drop_rate net)].
     @raise Invalid_argument if [steps < 1] or [values = []]. *)
 
+val load_ramp :
+  t ->
+  start:float ->
+  until:float ->
+  steps:int ->
+  rates:float list ->
+  (int -> unit) ->
+  unit
+(** An open-loop arrival generator whose rate (arrivals per virtual
+    second) steps through [rates] on the same grid as {!ramp}. Arrivals
+    are spaced [1 /. rate] apart and are {e not} gated on completions —
+    this is the generator that drives a service past saturation, where a
+    closed loop would self-throttle. The action receives the arrival's
+    1-based sequence number. A rate of [0.] pauses the generator for
+    that step.
+    @raise Invalid_argument if [steps < 1], [rates = []] or any rate is
+    negative. *)
+
 val pulse :
   t -> start:float -> width:float -> on:(unit -> unit) -> off:(unit -> unit) -> unit
 (** A transient fault: [on] fires at [start], [off] at

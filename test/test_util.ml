@@ -340,6 +340,41 @@ let heap_sorts_any_list =
       List.iter (Heap.push h) xs;
       Heap.drain_sorted h = List.sort compare xs)
 
+(* Model-based: a random interleaving of pushes and pops must behave
+   like a sorted-list model — every pop returns the minimum of what
+   remains, and length / is_empty / peek never drift from the model's
+   size accounting. *)
+let heap_model_interleaved =
+  QCheck.Test.make ~name:"heap matches sorted-list model under push/pop"
+    ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          let op_ok =
+            if is_push then begin
+              Heap.push h x;
+              model := List.merge compare [ x ] !model;
+              true
+            end
+            else
+              let expect =
+                match !model with
+                | [] -> None
+                | y :: tl ->
+                    model := tl;
+                    Some y
+              in
+              Heap.pop h = expect
+          in
+          op_ok
+          && Heap.length h = List.length !model
+          && Heap.is_empty h = (!model = [])
+          && Heap.peek h = (match !model with [] -> None | y :: _ -> Some y))
+        ops)
+
 let stats_percentile_bounded =
   QCheck.Test.make ~name:"percentiles lie within min/max" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
@@ -487,6 +522,7 @@ let () =
           Alcotest.test_case "peek and pop" `Quick test_heap_peek_pop;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           QCheck_alcotest.to_alcotest heap_sorts_any_list;
+          QCheck_alcotest.to_alcotest heap_model_interleaved;
         ] );
       ( "sampler",
         [

@@ -73,17 +73,31 @@ let run_one ~replicas ~kills ~semantic ~label =
     System.run sys
   done;
   let msgs1 = Network.messages_sent (System.net sys) in
-  [
-    label;
-    fmt_i replicas;
-    fmt_i kills;
-    Printf.sprintf "%.1f%%" (100.0 *. float_of_int !ok /. float_of_int n_calls);
-    (if Stats.count lat = 0 then "-" else fmt_ms (Stats.mean lat));
-    fmt_f (float_of_int (msgs1 - msgs0) /. float_of_int n_calls);
-  ]
+  let success = 100.0 *. float_of_int !ok /. float_of_int n_calls in
+  let mean_ms = if Stats.count lat = 0 then nan else Stats.mean lat *. 1000.0 in
+  let msgs_per_call = float_of_int (msgs1 - msgs0) /. float_of_int n_calls in
+  let row =
+    [
+      label;
+      fmt_i replicas;
+      fmt_i kills;
+      Printf.sprintf "%.1f%%" success;
+      (if Stats.count lat = 0 then "-" else fmt_ms (Stats.mean lat));
+      fmt_f msgs_per_call;
+    ]
+  in
+  let json =
+    Printf.sprintf
+      "{\"semantic\":%S,\"replicas\":%d,\"kills\":%d,\"success_pct\":%.1f,\
+       \"mean_ms\":%s,\"msgs_per_call\":%.3f}"
+      label replicas kills success
+      (if Float.is_nan mean_ms then "null" else Printf.sprintf "%.2f" mean_ms)
+      msgs_per_call
+  in
+  (row, json)
 
 let run () =
-  let rows =
+  let results =
     [
       run_one ~replicas:1 ~kills:0 ~semantic:Address.Ordered_failover ~label:"failover";
       run_one ~replicas:1 ~kills:1 ~semantic:Address.Ordered_failover ~label:"failover";
@@ -94,9 +108,13 @@ let run () =
       run_one ~replicas:4 ~kills:3 ~semantic:Address.All ~label:"all (race)";
     ]
   in
+  write_bench_json ~file:"BENCH_E7.json"
+    (Printf.sprintf "{\"experiment\":\"e7\",\"n_calls\":%d,\"rows\":[%s]}"
+       n_calls
+       (String.concat "," (List.map snd results)));
   print_table
     ~title:
       (Printf.sprintf "E7  Replicated-object availability under host kills (%d calls)"
          n_calls)
     ~header:[ "semantic"; "replicas"; "killed"; "success"; "mean ms"; "msgs/call" ]
-    rows
+    (List.map fst results)

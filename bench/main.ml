@@ -27,6 +27,7 @@ let experiments =
     ("e14", "goodput and retry traffic under message loss (4.1.4)", Exp_faults.run);
     ("e15", "crash recovery: checkpoints, failure detection, fencing", Exp_recover.run);
     ("e16", "overload: admission control, shedding, circuit breakers", Exp_overload.run);
+    ("e17", "self-healing replication: repair, fencing, anti-entropy", Exp_repair.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

@@ -7,6 +7,9 @@
      faults   run an open-loop workload under a scripted fault schedule
      overload drive a serial bottleneck past saturation and report
               shedding and circuit-breaker activity
+     replicate run a self-healing replica set through a kill sweep and
+              a fenced network split, and report repair and
+              anti-entropy activity
      idl      parse an IDL file and echo the normalized interfaces *)
 
 module Value = Legion_wire.Value
@@ -15,6 +18,7 @@ module Counter = Legion_util.Counter
 module Prng = Legion_util.Prng
 module Network = Legion_net.Network
 module Impl = Legion_core.Impl
+module Opr = Legion_core.Opr
 module Well_known = Legion_core.Well_known
 module Runtime = Legion_rt.Runtime
 module Err = Legion_rt.Err
@@ -823,6 +827,227 @@ let cmd_recover =
       const run $ sites_arg $ seed_arg $ duration_arg $ period_arg
       $ checkpoint_arg $ heartbeat_arg $ threshold_arg $ crash_arg $ reboot_arg)
 
+(* --- replicate --- *)
+
+let cmd_replicate =
+  let module Group_part = Legion_repl.Group_part in
+  let module Repair = Legion_repl.Repair in
+  let sites_arg =
+    let doc = "Topology: comma-separated site:hosts pairs, e.g. uva:4,doe:8." in
+    Arg.(
+      value
+      & opt string "east:4,west:4,south:4"
+      & info [ "sites" ] ~docv:"SPEC" ~doc)
+  in
+  let replicas_arg =
+    Arg.(value & opt int 3
+         & info [ "replicas" ] ~docv:"R" ~doc:"Replication factor.")
+  in
+  let kills_arg =
+    Arg.(value & opt int 2
+         & info [ "kills" ] ~docv:"N"
+             ~doc:"Hosts to crash, one every $(b,--kill-every) seconds.")
+  in
+  let kill_every_arg =
+    Arg.(value & opt float 4.0
+         & info [ "kill-every" ] ~docv:"S" ~doc:"Seconds between kills.")
+  in
+  let period_arg =
+    Arg.(value & opt float 0.05
+         & info [ "period" ] ~docv:"S" ~doc:"Seconds between calls (open loop).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the repair and fencing reports as JSON on stdout.")
+  in
+  let run sites seed replicas kills kill_every period json =
+    (* Phase 1: kill sweep against an armed repair manager. *)
+    let sys = boot_system ~sites ~seed in
+    let ctx = System.client sys () in
+    let net = System.net sys
+    and rt = System.rt sys
+    and sim = System.sim sys
+    and obs = System.obs sys in
+    let cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Counter"
+        ~units:[ counter_unit ] ()
+    in
+    let loid = Api.create_object_exn sys ctx ~cls () in
+    let opr =
+      Opr.make ~kind:Well_known.kind_app
+        ~units:[ counter_unit; Well_known.unit_object ]
+        ()
+    in
+    (* Workers only — index 0 of each site hosts the infrastructure.
+       Round-robin across sites so replicas spread before they stack. *)
+    let site_list = System.sites sys in
+    let max_w =
+      List.fold_left (fun a s -> max a (List.length s.System.net_hosts)) 0
+        site_list
+    in
+    let workers =
+      List.concat
+        (List.init (max 0 (max_w - 1)) (fun i ->
+             List.filter_map
+               (fun s -> List.nth_opt s.System.net_hosts (i + 1))
+               site_list))
+    in
+    if List.length workers < replicas + kills then
+      failwith
+        (Printf.sprintf
+           "topology has %d worker hosts; need at least replicas + kills = %d"
+           (List.length workers) (replicas + kills));
+    let hosts = List.filteri (fun i _ -> i < replicas) workers in
+    let mgr =
+      match
+        Api.sync sys (fun k ->
+            Repair.deploy ~ctx ~net ~loid ~opr ~hosts ~pool:workers
+              ~semantic:Legion_naming.Address.Ordered_failover
+              ~register_with:cls k)
+      with
+      | Ok m -> m
+      | Error e -> failwith ("replicate: deploy: " ^ Err.to_string e)
+    in
+    let t0 = System.now sys in
+    let t_end = t0 +. (kill_every *. float_of_int (kills + 1)) in
+    Repair.start mgr ~period:(kill_every /. 8.0) ~until:t_end;
+    let mark = Recorder.total obs in
+    for i = 1 to kills do
+      Script.at sim ~time:(t0 +. (float_of_int i *. kill_every)) (fun () ->
+          match Repair.replica_hosts mgr with
+          | h :: _ -> Runtime.crash_host rt h
+          | [] -> ())
+    done;
+    let ok = ref 0 and total = ref 0 in
+    Script.every sim ~period ~until:(t_end -. 1e-9) (fun () ->
+        incr total;
+        Runtime.invoke ctx ~dst:loid ~meth:"Increment" ~args:[ Value.Int 1 ]
+          (function Ok _ -> incr ok | Error _ -> ()));
+    System.run sys;
+    let events = Recorder.events_since obs mark in
+    let lost = Trace.count_of (Trace.replica_lost ~loid ()) events in
+    let repaired = Trace.count_of (Trace.replica_repair ~loid ()) events in
+    let availability = 100.0 *. float_of_int !ok /. float_of_int !total in
+    (* Phase 2: fenced 3/2 split and heal on a fresh system. *)
+    Group_part.register ();
+    let sys2 = boot_system ~sites ~seed:(seed + 1) in
+    let n_sites = List.length (System.sites sys2) in
+    if n_sites < 2 then failwith "replicate needs at least two sites";
+    let minority_site = n_sites - 1 in
+    let ctx2 = System.client sys2 () in
+    let ctx_min = System.client sys2 ~site:minority_site () in
+    let counter_cls =
+      Api.derive_class_exn sys2 ctx2 ~parent:Well_known.legion_object
+        ~name:"Counter" ~units:[ counter_unit ] ()
+    in
+    let group_cls =
+      Api.derive_class_exn sys2 ctx2 ~parent:Well_known.legion_object
+        ~name:"Group" ~units:[ Group_part.unit_name ] ()
+    in
+    let pinned cls s =
+      Api.create_object_exn sys2 ctx2 ~cls ~eager:true
+        ~magistrate:(System.site sys2 s).System.magistrate ()
+    in
+    let g_maj = pinned group_cls 0 in
+    let g_min = pinned group_cls minority_site in
+    let members =
+      [
+        pinned counter_cls 0; pinned counter_cls 0; pinned counter_cls 0;
+        pinned counter_cls minority_site; pinned counter_cls minority_site;
+      ]
+    in
+    let configure g =
+      List.iter
+        (fun m ->
+          ignore
+            (Api.call_exn sys2 ctx2 ~dst:g ~meth:"AddMember"
+               ~args:[ Loid.to_value m ]))
+        members;
+      ignore
+        (Api.call_exn sys2 ctx2 ~dst:g ~meth:"SetMode"
+           ~args:[ Value.Str "quorum" ]);
+      ignore
+        (Api.call_exn sys2 ctx2 ~dst:g ~meth:"SetFenced"
+           ~args:[ Value.Bool true ])
+    in
+    configure g_maj;
+    configure g_min;
+    let invoke_via c g =
+      Api.call sys2 c ~dst:g ~meth:"Invoke"
+        ~args:[ Value.Str "Increment"; Value.List [ Value.Int 1 ] ]
+    in
+    ignore (invoke_via ctx2 g_maj);
+    ignore (invoke_via ctx_min g_min);
+    System.run sys2;
+    let net2 = System.net sys2 in
+    let cut p =
+      for i = 0 to minority_site - 1 do
+        Network.set_partitioned net2 i minority_site p
+      done
+    in
+    cut true;
+    let mark2 = Recorder.total (System.obs sys2) in
+    let maj_ok = ref 0 and min_fenced = ref 0 in
+    for _ = 1 to 3 do
+      (match invoke_via ctx2 g_maj with Ok _ -> incr maj_ok | Error _ -> ());
+      match invoke_via ctx_min g_min with
+      | Error (Err.No_quorum _) -> incr min_fenced
+      | _ -> ()
+    done;
+    Repair.reconcile_on_heal ctx2 ~net:net2 ~groups:[ g_maj ];
+    cut false;
+    System.run sys2;
+    ignore (Api.call_exn sys2 ctx2 ~dst:g_maj ~meth:"Reconcile" ~args:[]);
+    let divergent =
+      match Api.call_exn sys2 ctx2 ~dst:g_maj ~meth:"Reconcile" ~args:[] with
+      | Value.Record fields -> (
+          match List.assoc_opt "divergent" fields with
+          | Some (Value.Int d) -> d
+          | _ -> -1)
+      | _ -> -1
+    in
+    let events2 = Recorder.events_since (System.obs sys2) mark2 in
+    let fenced_events = Trace.count_of (Trace.no_quorum ~loid:g_min ()) events2 in
+    let reconciles = Trace.count_of (Trace.reconcile ~loid:g_maj ()) events2 in
+    if json then
+      Printf.printf
+        "{\"repair\":{\"replicas\":%d,\"kills\":%d,\"availability_pct\":%.2f,\
+         \"calls\":%d,\"lost\":%d,\"repaired\":%d,\"final_factor\":%d},\
+         \"fencing\":{\"majority_commits\":%d,\"minority_fenced\":%d,\
+         \"noquorum_events\":%d,\"reconciles\":%d,\"divergent_after\":%d}}\n"
+        replicas kills availability !total lost repaired
+        (Repair.replica_count mgr) !maj_ok !min_fenced fenced_events reconciles
+        divergent
+    else begin
+      Format.printf
+        "kill sweep: %d replicas, %d kills — %.2f%% of %d calls answered@."
+        replicas kills availability !total;
+      Format.printf
+        "repair: %d replicas lost, %d repaired; replication factor back at %d@."
+        lost repaired
+        (Repair.replica_count mgr);
+      Format.printf
+        "fencing: %d/3 majority writes committed, %d/3 minority writes \
+         refused with NoQuorum (%d events)@."
+        !maj_ok !min_fenced fenced_events;
+      Format.printf
+        "anti-entropy: %d reconcile sweeps after the heal; %d members still \
+         divergent@."
+        reconciles divergent
+    end
+  in
+  let info =
+    Cmd.info "replicate"
+      ~doc:
+        "Run a self-healing replica set through a host-kill sweep, then a \
+         fenced quorum group through a network split and heal, and report \
+         availability, repair, fencing, and anti-entropy activity."
+  in
+  Cmd.v info
+    Term.(
+      const run $ sites_arg $ seed_arg $ replicas_arg $ kills_arg
+      $ kill_every_arg $ period_arg $ json_arg)
+
 (* --- idl --- *)
 
 let cmd_idl =
@@ -883,5 +1108,5 @@ let () =
        (Cmd.group info
           [
             cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_overload;
-            cmd_recover; cmd_idl;
+            cmd_recover; cmd_replicate; cmd_idl;
           ]))

@@ -121,7 +121,7 @@ let () =
             ~host_objects:replica_hosts ~semantic:Address.Ordered_failover
             ~register_with:log_cls k)
     with
-    | Ok a -> a
+    | Ok (a, _failed) -> a
     | Error e -> failwith (Err.to_string e)
   in
   Format.printf "service %s replicated at %d addresses: %s@."

@@ -35,6 +35,8 @@ type t = {
   mutable partitions : (site_id * site_id) list;
   mutable tap : (src:host_id -> dst:host_id -> Value.t -> unit) option;
   mutable host_watcher : (host_id -> up:bool -> unit) option;
+  mutable host_watchers : (host_id -> up:bool -> unit) list;
+  mutable partition_watchers : (site_id -> site_id -> cut:bool -> unit) list;
   mutable obs : Recorder.t option;
   mutable sent : int;
   mutable bytes : int;
@@ -57,6 +59,8 @@ let create ~sim ~prng ?(latency = default_latency) ?obs () =
     partitions = [];
     tap = None;
     host_watcher = None;
+    host_watchers = [];
+    partition_watchers = [];
     obs;
     sent = 0;
     bytes = 0;
@@ -117,10 +121,13 @@ let set_host_up t h up =
   check_host t h;
   let was = t.host_tbl.(h).up in
   t.host_tbl.(h).up <- up;
-  if was <> up then
-    match t.host_watcher with None -> () | Some f -> f h ~up
+  if was <> up then begin
+    (match t.host_watcher with None -> () | Some f -> f h ~up);
+    List.iter (fun f -> f h ~up) t.host_watchers
+  end
 
 let set_host_watcher t f = t.host_watcher <- f
+let add_host_watcher t f = t.host_watchers <- t.host_watchers @ [ f ]
 
 let host_is_up t h =
   check_host t h;
@@ -138,8 +145,15 @@ let set_partitioned t a b cut =
   if a < 0 || a >= t.n_sites || b < 0 || b >= t.n_sites then
     invalid_arg "Network.set_partitioned: bad site id";
   let pair = norm_pair a b in
+  let was = List.mem pair t.partitions in
   let without = List.filter (fun p -> p <> pair) t.partitions in
-  t.partitions <- (if cut && a <> b then pair :: without else without)
+  let now = cut && a <> b in
+  t.partitions <- (if now then pair :: without else without);
+  if was <> now then
+    List.iter (fun f -> f (fst pair) (snd pair) ~cut:now) t.partition_watchers
+
+let add_partition_watcher t f =
+  t.partition_watchers <- t.partition_watchers @ [ f ]
 
 let is_partitioned t a b =
   List.mem (norm_pair a b) t.partitions

@@ -63,6 +63,13 @@ val set_host_watcher : t -> (host_id -> up:bool -> unit) option -> unit
     state fire nothing). The runtime installs one to reap fenced zombie
     placements when a crashed host reboots. [None] removes it. *)
 
+val add_host_watcher : t -> (host_id -> up:bool -> unit) -> unit
+(** Append an additional transition watcher without disturbing the one
+    installed through {!set_host_watcher} (the runtime's zombie reaper).
+    The replica-set repair machinery uses this to notice replica hosts
+    going down and coming back. Watchers fire in registration order and
+    cannot be removed. *)
+
 val set_drop_rate : t -> float -> unit
 (** Fraction of messages lost uniformly at random; default [0.]. *)
 
@@ -75,6 +82,15 @@ val set_partitioned : t -> site_id -> site_id -> bool -> unit
     partitioned. Idempotent. *)
 
 val is_partitioned : t -> site_id -> site_id -> bool
+
+val add_partition_watcher : t -> (site_id -> site_id -> cut:bool -> unit) -> unit
+(** Observe partition {e transitions}: the watcher fires with
+    [~cut:true] when a link is newly severed and [~cut:false] when it
+    heals (idempotent re-cuts and re-heals fire nothing). The
+    anti-entropy machinery hooks heals to trigger replica
+    reconciliation, exactly as the runtime's host-up watcher hooks
+    reboots to reap zombies. Watchers fire in registration order and
+    cannot be removed. *)
 
 (** {1 Messaging} *)
 

@@ -35,6 +35,10 @@ type kind =
   | Breaker_probe of { host : int }
   | Breaker_close of { host : int }
   | Stale_serve of { owner : Loid.t; target : Loid.t }
+  | Replica_lost of { loid : Loid.t; host : int; remaining : int }
+  | Replica_repair of { loid : Loid.t; host : int; epoch : int }
+  | No_quorum of { loid : Loid.t; have : int; need : int }
+  | Reconcile of { loid : Loid.t; divergent : int; updated : int }
 
 type t = { time : float; host : int option; site : int option; kind : kind }
 
@@ -68,6 +72,10 @@ let name = function
   | Breaker_probe _ -> "BreakerProbe"
   | Breaker_close _ -> "BreakerClose"
   | Stale_serve _ -> "StaleServe"
+  | Replica_lost _ -> "ReplicaLost"
+  | Replica_repair _ -> "ReplicaRepair"
+  | No_quorum _ -> "NoQuorum"
+  | Reconcile _ -> "Reconcile"
 
 let tier_name = function
   | Intra_host -> "host"
@@ -98,7 +106,11 @@ let owner e =
   | Reactivate { loid }
   | Fence { loid; _ }
   | Admit { loid; _ }
-  | Shed { loid; _ } ->
+  | Shed { loid; _ }
+  | Replica_lost { loid; _ }
+  | Replica_repair { loid; _ }
+  | No_quorum { loid; _ }
+  | Reconcile { loid; _ } ->
       Some loid
   | Suspect { host_obj; _ } | Confirm_dead { host_obj; _ } -> Some host_obj
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
@@ -121,7 +133,8 @@ let target e =
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
   | Cancel _ | Activate _ | Deactivate _ | Checkpoint _ | Suspect _
   | Confirm_dead _ | Reactivate _ | Fence _ | Admit _ | Shed _
-  | Breaker_open _ | Breaker_probe _ | Breaker_close _ ->
+  | Breaker_open _ | Breaker_probe _ | Breaker_close _ | Replica_lost _
+  | Replica_repair _ | No_quorum _ | Reconcile _ ->
       None
 
 let loid l = Value.Str (Loid.to_string l)
@@ -192,6 +205,22 @@ let fields = function
   | Breaker_close { host } -> [ ("dst", Value.Int host) ]
   | Stale_serve { owner; target } ->
       [ ("owner", loid owner); ("target", loid target) ]
+  | Replica_lost { loid = l; host; remaining } ->
+      [
+        ("loid", loid l);
+        ("host", Value.Int host);
+        ("remaining", Value.Int remaining);
+      ]
+  | Replica_repair { loid = l; host; epoch } ->
+      [ ("loid", loid l); ("host", Value.Int host); ("epoch", Value.Int epoch) ]
+  | No_quorum { loid = l; have; need } ->
+      [ ("loid", loid l); ("have", Value.Int have); ("need", Value.Int need) ]
+  | Reconcile { loid = l; divergent; updated } ->
+      [
+        ("loid", loid l);
+        ("divergent", Value.Int divergent);
+        ("updated", Value.Int updated);
+      ]
 
 let to_value e =
   Value.Record

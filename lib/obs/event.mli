@@ -93,6 +93,25 @@ type kind =
       (** Graceful degradation in a Binding Agent: the upstream resolver
           was overloaded, so [owner] served its stale-but-unexpired
           cached binding for [target] instead of failing the lookup. *)
+  | Replica_lost of { loid : Loid.t; host : int; remaining : int }
+      (** The replica-set manager confirmed a replica of [loid] on
+          network host [host] dead; [remaining] replicas survive. *)
+  | Replica_repair of { loid : Loid.t; host : int; epoch : int }
+      (** The replica-set manager re-activated a replacement replica of
+          [loid] on [host] from the newest surviving state, under the
+          bumped incarnation [epoch]; the rebuilt multi-address binding
+          was re-registered with the responsible class. *)
+  | No_quorum of { loid : Loid.t; have : int; need : int }
+      (** A fenced group head [loid] rejected a replicated write: only
+          [have] of the current membership were reachable, short of the
+          strict majority [need]. The caller saw [Err.No_quorum];
+          nothing was applied anywhere. *)
+  | Reconcile of { loid : Loid.t; divergent : int; updated : int }
+      (** Anti-entropy after a partition heal: group head [loid]
+          compared member state digests, found [divergent] members
+          behind the highest-version survivor, and pushed the winning
+          state to [updated] of them. A drained group reconciles with
+          [divergent = 0]. *)
 
 type t = {
   time : float;  (** Virtual time of emission. *)

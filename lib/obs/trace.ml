@@ -225,3 +225,24 @@ let stale_serve ?owner ?target () e =
   match e.Event.kind with
   | Event.Stale_serve f -> opt_loid owner f.owner && opt_loid target f.target
   | _ -> false
+
+let replica_lost ?loid ?host () e =
+  match e.Event.kind with
+  | Event.Replica_lost f -> opt_loid loid f.loid && opt_int host f.host
+  | _ -> false
+
+let replica_repair ?loid ?host ?epoch () e =
+  match e.Event.kind with
+  | Event.Replica_repair f ->
+      opt_loid loid f.loid && opt_int host f.host && opt_int epoch f.epoch
+  | _ -> false
+
+let no_quorum ?loid () e =
+  match e.Event.kind with
+  | Event.No_quorum f -> opt_loid loid f.loid
+  | _ -> false
+
+let reconcile ?loid ?divergent () e =
+  match e.Event.kind with
+  | Event.Reconcile f -> opt_loid loid f.loid && opt_int divergent f.divergent
+  | _ -> false

@@ -102,3 +102,7 @@ val breaker_open : ?host:int -> unit -> pred
 val breaker_probe : ?host:int -> unit -> pred
 val breaker_close : ?host:int -> unit -> pred
 val stale_serve : ?owner:Loid.t -> ?target:Loid.t -> unit -> pred
+val replica_lost : ?loid:Loid.t -> ?host:int -> unit -> pred
+val replica_repair : ?loid:Loid.t -> ?host:int -> ?epoch:int -> unit -> pred
+val no_quorum : ?loid:Loid.t -> unit -> pred
+val reconcile : ?loid:Loid.t -> ?divergent:int -> unit -> pred

@@ -3,6 +3,7 @@ module Loid = Legion_naming.Loid
 module Env = Legion_sec.Env
 module Runtime = Legion_rt.Runtime
 module Err = Legion_rt.Err
+module Event = Legion_obs.Event
 module Impl = Legion_core.Impl
 module C = Legion_core.Convert
 
@@ -18,11 +19,31 @@ let mode_of_string = function
   | "any" -> Ok Any
   | s -> Error (Printf.sprintf "unknown group mode %S" s)
 
-type state = { mutable members : Loid.t list; mutable mode : mode }
+type state = {
+  mutable members : Loid.t list;
+  mutable mode : mode;
+  mutable fenced : bool;  (** Quorum writes probe-then-apply and fence minorities. *)
+  mutable mepoch : int;  (** Membership epoch: bumped on Add/Remove. *)
+  mutable wseq : int;  (** Sequence number of the last committed fenced write. *)
+  mutable acked : (Loid.t * int) list;  (** Highest [wseq] acked per member. *)
+}
 
 let factory (ctx : Runtime.ctx) : Impl.part =
   let self = Runtime.proc_loid ctx.Runtime.self in
-  let st = { members = []; mode = All } in
+  let st =
+    { members = []; mode = All; fenced = false; mepoch = 0; wseq = 0; acked = [] }
+  in
+  let emit kind =
+    Runtime.emit ctx.Runtime.rt ~host:(Runtime.proc_host ctx.Runtime.self) kind
+  in
+  let get_ack m =
+    match List.find_opt (fun (x, _) -> Loid.equal x m) st.acked with
+    | Some (_, s) -> s
+    | None -> 0
+  in
+  let set_ack m s =
+    st.acked <- (m, s) :: List.filter (fun (x, _) -> not (Loid.equal x m)) st.acked
+  in
 
   let add_member _ctx args _env k =
     match args with
@@ -30,8 +51,10 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         match C.loid_arg v with
         | Error msg -> Impl.bad_args k msg
         | Ok m ->
-            if not (List.exists (Loid.equal m) st.members) then
+            if not (List.exists (Loid.equal m) st.members) then begin
               st.members <- st.members @ [ m ];
+              st.mepoch <- st.mepoch + 1
+            end;
             k Impl.ok_unit)
     | _ -> Impl.bad_args k "AddMember expects one loid"
   in
@@ -41,7 +64,10 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         match C.loid_arg v with
         | Error msg -> Impl.bad_args k msg
         | Ok m ->
-            st.members <- List.filter (fun x -> not (Loid.equal x m)) st.members;
+            if List.exists (Loid.equal m) st.members then begin
+              st.members <- List.filter (fun x -> not (Loid.equal x m)) st.members;
+              st.mepoch <- st.mepoch + 1
+            end;
             k Impl.ok_unit)
     | _ -> Impl.bad_args k "RemoveMember expects one loid"
   in
@@ -60,75 +86,293 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         | Error msg -> Impl.bad_args k msg)
     | _ -> Impl.bad_args k "SetMode expects one string"
   in
+  let set_fenced _ctx args _env k =
+    match args with
+    | [ Value.Bool b ] ->
+        st.fenced <- b;
+        k Impl.ok_unit
+    | _ -> Impl.bad_args k "SetFenced expects one bool"
+  in
+  let get_epoch _ctx args _env k =
+    match args with
+    | [] ->
+        k
+          (Ok
+             (Value.Record
+                [ ("epoch", Value.Int st.mepoch); ("wseq", Value.Int st.wseq) ]))
+    | _ -> Impl.bad_args k "GetEpoch takes no arguments"
+  in
 
-  (* Fan the call out to all members; combine per the group's mode. *)
+  (* Legacy fan-out: apply at every member immediately, combine per the
+     group's mode. Under partition this diverges — the minority-side
+     members that happen to be reachable still mutate even when the
+     overall call fails. Kept as the unfenced baseline. *)
+  let loose_invoke meth fwd_args env k =
+    match st.members with
+    | [] -> k (Error (Err.Refused "group has no members"))
+    | members ->
+        let n = List.length members in
+        let ok = ref 0 and failed = ref 0 in
+        let first_value = ref None in
+        let decided = ref false in
+        let denv = Env.delegate env ~calling:self in
+        (* Reply the moment the outcome is decided: a slow or dead
+           member must not hold a quorum hostage. Late replies are
+           counted but no longer observable. *)
+        let succeed () =
+          decided := true;
+          k
+            (Ok
+               (Value.Record
+                  [
+                    ("value", Option.value ~default:Value.Unit !first_value);
+                    ("ok", Value.Int !ok);
+                    ("failed", Value.Int !failed);
+                  ]))
+        in
+        let fail () =
+          decided := true;
+          k
+            (Error
+               (Err.Refused
+                  (Printf.sprintf "group %s-mode failed: %d/%d ok"
+                     (mode_to_string st.mode) !ok n)))
+        in
+        let check () =
+          if not !decided then
+            match st.mode with
+            | All -> if !failed > 0 then fail () else if !ok = n then succeed ()
+            | Quorum ->
+                if 2 * !ok > n then succeed ()
+                else if 2 * (n - !failed) <= n then fail ()
+            | Any -> if !ok >= 1 then succeed () else if !failed = n then fail ()
+        in
+        List.iter
+          (fun m ->
+            Runtime.invoke ctx ~dst:m ~meth ~args:fwd_args ~env:denv (fun r ->
+                (match r with
+                | Ok v ->
+                    incr ok;
+                    if !first_value = None then first_value := Some v
+                | Error _ -> incr failed);
+                check ()))
+          members
+  in
+
+  (* Fenced quorum: two-phase. Probe every member first (cheap builtin,
+     short single-attempt budget); if fewer than a strict majority of
+     the FULL membership answer, reject with the typed, retryable
+     [No_quorum] before applying anything — a minority partition fences
+     instead of diverging. Only then fan the write to the reachable
+     members, and commit only when a majority acked. *)
+  let fenced_invoke meth fwd_args env k =
+    match st.members with
+    | [] -> k (Error (Err.Refused "group has no members"))
+    | members ->
+        let n = List.length members in
+        let need = (n / 2) + 1 in
+        let cfg = Runtime.config ctx.Runtime.rt in
+        let probe_t = cfg.Runtime.call_timeout /. 4. in
+        let denv = Env.delegate env ~calling:self in
+        let no_quorum have =
+          emit (Event.No_quorum { loid = self; have; need });
+          k (Error (Err.No_quorum { have; need; epoch = st.mepoch }))
+        in
+        let apply targets =
+          let reach_n = List.length targets in
+          let seq = st.wseq + 1 in
+          let acks = ref 0 and failed = ref 0 in
+          let first_value = ref None in
+          let decided = ref false in
+          let check () =
+            if not !decided then
+              if !acks >= need then begin
+                decided := true;
+                st.wseq <- seq;
+                k
+                  (Ok
+                     (Value.Record
+                        [
+                          ( "value",
+                            Option.value ~default:Value.Unit !first_value );
+                          ("ok", Value.Int !acks);
+                          ("failed", Value.Int !failed);
+                        ]))
+              end
+              else if !acks + (reach_n - !acks - !failed) < need then begin
+                decided := true;
+                no_quorum !acks
+              end
+          in
+          List.iter
+            (fun m ->
+              Runtime.invoke ctx ~dst:m ~meth ~args:fwd_args ~env:denv (fun r ->
+                  (match r with
+                  | Ok v ->
+                      incr acks;
+                      (* Even a late ack means the member applied write
+                         [seq] — anti-entropy uses this to pick the
+                         freshest digest. *)
+                      set_ack m seq;
+                      if !first_value = None then first_value := Some v
+                  | Error _ -> incr failed);
+                  check ()))
+            targets
+        in
+        let reachable = ref [] and probed = ref 0 in
+        List.iter
+          (fun m ->
+            Runtime.invoke ctx ~timeout:probe_t ~max_rebinds:1 ~dst:m
+              ~meth:"GetMethodNames" ~args:[] ~env:denv (fun r ->
+                incr probed;
+                (match r with
+                | Ok _ -> reachable := m :: !reachable
+                | Error _ -> ());
+                if !probed = n then begin
+                  let targets = List.rev !reachable in
+                  let have = List.length targets in
+                  if have < need then no_quorum have else apply targets
+                end))
+          members
+  in
+
   let invoke_members _ctx args env k =
     match args with
-    | [ Value.Str meth; Value.List fwd_args ] -> (
+    | [ Value.Str meth; Value.List fwd_args ] ->
+        if st.fenced && st.mode = Quorum then fenced_invoke meth fwd_args env k
+        else loose_invoke meth fwd_args env k
+    | _ -> Impl.bad_args k "Invoke expects (meth: str, args: list)"
+  in
+
+  (* Anti-entropy: pull a [SaveState] digest from every reachable
+     member, elect the freshest (highest acked write sequence; ties
+     break toward the plurality digest, then member order), push it to
+     every divergent member via [RestoreState], and report how many
+     diverged and how many were repaired. Repeated sweeps drain the
+     divergence count to zero once the partition heals. *)
+  let reconcile _ctx args env k =
+    match args with
+    | [] -> (
         match st.members with
         | [] -> k (Error (Err.Refused "group has no members"))
         | members ->
             let n = List.length members in
-            let ok = ref 0 and failed = ref 0 in
-            let first_value = ref None in
-            let decided = ref false in
+            let cfg = Runtime.config ctx.Runtime.rt in
+            let probe_t = cfg.Runtime.call_timeout /. 2. in
             let denv = Env.delegate env ~calling:self in
-            (* Reply the moment the outcome is decided: a slow or dead
-               member must not hold a quorum hostage. Late replies are
-               counted but no longer observable. *)
-            let succeed () =
-              decided := true;
-              k
-                (Ok
-                   (Value.Record
-                      [
-                        ("value", Option.value ~default:Value.Unit !first_value);
-                        ("ok", Value.Int !ok);
-                        ("failed", Value.Int !failed);
-                      ]))
-            in
-            let fail () =
-              decided := true;
-              k
-                (Error
-                   (Err.Refused
-                      (Printf.sprintf "group %s-mode failed: %d/%d ok"
-                         (mode_to_string st.mode) !ok n)))
-            in
-            let check () =
-              if not !decided then
-                match st.mode with
-                | All -> if !failed > 0 then fail () else if !ok = n then succeed ()
-                | Quorum ->
-                    if 2 * !ok > n then succeed ()
-                    else if 2 * (n - !failed) <= n then fail ()
-                | Any -> if !ok >= 1 then succeed () else if !failed = n then fail ()
+            let digests = ref [] and answered = ref 0 in
+            let finish () =
+              match List.rev !digests with
+              | [] -> k (Error (Err.Refused "reconcile: no reachable members"))
+              | (m0, d0) :: rest as ds ->
+                  let count_of d =
+                    List.length
+                      (List.filter (fun (_, d') -> Value.equal d' d) ds)
+                  in
+                  let winner, wdigest =
+                    List.fold_left
+                      (fun (bm, bd) (m, d) ->
+                        let a = get_ack m and ba = get_ack bm in
+                        if a > ba || (a = ba && count_of d > count_of bd) then
+                          (m, d)
+                        else (bm, bd))
+                      (m0, d0) rest
+                  in
+                  let divergent =
+                    List.filter (fun (_, d) -> not (Value.equal d wdigest)) ds
+                  in
+                  let nd = List.length divergent in
+                  let wack = get_ack winner in
+                  let finish_push updated =
+                    emit
+                      (Event.Reconcile
+                         { loid = self; divergent = nd; updated });
+                    k
+                      (Ok
+                         (Value.Record
+                            [
+                              ("divergent", Value.Int nd);
+                              ("updated", Value.Int updated);
+                            ]))
+                  in
+                  if nd = 0 then finish_push 0
+                  else begin
+                    let updated = ref 0 and pushed = ref 0 in
+                    List.iter
+                      (fun (m, _) ->
+                        Runtime.invoke ctx ~dst:m ~meth:"RestoreState"
+                          ~args:[ wdigest ] ~env:denv (fun r ->
+                            incr pushed;
+                            (match r with
+                            | Ok _ ->
+                                incr updated;
+                                set_ack m wack
+                            | Error _ -> ());
+                            if !pushed = nd then finish_push !updated))
+                      divergent
+                  end
             in
             List.iter
               (fun m ->
-                Runtime.invoke ctx ~dst:m ~meth ~args:fwd_args ~env:denv
-                  (fun r ->
+                Runtime.invoke ctx ~timeout:probe_t ~max_rebinds:1 ~dst:m
+                  ~meth:"SaveState" ~args:[] ~env:denv (fun r ->
+                    incr answered;
                     (match r with
-                    | Ok v ->
-                        incr ok;
-                        if !first_value = None then first_value := Some v
-                    | Error _ -> incr failed);
-                    check ()))
+                    | Ok d -> digests := (m, d) :: !digests
+                    | Error _ -> ());
+                    if !answered = n then finish ()))
               members)
-    | _ -> Impl.bad_args k "Invoke expects (meth: str, args: list)"
+    | _ -> Impl.bad_args k "Reconcile takes no arguments"
   in
 
   let save () =
     Value.Record
-      [ ("members", C.vloids st.members); ("mode", Value.Str (mode_to_string st.mode)) ]
+      [
+        ("members", C.vloids st.members);
+        ("mode", Value.Str (mode_to_string st.mode));
+        ("fenced", Value.Bool st.fenced);
+        ("mepoch", Value.Int st.mepoch);
+        ("wseq", Value.Int st.wseq);
+        ( "acked",
+          Value.List
+            (List.map
+               (fun (m, s) ->
+                 Value.Record [ ("m", Loid.to_value m); ("s", Value.Int s) ])
+               st.acked) );
+      ]
   in
   let restore v =
     let ( let* ) r f = Result.bind r f in
     let* members = C.loid_list_field v "members" in
     let* mode_s = C.str_field v "mode" in
     let* mode = mode_of_string mode_s in
+    (* Pre-fencing checkpoints lack the newer fields; default them. *)
+    let int_or d name =
+      match Value.field_opt v name with
+      | None -> Ok d
+      | Some (Value.Int n) -> Ok n
+      | Some _ -> Error (Printf.sprintf "field %s: not an int" name)
+    in
+    let* fenced = C.bool_field ~default:false v "fenced" in
+    let* mepoch = int_or 0 "mepoch" in
+    let* wseq = int_or 0 "wseq" in
+    let acked =
+      match Value.field_opt v "acked" with
+      | Some (Value.List l) ->
+          List.filter_map
+            (fun e ->
+              match (C.loid_field e "m", C.int_field e "s") with
+              | Ok m, Ok s -> Some (m, s)
+              | _ -> None)
+            l
+      | _ -> []
+    in
     st.members <- members;
     st.mode <- mode;
+    st.fenced <- fenced;
+    st.mepoch <- mepoch;
+    st.wseq <- wseq;
+    st.acked <- acked;
     Ok ()
   in
   Impl.part
@@ -138,7 +382,10 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         ("RemoveMember", remove_member);
         ("ListMembers", list_members);
         ("SetMode", set_mode);
+        ("SetFenced", set_fenced);
+        ("GetEpoch", get_epoch);
         ("Invoke", invoke_members);
+        ("Reconcile", reconcile);
       ]
     ~save ~restore unit_name
 

@@ -12,13 +12,40 @@
 
     - [AddMember(obj: loid): unit], [RemoveMember(obj: loid): unit],
       [ListMembers(): list<loid>], [SetMode(mode: str): unit] with
-      modes ["all"], ["quorum"], ["any"];
+      modes ["all"], ["quorum"], ["any"]; membership changes bump the
+      group's {e membership epoch} ([GetEpoch(): {epoch, wseq}]);
     - [Invoke(meth: str, args: list<any>): record] — forward to every
       member under the caller's delegated environment and combine:
       [all] succeeds iff every member replied Ok; [quorum] iff a strict
       majority did; [any] iff at least one did. The reply carries
       [{value, ok: int, failed: int}] where [value] is the first
       successful member reply.
+
+    {2 Quorum fencing}
+
+    The loose fan-out applies writes at whatever members it can reach
+    {e before} counting acks, so a partitioned minority still mutates
+    its reachable members even when the overall call fails — the
+    classic split-brain divergence. [SetFenced(on: bool)] (default
+    off, [quorum] mode only) switches [Invoke] to a two-phase
+    discipline: probe every member first with a short single-attempt
+    builtin call, and if fewer than a strict majority of the {e full}
+    membership answer, reject with the typed, retryable
+    [Err.No_quorum {have; need; epoch}] {e before anything is
+    applied} (a [NoQuorum] event is traced). Otherwise the write fans
+    only to the reachable members and commits — bumping the group's
+    write sequence and recording the ack per member — only once a
+    majority acked.
+
+    {2 Anti-entropy}
+
+    [Reconcile(): {divergent: int, updated: int}] pulls a [SaveState]
+    digest from every reachable member, elects the freshest (highest
+    acked write sequence, ties toward the plurality digest), pushes it
+    to divergent members via [RestoreState], and traces a [Reconcile]
+    event. Sweeping it after a partition heals drains the divergence
+    count to zero — stale minority members converge onto the majority
+    state.
 
     Unlike §4.3 system-level replication (one LOID, many processes),
     members here keep their LOIDs; successful [all]-mode writes keep
@@ -30,6 +57,6 @@ module Impl := Legion_core.Impl
 val unit_name : string
 
 val factory : Impl.factory
-(** Fresh state: no members, mode [all]. *)
+(** Fresh state: no members, mode [all], fencing off, epoch 0. *)
 
 val register : unit -> unit

@@ -24,18 +24,38 @@ let deploy rt ~loid ~opr ~hosts ~semantic =
         let elements = List.map Runtime.element_of procs in
         Ok (procs, Address.make ~semantic elements)
 
-let deploy_via_hosts ctx ~loid ~opr ~host_objects ~semantic ?register_with k =
+let deploy_via_hosts ctx ~loid ~opr ~host_objects ~semantic ?min_replicas
+    ?register_with k =
   if host_objects = [] then k (Error (Err.Bad_args "no host objects"))
   else
+    let want = Option.value ~default:(List.length host_objects) min_replicas in
     let blob = Value.Blob (Opr.to_blob opr) in
-    let rec activate_all acc = function
-      | [] -> finish (List.rev acc)
+    (* Walk the host objects, accumulating both successful elements and
+       failed hosts; decide only at the end. A dead or refusing host
+       must not undo the replicas that did come up — a degraded set
+       that still meets [min_replicas] is a success the caller can
+       repair later, not a failure to roll back. *)
+    let rec activate_all ~elements ~ok ~failed ~first_err = function
+      | [] ->
+          if ok >= want then finish (List.rev elements) (List.rev failed)
+          else
+            k
+              (Error
+                 (Option.value first_err
+                    ~default:(Err.Internal "no replicas activated")))
       | h :: rest ->
           Runtime.invoke ctx ~dst:h ~meth:"Activate"
             ~args:[ Loid.to_value loid; blob ]
             (fun r ->
+              let fail e =
+                let first_err =
+                  match first_err with None -> Some e | some -> some
+                in
+                activate_all ~elements ~ok ~failed:(h :: failed) ~first_err
+                  rest
+              in
               match r with
-              | Error e -> k (Error e)
+              | Error e -> fail e
               | Ok reply -> (
                   match
                     Result.bind (Value.field reply "addr") (fun v ->
@@ -43,16 +63,21 @@ let deploy_via_hosts ctx ~loid ~opr ~host_objects ~semantic ?register_with k =
                         | Ok a -> Ok a
                         | Error m -> Error (`Wrong_type m))
                   with
-                  | Ok addr -> activate_all (Address.elements addr @ acc) rest
-                  | Error _ -> k (Error (Err.Internal "bad Activate reply"))))
-    and finish elements =
+                  | Ok addr ->
+                      activate_all
+                        ~elements:(Address.elements addr @ elements)
+                        ~ok:(ok + 1) ~failed ~first_err rest
+                  | Error _ -> fail (Err.Internal "bad Activate reply")))
+    and finish elements failed =
       let address = Address.make ~semantic elements in
       match register_with with
-      | None -> k (Ok address)
+      | None -> k (Ok (address, failed))
       | Some cls ->
           Runtime.invoke ctx ~dst:cls ~meth:"RegisterInstance"
             ~args:[ Loid.to_value loid; Address.to_value address ]
             (fun r ->
-              match r with Error e -> k (Error e) | Ok _ -> k (Ok address))
+              match r with
+              | Error e -> k (Error e)
+              | Ok _ -> k (Ok (address, failed)))
     in
-    activate_all [] host_objects
+    activate_all ~elements:[] ~ok:0 ~failed:[] ~first_err:None host_objects

@@ -36,11 +36,19 @@ val deploy_via_hosts :
   opr:Opr.t ->
   host_objects:Loid.t list ->
   semantic:Address.semantic ->
+  ?min_replicas:int ->
   ?register_with:Loid.t ->
-  ((Address.t, Legion_rt.Err.t) result -> unit) ->
+  ((Address.t * Loid.t list, Legion_rt.Err.t) result -> unit) ->
   unit
 (** Ask each Host Object to [Activate] a replica, assemble the Object
     Address from the replies (in host-list order), and — when
     [register_with] names a class — record the address there via
-    [RegisterInstance] so the binding machinery serves it. Fails on the
-    first Host Object error. *)
+    [RegisterInstance] so the binding machinery serves it.
+
+    Partial deployment succeeds: hosts that fail to activate are
+    skipped (nothing is undone) and reported as the second component of
+    the result — the LOIDs of the Host Objects that failed, for the
+    caller (or a {!Repair} manager) to replace later. The deployment
+    as a whole fails, with the first error observed, only when fewer
+    than [min_replicas] (default: all of [host_objects]) replicas
+    activate. *)

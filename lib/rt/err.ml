@@ -10,15 +10,20 @@ type t =
   | Unreachable of string
   | Stale_epoch
   | Overloaded of { retry_after : float }
+  | No_quorum of { have : int; need : int; epoch : int }
   | Internal of string
 
 let is_delivery_failure = function
   | No_such_object | Timeout | Unreachable _ | Stale_epoch -> true
   | No_such_method _ | Refused _ | Bad_args _ | Not_bound _ | Overloaded _
-  | Internal _ ->
+  | No_quorum _ | Internal _ ->
       false
 
 let is_overload = function Overloaded _ -> true | _ -> false
+
+let is_retryable = function
+  | Overloaded _ | No_quorum _ -> true
+  | _ -> false
 
 let retry_after = function Overloaded { retry_after } -> Some retry_after | _ -> None
 
@@ -35,8 +40,11 @@ let equal a b =
   | Internal x, Internal y ->
       String.equal x y
   | Overloaded a, Overloaded b -> Float.equal a.retry_after b.retry_after
+  | No_quorum a, No_quorum b ->
+      a.have = b.have && a.need = b.need && a.epoch = b.epoch
   | ( ( No_such_object | No_such_method _ | Refused _ | Bad_args _ | Not_bound _
-      | Timeout | Unreachable _ | Stale_epoch | Overloaded _ | Internal _ ),
+      | Timeout | Unreachable _ | Stale_epoch | Overloaded _ | No_quorum _
+      | Internal _ ),
       _ ) ->
       false
 
@@ -51,6 +59,9 @@ let pp ppf = function
   | Stale_epoch -> Format.fprintf ppf "stale epoch"
   | Overloaded { retry_after } ->
       Format.fprintf ppf "overloaded (retry after %.3fs)" retry_after
+  | No_quorum { have; need; epoch } ->
+      Format.fprintf ppf "no quorum (%d/%d at membership epoch %d)" have need
+        epoch
   | Internal r -> Format.fprintf ppf "internal error: %s" r
 
 let to_string t = Format.asprintf "%a" pp t
@@ -66,6 +77,14 @@ let to_value = function
   | Stale_epoch -> Value.Record [ ("c", Value.Str "stl") ]
   | Overloaded { retry_after } ->
       Value.Record [ ("c", Value.Str "ovl"); ("ra", Value.Float retry_after) ]
+  | No_quorum { have; need; epoch } ->
+      Value.Record
+        [
+          ("c", Value.Str "nqm");
+          ("h", Value.Int have);
+          ("n", Value.Int need);
+          ("e", Value.Int epoch);
+        ]
   | Internal r -> Value.Record [ ("c", Value.Str "int"); ("d", Value.Str r) ]
 
 let of_value v =
@@ -97,6 +116,14 @@ let of_value v =
           (Result.bind (Value.field v "ra") Value.to_float)
       in
       Ok (Overloaded { retry_after = ra })
+  | "nqm" ->
+      let int_field name =
+        Result.map_error err (Result.bind (Value.field v name) Value.to_int)
+      in
+      let* have = int_field "h" in
+      let* need = int_field "n" in
+      let* epoch = int_field "e" in
+      Ok (No_quorum { have; need; epoch })
   | "unr" ->
       let* d = detail () in
       Ok (Unreachable d)

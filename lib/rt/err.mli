@@ -38,6 +38,14 @@ type t =
           {e is} retryable: the caller should back off at least
           [retry_after] seconds of virtual time and try again, which the
           comm layer does automatically within the call budget. *)
+  | No_quorum of { have : int; need : int; epoch : int }
+      (** A fenced replicated write was rejected because only [have] of
+          the members in the current membership view (epoch [epoch])
+          were reachable, short of the strict majority [need]. Like
+          [Overloaded] this is {e not} a delivery failure — the group
+          head is alive and correctly bound — but it {e is} retryable:
+          once the partition heals (or membership changes) the same
+          write can succeed. Nothing was applied anywhere. *)
   | Internal of string
 
 val is_delivery_failure : t -> bool
@@ -48,6 +56,11 @@ val is_delivery_failure : t -> bool
 
 val is_overload : t -> bool
 (** True for [Overloaded]. *)
+
+val is_retryable : t -> bool
+(** True for the typed backpressure answers — [Overloaded] and
+    [No_quorum] — where the destination is healthy and correctly bound
+    and the same call can succeed later without rebinding. *)
 
 val retry_after : t -> float option
 (** The backoff hint carried by [Overloaded], [None] otherwise. *)

@@ -47,7 +47,7 @@ type proc = {
   host : Network.host_id;
   slot : int;
   kind : string;
-  epoch : int;  (* incarnation this placement was spawned into *)
+  mutable epoch : int;  (* incarnation this placement belongs to *)
   cache : Cache.t;
   counter : Counter.t;
   queue : (call * (reply -> unit)) Queue.t;  (* admission wait queue *)
@@ -522,6 +522,13 @@ let proc_loid p = p.loid
 let proc_host p = p.host
 let proc_kind p = p.kind
 let proc_epoch p = p.epoch
+
+(* Carry a surviving placement across an incarnation bump: the replica
+   repair protocol bumps the LOID's epoch so the dead replica's stale
+   addresses fence, and the survivors — still part of the replica set —
+   must move to the new incarnation or the fence would eat them too. *)
+let refresh_epoch rt p = p.epoch <- current_epoch rt p.loid
+
 let set_handler p h = p.handler <- h
 let set_binding_agent p ba = p.ba <- ba
 let binding_agent p = p.ba

@@ -191,6 +191,14 @@ val bump_epoch : t -> Loid.t -> int
 val proc_epoch : proc -> int
 (** The incarnation this placement was spawned into. *)
 
+val refresh_epoch : t -> proc -> unit
+(** Re-stamp a live placement into its LOID's {e current} incarnation.
+    The replica-set repair protocol calls this on the surviving
+    replicas after {!bump_epoch}: the bump fences the dead replica's
+    stale placements and addresses, while the survivors — legitimately
+    part of the repaired set — are carried across into the new
+    incarnation instead of being fenced alongside. *)
+
 val mark_dead : t -> Loid.t -> unit
 (** Start the MTTR clock for a LOID (idempotent until recovery): the
     failure detector calls this at [ConfirmDead]; the first call

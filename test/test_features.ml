@@ -707,7 +707,9 @@ let test_replicate_failover_via_class () =
   in
   let address =
     match address with
-    | Ok a -> a
+    | Ok (a, failed) ->
+        Alcotest.(check int) "no failed hosts" 0 (List.length failed);
+        a
     | Error e -> Alcotest.failf "deploy_via_hosts: %s" (Err.to_string e)
   in
   Alcotest.(check int) "two elements" 2 (List.length (Address.elements address));

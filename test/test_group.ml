@@ -4,19 +4,32 @@
 
 module Value = Legion_wire.Value
 module Loid = Legion_naming.Loid
+module Address = Legion_naming.Address
 module Network = Legion_net.Network
 module Runtime = Legion_rt.Runtime
 module Err = Legion_rt.Err
 module Well_known = Legion_core.Well_known
+module Opr = Legion_core.Opr
+module Recorder = Legion_obs.Recorder
+module Trace = Legion_obs.Trace
 module Group_part = Legion_repl.Group_part
+module Repair = Legion_repl.Repair
 module System = Legion.System
 module Api = Legion.Api
 module H = Helpers
 
+(* The fencing and reconciliation sequences below are shaped by the
+   quorum protocol, not by timing, so they must hold for any boot seed;
+   LEGION_TRACE_SEED (swept by test/dune) shifts it. *)
+let base_seed =
+  match Sys.getenv_opt "LEGION_TRACE_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 3L
+
 let boot () =
   Group_part.register ();
   H.register_counter_unit ();
-  Legion.System.boot ~seed:3L
+  Legion.System.boot ~seed:base_seed
     ~rt_config:{ Runtime.default_config with call_timeout = 0.5 }
     ~sites:[ ("a", 3); ("b", 3); ("c", 3) ]
     ()
@@ -211,6 +224,201 @@ let test_partition_and_heal () =
     (Printf.sprintf "partitioned member diverged (%d < %d)" v_behind v_front)
     true (v_behind < v_front)
 
+(* --- Quorum fencing and anti-entropy (5 members, 3/2 split) --- *)
+
+let member_value_via sys ctx m =
+  match Api.call_exn sys ctx ~dst:m ~meth:"Get" ~args:[] with
+  | Value.Int n -> n
+  | v -> Alcotest.failf "Get: %s" (Value.to_string v)
+
+let test_fenced_split_brain () =
+  let sys = boot () in
+  let net = System.net sys in
+  let obs = System.obs sys in
+  let ctx = System.client sys () in
+  let ctx_min = System.client sys ~site:2 () in
+  let counter_cls = H.make_counter_class sys ctx () in
+  let group_cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name:"Group"
+      ~units:[ Group_part.unit_name ] ()
+  in
+  let site n = System.site sys n in
+  let head s =
+    Api.create_object_exn sys ctx ~cls:group_cls ~eager:true
+      ~magistrate:(site s).System.magistrate ()
+  in
+  (* Two heads sharing one member list: during the partition each side
+     can only reach its own, exactly the split-brain a fenced group
+     must survive. *)
+  let g_maj = head 0 in
+  let g_min = head 2 in
+  let member s =
+    Api.create_object_exn sys ctx ~cls:counter_cls ~eager:true
+      ~magistrate:(site s).System.magistrate ()
+  in
+  (* 3/2 split across the cut below: three members on sites a/b (the
+     majority side), two on site c (the minority side). *)
+  let members = [ member 0; member 0; member 1; member 2; member 2 ] in
+  let minority = [ List.nth members 3; List.nth members 4 ] in
+  let configure g =
+    List.iter
+      (fun m ->
+        match
+          Api.call sys ctx ~dst:g ~meth:"AddMember" ~args:[ Loid.to_value m ]
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "AddMember: %s" (Err.to_string e))
+      members;
+    ignore (Api.call_exn sys ctx ~dst:g ~meth:"SetMode" ~args:[ Value.Str "quorum" ]);
+    ignore (Api.call_exn sys ctx ~dst:g ~meth:"SetFenced" ~args:[ Value.Bool true ])
+  in
+  configure g_maj;
+  configure g_min;
+  let invoke_via c g meth args =
+    Api.call sys c ~dst:g ~meth:"Invoke" ~args:[ Value.Str meth; Value.List args ]
+  in
+  (* Full connectivity: fenced writes through either head commit (and
+     warm each head's member bindings, so fencing decisions under the
+     partition are about reachability, not name-service access). *)
+  (match invoke_via ctx g_maj "Increment" [ Value.Int 1 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "fenced write, no partition: %s" (Err.to_string e));
+  (match invoke_via ctx_min g_min "Increment" [ Value.Int 1 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "fenced write via g_min: %s" (Err.to_string e));
+  System.run sys;
+  let v0 = List.map (member_value_via sys ctx) members in
+  let v0_min = List.map (member_value_via sys ctx_min) minority in
+  (* Cut site c off. *)
+  Network.set_partitioned net 0 2 true;
+  Network.set_partitioned net 1 2 true;
+  let mark = Recorder.total obs in
+  (* The majority side keeps committing: 3 of 5 reachable is a strict
+     majority. *)
+  (match invoke_via ctx g_maj "Increment" [ Value.Int 10 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "majority quorum write: %s" (Err.to_string e));
+  (* The minority side is fenced: a typed, retryable rejection, with
+     nothing applied anywhere. *)
+  (match invoke_via ctx_min g_min "Increment" [ Value.Int 100 ] with
+  | Error (Err.No_quorum { have; need; _ } as e) ->
+      Alcotest.(check int) "minority reach" 2 have;
+      Alcotest.(check int) "strict majority of 5" 3 need;
+      Alcotest.(check bool) "retryable" true (Err.is_retryable e);
+      Alcotest.(check bool) "not a delivery failure" false
+        (Err.is_delivery_failure e)
+  | Error e -> Alcotest.failf "expected No_quorum, got %s" (Err.to_string e)
+  | Ok v -> Alcotest.failf "minority write must fence, got %s" (Value.to_string v));
+  List.iter2
+    (fun m v ->
+      Alcotest.(check int) "minority member untouched" v
+        (member_value_via sys ctx_min m))
+    minority v0_min;
+  Alcotest.(check bool) "majority side advanced" true
+    (member_value_via sys ctx (List.hd members) > List.hd v0);
+  (* Arm anti-entropy, then heal: the partition watcher sweeps
+     Reconcile over the group and the stale minority members converge
+     onto the freshest (majority) state. *)
+  Repair.reconcile_on_heal ctx ~net ~groups:[ g_maj ];
+  Network.set_partitioned net 0 2 false;
+  Network.set_partitioned net 1 2 false;
+  System.run sys;
+  (* Drain any straggling retransmissions with one more sweep, then a
+     final sweep must find zero divergent members. *)
+  (match Api.call sys ctx ~dst:g_maj ~meth:"Reconcile" ~args:[] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "manual reconcile: %s" (Err.to_string e));
+  (match Api.call sys ctx ~dst:g_maj ~meth:"Reconcile" ~args:[] with
+  | Ok (Value.Record fields) ->
+      Alcotest.(check bool) "divergence drained to zero" true
+        (List.assoc_opt "divergent" fields = Some (Value.Int 0))
+  | Ok v -> Alcotest.failf "reconcile reply: %s" (Value.to_string v)
+  | Error e -> Alcotest.failf "reconcile: %s" (Err.to_string e));
+  (match List.map (member_value_via sys ctx) members with
+  | v :: rest ->
+      List.iter (fun v' -> Alcotest.(check int) "members converged" v v') rest
+  | [] -> ());
+  (* The protocol left its trace: the minority head fenced, then the
+     heal-triggered reconciliation ran over the group. *)
+  let events = Recorder.events_since obs mark in
+  match
+    Trace.(
+      run
+        (seq
+           [
+             matches ~label:"minority fences" (no_quorum ~loid:g_min ());
+             matches ~label:"heal reconciles" (reconcile ~loid:g_maj ());
+           ])
+        events)
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* --- Self-healing system-level replication (one LOID, §4.3) --- *)
+
+let test_replica_repair () =
+  let sys = boot () in
+  let net = System.net sys in
+  let rt = System.rt sys in
+  let obs = System.obs sys in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let loid = Api.create_object_exn sys ctx ~cls () in
+  let opr =
+    Opr.make ~kind:Well_known.kind_app
+      ~units:[ H.counter_unit; Well_known.unit_object ]
+      ()
+  in
+  (* Replicas on one non-infrastructure host per site; the remaining
+     workers are the spare pool. *)
+  let worker n (s : System.site) = List.nth s.System.net_hosts n in
+  let sites = System.sites sys in
+  let hosts = List.map (worker 1) sites in
+  let pool = hosts @ List.map (worker 2) sites in
+  let mgr =
+    match
+      Api.sync sys (fun k ->
+          Repair.deploy ~ctx ~net ~loid ~opr ~hosts ~pool
+            ~semantic:Address.Ordered_failover ~register_with:cls k)
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "Repair.deploy: %s" (Err.to_string e)
+  in
+  Alcotest.(check int) "r = 3" 3 (Repair.replica_count mgr);
+  Repair.start mgr ~period:0.5 ~until:(System.now sys +. 60.0);
+  ignore (Api.call_exn sys ctx ~dst:loid ~meth:"Increment" ~args:[ Value.Int 5 ]);
+  let epoch0 = Runtime.current_epoch rt loid in
+  let mark = Recorder.total obs in
+  (* Crash the primary's host; the host watcher repairs instantly, the
+     probe sweep is the backstop. *)
+  let victim = List.hd (Repair.replica_hosts mgr) in
+  Runtime.crash_host rt victim;
+  System.run_for sys 3.0;
+  Alcotest.(check int) "factor restored" 3 (Repair.replica_count mgr);
+  Alcotest.(check int) "one repair" 1 (Repair.repairs mgr);
+  Alcotest.(check bool) "replacement avoids the dead host" true
+    (not (List.mem victim (Repair.replica_hosts mgr)));
+  Alcotest.(check bool) "epoch bumped" true
+    (Runtime.current_epoch rt loid > epoch0);
+  (* The LOID keeps answering through the repaired, re-registered
+     address (stale cached bindings fence and rebind). *)
+  (match Api.call sys ctx ~dst:loid ~meth:"Get" ~args:[] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-repair call: %s" (Err.to_string e));
+  let events = Recorder.events_since obs mark in
+  match
+    Trace.(
+      run
+        (seq
+           [
+             matches ~label:"loss detected" (replica_lost ~loid ~host:victim ());
+             matches ~label:"factor restored" (replica_repair ~loid ());
+           ])
+        events)
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
 let () =
   Alcotest.run "group"
     [
@@ -227,4 +435,11 @@ let () =
         ] );
       ( "partitions",
         [ Alcotest.test_case "partition and heal" `Quick test_partition_and_heal ] );
+      ( "self-healing",
+        [
+          Alcotest.test_case "fenced quorum and anti-entropy (3/2 split)" `Quick
+            test_fenced_split_brain;
+          Alcotest.test_case "replica repair restores the factor" `Quick
+            test_replica_repair;
+        ] );
     ]

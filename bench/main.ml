@@ -28,6 +28,7 @@ let experiments =
     ("e15", "crash recovery: checkpoints, failure detection, fencing", Exp_recover.run);
     ("e16", "overload: admission control, shedding, circuit breakers", Exp_overload.run);
     ("e17", "self-healing replication: repair, fencing, anti-entropy", Exp_repair.run);
+    ("e18", "planetary sweep: E2/E3/E4 at 10^5 objects, 10^3 hosts", Exp_planet.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

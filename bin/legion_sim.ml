@@ -10,6 +10,8 @@
      replicate run a self-healing replica set through a kill sweep and
               a fenced network split, and report repair and
               anti-entropy activity
+     scale    run the E18 planetary-sweep kernels at a chosen scale,
+              optionally emitting the deterministic JSON report
      idl      parse an IDL file and echo the normalized interfaces *)
 
 module Value = Legion_wire.Value
@@ -1050,6 +1052,79 @@ let cmd_replicate =
 
 (* --- idl --- *)
 
+(* --- scale --- *)
+
+let cmd_scale =
+  let objects_arg =
+    let doc = "Cache-kernel object population." in
+    Arg.(value & opt int 20_000 & info [ "objects" ] ~docv:"N" ~doc)
+  in
+  let calls_arg =
+    let doc = "Cache-kernel invocation count." in
+    Arg.(value & opt int 20_000 & info [ "calls" ] ~docv:"N" ~doc)
+  in
+  let scale_sites_arg =
+    let doc = "Number of sites." in
+    Arg.(value & opt int 8 & info [ "sites" ] ~docv:"N" ~doc)
+  in
+  let hosts_arg =
+    let doc = "Hosts per site." in
+    Arg.(value & opt int 8 & info [ "hosts-per-site" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Raw calendar-queue kernel event budget." in
+    Arg.(value & opt int 1_000_000 & info [ "queue-events" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the deterministic report as JSON on stdout (same seed, same \
+       bytes) and nothing else."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run seed objects calls sites hosts_per_site queue_events json =
+    let cfg =
+      {
+        Legion.Planet.smoke with
+        Legion.Planet.seed = Int64.of_int seed;
+        sites;
+        hosts_per_site;
+        objects;
+        calls;
+        queue_events;
+      }
+    in
+    if json then
+      print_string (Legion.Planet.to_json (Legion.Planet.run cfg))
+    else begin
+      let progress msg = Format.printf "  %s@." msg in
+      let c0 = Sys.time () in
+      let report = Legion.Planet.run ~progress cfg in
+      let cpu = Sys.time () -. c0 in
+      Format.printf "@.%-8s %10s %12s %10s %8s@." "kernel" "events"
+        "virt clock" "msgs" "drops";
+      List.iter
+        (fun k ->
+          Format.printf "%-8s %10d %12.3f %10d %8d@." k.Legion.Planet.k_name
+            k.Legion.Planet.k_events k.Legion.Planet.k_clock
+            k.Legion.Planet.k_msgs k.Legion.Planet.k_drops)
+        report.Legion.Planet.kernels;
+      Format.printf "@.%d events total, %.1f s cpu (%.0f events/s)@."
+        report.Legion.Planet.total_events cpu
+        (float_of_int report.Legion.Planet.total_events /. Float.max 1e-9 cpu)
+    end
+  in
+  let info =
+    Cmd.info "scale"
+      ~doc:
+        "Run the E18 planetary sweep kernels (queue, cache, tree, clone) at a \
+         configurable scale."
+  in
+  Cmd.v info
+    Term.(
+      const run $ seed_arg $ objects_arg $ calls_arg $ scale_sites_arg
+      $ hosts_arg $ queue_arg $ json_arg)
+
 let cmd_idl =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IDL source file.")
@@ -1108,5 +1183,5 @@ let () =
        (Cmd.group info
           [
             cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_overload;
-            cmd_recover; cmd_replicate; cmd_idl;
+            cmd_recover; cmd_replicate; cmd_scale; cmd_idl;
           ]))

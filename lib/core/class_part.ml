@@ -37,6 +37,10 @@ type state = {
   mutable default_scheduler : Loid.t option;
   mutable rr : int;  (* round-robin cursor over default magistrates *)
   mutable table : (Loid.t * row) list;  (* Fig. 16, newest first *)
+  (* Side index over [table]: GetBinding is the system's hottest read
+     path, and the list (kept for its serialized "newest first" order)
+     must not be scanned per resolution at 10^5 instances. *)
+  mutable row_idx : row Loid.Table.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -127,6 +131,9 @@ let state_of_value st v =
   st.default_scheduler <- dsched;
   st.rr <- rr;
   st.table <- table;
+  let idx = Loid.Table.create () in
+  List.iter (fun (l, r) -> Loid.Table.set idx l r) table;
+  st.row_idx <- idx;
   Ok ()
 
 let init_state ?interface ?(instance_units = [ Well_known.unit_object ])
@@ -153,6 +160,7 @@ let init_state ?interface ?(instance_units = [ Well_known.unit_object ])
       default_scheduler;
       rr = 0;
       table = [];
+      row_idx = Loid.Table.create ();
     }
   in
   state_to_value st
@@ -160,13 +168,15 @@ let init_state ?interface ?(instance_units = [ Well_known.unit_object ])
 (* ------------------------------------------------------------------ *)
 (* Behaviour.                                                          *)
 
-let find_row st loid =
-  List.find_opt (fun (l, _) -> Loid.equal l loid) st.table |> Option.map snd
+let find_row st loid = Loid.Table.find st.row_idx loid
 
-let add_row st loid row = st.table <- (loid, row) :: st.table
+let add_row st loid row =
+  st.table <- (loid, row) :: st.table;
+  Loid.Table.set st.row_idx loid row
 
 let remove_row st loid =
-  st.table <- List.filter (fun (l, _) -> not (Loid.equal l loid)) st.table
+  st.table <- List.filter (fun (l, _) -> not (Loid.equal l loid)) st.table;
+  Loid.Table.remove st.row_idx loid
 
 let dedup_units units =
   List.rev
@@ -201,6 +211,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
       default_scheduler = None;
       rr = 0;
       table = [];
+      row_idx = Loid.Table.create ();
     }
   in
   (* Downstream calls made on behalf of a request keep the request's

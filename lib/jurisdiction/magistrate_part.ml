@@ -31,7 +31,11 @@ type state = {
   mutable hosts : Loid.t list;
   mutable activation_policy : Policy.t;
   mutable records : (Loid.t * record) list;
-  mutable host_load : (Loid.t * int) list;  (* local activation counts *)
+  (* Side index over [records] — the list stays authoritative because
+     its order is observable (serialization, TransferObjects,
+     ListObjects), but lookups must not scan at 10^5 objects. *)
+  mutable rec_idx : record Loid.Table.t;
+  mutable host_load : int Loid.Table.t;  (* local activation counts *)
   mutable activations : int;
   mutable migrations : int;
   (* Failure-detector soft state: re-derived by heartbeats after a
@@ -87,7 +91,8 @@ let factory (ctx : Runtime.ctx) : Impl.part =
       hosts = [];
       activation_policy = Policy.Allow_all;
       records = [];
-      host_load = [];
+      rec_idx = Loid.Table.create ();
+      host_load = Loid.Table.create ();
       activations = 0;
       migrations = 0;
       dead_hosts = [];
@@ -110,16 +115,15 @@ let factory (ctx : Runtime.ctx) : Impl.part =
              (Printf.sprintf "jurisdiction %S has no registered storage"
                 st.jurisdiction))
   in
-  let find_record loid =
-    List.find_opt (fun (l, _) -> Loid.equal l loid) st.records |> Option.map snd
+  let find_record loid = Loid.Table.find st.rec_idx loid in
+  let add_record loid r =
+    st.records <- (loid, r) :: st.records;
+    Loid.Table.set st.rec_idx loid r
   in
   let load_of host =
-    Option.value ~default:0 (List.assoc_opt host st.host_load)
+    Option.value ~default:0 (Loid.Table.find st.host_load host)
   in
-  let bump_load host =
-    st.host_load <-
-      (host, load_of host + 1) :: List.remove_assoc host st.host_load
-  in
+  let bump_load host = Loid.Table.set st.host_load host (load_of host + 1) in
   let is_dead h = List.exists (Loid.equal h) st.dead_hosts in
   (* Hosts the failure detector has confirmed dead are skipped by
      placement decisions until a heartbeat reaches them again. *)
@@ -328,8 +332,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                         | _ -> ());
                         record.opa <- Some opa
                     | None ->
-                        st.records <-
-                          (loid, { opa = Some opa; active = None }) :: st.records);
+                        add_record loid { opa = Some opa; active = None });
                     k Impl.ok_unit))
     | _ -> Impl.bad_args k "StoreObject expects (loid, opr: blob)"
   in
@@ -378,7 +381,8 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   in
 
   let remove_record loid =
-    st.records <- List.filter (fun (l, _) -> not (Loid.equal l loid)) st.records
+    st.records <- List.filter (fun (l, _) -> not (Loid.equal l loid)) st.records;
+    Loid.Table.remove st.rec_idx loid
   in
 
   let delete _ctx args call_env k =
@@ -723,9 +727,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                     else begin
                       (match find_record loid with
                       | Some record -> record.opa <- Some opa
-                      | None ->
-                          st.records <-
-                            (loid, { opa = Some opa; active = None }) :: st.records);
+                      | None -> add_record loid { opa = Some opa; active = None });
                       k Impl.ok_unit
                     end))
     | _ -> Impl.bad_args k "AdoptObject expects (loid, opa)"
@@ -863,6 +865,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     st.hosts <- hosts;
     st.activation_policy <- policy;
     st.records <- records;
+    let idx = Loid.Table.create () in
+    List.iter (fun (l, r) -> Loid.Table.set idx l r) records;
+    st.rec_idx <- idx;
     Ok ()
   in
   Impl.part

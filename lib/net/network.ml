@@ -23,14 +23,32 @@ type host = {
   mutable receiver : (src:host_id -> Value.t -> unit) option;
 }
 
+(* Per-site host index: a growable int vector, appended in add_host
+   order so it stays ascending (host ids only grow). *)
+type hostvec = { mutable ids : int array; mutable n : int }
+
+(* In-flight message, pooled: the engine carries only the slot index
+   (see Engine.post_token), so a delivery costs no closure and no
+   fresh record. *)
+type delivery = {
+  mutable d_src : host_id;
+  mutable d_dst : host_id;
+  mutable d_payload : Value.t;
+}
+
 type t = {
   sim : Legion_sim.Engine.t;
   prng : Prng.t;
   latency : latency;
   mutable sites : string array;
+  mutable site_hosts : hostvec array;  (* parallel to [sites] *)
   mutable host_tbl : host array;
   mutable n_sites : int;
   mutable n_hosts : int;
+  mutable deliveries : delivery array;  (* token-indexed in-flight pool *)
+  mutable free_slots : int array;  (* free-slot stack into [deliveries] *)
+  mutable free_len : int;
+  mutable n_deliveries : int;  (* slots ever handed out *)
   mutable drop_rate : float;
   mutable partitions : (site_id * site_id) list;
   mutable tap : (src:host_id -> dst:host_id -> Value.t -> unit) option;
@@ -46,15 +64,63 @@ type t = {
   mutable tier_wan : int;
 }
 
+let new_hostvec () = { ids = [||]; n = 0 }
+
+let hostvec_add v h =
+  if v.n = Array.length v.ids then begin
+    let cap = Stdlib.max 8 (2 * v.n) in
+    let bigger = Array.make cap 0 in
+    Array.blit v.ids 0 bigger 0 v.n;
+    v.ids <- bigger
+  end;
+  v.ids.(v.n) <- h;
+  v.n <- v.n + 1
+
+let rec deliver_token t tok =
+  let d = t.deliveries.(tok) in
+  let src = d.d_src and dst = d.d_dst and payload = d.d_payload in
+  d.d_payload <- Value.Unit;
+  (* drop the reference *)
+  if t.free_len = Array.length t.free_slots then begin
+    let bigger = Array.make (Stdlib.max 8 (2 * t.free_len)) 0 in
+    Array.blit t.free_slots 0 bigger 0 t.free_len;
+    t.free_slots <- bigger
+  end;
+  t.free_slots.(t.free_len) <- tok;
+  t.free_len <- t.free_len + 1;
+  let h = t.host_tbl.(dst) in
+  if not h.up then drop_msg t ~src ~dst ~at:dst Event.Dst_down
+  else
+    match h.receiver with
+    | None -> drop_msg t ~src ~dst ~at:dst Event.No_receiver
+    | Some f ->
+        emit t ~host:dst (Event.Deliver { src; dst });
+        f ~src payload
+
+and drop_msg t ~src ~dst ~at reason =
+  t.dropped <- t.dropped + 1;
+  emit t ~host:at (Event.Drop { src; dst; reason })
+
+and emit t ~host kind =
+  match t.obs with
+  | None -> ()
+  | Some r -> Recorder.emit r ~host ~site:t.host_tbl.(host).site kind
+
 let create ~sim ~prng ?(latency = default_latency) ?obs () =
+  let t =
   {
     sim;
     prng;
     latency;
     sites = Array.make 8 "";
+    site_hosts = Array.init 8 (fun _ -> new_hostvec ());
     host_tbl = [||];
     n_sites = 0;
     n_hosts = 0;
+    deliveries = [||];
+    free_slots = [||];
+    free_len = 0;
+    n_deliveries = 0;
     drop_rate = 0.0;
     partitions = [];
     tap = None;
@@ -69,6 +135,11 @@ let create ~sim ~prng ?(latency = default_latency) ?obs () =
     tier_site = 0;
     tier_wan = 0;
   }
+  in
+  (* Sole consumer of the engine's token dispatch: every Network owns
+     its engine (System.boot and all tests build one per net). *)
+  Legion_sim.Engine.set_dispatch sim (deliver_token t);
+  t
 
 let sim t = t.sim
 
@@ -76,7 +147,10 @@ let add_site t ~name =
   if t.n_sites = Array.length t.sites then begin
     let bigger = Array.make (2 * t.n_sites) "" in
     Array.blit t.sites 0 bigger 0 t.n_sites;
-    t.sites <- bigger
+    t.sites <- bigger;
+    let more = Array.init (2 * t.n_sites) (fun _ -> new_hostvec ()) in
+    Array.blit t.site_hosts 0 more 0 t.n_sites;
+    t.site_hosts <- more
   end;
   t.sites.(t.n_sites) <- name;
   t.n_sites <- t.n_sites + 1;
@@ -92,6 +166,7 @@ let add_host t ~site ~name =
     t.host_tbl <- bigger
   end;
   t.host_tbl.(t.n_hosts) <- h;
+  hostvec_add t.site_hosts.(site) t.n_hosts;
   t.n_hosts <- t.n_hosts + 1;
   t.n_hosts - 1
 
@@ -103,7 +178,10 @@ let check_host t h =
   if h < 0 || h >= t.n_hosts then invalid_arg "Network: bad host id"
 
 let hosts_of_site t s =
-  List.filter (fun h -> t.host_tbl.(h).site = s) (hosts t)
+  if s < 0 || s >= t.n_sites then []
+  else
+    let v = t.site_hosts.(s) in
+    List.init v.n (fun i -> v.ids.(i))
 
 let site_of t h =
   check_host t h;
@@ -173,10 +251,29 @@ let set_tap t tap = t.tap <- tap
 let set_obs t obs = t.obs <- obs
 let obs t = t.obs
 
-let emit t ~host kind =
-  match t.obs with
-  | None -> ()
-  | Some r -> Recorder.emit r ~host ~site:t.host_tbl.(host).site kind
+(* Grab a pooled in-flight slot; returns its token. *)
+let alloc_delivery t ~src ~dst payload =
+  if t.free_len > 0 then begin
+    t.free_len <- t.free_len - 1;
+    let tok = t.free_slots.(t.free_len) in
+    let d = t.deliveries.(tok) in
+    d.d_src <- src;
+    d.d_dst <- dst;
+    d.d_payload <- payload;
+    tok
+  end
+  else begin
+    let d = { d_src = src; d_dst = dst; d_payload = payload } in
+    if t.n_deliveries = Array.length t.deliveries then begin
+      let cap = Stdlib.max 8 (2 * t.n_deliveries) in
+      let bigger = Array.make cap d in
+      Array.blit t.deliveries 0 bigger 0 t.n_deliveries;
+      t.deliveries <- bigger
+    end;
+    t.deliveries.(t.n_deliveries) <- d;
+    t.n_deliveries <- t.n_deliveries + 1;
+    t.n_deliveries - 1
+  end
 
 let send t ~src ~dst payload =
   check_host t src;
@@ -200,32 +297,20 @@ let send t ~src ~dst payload =
     end
   in
   emit t ~host:src (Event.Send { src; dst; bytes = size; tier });
-  let drop ~at reason =
-    t.dropped <- t.dropped + 1;
-    emit t ~host:at (Event.Drop { src; dst; reason })
-  in
-  if not t.host_tbl.(src).up then drop ~at:src Event.Src_down
+  if not t.host_tbl.(src).up then drop_msg t ~src ~dst ~at:src Event.Src_down
   else if is_partitioned t t.host_tbl.(src).site t.host_tbl.(dst).site then
-    drop ~at:src Event.Partitioned
+    drop_msg t ~src ~dst ~at:src Event.Partitioned
   else if t.drop_rate > 0.0 && Prng.bernoulli t.prng ~p:t.drop_rate then
-    drop ~at:src Event.Random_loss
+    drop_msg t ~src ~dst ~at:src Event.Random_loss
   else begin
     let base = latency_between t src dst in
     let delay = base *. (1.0 +. Prng.float t.prng t.latency.jitter) in
     (match t.obs with
     | None -> ()
     | Some r -> Recorder.observe r ~component:"net.delay" delay);
-    let deliver () =
-      let h = t.host_tbl.(dst) in
-      if not h.up then drop ~at:dst Event.Dst_down
-      else
-        match h.receiver with
-        | None -> drop ~at:dst Event.No_receiver
-        | Some f ->
-            emit t ~host:dst (Event.Deliver { src; dst });
-            f ~src payload
-    in
-    ignore (Legion_sim.Engine.schedule t.sim ~delay deliver)
+    (* Zero-allocation fast path: the engine carries a bare token into
+       [deliver_token]; no closure, no handle, pooled in-flight slot. *)
+    Legion_sim.Engine.post_token t.sim ~delay (alloc_delivery t ~src ~dst payload)
   end
 
 let messages_sent t = t.sent

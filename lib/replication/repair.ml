@@ -21,8 +21,13 @@ type t = {
   register_with : Loid.t option;
   miss_threshold : int;
   mutable pool : Network.host_id list;
+  (* [replicas] keeps the member order (it is the Object Address
+     element order and the snapshot preference order); [rep_idx]
+     mirrors it for O(1) membership tests, which the network-wide host
+     watcher performs on every host transition. *)
   mutable replicas : (Network.host_id * Runtime.proc) list;
-  mutable misses : (Network.host_id * int) list;
+  rep_idx : (Network.host_id, Runtime.proc) Hashtbl.t;
+  misses : (Network.host_id, int) Hashtbl.t;
   mutable losses : int;
   mutable repairs : int;
   mutable armed : bool;
@@ -71,7 +76,11 @@ let deploy ~ctx ~net ~loid ~opr ~hosts ~pool ~semantic ?register_with
           miss_threshold;
           pool;
           replicas = List.combine hosts procs;
-          misses = [];
+          rep_idx =
+            (let idx = Hashtbl.create 8 in
+             List.iter2 (Hashtbl.replace idx) hosts procs;
+             idx);
+          misses = Hashtbl.create 8;
           losses = 0;
           repairs = 0;
           armed = false;
@@ -84,7 +93,7 @@ let deploy ~ctx ~net ~loid ~opr ~hosts ~pool ~semantic ?register_with
    co-locating two replicas would let one host failure take out both. *)
 let pick_spare m =
   List.find_opt
-    (fun h -> Network.host_is_up m.net h && not (List.mem_assoc h m.replicas))
+    (fun h -> Network.host_is_up m.net h && not (Hashtbl.mem m.rep_idx h))
     m.pool
 
 (* Restore the replication factor after losing the replica on
@@ -96,11 +105,12 @@ let pick_spare m =
    state on a spare host, and re-register the rebuilt multi-element
    Object Address with the responsible class. *)
 let repair m dead_host k =
-  match List.assoc_opt dead_host m.replicas with
+  match Hashtbl.find_opt m.rep_idx dead_host with
   | None -> k (Ok false)
   | Some _dead_proc -> (
       m.replicas <- List.remove_assoc dead_host m.replicas;
-      m.misses <- List.remove_assoc dead_host m.misses;
+      Hashtbl.remove m.rep_idx dead_host;
+      Hashtbl.remove m.misses dead_host;
       m.losses <- m.losses + 1;
       Runtime.mark_dead m.rt m.loid;
       emit m
@@ -133,6 +143,7 @@ let repair m dead_host k =
                 | Error msg -> k (Error (Err.Internal msg))
                 | Ok proc ->
                     m.replicas <- m.replicas @ [ (spare, proc) ];
+                    Hashtbl.replace m.rep_idx spare proc;
                     m.repairs <- m.repairs + 1;
                     emit m
                       (Event.Replica_repair
@@ -172,20 +183,20 @@ let sweep m k =
     let rec probe repaired = function
       | [] -> k repaired
       | (h, p) :: rest ->
-          if not (List.mem_assoc h m.replicas) then probe repaired rest
+          if not (Hashtbl.mem m.rep_idx h) then probe repaired rest
           else
             let addr = Address.make [ Runtime.element_of p ] in
             Runtime.invoke_address m.ctx ~timeout:budget ~address:addr
               ~dst:m.loid ~meth:"GetMethodNames" ~args:[] ~env (fun r ->
                 match r with
                 | Ok _ ->
-                    m.misses <- List.remove_assoc h m.misses;
+                    Hashtbl.remove m.misses h;
                     probe repaired rest
                 | Error _ ->
                     let n =
-                      1 + Option.value ~default:0 (List.assoc_opt h m.misses)
+                      1 + Option.value ~default:0 (Hashtbl.find_opt m.misses h)
                     in
-                    m.misses <- (h, n) :: List.remove_assoc h m.misses;
+                    Hashtbl.replace m.misses h n;
                     if n >= m.miss_threshold then
                       repair m h (fun r ->
                           probe
@@ -204,7 +215,7 @@ let start m ~period ~until =
        waiting for the probe counter — the sweep remains the backstop
        for silent failures the network layer never reports. *)
     Network.add_host_watcher m.net (fun h ~up ->
-        if m.armed && (not up) && List.mem_assoc h m.replicas then
+        if m.armed && (not up) && Hashtbl.mem m.rep_idx h then
           repair m h (fun _ -> ()))
   end;
   Script.every (Runtime.sim m.rt) ~period ~until (fun () ->

@@ -76,7 +76,7 @@ and t = {
   registry : Counter.Registry.r;
   prng : Prng.t;
   config : config;
-  slots : (int * int, proc) Hashtbl.t;  (* (host, slot) -> instance *)
+  mutable slot_tbl : proc option array;  (* slot -> instance; O(1) delivery routing *)
   places : proc list Loid.Table.t;  (* loid -> active placements *)
   pending : (int, pending) Hashtbl.t;
   attached : (int, unit) Hashtbl.t;  (* hosts with a receiver installed *)
@@ -93,6 +93,24 @@ and t = {
 
 let emit rt ~host kind =
   Recorder.emit rt.obs ~host ~site:(Network.site_of rt.net host) kind
+
+(* Slots are allocated globally (never reused), so a plain array is the
+   routing table: delivery resolves a destination slot without hashing
+   or allocating a key. *)
+
+let slot_get rt slot =
+  if slot < 0 || slot >= Array.length rt.slot_tbl then None
+  else rt.slot_tbl.(slot)
+
+let slot_set rt slot proc =
+  let n = Array.length rt.slot_tbl in
+  if slot >= n then begin
+    let cap = Stdlib.max 256 (Stdlib.max (slot + 1) (2 * n)) in
+    let bigger = Array.make cap None in
+    Array.blit rt.slot_tbl 0 bigger 0 n;
+    rt.slot_tbl <- bigger
+  end;
+  rt.slot_tbl.(slot) <- Some proc
 
 (* ------------------------------------------------------------------ *)
 (* Epochs (incarnation numbers).                                       *)
@@ -118,7 +136,7 @@ let kill rt proc =
                reply_to (Error Err.No_such_object))))
       proc.queue;
     Queue.clear proc.queue;
-    Hashtbl.remove rt.slots (proc.host, proc.slot);
+    rt.slot_tbl.(proc.slot) <- None;
     let remaining =
       List.filter
         (fun p -> not (p.host = proc.host && p.slot = proc.slot))
@@ -132,10 +150,16 @@ let placements rt loid = Option.value ~default:[] (Loid.Table.find rt.places loi
 
 let kill_loid rt loid = List.iter (kill rt) (placements rt loid)
 
+(* Ascending slot order = activation order, so recovery sweeps are
+   deterministic. *)
 let procs_on_host rt host =
-  Hashtbl.fold
-    (fun (h, _) proc acc -> if h = host && proc.live then proc :: acc else acc)
-    rt.slots []
+  let acc = ref [] in
+  for i = Array.length rt.slot_tbl - 1 downto 0 do
+    match rt.slot_tbl.(i) with
+    | Some proc when proc.host = host && proc.live -> acc := proc :: !acc
+    | _ -> ()
+  done;
+  !acc
 
 (* A rebooted host must not resurrect placements that were superseded
    while it was down: any surviving proc whose epoch trails its LOID's
@@ -164,7 +188,7 @@ let create ~sim ~net ~registry ~prng ?(config = default_config) ?obs () =
       registry;
       prng;
       config;
-      slots = Hashtbl.create 256;
+      slot_tbl = Array.make 256 None;
       places = Loid.Table.create ();
       pending = Hashtbl.create 256;
       attached = Hashtbl.create 64;
@@ -405,8 +429,10 @@ let on_receive rt host ~src payload =
         Int64.equal (Loid.class_id dst_loid) 0L
         && Int64.equal (Loid.class_specific dst_loid) 0L
       in
-      match Hashtbl.find_opt rt.slots (host, dst_slot) with
-      | Some proc when proc.live && (is_wildcard || Loid.equal proc.loid dst_loid) ->
+      match slot_get rt dst_slot with
+      | Some proc
+        when proc.live && proc.host = host
+             && (is_wildcard || Loid.equal proc.loid dst_loid) ->
           let cur = current_epoch rt proc.loid in
           if proc.epoch < cur then begin
             (* A superseded incarnation must never answer: fence it so
@@ -472,7 +498,7 @@ let spawn rt ~host ~loid ~kind ?epoch ?cache_capacity ?binding_agent ?admission
       last_delivery = Engine.now rt.sim;
     }
   in
-  Hashtbl.replace rt.slots (host, slot) proc;
+  slot_set rt slot proc;
   let existing = Option.value ~default:[] (Loid.Table.find rt.places loid) in
   Loid.Table.set rt.places loid (proc :: existing);
   emit rt ~host (Event.Activate { loid });

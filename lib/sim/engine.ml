@@ -1,48 +1,132 @@
-module Heap = Legion_util.Heap
+module Calq = Legion_util.Calq
+
+(* Event records are pooled: popping an event recycles its record for
+   the next [schedule]. Handles therefore carry the generation they
+   were issued under — a recycled record fails the generation check,
+   which keeps "cancel after fire" a no-op without keeping every fired
+   record alive. Records share the engine's [stats] cell so [cancel]
+   (which has no engine argument) can maintain the live counter. *)
+
+type stats = { mutable live : int }
 
 type event = {
-  time : float;
-  seq : int;  (* tie-break: same-instant events fire in scheduling order *)
-  action : unit -> unit;
+  mutable time : float;
+  mutable seq : int;  (* tie-break: same-instant events fire in scheduling order *)
+  mutable action : unit -> unit;
+  mutable token : int;  (* >= 0: dispatch this token instead of [action] *)
   mutable cancelled : bool;
+  mutable gen : int;  (* bumped each time the record is recycled *)
+  st : stats;
 }
 
-type handle = event
+type handle = { ev : event; hgen : int }
 
 type t = {
   mutable clock : float;
   mutable seq : int;
   mutable fired : int;
-  queue : event Heap.t;
+  st : stats;
+  queue : event Calq.t;
+  mutable dispatch : (int -> unit) option;
+  mutable pool : event array;  (* free-record stack *)
+  mutable pool_len : int;
 }
 
-let cmp_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
+let no_action () = ()
 
-let create () = { clock = 0.0; seq = 0; fired = 0; queue = Heap.create ~cmp:cmp_event }
+let create () =
+  let st = { live = 0 } in
+  let dummy =
+    { time = 0.0; seq = -1; action = no_action; token = -1; cancelled = true;
+      gen = 0; st }
+  in
+  {
+    clock = 0.0;
+    seq = 0;
+    fired = 0;
+    st;
+    queue = Calq.create ~dummy ();
+    dispatch = None;
+    pool = Array.make 64 dummy;
+    pool_len = 0;
+  }
 
 let now t = t.clock
 
+let alloc t ~time ~action ~token =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  t.st.live <- t.st.live + 1;
+  let ev =
+    if t.pool_len > 0 then begin
+      t.pool_len <- t.pool_len - 1;
+      let ev = t.pool.(t.pool_len) in
+      ev.time <- time;
+      ev.seq <- seq;
+      ev.action <- action;
+      ev.token <- token;
+      ev.cancelled <- false;
+      ev
+    end
+    else { time; seq; action; token; cancelled = false; gen = 0; st = t.st }
+  in
+  Calq.push t.queue ~time ~seq ev;
+  ev
+
+let recycle t ev =
+  ev.gen <- ev.gen + 1;
+  ev.action <- no_action;
+  (* drop the closure *)
+  if t.pool_len = Array.length t.pool then begin
+    let bigger = Array.make (2 * t.pool_len) ev in
+    Array.blit t.pool 0 bigger 0 t.pool_len;
+    t.pool <- bigger
+  end;
+  t.pool.(t.pool_len) <- ev;
+  t.pool_len <- t.pool_len + 1
+
 let schedule_at t ~time action =
   let time = Float.max time t.clock in
-  let ev = { time; seq = t.seq; action; cancelled = false } in
-  t.seq <- t.seq + 1;
-  Heap.push t.queue ev;
-  ev
+  let ev = alloc t ~time ~action ~token:(-1) in
+  { ev; hgen = ev.gen }
 
 let schedule t ~delay action =
   schedule_at t ~time:(t.clock +. Float.max 0.0 delay) action
 
-let cancel ev = ev.cancelled <- true
-let is_cancelled ev = ev.cancelled
+let post_at t ~time action =
+  let time = Float.max time t.clock in
+  ignore (alloc t ~time ~action ~token:(-1))
+
+let post t ~delay action = post_at t ~time:(t.clock +. Float.max 0.0 delay) action
+
+let set_dispatch t f =
+  match t.dispatch with
+  | Some _ -> invalid_arg "Engine.set_dispatch: dispatcher already installed"
+  | None -> t.dispatch <- Some f
+
+let post_token t ~delay token =
+  if token < 0 then invalid_arg "Engine.post_token: negative token";
+  let time = t.clock +. Float.max 0.0 delay in
+  ignore (alloc t ~time ~action:no_action ~token)
+
+let cancel h =
+  if h.ev.gen = h.hgen && not h.ev.cancelled then begin
+    h.ev.cancelled <- true;
+    h.ev.st.live <- h.ev.st.live - 1
+  end
+
+let is_cancelled h = h.ev.gen <> h.hgen || h.ev.cancelled
 
 (* Pop events, discarding cancelled ones lazily. *)
 let rec next_live t =
-  match Heap.pop t.queue with
+  match Calq.pop t.queue with
   | None -> None
-  | Some ev when ev.cancelled -> next_live t
-  | Some ev -> Some ev
+  | Some ev ->
+      if ev.cancelled then begin
+        recycle t ev;
+        next_live t
+      end
+      else Some ev
 
 let step t =
   match next_live t with
@@ -50,7 +134,16 @@ let step t =
   | Some ev ->
       t.clock <- ev.time;
       t.fired <- t.fired + 1;
-      ev.action ();
+      t.st.live <- t.st.live - 1;
+      let action = ev.action and token = ev.token in
+      (* Recycle before running: the action may schedule, reusing this
+         very record under a fresh generation. *)
+      recycle t ev;
+      (if token >= 0 then
+         match t.dispatch with
+         | Some f -> f token
+         | None -> ()
+       else action ());
       true
 
 let run ?until ?max_events t =
@@ -58,11 +151,14 @@ let run ?until ?max_events t =
   let continue () =
     if !budget = 0 then false
     else
-      match Heap.peek t.queue with
+      match Calq.peek t.queue with
       | None -> false
       | Some ev ->
           if ev.cancelled then begin
-            ignore (Heap.pop t.queue);
+            (* Reap without charging the budget or moving the clock. *)
+            (match Calq.pop t.queue with
+            | Some ev -> recycle t ev
+            | None -> ());
             true
           end
           else begin
@@ -80,7 +176,5 @@ let run ?until ?max_events t =
     ()
   done
 
-let pending t =
-  List.length (List.filter (fun ev -> not ev.cancelled) (Heap.to_list t.queue))
-
+let pending t = t.st.live
 let events_fired t = t.fired

@@ -1,11 +1,15 @@
 (** Discrete-event simulation engine.
 
-    A single virtual clock and a priority queue of events. Events
-    scheduled for the same instant fire in scheduling order (FIFO), which
-    together with the seeded PRNGs makes every run deterministic.
+    A single virtual clock and a calendar event queue
+    ({!Legion_util.Calq}). Events scheduled for the same instant fire
+    in scheduling order (FIFO), which together with the seeded PRNGs
+    makes every run deterministic.
 
     The whole Legion runtime is driven by this engine: message delivery,
-    RPC timeouts, and workload arrivals are all events. *)
+    RPC timeouts, and workload arrivals are all events. Event records
+    are pooled — firing ten million events allocates a bounded working
+    set, not ten million records — so handles are generation-checked:
+    cancelling a recycled handle is still a safe no-op. *)
 
 type t
 
@@ -25,10 +29,20 @@ val schedule : t -> delay:float -> (unit -> unit) -> handle
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
 (** Absolute-time variant; times in the past are clamped to [now]. *)
 
+val post : t -> delay:float -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule}: no cancellation handle is built, so
+    hot paths that never cancel (workload arrivals, script ticks) skip
+    that allocation. *)
+
+val post_at : t -> time:float -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule_at}. *)
+
 val cancel : handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)
 
 val is_cancelled : handle -> bool
+(** [true] once the handle can no longer fire: it was cancelled, or it
+    already fired and its pooled record moved on. *)
 
 val step : t -> bool
 (** Fire the earliest pending event. Returns [false] when the queue is
@@ -40,7 +54,26 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     exactly [until] still fire. *)
 
 val pending : t -> int
-(** Number of queued (uncancelled) events. *)
+(** Number of queued (uncancelled) events. O(1): a live counter
+    maintained on schedule/cancel/fire. *)
 
 val events_fired : t -> int
 (** Total events fired since creation. *)
+
+(** {1 Token dispatch}
+
+    The zero-allocation delivery path. A subsystem that schedules very
+    many homogeneous events (the network's message deliveries) can
+    register one dispatch function and then schedule bare integer
+    tokens: no closure, no handle — the pooled event record is the
+    only storage, and the token typically indexes the subsystem's own
+    pool. One dispatcher per engine: the engine is single-owner by
+    construction (every [Network.create] builds its own engine). *)
+
+val set_dispatch : t -> (int -> unit) -> unit
+(** Install the token dispatcher.
+    @raise Invalid_argument if one is already installed. *)
+
+val post_token : t -> delay:float -> int -> unit
+(** Schedule the dispatcher to run with the given token (which must be
+    [>= 0]) after [delay] (clamped to [0.] like {!schedule}). *)

@@ -1,0 +1,249 @@
+(* Calendar event queue (Brown, CACM 1988), adapted to the engine's
+   (time, seq) total order.
+
+   Layout: [nbuckets] (a power of two) buckets; an event with key time
+   [t] lives in bucket [day land mask] where [day = floor (t / width)].
+   Each bucket is a binary min-heap over (time, seq) held in parallel
+   arrays, so the bucket minimum reads in O(1), pops in O(log b), and
+   inserts cost O(log b) worst case — and only O(1) sift work for the
+   dominant in-order arrivals, which land at a leaf and stay there.
+   Heap buckets are what make the structure robust to key skew: when a
+   pile of far-future keys (cancelled timeouts, watchdogs) defeats the
+   width adaptation and a single bucket absorbs the whole near-term
+   working set, operations degrade to the plain binary-heap bounds
+   instead of the O(n) shifts a sorted-array bucket would pay.
+
+   A cursor [cur_day] sweeps days in order: [locate] probes at most one
+   "year" (nbuckets consecutive days) for a bucket whose minimum
+   belongs to the probed day, and otherwise falls back to a direct
+   minimum scan over all bucket heads — which keeps sparse schedules
+   correct and re-anchors the cursor. Ordering correctness needs only
+   that [day_of] is a deterministic, monotone nondecreasing function
+   of time, which division-then-truncate is; days past the integer
+   range clamp to a single far-future day and are served by the
+   fallback scan. *)
+
+type 'a bucket = {
+  mutable kt : float array;  (* key times; heap-ordered with ks *)
+  mutable ks : int array;    (* key seqs *)
+  mutable kd : int array;    (* integer day of each key *)
+  mutable ke : 'a array;     (* elements *)
+  mutable len : int;
+}
+
+type 'a t = {
+  dummy : 'a;
+  mutable buckets : 'a bucket array;
+  mutable mask : int;        (* Array.length buckets - 1 *)
+  mutable width : float;     (* day width, in key-time units *)
+  mutable size : int;
+  mutable cur_day : int;     (* lower bound on every queued key's day *)
+  min_nbuckets : int;        (* shrink floor *)
+}
+
+let day_clamp = 1 lsl 60
+
+let day_of width time =
+  let q = time /. width in
+  if q >= 1e18 then day_clamp else int_of_float q
+
+let new_bucket () = { kt = [||]; ks = [||]; kd = [||]; ke = [||]; len = 0 }
+
+let rec pow2_ge n x = if x >= n then x else pow2_ge n (2 * x)
+
+let create ?(nbuckets = 8) ?(width = 1.0) ~dummy () =
+  if nbuckets <= 0 then invalid_arg "Calq.create: nbuckets";
+  if not (Float.is_finite width) || width <= 0.0 then
+    invalid_arg "Calq.create: width";
+  let nb = pow2_ge nbuckets 1 in
+  {
+    dummy;
+    buckets = Array.init nb (fun _ -> new_bucket ());
+    mask = nb - 1;
+    width;
+    size = 0;
+    cur_day = 0;
+    min_nbuckets = nb;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let ensure_room b dummy =
+  let cap = Array.length b.kt in
+  if b.len = cap then begin
+    let ncap = if cap = 0 then 4 else 2 * cap in
+    let nt = Array.make ncap 0.0
+    and ns = Array.make ncap 0
+    and nd = Array.make ncap 0
+    and ne = Array.make ncap dummy in
+    Array.blit b.kt 0 nt 0 b.len;
+    Array.blit b.ks 0 ns 0 b.len;
+    Array.blit b.kd 0 nd 0 b.len;
+    Array.blit b.ke 0 ne 0 b.len;
+    b.kt <- nt;
+    b.ks <- ns;
+    b.kd <- nd;
+    b.ke <- ne
+  end
+
+(* (time, seq) at [i] strictly precedes the key at [j]. *)
+let key_lt b i j =
+  b.kt.(i) < b.kt.(j) || (b.kt.(i) = b.kt.(j) && b.ks.(i) < b.ks.(j))
+
+let swap b i j =
+  let ti = b.kt.(i) and si = b.ks.(i) and di = b.kd.(i) and ei = b.ke.(i) in
+  b.kt.(i) <- b.kt.(j); b.ks.(i) <- b.ks.(j);
+  b.kd.(i) <- b.kd.(j); b.ke.(i) <- b.ke.(j);
+  b.kt.(j) <- ti; b.ks.(j) <- si; b.kd.(j) <- di; b.ke.(j) <- ei
+
+let bucket_insert b dummy ~time ~seq ~day elt =
+  ensure_room b dummy;
+  let i = ref b.len in
+  b.kt.(!i) <- time;
+  b.ks.(!i) <- seq;
+  b.kd.(!i) <- day;
+  b.ke.(!i) <- elt;
+  b.len <- b.len + 1;
+  while !i > 0 && key_lt b !i ((!i - 1) / 2) do
+    swap b !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+(* Remove and return the bucket minimum. Requires [b.len > 0]. *)
+let bucket_pop_min b dummy =
+  let elt = b.ke.(0) in
+  let last = b.len - 1 in
+  b.kt.(0) <- b.kt.(last); b.ks.(0) <- b.ks.(last);
+  b.kd.(0) <- b.kd.(last); b.ke.(0) <- b.ke.(last);
+  b.ke.(last) <- dummy;
+  b.len <- last;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    let r = l + 1 in
+    let m = ref !i in
+    if l < last && key_lt b l !m then m := l;
+    if r < last && key_lt b r !m then m := r;
+    if !m = !i then continue := false
+    else begin
+      swap b !i !m;
+      i := !m
+    end
+  done;
+  elt
+
+(* Rebuild with [new_nb] buckets and a width matched to the near-term
+   key spread (aiming at a few events per day). The width is advisory
+   only — heap buckets stay within logarithmic bounds even when a
+   skewed key mix defeats it — so a cheap robust statistic (the
+   min-to-median spread) is enough. *)
+let resize t new_nb =
+  let n = t.size in
+  let ts = Array.make n 0.0
+  and ss = Array.make n 0
+  and es = Array.make n t.dummy in
+  let k = ref 0 in
+  Array.iter
+    (fun b ->
+      for i = 0 to b.len - 1 do
+        ts.(!k) <- b.kt.(i);
+        ss.(!k) <- b.ks.(i);
+        es.(!k) <- b.ke.(i);
+        incr k
+      done)
+    t.buckets;
+  let min_t = ref infinity in
+  for i = 0 to n - 1 do
+    if ts.(i) < !min_t then min_t := ts.(i)
+  done;
+  if n >= 2 then begin
+    let sorted = Array.copy ts in
+    Array.sort Float.compare sorted;
+    let span = sorted.(n / 2) -. sorted.(0) in
+    if span > 0.0 then
+      t.width <- Float.max (span *. 8.0 /. float_of_int n) 1e-12
+  end;
+  t.buckets <- Array.init new_nb (fun _ -> new_bucket ());
+  t.mask <- new_nb - 1;
+  for i = 0 to n - 1 do
+    let day = day_of t.width ts.(i) in
+    let b = t.buckets.(day land t.mask) in
+    bucket_insert b t.dummy ~time:ts.(i) ~seq:ss.(i) ~day es.(i)
+  done;
+  t.cur_day <- (if n = 0 then 0 else day_of t.width !min_t)
+
+let push t ~time ~seq elt =
+  if not (Float.is_finite time) || time < 0.0 then
+    invalid_arg "Calq.push: bad time";
+  let day = day_of t.width time in
+  bucket_insert t.buckets.(day land t.mask) t.dummy ~time ~seq ~day elt;
+  t.size <- t.size + 1;
+  if day < t.cur_day then t.cur_day <- day;
+  let nb = t.mask + 1 in
+  if t.size > 2 * nb && nb < 65536 then resize t (2 * nb)
+
+(* Every bucket's minimum key; the smallest of those is the global
+   minimum. *)
+let direct_search t =
+  let best = ref None in
+  Array.iter
+    (fun b ->
+      if b.len > 0 then begin
+        let ti = b.kt.(0) and s = b.ks.(0) in
+        match !best with
+        | Some (bt, bs, _) when bt < ti || (bt = ti && bs <= s) -> ()
+        | _ -> best := Some (ti, s, b)
+      end)
+    t.buckets;
+  match !best with
+  | Some (_, _, b) ->
+      t.cur_day <- b.kd.(0);
+      b
+  | None -> assert false
+
+(* Position the cursor on the bucket holding the global minimum.
+   Requires [t.size > 0]. *)
+let locate t =
+  let nb = t.mask + 1 in
+  let rec scan i =
+    if i >= nb then direct_search t
+    else
+      let d = t.cur_day + i in
+      let b = t.buckets.(d land t.mask) in
+      if b.len > 0 && b.kd.(0) <= d then begin
+        t.cur_day <- d;
+        b
+      end
+      else scan (i + 1)
+  in
+  scan 0
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let b = locate t in
+    Some b.ke.(0)
+
+let peek_time t =
+  if t.size = 0 then Float.nan
+  else
+    let b = locate t in
+    b.kt.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let b = locate t in
+    let elt = bucket_pop_min b t.dummy in
+    t.size <- t.size - 1;
+    let nb = t.mask + 1 in
+    if t.size < nb / 4 && nb > t.min_nbuckets then resize t (nb / 2);
+    Some elt
+  end
+
+let clear t =
+  Array.iteri (fun i _ -> t.buckets.(i) <- new_bucket ()) t.buckets;
+  t.size <- 0;
+  t.cur_day <- 0

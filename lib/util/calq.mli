@@ -1,0 +1,51 @@
+(** Calendar event queue: an O(1) amortised priority queue for
+    discrete-event simulation.
+
+    A calendar queue (Brown, CACM 1988) hashes each event into a
+    bucket by its "day" — [floor (time / width)] — modulo the number
+    of buckets; a cursor sweeps the buckets in day order, so [pop] is
+    O(1) when the width tracks the event-time density. The structure
+    resizes itself (bucket count and day width) as occupancy changes,
+    and falls back to a direct minimum scan over bucket heads when a
+    whole "year" passes without an event, so sparse or clustered
+    schedules stay correct (if slower).
+
+    Keys are [(time, seq)] pairs ordered lexicographically — the same
+    total order the simulation engine uses, where [seq] breaks
+    same-instant ties in scheduling order. Times must be finite and
+    [>= 0.]; [push] raises [Invalid_argument] otherwise.
+
+    The queue is a plain container: it never inspects or mutates the
+    elements it stores, and popping is total — cancellation semantics
+    (lazy skipping) belong to the caller. *)
+
+type 'a t
+
+val create : ?nbuckets:int -> ?width:float -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty queue. [dummy] fills unused
+    array slots and is never returned. [nbuckets] (default 8) is
+    rounded up to a power of two; [width] (default 1.0) is the initial
+    day width in key-time units — both adapt automatically as the
+    queue grows, so the defaults are fine for almost every caller.
+    @raise Invalid_argument when [nbuckets <= 0] or [width <= 0.]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert an element with key [(time, seq)]. Keys need not be
+    distinct, but equal keys pop in an unspecified relative order —
+    engine callers guarantee [seq] uniqueness. *)
+
+val peek : 'a t -> 'a option
+(** The element with the least key, without removing it. *)
+
+val peek_time : 'a t -> float
+(** The least key's time; [nan] when empty (callers check
+    {!is_empty} first on hot paths to avoid the option). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the element with the least key. *)
+
+val clear : 'a t -> unit
+(** Drop every element (buckets are retained at current geometry). *)

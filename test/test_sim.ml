@@ -1,6 +1,8 @@
 (* Tests for the discrete-event engine. *)
 
 module Engine = Legion_sim.Engine
+module Prng = Legion_util.Prng
+module Planet = Legion.Planet
 
 let test_time_ordering () =
   let sim = Engine.create () in
@@ -123,6 +125,103 @@ let monotonic_clock =
       Engine.run sim;
       !ok)
 
+(* [Engine.pending] is a live-event counter, not a scan; pin it against
+   an exhaustive model (a table of scheduled-but-not-yet-fired,
+   not-cancelled events) across random schedule / cancel / partial-run
+   interleavings. *)
+let pending_counter_pins =
+  QCheck.Test.make ~name:"pending equals exhaustive live count" ~count:100
+    QCheck.(list (pair (int_bound 2) (pair (int_bound 7) small_int)))
+    (fun ops ->
+      let sim = Engine.create () in
+      let model = Hashtbl.create 16 in
+      let handles = ref [] and n = ref 0 and next_id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (kind, (ti, k)) ->
+          (match kind with
+          | 0 ->
+              let id = !next_id in
+              incr next_id;
+              let h =
+                Engine.schedule sim
+                  ~delay:(float_of_int ti /. 2.0)
+                  (fun () -> Hashtbl.remove model id)
+              in
+              Hashtbl.replace model id ();
+              handles := (id, h) :: !handles;
+              incr n
+          | 1 -> ignore (Engine.run sim ~max_events:(1 + (k mod 3)))
+          | _ ->
+              if !n > 0 then begin
+                (* Cancelling an already-fired or already-cancelled
+                   handle must be a no-op on both sides. *)
+                let id, h = List.nth !handles (k mod !n) in
+                Engine.cancel h;
+                Hashtbl.remove model id
+              end);
+          if Engine.pending sim <> Hashtbl.length model then ok := false)
+        ops;
+      Engine.run sim;
+      !ok && Engine.pending sim = 0 && Hashtbl.length model = 0)
+
+(* A million events through the calendar queue with interleaved
+   far-future cancellations: the fired count is exact, the clock never
+   goes backwards, and cancelled events never run. *)
+let test_stress_million () =
+  let sim = Engine.create () in
+  let prng = Prng.create ~seed:99L in
+  let fired = ref 0 and last = ref 0.0 in
+  let rec tick budget () =
+    incr fired;
+    let now = Engine.now sim in
+    if now < !last then Alcotest.failf "clock went backwards at %f" now;
+    last := now;
+    if budget > 0 then begin
+      if budget land 63 = 0 then begin
+        let h =
+          Engine.schedule sim ~delay:1e6 (fun () ->
+              Alcotest.fail "cancelled event fired")
+        in
+        Engine.cancel h
+      end;
+      ignore (Engine.schedule sim ~delay:(Prng.float prng 1.0) (tick (budget - 1)))
+    end
+  in
+  let chains = 100 and per_chain = 10_000 in
+  for _ = 1 to chains do
+    ignore (Engine.schedule sim ~delay:(Prng.float prng 1.0) (tick (per_chain - 1)))
+  done;
+  Engine.run sim;
+  Alcotest.(check int) "fired" (chains * per_chain) !fired;
+  Alcotest.(check int) "events_fired" (chains * per_chain)
+    (Engine.events_fired sim);
+  Alcotest.(check int) "drained" 0 (Engine.pending sim)
+
+(* The E18 determinism contract: the report is a pure function of the
+   config, so the same seed must produce byte-identical JSON. Swept
+   across seeds by the LEGION_TRACE_SEED rules in test/dune. *)
+let test_planet_determinism () =
+  let seed =
+    match Sys.getenv_opt "LEGION_TRACE_SEED" with
+    | Some s -> Int64.of_string s
+    | None -> 18L
+  in
+  let cfg =
+    {
+      Planet.smoke with
+      Planet.seed;
+      objects = 300;
+      calls = 600;
+      clone_creates = 64;
+      queue_events = 40_000;
+    }
+  in
+  let j1 = Planet.to_json (Planet.run cfg) in
+  let j2 = Planet.to_json (Planet.run cfg) in
+  Alcotest.(check string) "same seed, same bytes" j1 j2;
+  Alcotest.(check bool) "report is non-trivial" true (String.length j1 > 200)
+
 let () =
   Alcotest.run "sim"
     [
@@ -139,5 +238,12 @@ let () =
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "past schedule clamps" `Quick test_schedule_at_past_clamped;
           QCheck_alcotest.to_alcotest monotonic_clock;
+          QCheck_alcotest.to_alcotest pending_counter_pins;
+          Alcotest.test_case "million-event stress" `Slow test_stress_million;
+        ] );
+      ( "planet",
+        [
+          Alcotest.test_case "same-seed determinism" `Slow
+            test_planet_determinism;
         ] );
     ]

@@ -29,6 +29,7 @@ let experiments =
     ("e16", "overload: admission control, shedding, circuit breakers", Exp_overload.run);
     ("e17", "self-healing replication: repair, fencing, anti-entropy", Exp_repair.run);
     ("e18", "planetary sweep: E2/E3/E4 at 10^5 objects, 10^3 hosts", Exp_planet.run);
+    ("e19", "elastic load management under a Zipf flash crowd (3.8, 5.2.2)", Exp_elastic.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

@@ -12,6 +12,8 @@
               anti-entropy activity
      scale    run the E18 planetary-sweep kernels at a chosen scale,
               optionally emitting the deterministic JSON report
+     elastic  run the E19 flash-crowd scenario (baseline or with the
+              autonomic elasticity armed) and report the adaptation
      idl      parse an IDL file and echo the normalized interfaces *)
 
 module Value = Legion_wire.Value
@@ -1125,6 +1127,61 @@ let cmd_scale =
       const run $ seed_arg $ objects_arg $ calls_arg $ scale_sites_arg
       $ hosts_arg $ queue_arg $ json_arg)
 
+(* --- elastic --- *)
+
+let cmd_elastic =
+  let baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Run without the elastic machinery (the static comparison run).")
+  in
+  let json_arg =
+    let doc =
+      "Emit the deterministic report as JSON on stdout (same seed, same \
+       bytes) and nothing else."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run seed baseline json =
+    let r =
+      Legion.Elastic.run_scenario ~seed:(Int64.of_int seed)
+        ~elastic:(not baseline) ()
+    in
+    if json then print_string (Legion.Elastic.scenario_json r ^ "\n")
+    else begin
+      Format.printf "E19 flash crowd, %s@."
+        (if r.Legion.Elastic.elastic then "elastic" else "baseline");
+      Format.printf
+        "%d arrivals: %d work calls (%d ok), %d creates acked, %d sheds, %d \
+         errors@."
+        r.Legion.Elastic.arrivals r.Legion.Elastic.works r.Legion.Elastic.oks
+        r.Legion.Elastic.created r.Legion.Elastic.sheds
+        r.Legion.Elastic.errors;
+      Format.printf
+        "latency: p50 %.2f ms, p99 %.2f ms; settled flash window: p50 %.2f \
+         ms, p99 %.2f ms@."
+        r.Legion.Elastic.p50_ms r.Legion.Elastic.p99_ms
+        r.Legion.Elastic.flash_p50_ms r.Legion.Elastic.flash_p99_ms;
+      Format.printf
+        "max per-host share %.1f%%; %d clones, %d merges, %d migrations, %d \
+         splits%s@."
+        (100.0 *. r.Legion.Elastic.max_host_share)
+        r.Legion.Elastic.clones r.Legion.Elastic.merges
+        r.Legion.Elastic.moves r.Legion.Elastic.splits
+        (if r.Legion.Elastic.retier then "; agent tree re-tiered" else "")
+    end
+  in
+  let info =
+    Cmd.info "elastic"
+      ~doc:
+        "Run the E19 flash-crowd scenario and report how the autonomic \
+         machinery (class cloning, object migration, Jurisdiction splitting) \
+         absorbed it."
+  in
+  Cmd.v info Term.(const run $ seed_arg $ baseline_arg $ json_arg)
+
 let cmd_idl =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IDL source file.")
@@ -1183,5 +1240,5 @@ let () =
        (Cmd.group info
           [
             cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_overload;
-            cmd_recover; cmd_replicate; cmd_scale; cmd_idl;
+            cmd_recover; cmd_replicate; cmd_scale; cmd_elastic; cmd_idl;
           ]))

@@ -36,6 +36,11 @@ type state = {
   mutable default_magistrates : Loid.t list;
   mutable default_scheduler : Loid.t option;
   mutable rr : int;  (* round-robin cursor over default magistrates *)
+  mutable clones : Loid.t list;
+      (* §5.2.2 autonomic cloning: while non-empty, new Create requests
+         are "passed to the cloned object" — answered with a redirect
+         into this ring instead of served here *)
+  mutable clone_rr : int;  (* round-robin cursor over clones *)
   mutable table : (Loid.t * row) list;  (* Fig. 16, newest first *)
   (* Side index over [table]: GetBinding is the system's hottest read
      path, and the list (kept for its serialized "newest first" order)
@@ -86,6 +91,8 @@ let state_to_value st =
       ("dmags", C.vloids st.default_magistrates);
       ("dsched", C.vopt Loid.to_value st.default_scheduler);
       ("rr", Value.Int st.rr);
+      ("clones", C.vloids st.clones);
+      ("crr", Value.Int st.clone_rr);
       ("table", Value.List (List.map row_to_value st.table));
     ]
 
@@ -105,6 +112,9 @@ let state_of_value st v =
   let* dmags = C.loid_list_field v "dmags" in
   let* dsched = C.opt_loid_field v "dsched" in
   let* rr = C.int_field v "rr" in
+  (* Absent in states serialized before autonomic cloning existed. *)
+  let* clones = C.loid_list_field ~default:[] v "clones" in
+  let clone_rr = match C.int_field v "crr" with Ok n -> n | Error _ -> 0 in
   let* table_v = C.field v "table" in
   let* table =
     match table_v with
@@ -130,6 +140,8 @@ let state_of_value st v =
   st.default_magistrates <- dmags;
   st.default_scheduler <- dsched;
   st.rr <- rr;
+  st.clones <- clones;
+  st.clone_rr <- clone_rr;
   st.table <- table;
   let idx = Loid.Table.create () in
   List.iter (fun (l, r) -> Loid.Table.set idx l r) table;
@@ -159,6 +171,8 @@ let init_state ?interface ?(instance_units = [ Well_known.unit_object ])
       default_magistrates;
       default_scheduler;
       rr = 0;
+      clones = [];
+      clone_rr = 0;
       table = [];
       row_idx = Loid.Table.create ();
     }
@@ -210,6 +224,8 @@ let factory (ctx : Runtime.ctx) : Impl.part =
       default_magistrates = [];
       default_scheduler = None;
       rr = 0;
+      clones = [];
+      clone_rr = 0;
       table = [];
       row_idx = Loid.Table.create ();
     }
@@ -332,11 +348,30 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     | _ -> Impl.bad_args k "GetBinding expects one argument"
   in
 
+  (* Create arrivals seen by this incarnation — redirected and shed
+     ones included. The elastic loop diffs it for its cool-down signal:
+     once the class redirects, its own load factor collapses by
+     construction, so demand rate is the only honest "still hot?"
+     measure. *)
+  let creates_seen = ref 0 in
+
   (* Create(init_states, hints): the is-a relation (§2.1.1). *)
   let create _ctx args env k =
     match args with
     | [ init_states; hints ] -> (
-        if Runtime.load_factor ctx.Runtime.self >= create_shed_threshold then
+        incr creates_seen;
+        if st.clones <> [] then begin
+          (* §5.2.2: "new instantiation requests are passed to the
+             cloned object" — answered as a redirect the caller
+             re-issues at the clone. Proxying instead would hold this
+             class's inflight slot for the downstream create's whole
+             duration: zero admission relief. *)
+          let n = List.length st.clones in
+          let pick = List.nth st.clones (st.clone_rr mod n) in
+          st.clone_rr <- st.clone_rr + 1;
+          k (Ok (Value.Record [ ("redirect", Loid.to_value pick) ]))
+        end
+        else if Runtime.load_factor ctx.Runtime.self >= create_shed_threshold then
           k (Error (Runtime.shed_reply rt ctx.Runtime.self ~meth:"Create"))
         else if st.flags.abstract then
           k (Error (Err.Refused "abstract class: no direct instances"))
@@ -426,10 +461,15 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     | _ -> Impl.bad_args k "Create expects (init_states, hints)"
   in
 
-  (* Derive(spec): the kind-of relation. Also used by Clone(). *)
-  let do_derive ~env spec k =
-    if Runtime.load_factor ctx.Runtime.self >= create_shed_threshold then
-      k (Error (Runtime.shed_reply rt ctx.Runtime.self ~meth:"Derive"))
+  (* Derive(spec): the kind-of relation. Also used by Clone() and by
+     the elastic loop's self-cloning — the latter with [internal] set,
+     because self-cloning triggers exactly when the load factor is
+     already past the shed threshold. *)
+  let do_derive ?(internal = false) ~env spec k =
+    if
+      (not internal)
+      && Runtime.load_factor ctx.Runtime.self >= create_shed_threshold
+    then k (Error (Runtime.shed_reply rt ctx.Runtime.self ~meth:"Derive"))
     else if st.flags.private_ then
       k (Error (Err.Refused "private class: no subclasses"))
     else
@@ -849,6 +889,149 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     | _ -> Impl.bad_args k "GetClassInfo takes no arguments"
   in
 
+  (* StartElastic(cfg): E4 made automatic. Every [period] the class
+     samples its own admission load factor. [sustain] consecutive hot
+     samples derive a clone (via [do_derive ~internal], since the
+     trigger fires exactly when ordinary Derives are being shed) and
+     push it onto the redirect ring, up to [max_clones]; with a ring in
+     place, further growth is demand-driven ([grow_rate] Creates per
+     period per clone). Cool-down also watches demand, not load — a
+     redirecting parent idles by construction: when the per-period
+     Create rate per clone stays below [lo_rate] for [merge_sustain]
+     periods, the newest clone is retired from the ring. Retired ≠
+     deleted: the clone stays the responsible class for every instance
+     it minted (§3.7); it just receives no new redirections. *)
+  let start_elastic _ctx args env k =
+    let float_field v name ~default =
+      match C.field v name with
+      | Ok (Value.Float f) -> Ok f
+      | Ok (Value.Int i) -> Ok (float_of_int i)
+      | Ok _ -> Error (name ^ " must be numeric")
+      | Error _ -> Ok default
+    in
+    let int_field v name ~default =
+      match C.int_field v name with Ok n -> Ok n | Error _ -> Ok default
+    in
+    match args with
+    | [ cfg ] -> (
+        let decoded =
+          let* period = float_field cfg "period" ~default:0.0 in
+          let* until = float_field cfg "until" ~default:0.0 in
+          let* hi = float_field cfg "hi" ~default:create_shed_threshold in
+          let* sustain = int_field cfg "sustain" ~default:3 in
+          let* grow_rate = float_field cfg "grow_rate" ~default:infinity in
+          let* lo_rate = float_field cfg "lo_rate" ~default:1.0 in
+          let* merge_sustain = int_field cfg "merge_sustain" ~default:5 in
+          let* max_clones = int_field cfg "max_clones" ~default:3 in
+          Ok (period, until, hi, sustain, grow_rate, lo_rate, merge_sustain,
+              max_clones)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (period, until, hi, sustain, grow_rate, lo_rate, merge_sustain,
+              max_clones) ->
+            if period <= 0.0 then
+              Impl.bad_args k "StartElastic: period must be positive"
+            else begin
+              let eng = Runtime.sim rt in
+              let denv = Env.delegate env ~calling:self in
+              let hot = ref 0 in
+              let cool = ref 0 in
+              let last_creates = ref !creates_seen in
+              let cloning = ref false in
+              let self_clone () =
+                cloning := true;
+                let spec =
+                  Value.Record
+                    [
+                      ( "name",
+                        Value.Str
+                          (Printf.sprintf "%s~auto%d"
+                             (Interface.name st.interface)
+                             (List.length st.clones + 1)) );
+                    ]
+                in
+                do_derive ~internal:true ~env:denv spec (fun r ->
+                    cloning := false;
+                    match r with
+                    | Ok reply -> (
+                        match C.loid_field reply "loid" with
+                        | Ok clone ->
+                            st.clones <- st.clones @ [ clone ];
+                            Runtime.emit rt
+                              ~host:(Runtime.proc_host ctx.Runtime.self)
+                              (Legion_obs.Event.Clone { cls = self; clone })
+                        | Error _ -> ())
+                    | Error _ -> ())
+              in
+              let retire_newest () =
+                let rec split_last acc = function
+                  | [] -> None
+                  | [ last ] -> Some (List.rev acc, last)
+                  | x :: rest -> split_last (x :: acc) rest
+                in
+                match split_last [] st.clones with
+                | None -> ()
+                | Some (keep, retired) ->
+                    st.clones <- keep;
+                    Runtime.emit rt
+                      ~host:(Runtime.proc_host ctx.Runtime.self)
+                      (Legion_obs.Event.Merge { cls = self; clone = retired })
+              in
+              let rec tick time =
+                if time <= until then
+                  ignore
+                    (Legion_sim.Engine.schedule_at eng ~time (fun () ->
+                         if Runtime.is_live ctx.Runtime.self then begin
+                           let demand = !creates_seen - !last_creates in
+                           last_creates := !creates_seen;
+                           let n = List.length st.clones in
+                           (* With no clones yet, either signal starts
+                              the ring: a sampled load factor past [hi],
+                              or a whole period's Create demand already
+                              clearing [grow_rate] (the sampled factor
+                              can miss a burst that lands between
+                              ticks). *)
+                           let hot_now =
+                             if n = 0 then
+                               Runtime.load_factor ctx.Runtime.self >= hi
+                               || float_of_int demand >= grow_rate
+                             else
+                               float_of_int demand /. float_of_int n
+                               >= grow_rate
+                           in
+                           let cool_now =
+                             n > 0
+                             && float_of_int demand /. float_of_int n < lo_rate
+                           in
+                           if hot_now then begin
+                             incr hot;
+                             cool := 0
+                           end
+                           else begin
+                             hot := 0;
+                             if cool_now then incr cool else cool := 0
+                           end;
+                           if
+                             !hot >= sustain && (not !cloning)
+                             && List.length st.clones < max_clones
+                           then begin
+                             hot := 0;
+                             self_clone ()
+                           end;
+                           if !cool >= merge_sustain then begin
+                             cool := 0;
+                             retire_newest ()
+                           end;
+                           tick (time +. period)
+                         end))
+              in
+              tick (Runtime.now rt +. period);
+              k Impl.ok_unit
+            end)
+    | _ -> Impl.bad_args k "StartElastic expects one config record"
+  in
+
   Impl.part
     ~methods:
       [
@@ -865,6 +1048,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         ("NotifyMagistrates", notify_magistrates);
         ("NotifyDead", notify_dead);
         ("SetDefaults", set_defaults);
+        ("StartElastic", start_elastic);
         ("ListInstances", list_instances);
         ("ListSubclasses", list_subclasses);
         ("GetClassInfo", get_class_info);

@@ -24,6 +24,26 @@ let find_storage name = Hashtbl.find_opt storages name
 type record = {
   mutable opa : Opa.t option;
   mutable active : (Loid.t * Address.t) option;  (* (host object, address) *)
+  (* A Move/TransferObjects in flight: destination Magistrate, plus the
+     Activate requests held until the transfer settles. Answering an
+     Activate locally mid-transfer would re-activate the object here
+     right before the record is removed, stranding a live placement
+     under a Magistrate that no longer manages it. Soft state — never
+     persisted (a restored Magistrate has no transfer in flight). *)
+  mutable moving : Loid.t option;
+  mutable held : (Loid.t option -> unit) list;
+  (* At-least-once delivery can hand us the same Move twice: the
+     duplicate must join the in-flight transfer and share its outcome —
+     refusing it would answer the caller's call id early, letting the
+     caller act while the transfer is still mutating both record
+     tables. *)
+  mutable movers : ((Value.t, Err.t) result -> unit) list;
+  (* Reactivation in flight: later Activate requests join it instead of
+     starting their own. Two racing reactivations each bump the epoch
+     but only one spawn wins, leaving a live placement that is fenced
+     on every call — permanently, because rebinding just finds the same
+     placement again. Soft state, like [moving]. *)
+  mutable activating : ((Value.t, Err.t) result -> unit) list option;
 }
 
 type state = {
@@ -80,7 +100,7 @@ let record_of_value v =
         let* a = Address.of_value a_v in
         Ok (h, a))
   in
-  Ok (loid, { opa; active })
+  Ok (loid, { opa; active; moving = None; held = []; movers = []; activating = None })
 
 let factory (ctx : Runtime.ctx) : Impl.part =
   let rt = ctx.Runtime.rt in
@@ -154,9 +174,24 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   let notify_class loid ~add ~remove k =
     if Loid.is_class loid then k ()
     else
-      invoke (Loid.responsible_class loid) "NotifyMagistrates"
-        [ Loid.to_value loid; C.vloids add; C.vloids remove ]
-        (fun _ -> k ())
+      (* The class may shed the notification under admission pressure —
+         exactly when migrations are busiest. A dropped notification
+         leaves the Current Magistrate List pointing at a Magistrate
+         that no longer holds the record, which is permanent: nothing
+         later repairs it. Retry sheds with their advertised backoff. *)
+      let rec go attempts =
+        invoke (Loid.responsible_class loid) "NotifyMagistrates"
+          [ Loid.to_value loid; C.vloids add; C.vloids remove ]
+          (fun r ->
+            match r with
+            | Error e when attempts > 0 && Err.is_retryable e ->
+                let delay = Option.value ~default:0.05 (Err.retry_after e) in
+                ignore
+                  (Engine.schedule (Runtime.sim rt) ~delay (fun () ->
+                       go (attempts - 1)))
+            | _ -> k ())
+      in
+      go 5
   in
 
   (* Host selection: explicit hint, else a Scheduling Agent if given,
@@ -202,7 +237,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                 | None -> k (Error (Err.Refused "jurisdiction has no hosts")))))
   in
 
-  let do_activate ~env:call_env loid record ~host_hint ~sched k =
+  let do_activate_leader ~env:call_env loid record ~host_hint ~sched k =
     match record.opa with
     | None -> k (Error (Err.Not_bound "no persistent representation held here"))
     | Some opa -> (
@@ -267,6 +302,22 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                         try_host host ~fallbacks)))
   in
 
+  (* Coalesce concurrent reactivations of one object: the first request
+     leads, the rest join and share its outcome. Racing leaders would
+     each bump the epoch while only one spawn wins — every call to the
+     survivor then fences against the higher epoch, and rebinding never
+     repairs it because resolution keeps finding the same placement. *)
+  let do_activate ~env:call_env loid record ~host_hint ~sched k =
+    match record.activating with
+    | Some waiters -> record.activating <- Some (k :: waiters)
+    | None ->
+        record.activating <- Some [];
+        do_activate_leader ~env:call_env loid record ~host_hint ~sched (fun r ->
+            let waiters = Option.value ~default:[] record.activating in
+            record.activating <- None;
+            List.iter (fun w -> w r) (List.rev (k :: waiters)))
+  in
+
   let activate _ctx args call_env k =
     match args with
     | [ loid_v; hints ] -> (
@@ -283,33 +334,53 @@ let factory (ctx : Runtime.ctx) : Impl.part =
             check_policy ~meth:"Activate" call_env k (fun () ->
                 match find_record loid with
                 | None -> k (Error (Err.Not_bound "object unknown to this magistrate"))
-                | Some record -> (
-                    match record.active with
-                    | Some (_, address)
-                      when not
-                             (match stale with
-                             | Some s -> Address.equal s address
-                             | None -> false) ->
-                        k (Ok (Binding.to_value (mint_binding loid address)))
-                    | Some (host, address) ->
-                        (* The caller believes the recorded address is
-                           dead — but its timeout may have been
-                           transient. Ask the Host Object before
-                           restarting: blind reactivation would fork the
-                           object and roll its state back to the OPR. *)
-                        let probe = (Runtime.config rt).Runtime.call_timeout /. 10.0 in
-                        Runtime.invoke ctx ~timeout:probe ~dst:host ~meth:"IsAlive"
-                          ~args:[ Loid.to_value loid ]
-                          ~env:(Env.delegate call_env ~calling:self)
-                          (fun r ->
-                            match r with
-                            | Ok (Value.Bool true) ->
-                                k (Ok (Binding.to_value (mint_binding loid address)))
-                            | Ok _ | Error _ ->
-                                record.active <- None;
-                                do_activate ~env:call_env loid record ~host_hint
-                                  ~sched k)
-                    | None -> do_activate ~env:call_env loid record ~host_hint ~sched k)))
+                | Some record ->
+                    let serve () =
+                      match record.active with
+                      | Some (_, address)
+                        when not
+                               (match stale with
+                               | Some s -> Address.equal s address
+                               | None -> false) ->
+                          k (Ok (Binding.to_value (mint_binding loid address)))
+                      | Some (host, address) ->
+                          (* The caller believes the recorded address is
+                             dead — but its timeout may have been
+                             transient. Ask the Host Object before
+                             restarting: blind reactivation would fork the
+                             object and roll its state back to the OPR. *)
+                          let probe = (Runtime.config rt).Runtime.call_timeout /. 10.0 in
+                          Runtime.invoke ctx ~timeout:probe ~dst:host ~meth:"IsAlive"
+                            ~args:[ Loid.to_value loid ]
+                            ~env:(Env.delegate call_env ~calling:self)
+                            (fun r ->
+                              match r with
+                              | Ok (Value.Bool true) ->
+                                  k (Ok (Binding.to_value (mint_binding loid address)))
+                              | Ok _ | Error _ ->
+                                  record.active <- None;
+                                  do_activate ~env:call_env loid record ~host_hint
+                                    ~sched k)
+                      | None -> do_activate ~env:call_env loid record ~host_hint ~sched k
+                    in
+                    (match record.moving with
+                    | None -> serve ()
+                    | Some _ ->
+                        (* The OPR is mid-transfer to another Magistrate.
+                           Re-activating here would strand a live
+                           placement under a Magistrate about to drop
+                           the record — hold the request and, once the
+                           transfer commits, forward it to the object's
+                           new home (or serve locally if it aborts). *)
+                        record.held <-
+                          record.held
+                          @ [
+                              (function
+                              | Some dst ->
+                                  invoke_for call_env dst "Activate"
+                                    [ loid_v; hints ] k
+                              | None -> serve ());
+                            ])))
     | _ -> Impl.bad_args k "Activate expects (loid, hints)"
   in
 
@@ -332,7 +403,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                         | _ -> ());
                         record.opa <- Some opa
                     | None ->
-                        add_record loid { opa = Some opa; active = None });
+                        add_record loid { opa = Some opa; active = None; moving = None; held = []; movers = []; activating = None });
                     k Impl.ok_unit))
     | _ -> Impl.bad_args k "StoreObject expects (loid, opr: blob)"
   in
@@ -411,6 +482,25 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     | _ -> Impl.bad_args k "Delete expects one loid"
   in
 
+  (* Settle an in-flight transfer: release the [moving] marker and
+     replay the Activate requests held meanwhile — toward the new home
+     when the transfer committed ([Some dst]), locally when it aborted
+     ([None]). *)
+  let finish_transfer record outcome =
+    let held = record.held in
+    let movers = record.movers in
+    record.held <- [];
+    record.movers <- [];
+    record.moving <- None;
+    List.iter (fun resume -> resume outcome) held;
+    let reply =
+      match outcome with
+      | Some _ -> Impl.ok_unit
+      | None -> Error (Err.Refused "object transfer aborted")
+    in
+    List.iter (fun k -> k reply) movers
+  in
+
   (* Copy (§3.8): deactivate, then ship the OPR to the other
      Magistrate. The object ends up Inert in both Jurisdictions, which
      is why the Current Magistrate List is a list. *)
@@ -474,17 +564,37 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         | Error msg -> Impl.bad_args k msg
         | Ok (loid, dst) ->
             check_policy ~meth:"Move" call_env k (fun () ->
-                do_copy ~env:call_env loid dst (fun r ->
-                    match r with
-                    | Error e -> k (Error e)
-                    | Ok () ->
-                        (match (find_record loid, storage ()) with
-                        | Some { opa = Some opa; _ }, Ok store ->
-                            Persistent.remove store opa
-                        | _ -> ());
-                        remove_record loid;
-                        notify_class loid ~add:[] ~remove:[ self ] (fun () ->
-                            k Impl.ok_unit))))
+                match find_record loid with
+                | None ->
+                    k (Error (Err.Not_bound "object unknown to this magistrate"))
+                | Some record when record.moving <> None ->
+                    (* A duplicate delivery (same destination) joins the
+                       transfer; a genuinely different transfer is
+                       refused. *)
+                    if
+                      match record.moving with
+                      | Some d -> Loid.equal d dst
+                      | None -> false
+                    then record.movers <- k :: record.movers
+                    else
+                      k
+                        (Error
+                           (Err.Refused "conflicting object transfer in flight"))
+                | Some record ->
+                    record.moving <- Some dst;
+                    do_copy ~env:call_env loid dst (fun r ->
+                        match r with
+                        | Error e ->
+                            finish_transfer record None;
+                            k (Error e)
+                        | Ok () ->
+                            (match (record.opa, storage ()) with
+                            | Some opa, Ok store -> Persistent.remove store opa
+                            | _ -> ());
+                            remove_record loid;
+                            finish_transfer record (Some dst);
+                            notify_class loid ~add:[] ~remove:[ self ] (fun () ->
+                                k Impl.ok_unit))))
     | _ -> Impl.bad_args k "Move expects (loid, magistrate)"
   in
 
@@ -727,7 +837,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                     else begin
                       (match find_record loid with
                       | Some record -> record.opa <- Some opa
-                      | None -> add_record loid { opa = Some opa; active = None });
+                      | None -> add_record loid { opa = Some opa; active = None; moving = None; held = []; movers = []; activating = None });
                       k Impl.ok_unit
                     end))
     | _ -> Impl.bad_args k "AdoptObject expects (loid, opa)"
@@ -743,28 +853,47 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         | Error msg -> Impl.bad_args k msg
         | Ok dst ->
             check_policy ~meth:"TransferObjects" call_env k (fun () ->
+                (* Class objects stay put: they are located through
+                   LegionClass pairs, not a Current Magistrate List, so
+                   nobody can be told about the new home — transferring
+                   one would strand it (every later activation still
+                   asks this Magistrate). *)
                 let candidates =
-                  List.filteri (fun i _ -> i < max_n) st.records
+                  List.filteri
+                    (fun i _ -> i < max_n)
+                    (List.filter
+                       (fun (l, _) -> not (Loid.is_class l))
+                       st.records)
                 in
                 let moved = ref 0 in
                 let rec transfer = function
                   | [] -> k (Ok (Value.Int !moved))
+                  | (_, record) :: rest when record.moving <> None ->
+                      transfer rest
                   | (loid, record) :: rest ->
+                      record.moving <- Some dst;
                       do_deactivate ~env:call_env loid record (fun r ->
                           match r with
-                          | Error _ -> transfer rest
+                          | Error _ ->
+                              finish_transfer record None;
+                              transfer rest
                           | Ok () -> (
                               match record.opa with
-                              | None -> transfer rest
+                              | None ->
+                                  finish_transfer record None;
+                                  transfer rest
                               | Some opa ->
                                   invoke_for call_env dst "AdoptObject"
                                     [ Loid.to_value loid; Opa.to_value opa ]
                                     (fun r ->
                                       match r with
-                                      | Error _ -> transfer rest
+                                      | Error _ ->
+                                          finish_transfer record None;
+                                          transfer rest
                                       | Ok _ ->
                                           remove_record loid;
                                           incr moved;
+                                          finish_transfer record (Some dst);
                                           notify_class loid ~add:[ dst ]
                                             ~remove:[ self ] (fun () ->
                                               transfer rest))))

@@ -51,12 +51,27 @@ let create_object t ctx ~cls ?(init = []) ?(eager = false) ?magistrate ?host
         ("eager", Value.Bool eager);
       ]
   in
-  match call t ctx ~dst:cls ~meth:"Create" ~args:[ Value.Record init; hints ] with
-  | Error e -> Error e
-  | Ok v -> (
-      match decode_create_reply v with
-      | Ok r -> Ok r
-      | Error msg -> Error (Err.Internal msg))
+  (* A class running an elastic clone ring answers Create with
+     [{redirect: clone}] (§5.2.2: "new instantiation requests are
+     passed to the cloned object"); re-issue there. Bounded hops guard
+     against a misconfigured ring pointing back at itself. *)
+  let rec issue dst hops =
+    match
+      call t ctx ~dst ~meth:"Create" ~args:[ Value.Record init; hints ]
+    with
+    | Error e -> Error e
+    | Ok v -> (
+        match C.loid_field v "redirect" with
+        | Ok clone ->
+            if hops <= 0 then
+              Error (Err.Internal "Create: redirect chain too long")
+            else issue clone (hops - 1)
+        | Error _ -> (
+            match decode_create_reply v with
+            | Ok r -> Ok r
+            | Error msg -> Error (Err.Internal msg)))
+  in
+  issue cls 3
 
 let create_object_exn t ctx ~cls ?init ?eager ?magistrate ?host ?sched
     ?candidates ?public_key () =

@@ -1,0 +1,114 @@
+(** Autonomic elasticity (E19).
+
+    The paper's load-management mechanisms — class cloning (§5.2.2),
+    Scheduling Agents (§3.7–3.8), Jurisdiction splitting (§2.2) and
+    Binding Agent combining trees (§5.2.2) — are all {e mechanisms};
+    the policy deciding when to use them is left open. {!enable} is
+    that policy: it arms self-managing loops that watch demand and
+    invoke each mechanism when its signal trips, with no operator in
+    the loop.
+
+    {!run_scenario} is the deterministic flash-crowd experiment the
+    E19 bench, the [legion-sim elastic] subcommand and the regression
+    tests share: a two-site Legion whose entire object population
+    starts in one Jurisdiction, hit by a Zipf-skewed diurnal workload
+    and a flash crowd arriving from the other site. *)
+
+module Loid := Legion_naming.Loid
+module Runtime := Legion_rt.Runtime
+
+type config = {
+  class_admission : Runtime.admission;
+      (** Budget stamped on each supervised class object, making its
+          load factor a meaningful cloning signal. *)
+  clone_period : float;  (** StartElastic sampling period. *)
+  clone_hi : float;  (** Load factor past which a sample counts hot. *)
+  clone_sustain : int;  (** Consecutive hot samples before cloning. *)
+  clone_grow_rate : float;
+      (** Creates per period per clone that keep the ring growing (and,
+          with no clones yet, the per-period demand that bootstraps
+          it). *)
+  clone_lo_rate : float;  (** Demand per clone below which it cools. *)
+  clone_merge_sustain : int;  (** Cool periods before a clone retires. *)
+  max_clones : int;
+  rebalance_period : float;  (** Rebalancer wakeup period. *)
+  hot_calls : int;
+      (** Fresh per-period calls that make an object migration-hot. *)
+  split_objects : int;
+      (** Jurisdiction size past which half is transferred to a spare. *)
+  spares_per_site : int;
+      (** Spare Magistrates provisioned per site (shared storage). *)
+  retier_fanout : int;  (** Combining-tree fanout when re-tiering. *)
+  retier_lookups : int;
+      (** Per-period Binding Agent lookups that trigger re-tiering. *)
+}
+
+val default_config : config
+
+type enabled = {
+  rebalancer : Loid.t;  (** The rebalancing Scheduling Agent. *)
+  retier_fired : unit -> bool;
+      (** Whether the agent tree has been re-tiered yet. *)
+}
+
+val enable :
+  System.t ->
+  Runtime.ctx ->
+  classes:Loid.t list ->
+  until:float ->
+  ?cfg:config ->
+  unit ->
+  enabled
+(** Arm the elastic machinery until absolute virtual time [until]:
+    budget each class in [classes] and start its §5.2.2 cloning loop;
+    provision [spares_per_site] spare Magistrates per site; derive and
+    start a ["legion.sched.rebalance"] Scheduling Agent supervising
+    every Jurisdiction; and watch Binding Agent demand for re-tiering.
+    Only the arming handshakes are simulated here — the loops fire
+    during subsequent runs. @raise Api.Call_failed / Failure when an
+    arming step is refused. *)
+
+(** {1 The shared flash-crowd scenario} *)
+
+type report = {
+  elastic : bool;
+  seed : int64;
+  arrivals : int;  (** Open-loop arrivals generated. *)
+  works : int;  (** Work calls issued (arrivals minus churn creates). *)
+  oks : int;
+  sheds : int;  (** Replies lost to admission shedding. *)
+  errors : int;
+  created : int;  (** Churn instantiations acknowledged. *)
+  p50_ms : float;  (** Whole-run Work latency percentiles. *)
+  p99_ms : float;
+  flash_p50_ms : float;
+      (** Latency over the {e settled} half of the flash window,
+          flash-site callers only — the E19 gate metric. *)
+  flash_p99_ms : float;
+  max_host_share : float;
+      (** Largest per-host share of served Work calls — flat means the
+          load spread; near 1 means one host carried the crowd. *)
+  clones : int;  (** Clone / Merge / Migrate / Split events observed. *)
+  merges : int;
+  moves : int;
+  splits : int;
+  retier : bool;  (** Whether the agent tree re-tiered. *)
+}
+
+val run_scenario : ?seed:int64 -> elastic:bool -> unit -> report
+(** Run the flash-crowd scenario: two sites of three hosts, 16 objects
+    all placed in the east Jurisdiction, a Zipf(1.2) diurnal workload
+    at 40 arrivals/s with a 6x flash crowd from the west between t+20
+    and t+40, every eighth arrival an instantiation request. With
+    [elastic] false nothing adapts (the baseline); with it true,
+    {!enable} runs first. Fully deterministic: the same [seed] yields
+    a byte-identical {!scenario_json}. *)
+
+val scenario_json : report -> string
+(** One-line JSON rendering of a report (no trailing newline). *)
+
+val work_unit : string
+(** The scenario's application unit (a [Work(d)] service that holds an
+    inflight slot for [d] virtual seconds); exposed for tests. *)
+
+val register_units : unit -> unit

@@ -110,6 +110,7 @@ let class_idl =
   \  NotifyMagistrates(obj: loid, add: list<loid>, remove: list<loid>);\n\
   \  NotifyDead(obj: loid);\n\
   \  SetDefaults(defaults: any);\n\
+  \  StartElastic(cfg: any);\n\
   \  ListInstances(): list<loid>;\n\
   \  ListSubclasses(): list<loid>;\n\
   \  GetClassInfo(): any;\n\

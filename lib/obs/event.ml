@@ -39,6 +39,10 @@ type kind =
   | Replica_repair of { loid : Loid.t; host : int; epoch : int }
   | No_quorum of { loid : Loid.t; have : int; need : int }
   | Reconcile of { loid : Loid.t; divergent : int; updated : int }
+  | Clone of { cls : Loid.t; clone : Loid.t }
+  | Merge of { cls : Loid.t; clone : Loid.t }
+  | Split of { magistrate : Loid.t; dst : Loid.t; objects : int }
+  | Probe_fail of { agent : Loid.t; host_obj : Loid.t }
 
 type t = { time : float; host : int option; site : int option; kind : kind }
 
@@ -76,6 +80,10 @@ let name = function
   | Replica_repair _ -> "ReplicaRepair"
   | No_quorum _ -> "NoQuorum"
   | Reconcile _ -> "Reconcile"
+  | Clone _ -> "Clone"
+  | Merge _ -> "Merge"
+  | Split _ -> "Split"
+  | Probe_fail _ -> "ProbeFail"
 
 let tier_name = function
   | Intra_host -> "host"
@@ -113,6 +121,9 @@ let owner e =
   | Reconcile { loid; _ } ->
       Some loid
   | Suspect { host_obj; _ } | Confirm_dead { host_obj; _ } -> Some host_obj
+  | Clone { cls; _ } | Merge { cls; _ } -> Some cls
+  | Split { magistrate; _ } -> Some magistrate
+  | Probe_fail { agent; _ } -> Some agent
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
   | Cancel _ | Replica_fanout _ | Breaker_open _ | Breaker_probe _
   | Breaker_close _ ->
@@ -130,6 +141,9 @@ let target e =
   | Stale_serve { target; _ } ->
       Some target
   | Migrate { dst; _ } -> Some dst
+  | Clone { clone; _ } | Merge { clone; _ } -> Some clone
+  | Split { dst; _ } -> Some dst
+  | Probe_fail { host_obj; _ } -> Some host_obj
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
   | Cancel _ | Activate _ | Deactivate _ | Checkpoint _ | Suspect _
   | Confirm_dead _ | Reactivate _ | Fence _ | Admit _ | Shed _
@@ -221,6 +235,16 @@ let fields = function
         ("divergent", Value.Int divergent);
         ("updated", Value.Int updated);
       ]
+  | Clone { cls; clone } | Merge { cls; clone } ->
+      [ ("cls", loid cls); ("clone", loid clone) ]
+  | Split { magistrate; dst; objects } ->
+      [
+        ("magistrate", loid magistrate);
+        ("dst", loid dst);
+        ("objects", Value.Int objects);
+      ]
+  | Probe_fail { agent; host_obj } ->
+      [ ("agent", loid agent); ("host_obj", loid host_obj) ]
 
 let to_value e =
   Value.Record

@@ -112,6 +112,24 @@ type kind =
           behind the highest-version survivor, and pushed the winning
           state to [updated] of them. A drained group reconciles with
           [divergent = 0]. *)
+  | Clone of { cls : Loid.t; clone : Loid.t }
+      (** §5.2.2 made autonomic: class [cls] sustained a high load
+          factor, derived clone [clone], and now redirects new Create
+          requests to the clone ring. *)
+  | Merge of { cls : Loid.t; clone : Loid.t }
+      (** Cool-down: class [cls] retired [clone] from its redirect ring
+          after sustained low Create demand. The clone object survives —
+          it stays responsible for instances it already created — but
+          receives no new redirections. *)
+  | Split of { magistrate : Loid.t; dst : Loid.t; objects : int }
+      (** §2.2 made autonomic: [magistrate]'s Jurisdiction exceeded its
+          object budget, so a rebalancer transferred [objects] of its
+          residents to the spare Magistrate [dst] (shared storage: OPAs
+          stay valid, responsibility moves, bytes do not). *)
+  | Probe_fail of { agent : Loid.t; host_obj : Loid.t }
+      (** A live-load Scheduling Agent's [GetState] probe of [host_obj]
+          failed (timeout, refusal, or undecodable reply); the agent
+          falls back to the Magistrate-supplied count for that host. *)
 
 type t = {
   time : float;  (** Virtual time of emission. *)

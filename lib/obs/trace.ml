@@ -246,3 +246,24 @@ let reconcile ?loid ?divergent () e =
   match e.Event.kind with
   | Event.Reconcile f -> opt_loid loid f.loid && opt_int divergent f.divergent
   | _ -> false
+
+let clone_ev ?cls ?clone () e =
+  match e.Event.kind with
+  | Event.Clone f -> opt_loid cls f.cls && opt_loid clone f.clone
+  | _ -> false
+
+let merge ?cls ?clone () e =
+  match e.Event.kind with
+  | Event.Merge f -> opt_loid cls f.cls && opt_loid clone f.clone
+  | _ -> false
+
+let split ?magistrate ?dst () e =
+  match e.Event.kind with
+  | Event.Split f -> opt_loid magistrate f.magistrate && opt_loid dst f.dst
+  | _ -> false
+
+let probe_fail ?agent ?host_obj () e =
+  match e.Event.kind with
+  | Event.Probe_fail f ->
+      opt_loid agent f.agent && opt_loid host_obj f.host_obj
+  | _ -> false

@@ -106,3 +106,11 @@ val replica_lost : ?loid:Loid.t -> ?host:int -> unit -> pred
 val replica_repair : ?loid:Loid.t -> ?host:int -> ?epoch:int -> unit -> pred
 val no_quorum : ?loid:Loid.t -> unit -> pred
 val reconcile : ?loid:Loid.t -> ?divergent:int -> unit -> pred
+
+val clone_ev : ?cls:Loid.t -> ?clone:Loid.t -> unit -> pred
+(** [Clone] events ([clone_ev] because [clone] would shadow nothing but
+    reads badly next to the record field). *)
+
+val merge : ?cls:Loid.t -> ?clone:Loid.t -> unit -> pred
+val split : ?magistrate:Loid.t -> ?dst:Loid.t -> unit -> pred
+val probe_fail : ?agent:Loid.t -> ?host_obj:Loid.t -> unit -> pred

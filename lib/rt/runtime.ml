@@ -57,6 +57,10 @@ type proc = {
   mutable handler : handler;
   mutable ba : Address.t option;
   mutable last_delivery : float;  (* when a call last reached it *)
+  mutable caller_sites : (int * int) list;
+      (* site -> cumulative calls received from it; the locality signal
+         the elastic rebalancer reads to migrate objects toward their
+         callers *)
 }
 
 and ctx = { rt : t; self : proc }
@@ -389,6 +393,13 @@ and drain_queue rt proc =
              end))
   | _ -> ()
 
+let note_caller rt proc ~src_host =
+  let site = Network.site_of rt.net src_host in
+  proc.caller_sites <-
+    (match List.assoc_opt site proc.caller_sites with
+    | Some n -> (site, n + 1) :: List.remove_assoc site proc.caller_sites
+    | None -> (site, 1) :: proc.caller_sites)
+
 let admit_call rt proc call reply_to =
   match proc.admission with
   | Some a when proc.inflight >= a.max_inflight ->
@@ -441,7 +452,10 @@ let on_receive rt host ~src payload =
               (Event.Fence { loid = proc.loid; epoch = proc.epoch; current = cur });
             reply_to (Error Err.Stale_epoch)
           end
-          else admit_call rt proc call reply_to
+          else begin
+            note_caller rt proc ~src_host;
+            admit_call rt proc call reply_to
+          end
       | Some _ | None -> reply_to (Error Err.No_such_object))
 
 let attach_host rt host =
@@ -496,6 +510,7 @@ let spawn rt ~host ~loid ~kind ?epoch ?cache_capacity ?binding_agent ?admission
       handler;
       ba = binding_agent;
       last_delivery = Engine.now rt.sim;
+      caller_sites = [];
     }
   in
   slot_set rt slot proc;
@@ -915,6 +930,7 @@ let describe_message payload =
 let total_calls_delivered rt = rt.delivered
 let total_sheds rt = rt.sheds
 let requests_of p = Counter.value p.counter
+let caller_sites p = p.caller_sites
 
 let breaker_phase rt host =
   Option.map (fun b -> Breaker.phase_name b host) rt.breakers

@@ -354,6 +354,14 @@ val total_sheds : t -> int
 val requests_of : proc -> int
 (** Method calls delivered to this instance. *)
 
+val caller_sites : proc -> (Legion_net.Network.site_id * int) list
+(** Cumulative calls delivered to this instance, grouped by the
+    caller's site. This is the locality signal behind §3.8's
+    "schedulers may migrate objects toward their callers": a rebalancer
+    diffs successive snapshots to find where an object's demand
+    actually comes from. Unordered; sites it never heard from are
+    absent. *)
+
 val breaker_phase : t -> Legion_net.Network.host_id -> string option
 (** The circuit phase toward a destination host (["closed"], ["open"],
     ["half-open"]); [None] when breakers are disabled. *)

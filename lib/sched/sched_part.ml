@@ -1,9 +1,12 @@
 module Value = Legion_wire.Value
 module Loid = Legion_naming.Loid
 module Prng = Legion_util.Prng
+module Engine = Legion_sim.Engine
+module Network = Legion_net.Network
 module Runtime = Legion_rt.Runtime
 module Impl = Legion_core.Impl
 module C = Legion_core.Convert
+module Event = Legion_obs.Event
 
 module Env = Legion_sec.Env
 module Err = Legion_rt.Err
@@ -12,6 +15,7 @@ let unit_random = "legion.sched.random"
 let unit_round_robin = "legion.sched.round_robin"
 let unit_least_loaded = "legion.sched.least_loaded"
 let unit_live_load = "legion.sched.live_load"
+let unit_rebalance = "legion.sched.rebalance"
 
 let decode_candidates v =
   let ( let* ) r f = Result.bind r f in
@@ -47,14 +51,20 @@ let factory_random (ctx : Runtime.ctx) : Impl.part =
     (fun candidates -> fst (Prng.choose prng (Array.of_list candidates)))
     ctx
 
+(* One cursor per candidate-list size: a single shared cursor taken
+   [mod n] skews the rotation whenever successive calls carry lists of
+   different sizes (e.g. [mod 2] and [mod 3] of one monotone counter
+   correlate), and [List.nth] made each pick O(n) besides. Per-size
+   cursors rotate each size class exactly. *)
 let factory_round_robin (ctx : Runtime.ctx) : Impl.part =
-  let cursor = ref 0 in
+  let cursors = Hashtbl.create 4 in
   picker unit_round_robin
     (fun candidates ->
-      let n = List.length candidates in
-      let pick = fst (List.nth candidates (!cursor mod n)) in
-      incr cursor;
-      pick)
+      let arr = Array.of_list candidates in
+      let n = Array.length arr in
+      let c = Option.value ~default:0 (Hashtbl.find_opt cursors n) in
+      Hashtbl.replace cursors n ((c + 1) mod n);
+      fst arr.(c))
     ctx
 
 let factory_least_loaded (ctx : Runtime.ctx) : Impl.part =
@@ -87,34 +97,39 @@ let factory_live_load (ctx : Runtime.ctx) : Impl.part =
             let n = List.length candidates in
             let answers = ref [] in
             let pending = ref n in
+            (* A probe that times out, is refused, or answers something
+               undecodable is an observable event, not a silent shrug —
+               and the host it covered still competes using the
+               magistrate-supplied count, so a partially-answered
+               fan-out compares every candidate instead of only the
+               responsive subset. *)
+            let probe_failed h =
+              Runtime.emit ctx.Runtime.rt
+                ~host:(Runtime.proc_host ctx.Runtime.self)
+                (Event.Probe_fail { agent = self; host_obj = h })
+            in
             let finish () =
-              match !answers with
-              | [] ->
-                  (* Nobody answered the probe: fall back to the
-                     magistrate-supplied counts. *)
-                  let best =
-                    List.fold_left
-                      (fun acc (h, l) ->
-                        match acc with
-                        | Some (_, bl) when bl <= l -> acc
-                        | _ -> Some (h, l))
-                      None candidates
-                  in
-                  (match best with
-                  | Some (h, _) -> k (Ok (Loid.to_value h))
-                  | None -> k (Error (Err.Refused "no candidates")))
-              | answered ->
-                  let best =
-                    List.fold_left
-                      (fun acc (h, l) ->
-                        match acc with
-                        | Some (_, bl) when bl <= l -> acc
-                        | _ -> Some (h, l))
-                      None answered
-                  in
-                  (match best with
-                  | Some (h, _) -> k (Ok (Loid.to_value h))
-                  | None -> k (Error (Err.Refused "no candidates")))
+              let merged =
+                List.map
+                  (fun (h, stale) ->
+                    match
+                      List.find_opt (fun (h', _) -> Loid.equal h h') !answers
+                    with
+                    | Some (_, live) -> (h, live)
+                    | None -> (h, stale))
+                  candidates
+              in
+              let best =
+                List.fold_left
+                  (fun acc (h, l) ->
+                    match acc with
+                    | Some (_, bl) when bl <= l -> acc
+                    | _ -> Some (h, l))
+                  None merged
+              in
+              match best with
+              | Some (h, _) -> k (Ok (Loid.to_value h))
+              | None -> k (Error (Err.Refused "no candidates"))
             in
             let probe_timeout =
               (Runtime.config ctx.Runtime.rt).Runtime.call_timeout /. 10.0
@@ -127,8 +142,8 @@ let factory_live_load (ctx : Runtime.ctx) : Impl.part =
                     | Ok st -> (
                         match Legion_core.Convert.int_field st "load" with
                         | Ok load -> answers := (h, load) :: !answers
-                        | Error _ -> ())
-                    | Error _ -> ());
+                        | Error _ -> probe_failed h)
+                    | Error _ -> probe_failed h);
                     decr pending;
                     if !pending = 0 then finish ()))
               candidates)
@@ -136,8 +151,193 @@ let factory_live_load (ctx : Runtime.ctx) : Impl.part =
   in
   Impl.part ~methods:[ ("PickHost", pick_host) ] unit_live_load
 
+(* --- The rebalancer: §3.8's "complex scheduling policies" made
+   autonomic. Configured with the Jurisdictions it supervises (plus
+   parked spare Magistrates), it wakes every period and
+   - migrates hot objects toward their callers: an object whose
+     per-period demand clears [hot_calls] and whose dominant caller
+     site differs from where it runs is [Move]d to that site's
+     Magistrate (next call reactivates it there);
+   - splits oversized Jurisdictions: a Magistrate managing more than
+     [split_objects] objects hands half to a spare sharing its site's
+     storage ([TransferObjects]), announced with a [Split] event.
+   The demand signal is the runtime's per-placement caller-site
+   accounting, diffed between wakeups, so only fresh traffic counts —
+   a flash crowd shifts the dominant site within one period. *)
+let factory_rebalance (ctx : Runtime.ctx) : Impl.part =
+  let self = Runtime.proc_loid ctx.Runtime.self in
+  let magistrates = ref [] (* (mag, site) *) in
+  let spares = ref [] (* (mag, site) *) in
+  let hot_calls = ref 20 in
+  let split_objects = ref 64 in
+  (* obj -> (requests, caller-site histogram) at the previous wakeup *)
+  let seen = Loid.Table.create () in
+  let decode_mag_list v name =
+    let ( let* ) r f = Result.bind r f in
+    match C.field v name with
+    | Error _ -> Ok []
+    | Ok (Value.List ms) ->
+        let rec loop acc = function
+          | [] -> Ok (List.rev acc)
+          | m :: rest ->
+              let* mag = C.loid_field m "mag" in
+              let* site = C.int_field m "site" in
+              loop ((mag, site) :: acc) rest
+        in
+        loop [] ms
+    | Ok _ -> Error (name ^ " must be a list")
+  in
+  let configure _ctx args _env k =
+    match args with
+    | [ cfg ] -> (
+        let ( let* ) r f = Result.bind r f in
+        let decoded =
+          let* mags = decode_mag_list cfg "magistrates" in
+          let* sps = decode_mag_list cfg "spares" in
+          let hot =
+            match C.int_field cfg "hot_calls" with Ok n -> n | Error _ -> 20
+          in
+          let split =
+            match C.int_field cfg "split_objects" with
+            | Ok n -> n
+            | Error _ -> 64
+          in
+          Ok (mags, sps, hot, split)
+        in
+        match decoded with
+        | Error msg -> Impl.bad_args k msg
+        | Ok (mags, sps, hot, split) ->
+            magistrates := mags;
+            spares := sps;
+            hot_calls := hot;
+            split_objects := split;
+            k Impl.ok_unit)
+    | _ -> Impl.bad_args k "Configure expects one record"
+  in
+  let dominant_site histogram =
+    List.fold_left
+      (fun acc (site, n) ->
+        match acc with
+        | Some (_, best) when best >= n -> acc
+        | _ -> if n > 0 then Some (site, n) else acc)
+      None histogram
+  in
+  let consider_object ctx ~env ~mag obj =
+    let rt = ctx.Runtime.rt in
+    match Runtime.find_proc rt obj with
+    | None -> () (* inert: no demand worth chasing *)
+    (* Only application objects are migration fodder (3.8: Scheduling
+       Agents place application objects). Infrastructure shows up in
+       ListObjects too — classes, Magistrates, agents — and moving a
+       hot class would sever its cloning loop; classes shed load by
+       cloning, not by moving. *)
+    | Some proc
+      when not
+             (String.equal
+                (Runtime.proc_kind proc)
+                Legion_core.Well_known.kind_app) ->
+        ()
+    | Some proc ->
+        let total = Runtime.requests_of proc in
+        let sites = Runtime.caller_sites proc in
+        let prev_total, prev_sites =
+          Option.value ~default:(0, []) (Loid.Table.find seen obj)
+        in
+        Loid.Table.set seen obj (total, sites);
+        let delta = total - prev_total in
+        if delta >= !hot_calls then
+          let fresh =
+            List.map
+              (fun (s, n) ->
+                (s, n - Option.value ~default:0 (List.assoc_opt s prev_sites)))
+              sites
+          in
+          match dominant_site fresh with
+          | Some (want, _)
+            when want <> Network.site_of (Runtime.net rt) (Runtime.proc_host proc)
+            -> (
+              match
+                List.find_opt
+                  (fun (m, s) -> s = want && not (Loid.equal m mag))
+                  !magistrates
+              with
+              | Some (dst, _) ->
+                  (* The counter dies with the placement; start the
+                     next delta from the new incarnation's zero. *)
+                  Loid.Table.remove seen obj;
+                  Runtime.invoke ctx ~dst:mag ~meth:"Move"
+                    ~args:[ Loid.to_value obj; Loid.to_value dst ]
+                    ~env
+                    (fun _ -> ())
+              | None -> ())
+          | _ -> ()
+  in
+  let consider_split ctx ~env ~mag ~mag_site ~objects =
+    if objects > !split_objects then
+      match List.find_opt (fun (_, s) -> s = mag_site) !spares with
+      | None -> ()
+      | Some ((spare, _) as entry) ->
+          (* Claim the spare now so overlapping wakeups cannot hand the
+             same Magistrate out twice; return it on failure. *)
+          spares := List.filter (fun e -> e != entry) !spares;
+          Runtime.invoke ctx ~dst:mag ~meth:"TransferObjects"
+            ~args:[ Loid.to_value spare; Value.Int (objects / 2) ]
+            ~env
+            (fun r ->
+              match r with
+              | Ok (Value.Int moved) ->
+                  magistrates := !magistrates @ [ (spare, mag_site) ];
+                  Runtime.emit ctx.Runtime.rt
+                    ~host:(Runtime.proc_host ctx.Runtime.self)
+                    (Event.Split { magistrate = mag; dst = spare; objects = moved })
+              | Ok _ | Error _ -> spares := entry :: !spares)
+  in
+  let round ctx ~env =
+    List.iter
+      (fun (mag, mag_site) ->
+        Runtime.invoke ctx ~dst:mag ~meth:"ListObjects" ~args:[] ~env (fun r ->
+            match r with
+            | Ok (Value.List objs) ->
+                let objs =
+                  List.filter_map
+                    (fun v -> Result.to_option (C.loid_arg v))
+                    objs
+                in
+                List.iter (consider_object ctx ~env ~mag) objs;
+                consider_split ctx ~env ~mag ~mag_site
+                  ~objects:(List.length objs)
+            | Ok _ | Error _ -> ()))
+      !magistrates
+  in
+  let start_rebalance ctx args env k =
+    match args with
+    | [ Value.Float period; Value.Float until ] ->
+        if period <= 0.0 then Impl.bad_args k "StartRebalance: period <= 0"
+        else begin
+          let eng = Runtime.sim ctx.Runtime.rt in
+          let env = Env.delegate env ~calling:self in
+          let rec tick time =
+            if time <= until then
+              ignore
+                (Engine.schedule_at eng ~time (fun () ->
+                     if Runtime.is_live ctx.Runtime.self then begin
+                       round ctx ~env;
+                       tick (time +. period)
+                     end))
+          in
+          tick (Engine.now eng +. period);
+          k Impl.ok_unit
+        end
+    | _ -> Impl.bad_args k "StartRebalance expects (period, until)"
+  in
+  Impl.part
+    ~methods:
+      [ ("Configure", configure); ("StartRebalance", start_rebalance) ]
+    unit_rebalance
+
 let register () =
   Impl.register unit_random factory_random;
   Impl.register unit_round_robin factory_round_robin;
   Impl.register unit_least_loaded factory_least_loaded;
-  Impl.register unit_live_load factory_live_load
+  Impl.register unit_live_load factory_live_load;
+  Impl.register unit_rebalance factory_rebalance

@@ -18,9 +18,26 @@
       broken by list order;
     - ["legion.sched.live_load"] — polls each candidate Host Object's
       [GetState] (short-timeout probes) and places on the host with the
-      fewest live processes, falling back to the reported counts when
-      no probe answers. Accurate under churn, at one RPC fan-out per
-      placement. *)
+      fewest live processes. Probe failures and undecodable replies are
+      announced with [ProbeFail] events, and unanswered candidates keep
+      competing with their Magistrate-supplied (stale) counts, so the
+      choice always compares the full candidate list. Accurate under
+      churn, at one RPC fan-out per placement.
+
+    A fifth unit, ["legion.sched.rebalance"], is not a picker but an
+    autonomic rebalancer (§3.8 "complex scheduling policies … in
+    Scheduling Agents"): [Configure] it with the Jurisdictions to
+    supervise — [{magistrates: list{mag, site}, spares: list{mag,
+    site}, hot_calls: int, split_objects: int}] — then
+    [StartRebalance(period, until)] wakes it every [period] virtual
+    seconds to (a) [Move] application objects whose fresh per-period
+    demand clears [hot_calls] toward their dominant caller site
+    (infrastructure — classes, Magistrates, agents — is never moved;
+    classes shed load by cloning instead), and (b) split any
+    Jurisdiction holding more than [split_objects] objects by
+    transferring half to a spare Magistrate on the same site (emitting
+    a [Split] event). Spare Magistrates must share the site's storage
+    (the §2.2 non-disjoint case). *)
 
 module Impl := Legion_core.Impl
 
@@ -28,11 +45,13 @@ val unit_random : string
 val unit_round_robin : string
 val unit_least_loaded : string
 val unit_live_load : string
+val unit_rebalance : string
 
 val factory_random : Impl.factory
 val factory_round_robin : Impl.factory
 val factory_least_loaded : Impl.factory
 val factory_live_load : Impl.factory
+val factory_rebalance : Impl.factory
 
 val register : unit -> unit
-(** Install all four units. *)
+(** Install all five units. *)

@@ -46,11 +46,77 @@ val load_ramp :
     second) steps through [rates] on the same grid as {!ramp}. Arrivals
     are spaced [1 /. rate] apart and are {e not} gated on completions —
     this is the generator that drives a service past saturation, where a
-    closed loop would self-throttle. The action receives the arrival's
-    1-based sequence number. A rate of [0.] pauses the generator for
-    that step.
+    closed loop would self-throttle. On every rate step the pending
+    arrival is cancelled and re-spaced to
+    [max now (last_arrival + 1/new_rate)], so the new rate takes effect
+    at the step boundary: a step up no longer stalls for one stale
+    old-rate gap, and a step down never over-fires. The action receives
+    the arrival's 1-based sequence number. A rate of [0.] pauses the
+    generator for that step.
     @raise Invalid_argument if [steps < 1], [rates = []] or any rate is
     negative. *)
+
+(** {1 Workload model}
+
+    "Millions of users" means skew, not uniform load: object popularity
+    is Zipf, demand breathes diurnally, and flash crowds land from
+    specific places. {!drive} compiles such a workload onto the engine
+    as an open-loop arrival stream; every draw comes from the caller's
+    {!Legion_util.Prng.t}, so a seed fully determines the schedule. *)
+
+type flash = {
+  at : float;  (** When the crowd lands (absolute virtual time). *)
+  width : float;  (** How long it stays. *)
+  boost : float;  (** Rate multiplier while active ([>= 1]). *)
+  site : int option;
+      (** Where the crowd comes from: when set, the flash-attributable
+          {e excess} traffic (fraction [(boost-1)/boost] of arrivals)
+          originates at this site index; the base traffic keeps the
+          ambient {!workload.site_mix}. [None] scales all sites. *)
+}
+
+type profile = {
+  base_rate : float;  (** Mean arrivals per virtual second ([> 0]). *)
+  diurnal_amplitude : float;
+      (** Sinusoidal modulation depth in [0, 1): the instantaneous rate
+          is [base *. (1 + a sin (2 pi t / period))]. [0.] disables. *)
+  diurnal_period : float;  (** Period of the diurnal cycle. *)
+  flashes : flash list;  (** Flash crowds; boosts multiply if overlapping. *)
+}
+
+val steady : ?flashes:flash list -> float -> profile
+(** A flat profile at the given rate (no diurnal swing), with optional
+    flash crowds. @raise Invalid_argument if the rate is [<= 0]. *)
+
+val rate_at : profile -> float -> float
+(** The instantaneous arrival rate at virtual time [t] — diurnal
+    modulation times the product of active flash boosts. Pure; the
+    integral of [rate_at] over a window predicts the arrival count
+    {!drive} generates in it. *)
+
+type workload = {
+  objects : int;  (** Population size; arrivals target ranks [0..n-1]. *)
+  zipf_s : float;  (** Popularity skew ([0.] = uniform). *)
+  site_mix : float array;
+      (** Per-site origin weights (normalized internally). *)
+  profile : profile;
+}
+
+val drive :
+  t ->
+  prng:Legion_util.Prng.t ->
+  workload ->
+  start:float ->
+  until:float ->
+  (seq:int -> obj:int -> site:int -> unit) ->
+  unit
+(** Generate open-loop arrivals over [(start, until]]: each arrival
+    carries a 1-based sequence number, a Zipf-drawn object rank, and an
+    origin site index. Spacing follows {!rate_at}; the generator
+    re-spaces itself at every flash edge so discontinuities take effect
+    at their instant.
+    @raise Invalid_argument on an empty or negative [site_mix], a
+    non-positive population, or an invalid profile (see {!steady}). *)
 
 val pulse :
   t -> start:float -> width:float -> on:(unit -> unit) -> off:(unit -> unit) -> unit

@@ -1,0 +1,220 @@
+(* The elasticity PR's regression net: the Script workload model
+   (load-ramp re-spacing, Zipf popularity), the Scheduling Agent fixes
+   (per-size round-robin cursors, live-load probe failures), and the
+   E19 scenario's determinism contract (same seed => byte-identical
+   report). LEGION_TRACE_SEED (swept by test/dune) shifts the scenario
+   seed. *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Prng = Legion_util.Prng
+module Sampler = Legion_util.Sampler
+module Engine = Legion_sim.Engine
+module Script = Legion_sim.Script
+module Event = Legion_obs.Event
+module Recorder = Legion_obs.Recorder
+module Well_known = Legion_core.Well_known
+module Sched_part = Legion_sched.Sched_part
+module System = Legion.System
+module Api = Legion.Api
+module Elastic = Legion.Elastic
+
+let seed_base =
+  match Sys.getenv_opt "LEGION_TRACE_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 42L
+
+(* --- Script.load_ramp --- *)
+
+(* Regression: a rate step {e up} must take effect at the step
+   boundary. The pre-fix generator left the pending arrival spaced at
+   the old rate, so stepping 0.1/s -> 10/s at t=5 stalled until the
+   stale t=10 arrival and delivered ~2 arrivals instead of ~50. *)
+let test_load_ramp_step_up () =
+  let eng = Engine.create () in
+  let arrivals = ref [] in
+  Script.load_ramp eng ~start:0.0 ~until:10.0 ~steps:2 ~rates:[ 0.1; 10.0 ]
+    (fun _seq -> arrivals := Engine.now eng :: !arrivals);
+  Engine.run ~until:20.0 eng;
+  let after_step = List.filter (fun t -> t >= 5.0) !arrivals in
+  Alcotest.(check bool)
+    (Printf.sprintf "step up takes effect at the boundary (%d arrivals >= 45)"
+       (List.length after_step))
+    true
+    (List.length after_step >= 45);
+  (* And the step never over-fires: spacing stays >= 1/rate. *)
+  Alcotest.(check bool)
+    "no burst past the stepped rate" true
+    (List.length after_step <= 60)
+
+(* A zero rate pauses the generator for that step and the next step
+   resumes it — the re-spacing must not resurrect a cancelled arrival
+   inside the pause. *)
+let test_load_ramp_pause () =
+  let eng = Engine.create () in
+  let arrivals = ref [] in
+  Script.load_ramp eng ~start:0.0 ~until:9.0 ~steps:3
+    ~rates:[ 2.0; 0.0; 2.0; 2.0 ] (fun _seq ->
+      arrivals := Engine.now eng :: !arrivals);
+  Engine.run ~until:20.0 eng;
+  let in_pause = List.filter (fun t -> t >= 3.0 && t < 6.0) !arrivals in
+  Alcotest.(check int) "no arrivals while paused" 0 (List.length in_pause);
+  let resumed = List.filter (fun t -> t >= 6.0) !arrivals in
+  Alcotest.(check bool) "generator resumes after the pause" true
+    (List.length resumed >= 5)
+
+(* --- Zipf sampler --- *)
+
+let zipf_frequencies =
+  QCheck.Test.make ~name:"zipf empirical frequencies track the pmf"
+    ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let n = 8 and s = 1.2 and trials = 20_000 in
+      let prng = Prng.create ~seed:(Int64.of_int (seed + 1)) in
+      let z = Sampler.zipf prng ~n ~s in
+      let counts = Array.make n 0 in
+      for _ = 1 to trials do
+        let r = Sampler.zipf_draw z in
+        counts.(r) <- counts.(r) + 1
+      done;
+      Array.for_all (fun c -> c > 0) counts
+      && Array.for_all
+           (fun i ->
+             let freq = float_of_int counts.(i) /. float_of_int trials in
+             Float.abs (freq -. Sampler.zipf_pmf z i) < 0.03)
+           (Array.init n Fun.id)
+      (* Popularity must be non-increasing in rank (with sampling
+         slack): rank 0 is the hot object the flash crowd hammers. *)
+      && counts.(0) > counts.(n - 1))
+
+(* --- Scheduling Agent fixes --- *)
+
+let make_sched sys ctx ~policy_unit ~name =
+  let cls =
+    Api.derive_class_exn sys ctx ~parent:Well_known.legion_object ~name
+      ~units:[ policy_unit ] ~kind:Well_known.kind_sched ()
+  in
+  Api.create_object_exn sys ctx ~cls ~eager:true ()
+
+let candidates_value cands =
+  Value.List
+    (List.map
+       (fun (h, l) ->
+         Value.Record [ ("host", Loid.to_value h); ("load", Value.Int l) ])
+       cands)
+
+let pick sys ctx sched cands =
+  match
+    Api.call sys ctx ~dst:sched ~meth:"PickHost"
+      ~args:[ candidates_value cands ]
+  with
+  | Ok v -> (
+      match Loid.of_value v with
+      | Ok l -> l
+      | Error m -> Alcotest.failf "PickHost returned a non-loid: %s" m)
+  | Error e -> Alcotest.failf "PickHost failed: %s" (Legion_rt.Err.to_string e)
+
+(* Regression: a single shared cursor taken [mod n] starves candidates
+   whenever calls interleave lists of different sizes — with strict
+   2/3-alternation every even cursor value hit the 2-list, so its
+   second host was never picked. Per-size cursors rotate each size
+   class exactly. *)
+let test_round_robin_mixed_sizes () =
+  let sys = System.boot ~seed:seed_base ~sites:[ ("site", 4) ] () in
+  let ctx = System.client sys () in
+  let sched =
+    make_sched sys ctx ~policy_unit:Sched_part.unit_round_robin ~name:"RR"
+  in
+  let hosts = Array.of_list (System.host_objects sys) in
+  let two = [ (hosts.(0), 0); (hosts.(1), 0) ] in
+  let three = [ (hosts.(0), 0); (hosts.(1), 0); (hosts.(2), 0) ] in
+  let tally = Hashtbl.create 8 in
+  let count kind h =
+    let key = (kind, Loid.to_string h) in
+    Hashtbl.replace tally key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tally key))
+  in
+  for _ = 1 to 12 do
+    count `Two (pick sys ctx sched two);
+    count `Three (pick sys ctx sched three)
+  done;
+  let got kind h =
+    Option.value ~default:0 (Hashtbl.find_opt tally (kind, Loid.to_string h))
+  in
+  Alcotest.(check (list int))
+    "2-candidate list rotates exactly" [ 6; 6 ]
+    [ got `Two hosts.(0); got `Two hosts.(1) ];
+  Alcotest.(check (list int))
+    "3-candidate list rotates exactly" [ 4; 4; 4 ]
+    [ got `Three hosts.(0); got `Three hosts.(1); got `Three hosts.(2) ]
+
+(* Regression: the live-load agent used to drop failed probes from the
+   comparison, so an unreachable candidate could never win even when
+   its magistrate-supplied count was best — and the failure itself was
+   invisible. Now the probe failure is a ProbeFail event and the
+   candidate keeps competing with its stale count. *)
+let test_live_load_probe_failure () =
+  let sys = System.boot ~seed:seed_base ~sites:[ ("site", 3) ] () in
+  let ctx = System.client sys () in
+  let sched =
+    make_sched sys ctx ~policy_unit:Sched_part.unit_live_load ~name:"Live"
+  in
+  let real = List.hd (System.host_objects sys) in
+  let bogus =
+    Loid.make ~class_id:0x7777_7777L ~class_specific:0x1234L ()
+  in
+  let mark = Recorder.total (System.obs sys) in
+  (* The bogus candidate advertises the lowest stale count; the real
+     host answers its probe with at least the core objects it runs. *)
+  let winner = pick sys ctx sched [ (bogus, 0); (real, 50) ] in
+  Alcotest.(check string)
+    "unprobeable candidate still competes on its stale count"
+    (Loid.to_string bogus) (Loid.to_string winner);
+  let probe_fails =
+    List.filter
+      (fun (ev : Event.t) ->
+        match ev.Event.kind with
+        | Event.Probe_fail { host_obj; _ } -> Loid.equal host_obj bogus
+        | _ -> false)
+      (Recorder.events_since (System.obs sys) mark)
+  in
+  Alcotest.(check bool) "probe failure is announced" true
+    (List.length probe_fails >= 1)
+
+(* --- E19 scenario determinism --- *)
+
+let test_scenario_deterministic () =
+  let seed = seed_base in
+  let r1 = Elastic.run_scenario ~seed ~elastic:true () in
+  let r2 = Elastic.run_scenario ~seed ~elastic:true () in
+  Alcotest.(check string)
+    "same seed, same bytes"
+    (Elastic.scenario_json r1) (Elastic.scenario_json r2);
+  Alcotest.(check bool) "scenario is non-trivial" true (r1.Elastic.oks > 1000);
+  Alcotest.(check int) "no hard errors" 0 r1.Elastic.errors
+
+let () =
+  Alcotest.run "elastic"
+    [
+      ( "script",
+        [
+          Alcotest.test_case "load_ramp step up re-spaces" `Quick
+            test_load_ramp_step_up;
+          Alcotest.test_case "load_ramp zero-rate pause" `Quick
+            test_load_ramp_pause;
+          QCheck_alcotest.to_alcotest zipf_frequencies;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "round robin, mixed candidate sizes" `Quick
+            test_round_robin_mixed_sizes;
+          Alcotest.test_case "live load survives probe failures" `Quick
+            test_live_load_probe_failure;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "seed determinism" `Slow
+            test_scenario_deterministic;
+        ] );
+    ]

@@ -219,7 +219,7 @@ let run_partition ~fenced =
   in
   (* Heal with the anti-entropy watcher armed (fenced mode only — the
      baseline shows what happens without the machinery). *)
-  if fenced then Repair.reconcile_on_heal ctx ~net ~groups:[ g_maj ];
+  if fenced then ignore (Repair.reconcile_on_heal ctx ~net ~groups:[ g_maj ]);
   Network.set_partitioned net 0 2 false;
   Network.set_partitioned net 1 2 false;
   System.run sys;

@@ -30,6 +30,7 @@ let experiments =
     ("e17", "self-healing replication: repair, fencing, anti-entropy", Exp_repair.run);
     ("e18", "planetary sweep: E2/E3/E4 at 10^5 objects, 10^3 hosts", Exp_planet.run);
     ("e19", "elastic load management under a Zipf flash crowd (3.8, 5.2.2)", Exp_elastic.run);
+    ("e20", "atomic multi-object invocations under fault schedules", Exp_txn.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

@@ -14,6 +14,9 @@
               optionally emitting the deterministic JSON report
      elastic  run the E19 flash-crowd scenario (baseline or with the
               autonomic elasticity armed) and report the adaptation
+     txn      drive atomic multi-object invocations (2PC or sagas),
+              optionally crashing the coordinator mid-run, and audit
+              atomicity from the event-sourced version history
      idl      parse an IDL file and echo the normalized interfaces *)
 
 module Value = Legion_wire.Value
@@ -998,7 +1001,7 @@ let cmd_replicate =
       | Error (Err.No_quorum _) -> incr min_fenced
       | _ -> ()
     done;
-    Repair.reconcile_on_heal ctx2 ~net:net2 ~groups:[ g_maj ];
+    ignore (Repair.reconcile_on_heal ctx2 ~net:net2 ~groups:[ g_maj ]);
     cut false;
     System.run sys2;
     ignore (Api.call_exn sys2 ctx2 ~dst:g_maj ~meth:"Reconcile" ~args:[]);
@@ -1182,6 +1185,227 @@ let cmd_elastic =
   in
   Cmd.v info Term.(const run $ seed_arg $ baseline_arg $ json_arg)
 
+(* --- txn --- *)
+
+let cmd_txn =
+  let module Persistent = Legion_store.Persistent in
+  let module Participant = Legion_txn.Participant in
+  let module Coordinator = Legion_txn.Coordinator in
+  let rounds_arg =
+    Arg.(value & opt int 20
+         & info [ "rounds" ] ~docv:"N" ~doc:"Transactions to submit.")
+  in
+  let mode_arg =
+    Arg.(value & opt (enum [ ("2pc", `Two_phase); ("saga", `Saga); ("mix", `Mix) ]) `Mix
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Commit protocol: $(b,2pc), $(b,saga), or a seeded $(b,mix).")
+  in
+  let crash_arg =
+    Arg.(value & flag
+         & info [ "crash-coordinator" ]
+             ~doc:
+               "Power-fail the coordinator's host right after a commit \
+                decision is acknowledged mid-run; recovery must resume the \
+                durable decision.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Emit the deterministic report as JSON on stdout (same seed, \
+                same bytes) and nothing else.")
+  in
+  let run sites seed rounds mode crash json =
+    let sys = boot_system ~sites ~seed in
+    let ctx = System.client sys () in
+    let rt = System.rt sys and net = System.net sys and obs = System.obs sys in
+    let store_name = fst (List.hd (parse_sites sites)) in
+    let part_cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object
+        ~name:"TxnCounter"
+        ~units:[ counter_unit; Participant.unit_name ]
+        ()
+    in
+    let coord_cls =
+      Api.derive_class_exn sys ctx ~parent:Well_known.legion_object
+        ~name:"TxnCoordinator" ~units:[ Coordinator.unit_name ] ()
+    in
+    let infra = List.map (fun s -> List.hd s.System.net_hosts) (System.sites sys) in
+    let participants =
+      Array.init 6 (fun _ -> Api.create_object_exn sys ctx ~cls:part_cls ~eager:true ())
+    in
+    (* The coordinator must be crashable without beheading its site's
+       externally-started infrastructure (§4.2.1). *)
+    let co, coord_host =
+      let rec pick n =
+        if n = 0 then failwith "no coordinator landed off-infrastructure"
+        else
+          let co = Api.create_object_exn sys ctx ~cls:coord_cls ~eager:true () in
+          match Runtime.find_proc rt co with
+          | Some p when not (List.mem (Runtime.proc_host p) infra) ->
+              (co, Runtime.proc_host p)
+          | _ -> pick (n - 1)
+      in
+      pick 16
+    in
+    (match
+       Api.call sys ctx ~dst:co ~meth:"Configure"
+         ~args:[ Value.Record [ ("store", Value.Str store_name) ] ]
+     with
+    | Ok _ -> ()
+    | Error e -> failwith ("Configure failed: " ^ Err.to_string e));
+    let t0 = System.now sys in
+    System.enable_recovery sys ~checkpoint_period:0.5 ~heartbeat_period:0.25
+      ~threshold:3
+      ~until:(t0 +. float_of_int rounds +. 120.0)
+      ();
+    System.run_for sys 2.0;
+    let mark = Recorder.total obs in
+    let prng = Prng.create ~seed:(Int64.of_int (seed + 29)) in
+    let acked = ref 0 and aborted = ref 0 and errors = ref 0 in
+    for round = 1 to rounds do
+      let mode_s =
+        match mode with
+        | `Two_phase -> "2pc"
+        | `Saga -> "saga"
+        | `Mix ->
+            (* The crash round must be 2PC: only 2PC has a Committing
+               window for the crash to strand and recovery to resume. *)
+            if crash && round = (rounds / 2) + 1 then "2pc"
+            else if Prng.bernoulli prng ~p:0.5 then "2pc"
+            else "saga"
+      in
+      let i = Prng.int prng (Array.length participants) in
+      let j = (i + 1 + Prng.int prng 5) mod Array.length participants in
+      let d = 1 + Prng.int prng 5 in
+      let step dst delta =
+        Value.Record
+          [
+            ("dst", Loid.to_value dst);
+            ("meth", Value.Str "Increment");
+            ("args", Value.List [ Value.Int delta ]);
+            ("cmeth", Value.Str "Increment");
+            ("cargs", Value.List [ Value.Int (-delta) ]);
+          ]
+      in
+      (match
+         Api.call sys ctx ~dst:co ~meth:"TxnRun"
+           ~args:
+             [
+               Value.Str mode_s;
+               Value.List
+                 [ step participants.(i) d; step participants.(j) d ];
+             ]
+       with
+      | Ok _ -> incr acked
+      | Error (Err.Txn_aborted _) -> incr aborted
+      | Error _ -> incr errors);
+      if crash && round = (rounds / 2) + 1 then begin
+        Runtime.power_fail rt coord_host;
+        ignore
+          (Legion_sim.Engine.schedule (System.sim sys) ~delay:6.0 (fun () ->
+               Network.set_host_up net coord_host true))
+      end;
+      System.run_for sys 1.0
+    done;
+    System.run_for sys 30.0;
+    System.run sys;
+    let events = Recorder.events_since obs mark in
+    let count p = Trace.count_of p events in
+    (* The E20 audit: atomicity proved from the version history alone. *)
+    let store = (System.site sys 0).System.storage in
+    let staged = ref 0 and mixed = ref 0 in
+    let committed = ref 0 and compensated = ref 0 in
+    let ids =
+      List.sort_uniq String.compare
+        (List.concat_map
+           (fun loid ->
+             List.filter_map
+               (fun (e : Persistent.History.entry) -> e.txn)
+               (Persistent.history store ~loid))
+           (Persistent.history_loids store))
+    in
+    List.iter
+      (fun id ->
+        let marks =
+          List.concat_map
+            (fun loid ->
+              List.filter_map
+                (fun (e : Persistent.History.entry) ->
+                  if e.txn = Some id then Some e.mark else None)
+                (Persistent.history store ~loid))
+            (Persistent.history_loids store)
+        in
+        if List.exists (fun m -> m = Persistent.Staged) marks then incr staged;
+        let c = List.exists (fun m -> m = Persistent.Committed) marks in
+        let x = List.exists (fun m -> m = Persistent.Compensated) marks in
+        if c && x then incr mixed;
+        if c then incr committed;
+        if x then incr compensated)
+      ids;
+    let orphaned =
+      Array.fold_left
+        (fun acc o ->
+          match Api.call sys ctx ~dst:o ~meth:"TxnHeld" ~args:[] with
+          | Ok (Value.List []) -> acc
+          | _ -> acc + 1)
+        0 participants
+    in
+    let indoubt =
+      match Api.call sys ctx ~dst:co ~meth:"TxnStats" ~args:[] with
+      | Ok (Value.Record fields) -> (
+          match List.assoc_opt "indoubt" fields with
+          | Some (Value.Int n) -> n
+          | _ -> -1)
+      | _ -> -1
+    in
+    if json then
+      Printf.printf
+        "{\"seed\":%d,\"rounds\":%d,\"acked\":%d,\"aborted\":%d,\"errors\":%d,\
+         \"committed\":%d,\"compensated\":%d,\"staged_residue\":%d,\
+         \"mixed_marks\":%d,\"orphaned_locks\":%d,\"in_doubt\":%d,\
+         \"resumes\":%d,\"prepares\":%d,\"compensations\":%d}\n"
+        seed rounds !acked !aborted !errors !committed !compensated !staged
+        !mixed orphaned indoubt
+        (count (Trace.resume ()))
+        (count (Trace.prepare ()))
+        (count (Trace.compensate ()))
+    else begin
+      Format.printf "%d rounds: %d commits acked, %d aborted, %d errors@."
+        rounds !acked !aborted !errors;
+      Format.printf
+        "events: %d prepares, %d commits, %d aborts, %d compensations, %d \
+         resumes@."
+        (count (Trace.prepare ()))
+        (count (Trace.txn_commit ()))
+        (count (Trace.txn_abort ()))
+        (count (Trace.compensate ()))
+        (count (Trace.resume ()));
+      Format.printf
+        "history audit: %d txns committed, %d compensated, %d staged residue, \
+         %d mixed marks@."
+        !committed !compensated !staged !mixed;
+      Format.printf "locks: %d orphaned; coordinator in doubt: %d@." orphaned
+        indoubt;
+      if !staged > 0 || !mixed > 0 || orphaned > 0 || indoubt <> 0 then begin
+        Format.printf "ATOMICITY VIOLATION@.";
+        exit 1
+      end
+      else Format.printf "atomicity holds: no partial commits@."
+    end
+  in
+  let info =
+    Cmd.info "txn"
+      ~doc:
+        "Drive atomic multi-object invocations (2PC or saga with typed \
+         compensations) through a coordinator, optionally power-failing it \
+         mid-run, and audit atomicity from the event-sourced version history."
+  in
+  Cmd.v info
+    Term.(
+      const run $ sites_arg $ seed_arg $ rounds_arg $ mode_arg $ crash_arg
+      $ json_arg)
+
 let cmd_idl =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IDL source file.")
@@ -1240,5 +1464,6 @@ let () =
        (Cmd.group info
           [
             cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_overload;
-            cmd_recover; cmd_replicate; cmd_scale; cmd_elastic; cmd_idl;
+            cmd_recover; cmd_replicate; cmd_scale; cmd_elastic; cmd_txn;
+            cmd_idl;
           ]))

@@ -283,6 +283,21 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                   match Binding.of_value bv with
                   | Ok b ->
                       row.address <- Some (Binding.address b);
+                      (* Units that keep durable in-doubt work (the
+                         transaction coordinator's WAL, a participant's
+                         restored prepare lock) register a resume
+                         method; poke it fire-and-forget on every
+                         activation, proactive (NotifyDead) or
+                         on-demand (a stale-binding rebind), so
+                         recovery re-drives what a crash interrupted no
+                         matter which path reached the object first.
+                         Resume methods are idempotent — an
+                         already-running instance ignores the poke. *)
+                      (match Impl.resume_method_for st.instance_units with
+                      | None -> ()
+                      | Some meth ->
+                          Runtime.invoke ctx ~dst:loid ~meth ~args:[] ~env
+                            (fun _ -> ()));
                       k (Ok bv)
                   | Error msg -> k (Error (Err.Internal ("bad binding: " ^ msg))))
               | Error _ when rest <> [] -> try_mags rest
@@ -816,6 +831,10 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                         Runtime.emit rt
                           ~host:(Runtime.proc_host ctx.Runtime.self)
                           (Legion_obs.Event.Reactivate { loid });
+                        (* The resume poke for units with durable
+                           in-doubt work happens inside
+                           activate_via_magistrates, shared with the
+                           on-demand rebind path. *)
                         k Impl.ok_unit
                     | Error e -> k (Error e))))
     | _ -> Impl.bad_args k "NotifyDead expects one loid"

@@ -38,6 +38,18 @@ let find_factory name = Hashtbl.find_opt registry name
 let registered_units () =
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
 
+(* Resume hooks: unit name -> method the recovery path should invoke on
+   a freshly reactivated instance composed from that unit. Registered
+   alongside the factory (Legion_txn.register wires its coordinator's
+   TxnResume here) so the class recovery path needs no compile-time
+   dependency on the unit's library. *)
+let resume_hooks : (string, string) Hashtbl.t = Hashtbl.create 8
+
+let register_resume ~unit_name ~meth = Hashtbl.replace resume_hooks unit_name meth
+
+let resume_method_for units =
+  List.find_map (fun u -> Hashtbl.find_opt resume_hooks u) units
+
 let ok_unit : Runtime.reply = Ok Value.Unit
 let reply_err k e = k (Error e)
 let bad_args k msg = k (Error (Err.Bad_args msg))

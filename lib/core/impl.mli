@@ -64,6 +64,17 @@ val register : string -> factory -> unit
 val find_factory : string -> factory option
 val registered_units : unit -> string list
 
+val register_resume : unit_name:string -> meth:string -> unit
+(** Declare that instances composed from [unit_name] carry in-doubt
+    durable work: after crash-recovery reactivates such an instance,
+    the responsible class invokes [meth] on it (fire-and-forget) so the
+    unit can re-drive from its own write-ahead state. The transaction
+    coordinator registers [TxnResume] here. Last registration for a
+    unit name wins. *)
+
+val resume_method_for : string list -> string option
+(** The resume method of the first listed unit that registered one. *)
+
 (** {1 Composition and activation} *)
 
 val compose : parts:part list -> Runtime.handler

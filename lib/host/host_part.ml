@@ -42,7 +42,26 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   let env = Env.of_self self in
 
   let live_processes () =
-    st.processes <- List.filter (fun (_, p) -> Runtime.is_live p.proc) st.processes;
+    st.processes <-
+      List.filter
+        (fun (_, p) ->
+          Runtime.is_live p.proc
+          &&
+          (* A placement from a superseded incarnation is a zombie, not
+             a resident: delivery fences it, so it can never answer.
+             Counting it as "already running here" would make Activate
+             hand out its address forever (a rebind livelock after a
+             partition-era epoch bump). Reap it on sight; the caller
+             then re-activates from the OPR under the current epoch. *)
+          if
+            Runtime.proc_epoch p.proc
+            < Runtime.current_epoch rt (Runtime.proc_loid p.proc)
+          then begin
+            Runtime.kill rt p.proc;
+            false
+          end
+          else true)
+        st.processes;
     st.processes
   in
   let find_process loid =

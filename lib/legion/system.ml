@@ -78,7 +78,9 @@ let register_all_units () =
   Host_part.register ();
   Magistrate_part.register ();
   Sched_part.register ();
-  Context_part.register ()
+  Context_part.register ();
+  Legion_txn.Participant.register ();
+  Legion_txn.Coordinator.register ()
 
 (* IDL for the core interfaces — stored in the core class objects and
    served by GetInterface, exercising the same parser user classes use. *)

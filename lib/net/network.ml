@@ -6,6 +6,9 @@ module Recorder = Legion_obs.Recorder
 type host_id = int
 type site_id = int
 
+(* Registration handle: the tag says which list to search on removal. *)
+type watcher = Host_watcher of int | Partition_watcher of int
+
 type latency = {
   intra_host : float;
   intra_site : float;
@@ -53,8 +56,10 @@ type t = {
   mutable partitions : (site_id * site_id) list;
   mutable tap : (src:host_id -> dst:host_id -> Value.t -> unit) option;
   mutable host_watcher : (host_id -> up:bool -> unit) option;
-  mutable host_watchers : (host_id -> up:bool -> unit) list;
-  mutable partition_watchers : (site_id -> site_id -> cut:bool -> unit) list;
+  mutable watcher_seq : int;
+  mutable host_watchers : (int * (host_id -> up:bool -> unit)) list;
+  mutable partition_watchers :
+    (int * (site_id -> site_id -> cut:bool -> unit)) list;
   mutable obs : Recorder.t option;
   mutable sent : int;
   mutable bytes : int;
@@ -125,6 +130,7 @@ let create ~sim ~prng ?(latency = default_latency) ?obs () =
     partitions = [];
     tap = None;
     host_watcher = None;
+    watcher_seq = 0;
     host_watchers = [];
     partition_watchers = [];
     obs;
@@ -201,11 +207,29 @@ let set_host_up t h up =
   t.host_tbl.(h).up <- up;
   if was <> up then begin
     (match t.host_watcher with None -> () | Some f -> f h ~up);
-    List.iter (fun f -> f h ~up) t.host_watchers
+    List.iter (fun (_, f) -> f h ~up) t.host_watchers
   end
 
 let set_host_watcher t f = t.host_watcher <- f
-let add_host_watcher t f = t.host_watchers <- t.host_watchers @ [ f ]
+
+let next_watcher_id t =
+  t.watcher_seq <- t.watcher_seq + 1;
+  t.watcher_seq
+
+let add_host_watcher t f =
+  let id = next_watcher_id t in
+  t.host_watchers <- t.host_watchers @ [ (id, f) ];
+  Host_watcher id
+
+let remove_watcher t = function
+  | Host_watcher id ->
+      t.host_watchers <- List.filter (fun (i, _) -> i <> id) t.host_watchers
+  | Partition_watcher id ->
+      t.partition_watchers <-
+        List.filter (fun (i, _) -> i <> id) t.partition_watchers
+
+let watcher_count t =
+  List.length t.host_watchers + List.length t.partition_watchers
 
 let host_is_up t h =
   check_host t h;
@@ -228,10 +252,14 @@ let set_partitioned t a b cut =
   let now = cut && a <> b in
   t.partitions <- (if now then pair :: without else without);
   if was <> now then
-    List.iter (fun f -> f (fst pair) (snd pair) ~cut:now) t.partition_watchers
+    List.iter
+      (fun (_, f) -> f (fst pair) (snd pair) ~cut:now)
+      t.partition_watchers
 
 let add_partition_watcher t f =
-  t.partition_watchers <- t.partition_watchers @ [ f ]
+  let id = next_watcher_id t in
+  t.partition_watchers <- t.partition_watchers @ [ (id, f) ];
+  Partition_watcher id
 
 let is_partitioned t a b =
   List.mem (norm_pair a b) t.partitions

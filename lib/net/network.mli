@@ -17,6 +17,11 @@ type t
 type host_id = int
 type site_id = int
 
+type watcher
+(** Handle for a watcher registered with {!add_host_watcher} or
+    {!add_partition_watcher}; pass it to {!remove_watcher} to
+    deregister. *)
+
 type latency = {
   intra_host : float;  (** Local IPC between objects of one host. *)
   intra_site : float;  (** Campus LAN. *)
@@ -63,12 +68,23 @@ val set_host_watcher : t -> (host_id -> up:bool -> unit) option -> unit
     state fire nothing). The runtime installs one to reap fenced zombie
     placements when a crashed host reboots. [None] removes it. *)
 
-val add_host_watcher : t -> (host_id -> up:bool -> unit) -> unit
+val add_host_watcher : t -> (host_id -> up:bool -> unit) -> watcher
 (** Append an additional transition watcher without disturbing the one
     installed through {!set_host_watcher} (the runtime's zombie reaper).
     The replica-set repair machinery uses this to notice replica hosts
-    going down and coming back. Watchers fire in registration order and
-    cannot be removed. *)
+    going down and coming back. Watchers fire in registration order;
+    deregister with {!remove_watcher}. *)
+
+val remove_watcher : t -> watcher -> unit
+(** Deregister a watcher added with {!add_host_watcher} or
+    {!add_partition_watcher}. Idempotent — removing an already-removed
+    handle is a no-op. Machinery with a teardown path ([Repair.stop])
+    must remove its watchers, or repeated setup/teardown cycles leak
+    closures that keep firing against dead state. *)
+
+val watcher_count : t -> int
+(** Currently registered removable watchers (host + partition), for
+    leak regression tests. *)
 
 val set_drop_rate : t -> float -> unit
 (** Fraction of messages lost uniformly at random; default [0.]. *)
@@ -83,14 +99,15 @@ val set_partitioned : t -> site_id -> site_id -> bool -> unit
 
 val is_partitioned : t -> site_id -> site_id -> bool
 
-val add_partition_watcher : t -> (site_id -> site_id -> cut:bool -> unit) -> unit
+val add_partition_watcher :
+  t -> (site_id -> site_id -> cut:bool -> unit) -> watcher
 (** Observe partition {e transitions}: the watcher fires with
     [~cut:true] when a link is newly severed and [~cut:false] when it
     heals (idempotent re-cuts and re-heals fire nothing). The
     anti-entropy machinery hooks heals to trigger replica
     reconciliation, exactly as the runtime's host-up watcher hooks
-    reboots to reap zombies. Watchers fire in registration order and
-    cannot be removed. *)
+    reboots to reap zombies. Watchers fire in registration order;
+    deregister with {!remove_watcher}. *)
 
 (** {1 Messaging} *)
 

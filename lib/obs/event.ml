@@ -43,6 +43,11 @@ type kind =
   | Merge of { cls : Loid.t; clone : Loid.t }
   | Split of { magistrate : Loid.t; dst : Loid.t; objects : int }
   | Probe_fail of { agent : Loid.t; host_obj : Loid.t }
+  | Prepare of { txn : string; participant : Loid.t }
+  | Txn_commit of { txn : string; participants : int }
+  | Txn_abort of { txn : string; reason : string }
+  | Compensate of { txn : string; participant : Loid.t }
+  | Resume of { txn : string; decision : string }
 
 type t = { time : float; host : int option; site : int option; kind : kind }
 
@@ -84,6 +89,11 @@ let name = function
   | Merge _ -> "Merge"
   | Split _ -> "Split"
   | Probe_fail _ -> "ProbeFail"
+  | Prepare _ -> "Prepare"
+  | Txn_commit _ -> "TxnCommit"
+  | Txn_abort _ -> "TxnAbort"
+  | Compensate _ -> "Compensate"
+  | Resume _ -> "Resume"
 
 let tier_name = function
   | Intra_host -> "host"
@@ -126,7 +136,8 @@ let owner e =
   | Probe_fail { agent; _ } -> Some agent
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
   | Cancel _ | Replica_fanout _ | Breaker_open _ | Breaker_probe _
-  | Breaker_close _ ->
+  | Breaker_close _ | Prepare _ | Txn_commit _ | Txn_abort _ | Compensate _
+  | Resume _ ->
       None
 
 let target e =
@@ -144,11 +155,14 @@ let target e =
   | Clone { clone; _ } | Merge { clone; _ } -> Some clone
   | Split { dst; _ } -> Some dst
   | Probe_fail { host_obj; _ } -> Some host_obj
+  | Prepare { participant; _ } | Compensate { participant; _ } ->
+      Some participant
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
   | Cancel _ | Activate _ | Deactivate _ | Checkpoint _ | Suspect _
   | Confirm_dead _ | Reactivate _ | Fence _ | Admit _ | Shed _
   | Breaker_open _ | Breaker_probe _ | Breaker_close _ | Replica_lost _
-  | Replica_repair _ | No_quorum _ | Reconcile _ ->
+  | Replica_repair _ | No_quorum _ | Reconcile _ | Txn_commit _ | Txn_abort _
+  | Resume _ ->
       None
 
 let loid l = Value.Str (Loid.to_string l)
@@ -245,6 +259,14 @@ let fields = function
       ]
   | Probe_fail { agent; host_obj } ->
       [ ("agent", loid agent); ("host_obj", loid host_obj) ]
+  | Prepare { txn; participant } | Compensate { txn; participant } ->
+      [ ("txn", Value.Str txn); ("participant", loid participant) ]
+  | Txn_commit { txn; participants } ->
+      [ ("txn", Value.Str txn); ("participants", Value.Int participants) ]
+  | Txn_abort { txn; reason } ->
+      [ ("txn", Value.Str txn); ("reason", Value.Str reason) ]
+  | Resume { txn; decision } ->
+      [ ("txn", Value.Str txn); ("decision", Value.Str decision) ]
 
 let to_value e =
   Value.Record

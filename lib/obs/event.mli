@@ -130,6 +130,30 @@ type kind =
       (** A live-load Scheduling Agent's [GetState] probe of [host_obj]
           failed (timeout, refusal, or undecodable reply); the agent
           falls back to the Magistrate-supplied count for that host. *)
+  | Prepare of { txn : string; participant : Loid.t }
+      (** Transaction [txn] enlisted [participant]: in 2PC mode the
+          participant acknowledged [TxnPrepare] (prepare lock taken,
+          yes vote); in saga mode its step was applied. *)
+  | Txn_commit of { txn : string; participants : int }
+      (** The coordinator fully committed [txn]: every one of its
+          [participants] acknowledged the commit (or the final saga
+          step applied) and the per-participant history entries are
+          marked committed. *)
+  | Txn_abort of { txn : string; reason : string }
+      (** The coordinator decided to abort [txn] — a participant voted
+          no ([reason] names why; ["stale-epoch"] is a fenced
+          participant's abort vote) or a saga step failed. Compensation
+          of the already-enlisted participants begins. *)
+  | Compensate of { txn : string; participant : Loid.t }
+      (** Rollback of [participant] under aborted transaction [txn]
+          acknowledged: its prepare lock was released (2PC) or its
+          typed compensation method applied (saga). *)
+  | Resume of { txn : string; decision : string }
+      (** Crash recovery re-drove in-doubt transaction [txn] from the
+          coordinator's write-ahead log after [Reactivate]: [decision]
+          is ["commit"] when the commit decision was already durable
+          (committed work is never rolled back) and ["abort"]
+          otherwise. *)
 
 type t = {
   time : float;  (** Virtual time of emission. *)

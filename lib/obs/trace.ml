@@ -267,3 +267,26 @@ let probe_fail ?agent ?host_obj () e =
   | Event.Probe_fail f ->
       opt_loid agent f.agent && opt_loid host_obj f.host_obj
   | _ -> false
+
+let prepare ?txn ?participant () e =
+  match e.Event.kind with
+  | Event.Prepare f -> opt_str txn f.txn && opt_loid participant f.participant
+  | _ -> false
+
+let txn_commit ?txn () e =
+  match e.Event.kind with Event.Txn_commit f -> opt_str txn f.txn | _ -> false
+
+let txn_abort ?txn ?reason () e =
+  match e.Event.kind with
+  | Event.Txn_abort f -> opt_str txn f.txn && opt_str reason f.reason
+  | _ -> false
+
+let compensate ?txn ?participant () e =
+  match e.Event.kind with
+  | Event.Compensate f -> opt_str txn f.txn && opt_loid participant f.participant
+  | _ -> false
+
+let resume ?txn ?decision () e =
+  match e.Event.kind with
+  | Event.Resume f -> opt_str txn f.txn && opt_str decision f.decision
+  | _ -> false

@@ -114,3 +114,8 @@ val clone_ev : ?cls:Loid.t -> ?clone:Loid.t -> unit -> pred
 val merge : ?cls:Loid.t -> ?clone:Loid.t -> unit -> pred
 val split : ?magistrate:Loid.t -> ?dst:Loid.t -> unit -> pred
 val probe_fail : ?agent:Loid.t -> ?host_obj:Loid.t -> unit -> pred
+val prepare : ?txn:string -> ?participant:Loid.t -> unit -> pred
+val txn_commit : ?txn:string -> unit -> pred
+val txn_abort : ?txn:string -> ?reason:string -> unit -> pred
+val compensate : ?txn:string -> ?participant:Loid.t -> unit -> pred
+val resume : ?txn:string -> ?decision:string -> unit -> pred

@@ -31,7 +31,7 @@ type t = {
   mutable losses : int;
   mutable repairs : int;
   mutable armed : bool;
-  mutable watcher_installed : bool;
+  mutable watcher : Network.watcher option;
 }
 
 let replica_count m = List.length m.replicas
@@ -84,7 +84,7 @@ let deploy ~ctx ~net ~loid ~opr ~hosts ~pool ~semantic ?register_with
           losses = 0;
           repairs = 0;
           armed = false;
-          watcher_installed = false;
+          watcher = None;
         }
       in
       reregister m (fun r -> k (Result.map (fun () -> m) r))
@@ -209,19 +209,29 @@ let sweep m k =
 
 let start m ~period ~until =
   m.armed <- true;
-  if not m.watcher_installed then begin
-    m.watcher_installed <- true;
-    (* Instant path: a confirmed host-down transition repairs without
-       waiting for the probe counter — the sweep remains the backstop
-       for silent failures the network layer never reports. *)
-    Network.add_host_watcher m.net (fun h ~up ->
-        if m.armed && (not up) && Hashtbl.mem m.rep_idx h then
-          repair m h (fun _ -> ()))
-  end;
+  (if m.watcher = None then
+     (* Instant path: a confirmed host-down transition repairs without
+        waiting for the probe counter — the sweep remains the backstop
+        for silent failures the network layer never reports. *)
+     let w =
+       Network.add_host_watcher m.net (fun h ~up ->
+           if m.armed && (not up) && Hashtbl.mem m.rep_idx h then
+             repair m h (fun _ -> ()))
+     in
+     m.watcher <- Some w);
   Script.every (Runtime.sim m.rt) ~period ~until (fun () ->
       sweep m (fun _ -> ()))
 
-let stop m = m.armed <- false
+let stop m =
+  m.armed <- false;
+  match m.watcher with
+  | None -> ()
+  | Some w ->
+      (* Deregister, not just disarm: a disarmed-but-registered closure
+         survives the manager and fires on every later host transition
+         — repeated start/stop cycles used to accumulate them. *)
+      Network.remove_watcher m.net w;
+      m.watcher <- None
 
 let reconcile_on_heal ctx ~net ~groups =
   let env = Env.of_self (Runtime.proc_loid ctx.Runtime.self) in

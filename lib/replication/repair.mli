@@ -62,7 +62,9 @@ val start : t -> period:float -> until:float -> unit
     probe {!sweep}s every [period] seconds until [until]. *)
 
 val stop : t -> unit
-(** Disarm: scheduled sweeps and watcher firings become no-ops. *)
+(** Disarm: scheduled sweeps become no-ops and the host-down watcher is
+    deregistered from the network (a later {!start} re-installs it), so
+    repeated start/stop cycles do not accumulate watcher closures. *)
 
 val sweep : t -> (int -> unit) -> unit
 (** One failure-detection pass; the continuation receives the number
@@ -85,8 +87,11 @@ val losses : t -> int
 val repairs : t -> int
 (** Lifetime counters of confirmed losses and completed repairs. *)
 
-val reconcile_on_heal : Runtime.ctx -> net:Network.t -> groups:Loid.t list -> unit
+val reconcile_on_heal :
+  Runtime.ctx -> net:Network.t -> groups:Loid.t list -> Network.watcher
 (** Install a partition watcher that, on every heal transition, invokes
     [Reconcile] on each listed {!Group_part} head — the anti-entropy
-    trigger that converges divergent members once connectivity
-    returns. *)
+    trigger that converges divergent members once connectivity returns.
+    Returns the watcher handle; callers that outlive their group set
+    must pass it to {!Network.remove_watcher}, otherwise each call
+    leaks a permanently firing closure. *)

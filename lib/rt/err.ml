@@ -11,21 +11,26 @@ type t =
   | Stale_epoch
   | Overloaded of { retry_after : float }
   | No_quorum of { have : int; need : int; epoch : int }
+  | Txn_locked of { holder : string; retry_after : float }
+  | Txn_aborted of { txn : string }
   | Internal of string
 
 let is_delivery_failure = function
   | No_such_object | Timeout | Unreachable _ | Stale_epoch -> true
   | No_such_method _ | Refused _ | Bad_args _ | Not_bound _ | Overloaded _
-  | No_quorum _ | Internal _ ->
+  | No_quorum _ | Txn_locked _ | Txn_aborted _ | Internal _ ->
       false
 
 let is_overload = function Overloaded _ -> true | _ -> false
 
 let is_retryable = function
-  | Overloaded _ | No_quorum _ -> true
+  | Overloaded _ | No_quorum _ | Txn_locked _ -> true
   | _ -> false
 
-let retry_after = function Overloaded { retry_after } -> Some retry_after | _ -> None
+let retry_after = function
+  | Overloaded { retry_after } | Txn_locked { retry_after; _ } ->
+      Some retry_after
+  | _ -> None
 
 let equal a b =
   match (a, b) with
@@ -42,9 +47,12 @@ let equal a b =
   | Overloaded a, Overloaded b -> Float.equal a.retry_after b.retry_after
   | No_quorum a, No_quorum b ->
       a.have = b.have && a.need = b.need && a.epoch = b.epoch
+  | Txn_locked a, Txn_locked b ->
+      String.equal a.holder b.holder && Float.equal a.retry_after b.retry_after
+  | Txn_aborted a, Txn_aborted b -> String.equal a.txn b.txn
   | ( ( No_such_object | No_such_method _ | Refused _ | Bad_args _ | Not_bound _
       | Timeout | Unreachable _ | Stale_epoch | Overloaded _ | No_quorum _
-      | Internal _ ),
+      | Txn_locked _ | Txn_aborted _ | Internal _ ),
       _ ) ->
       false
 
@@ -62,6 +70,10 @@ let pp ppf = function
   | No_quorum { have; need; epoch } ->
       Format.fprintf ppf "no quorum (%d/%d at membership epoch %d)" have need
         epoch
+  | Txn_locked { holder; retry_after } ->
+      Format.fprintf ppf "prepare-locked by txn %s (retry after %.3fs)" holder
+        retry_after
+  | Txn_aborted { txn } -> Format.fprintf ppf "transaction %s aborted" txn
   | Internal r -> Format.fprintf ppf "internal error: %s" r
 
 let to_string t = Format.asprintf "%a" pp t
@@ -85,6 +97,15 @@ let to_value = function
           ("n", Value.Int need);
           ("e", Value.Int epoch);
         ]
+  | Txn_locked { holder; retry_after } ->
+      Value.Record
+        [
+          ("c", Value.Str "tlk");
+          ("h", Value.Str holder);
+          ("ra", Value.Float retry_after);
+        ]
+  | Txn_aborted { txn } ->
+      Value.Record [ ("c", Value.Str "txa"); ("x", Value.Str txn) ]
   | Internal r -> Value.Record [ ("c", Value.Str "int"); ("d", Value.Str r) ]
 
 let of_value v =
@@ -122,8 +143,35 @@ let of_value v =
       in
       let* have = int_field "h" in
       let* need = int_field "n" in
-      let* epoch = int_field "e" in
+      (* Pre-fencing encoders omitted the membership epoch; decode it as
+         0, the same legacy default the binding codec uses for "epo". *)
+      let* epoch =
+        match Value.field_opt v "e" with
+        | None -> Ok 0
+        | Some ev -> Result.map_error err (Value.to_int ev)
+      in
       Ok (No_quorum { have; need; epoch })
+  | "tlk" ->
+      (* Both fields default for forward/backward codec compatibility:
+         an older peer's bare lock rejection still decodes. *)
+      let* holder =
+        match Value.field_opt v "h" with
+        | None -> Ok ""
+        | Some hv -> Result.map_error err (Value.to_str hv)
+      in
+      let* ra =
+        match Value.field_opt v "ra" with
+        | None -> Ok 0.0
+        | Some rv -> Result.map_error err (Value.to_float rv)
+      in
+      Ok (Txn_locked { holder; retry_after = ra })
+  | "txa" ->
+      let* txn =
+        match Value.field_opt v "x" with
+        | None -> Ok ""
+        | Some xv -> Result.map_error err (Value.to_str xv)
+      in
+      Ok (Txn_aborted { txn })
   | "unr" ->
       let* d = detail () in
       Ok (Unreachable d)

@@ -46,6 +46,20 @@ type t =
           head is alive and correctly bound — but it {e is} retryable:
           once the partition heals (or membership changes) the same
           write can succeed. Nothing was applied anywhere. *)
+  | Txn_locked of { holder : string; retry_after : float }
+      (** A transaction participant refused [TxnPrepare] because another
+          transaction ([holder]) already holds its prepare lock. Not a
+          delivery failure — the participant is alive and correctly
+          bound — but retryable: the lock clears when the holding
+          transaction commits or aborts, so back off at least
+          [retry_after] and re-prepare. *)
+  | Txn_aborted of { txn : string }
+      (** The coordinator aborted the multi-object invocation [txn]: a
+          participant voted no (epoch fence, refused prepare, crash) or
+          a saga step failed. All prepared participants have been (or
+          will be, after recovery) released and compensated; nothing
+          remains partially applied. Definitive — not retryable as-is,
+          though the caller may submit a fresh transaction. *)
   | Internal of string
 
 val is_delivery_failure : t -> bool
@@ -58,12 +72,13 @@ val is_overload : t -> bool
 (** True for [Overloaded]. *)
 
 val is_retryable : t -> bool
-(** True for the typed backpressure answers — [Overloaded] and
-    [No_quorum] — where the destination is healthy and correctly bound
-    and the same call can succeed later without rebinding. *)
+(** True for the typed backpressure answers — [Overloaded], [No_quorum]
+    and [Txn_locked] — where the destination is healthy and correctly
+    bound and the same call can succeed later without rebinding. *)
 
 val retry_after : t -> float option
-(** The backoff hint carried by [Overloaded], [None] otherwise. *)
+(** The backoff hint carried by [Overloaded] and [Txn_locked], [None]
+    otherwise. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

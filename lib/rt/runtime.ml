@@ -714,13 +714,17 @@ let send_one ctx ?timeout ~dst_loid ~element c k =
       and handle_reply (r : reply) =
         (* Runs after the pending entry is removed (reply delivered). *)
         match r with
-        | Error (Err.Overloaded { retry_after })
+        | Error
+            (Err.Overloaded { retry_after } | Err.Txn_locked { retry_after; _ })
           when p.attempts < policy.Retry.max_attempts ->
             (* Backpressure-aware backoff: the destination shed us and
                said when to come back; honour the hint (and the policy's
                growing window) inside the remaining call budget instead
-               of surfacing the shed. Re-register under the same id —
-               this is still the same logical call. *)
+               of surfacing the shed. A prepare-lock rejection sheds the
+               same way — the lock clears when the holding transaction
+               resolves, typically well within the hinted window.
+               Re-register under the same id — this is still the same
+               logical call. *)
             let wait =
               Retry.backoff_window policy ~attempt:(p.attempts + 1)
                 ~retry_after ~prng:rt.prng

@@ -303,7 +303,8 @@ val invoke :
     overrides the rebind budget — failure-detector-style scans over
     possibly-dead components set both low.
 
-    Backpressure: an [Overloaded] reply is retried under the same call
+    Backpressure: an [Overloaded] reply — and a [Txn_locked] prepare
+    rejection, which sheds the same way — is retried under the same call
     id after backing off at least the destination's [retry_after] hint
     ({!Retry.backoff_window}), as long as attempt budget and deadline
     remain — explicit-[?timeout] (single-attempt) calls surface it

@@ -1,0 +1,51 @@
+(** Atomic multi-object invocations: the transaction coordinator.
+
+    Legion has no built-in transactions — the paper leaves cross-object
+    consistency to "the objects themselves". This unit is that object:
+    a coordinator composed like any other implementation unit, driving
+    a set of {!Participant}-bearing objects through either protocol:
+
+    - {b 2PC} ([TxnRun("2pc", steps)]): prepare locks race in parallel;
+      a unanimous yes makes the commit decision, which is written to
+      the coordinator's write-ahead log {e before} the client learns
+      the outcome; commit acknowledgements then drain asynchronously
+      and are re-driven until every participant has applied. Any no
+      vote — including [Err.Stale_epoch] from a fenced participant,
+      which is always an abort vote, never a hang — aborts and releases
+      all locks.
+    - {b Saga} ([TxnRun("saga", steps)]): steps apply immediately in
+      order; a failure at step [i] runs the typed compensations of
+      steps [i-1 .. 0] in reverse. Every saga step must carry a
+      compensation method.
+
+    Durability rides the Jurisdiction store named by [Configure]: the
+    WAL of unfinished transactions is overwritten in place
+    ({!Legion_store.Persistent.put_named}), and each participant's
+    state is snapshotted into the store's per-LOID version history
+    tagged with the transaction id — first [Staged] at prepare/apply,
+    then flipped [Committed]/[Compensated] as the outcome lands. The
+    E20 checker proves atomicity from these histories alone.
+
+    Crash recovery: {!register} hooks [TxnResume] into
+    {!Legion_core.Impl.register_resume}, so the responsible class
+    invokes it after reactivating a crashed coordinator. Presumed
+    abort: a durable [Committing] record resumes toward commit
+    (committed work is never rolled back — [Resume] trace decision
+    ["commit"]); anything still [Running] aborts; a saga compensates
+    exactly the steps the store history proves applied.
+
+    Methods: [Configure {store}], [TxnRun(mode, steps)] (step records:
+    [dst], [meth], [args], [cmeth], [cargs]; participants must be
+    distinct), [TxnResume()], [TxnStatus(txn)] (the authoritative
+    phase, ["unknown"] for a forgotten or never-seen id — how a
+    reactivated participant re-validates a resurrected prepare lock),
+    [TxnStats()] (committed / aborted / compensations / resumed /
+    indoubt counters). *)
+
+val unit_name : string
+(** ["legion.txn.coord"]. *)
+
+val factory : Legion_core.Impl.factory
+
+val register : unit -> unit
+(** Register the factory and the [TxnResume] crash-recovery hook. *)

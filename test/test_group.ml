@@ -319,7 +319,7 @@ let test_fenced_split_brain () =
   (* Arm anti-entropy, then heal: the partition watcher sweeps
      Reconcile over the group and the stale minority members converge
      onto the freshest (majority) state. *)
-  Repair.reconcile_on_heal ctx ~net ~groups:[ g_maj ];
+  ignore (Repair.reconcile_on_heal ctx ~net ~groups:[ g_maj ]);
   Network.set_partitioned net 0 2 false;
   Network.set_partitioned net 1 2 false;
   System.run sys;
@@ -353,6 +353,61 @@ let test_fenced_split_brain () =
   with
   | Ok _ -> ()
   | Error msg -> Alcotest.fail msg
+
+(* Regression: repair managers and heal-reconcilers must deregister
+   their network watchers on teardown. Before watcher handles existed,
+   every [start]/[reconcile_on_heal] appended a closure that could
+   never be removed, so repeated cycles (an Repair manager per repaired
+   object, over a long run) leaked watchers that kept firing against
+   dead managers. *)
+let test_watcher_teardown () =
+  let sys = boot () in
+  let net = System.net sys in
+  let ctx = System.client sys () in
+  let cls = H.make_counter_class sys ctx () in
+  let loid = Api.create_object_exn sys ctx ~cls () in
+  let opr =
+    Opr.make ~kind:Well_known.kind_app
+      ~units:[ H.counter_unit; Well_known.unit_object ]
+      ()
+  in
+  let worker n (s : System.site) = List.nth s.System.net_hosts n in
+  let sites = System.sites sys in
+  let hosts = List.map (worker 1) sites in
+  let pool = hosts @ List.map (worker 2) sites in
+  let mgr =
+    match
+      Api.sync sys (fun k ->
+          Repair.deploy ~ctx ~net ~loid ~opr ~hosts ~pool
+            ~semantic:Address.Ordered_failover ~register_with:cls k)
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "Repair.deploy: %s" (Err.to_string e)
+  in
+  let baseline = Network.watcher_count net in
+  (* start installs exactly one host watcher; a second start must not
+     stack another; stop removes it. *)
+  Repair.start mgr ~period:0.5 ~until:(System.now sys +. 60.0);
+  Alcotest.(check int) "start installs one watcher" (baseline + 1)
+    (Network.watcher_count net);
+  Repair.start mgr ~period:0.5 ~until:(System.now sys +. 60.0);
+  Alcotest.(check int) "restart does not stack" (baseline + 1)
+    (Network.watcher_count net);
+  Repair.stop mgr;
+  Alcotest.(check int) "stop deregisters" baseline (Network.watcher_count net);
+  for _ = 1 to 10 do
+    Repair.start mgr ~period:0.5 ~until:(System.now sys +. 60.0);
+    Repair.stop mgr
+  done;
+  Alcotest.(check int) "start/stop churn leaves no leak" baseline
+    (Network.watcher_count net);
+  (* The heal-reconciler hands back its handle for the same reason. *)
+  let w = Repair.reconcile_on_heal ctx ~net ~groups:[ loid ] in
+  Alcotest.(check int) "reconciler registered" (baseline + 1)
+    (Network.watcher_count net);
+  Network.remove_watcher net w;
+  Alcotest.(check int) "reconciler removable" baseline
+    (Network.watcher_count net)
 
 (* --- Self-healing system-level replication (one LOID, §4.3) --- *)
 
@@ -441,5 +496,7 @@ let () =
             test_fenced_split_brain;
           Alcotest.test_case "replica repair restores the factor" `Quick
             test_replica_repair;
+          Alcotest.test_case "watchers deregister on teardown" `Quick
+            test_watcher_teardown;
         ] );
     ]

@@ -211,6 +211,51 @@ let test_bad_host_id () =
   Alcotest.check_raises "bad id" (Invalid_argument "Network: bad host id") (fun () ->
       ignore (Network.host_name net 99))
 
+(* Watchers are deregisterable handles: the repair machinery's
+   start/stop cycles must not accumulate dead closures (the
+   reconcile_on_heal leak). *)
+let test_watcher_deregistration () =
+  let _, net, h0, _, _ = make_net () in
+  let host_fires = ref 0 and part_fires = ref 0 in
+  Alcotest.(check int) "no watchers initially" 0 (Network.watcher_count net);
+  let w1 = Network.add_host_watcher net (fun _ ~up:_ -> incr host_fires) in
+  let w2 =
+    Network.add_partition_watcher net (fun _ _ ~cut:_ -> incr part_fires)
+  in
+  Alcotest.(check int) "both registered" 2 (Network.watcher_count net);
+  Network.set_host_up net h0 false;
+  let s0 = Network.site_of net h0 in
+  Network.set_partitioned net s0 (s0 + 1) true;
+  Alcotest.(check int) "host watcher fired" 1 !host_fires;
+  Alcotest.(check int) "partition watcher fired" 1 !part_fires;
+  Network.remove_watcher net w1;
+  Alcotest.(check int) "one left" 1 (Network.watcher_count net);
+  (* The removed watcher stays silent; the other keeps firing. *)
+  Network.set_host_up net h0 true;
+  Network.set_partitioned net s0 (s0 + 1) false;
+  Alcotest.(check int) "removed watcher silent" 1 !host_fires;
+  Alcotest.(check int) "remaining watcher fired" 2 !part_fires;
+  (* Removal is idempotent; handles are not confused across kinds. *)
+  Network.remove_watcher net w1;
+  Alcotest.(check int) "double remove is a no-op" 1 (Network.watcher_count net);
+  Network.remove_watcher net w2;
+  Alcotest.(check int) "all gone" 0 (Network.watcher_count net);
+  Network.set_host_up net h0 false;
+  Network.set_partitioned net s0 (s0 + 1) true;
+  Alcotest.(check int) "no zombie firings (host)" 1 !host_fires;
+  Alcotest.(check int) "no zombie firings (partition)" 2 !part_fires
+
+let test_watcher_churn_bounded () =
+  let _, net, _, _, _ = make_net () in
+  for _ = 1 to 50 do
+    let w = Network.add_host_watcher net (fun _ ~up:_ -> ()) in
+    let w' = Network.add_partition_watcher net (fun _ _ ~cut:_ -> ()) in
+    Network.remove_watcher net w;
+    Network.remove_watcher net w'
+  done;
+  Alcotest.(check int) "churn leaves nothing behind" 0
+    (Network.watcher_count net)
+
 let () =
   Alcotest.run "net"
     [
@@ -229,5 +274,9 @@ let () =
           Alcotest.test_case "drop accounting matches trace" `Quick
             test_drop_accounting_matches_trace;
           Alcotest.test_case "bad host id" `Quick test_bad_host_id;
+          Alcotest.test_case "watcher deregistration" `Quick
+            test_watcher_deregistration;
+          Alcotest.test_case "watcher churn leaves no leak" `Quick
+            test_watcher_churn_bounded;
         ] );
     ]

@@ -261,10 +261,217 @@ let test_recovery_churn () =
           (Runtime.requests_of p - before))
     !zombies
 
+(* Transactions under churn: a steady mix of 2PC and saga transactions
+   while hosts power-fail (and reboot) and sites partition (and heal),
+   with the recovery machinery armed. The E20 invariant holds at
+   quiescence regardless of what the chaos hit: every transaction is
+   all-committed or all-compensated — the store histories carry no
+   Staged residue and no transaction with mixed marks — and no
+   participant is left holding an orphaned prepare lock. Outcomes are
+   protocol-shaped, so the boot seed is swept (LEGION_TRACE_SEED). *)
+module Persistent = Legion_store.Persistent
+module Participant = Legion_txn.Participant
+module Coordinator = Legion_txn.Coordinator
+module Err = Legion_rt.Err
+
+let txn_seed =
+  match Sys.getenv_opt "LEGION_TRACE_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 11L
+
+let n_txn_participants = 6
+let n_txn_rounds = 60
+
+let test_txn_churn () =
+  let sys =
+    H.register_counter_unit ();
+    Legion.System.boot ~seed:txn_seed
+      ~rt_config:{ Runtime.default_config with call_timeout = 0.5; max_rebinds = 4 }
+      ~sites:[ ("a", 3); ("b", 3) ]
+      ()
+  in
+  let ctx = System.client sys () in
+  let net = System.net sys and rt = System.rt sys in
+  let part_cls =
+    Api.derive_class_exn sys ctx ~parent:Legion_core.Well_known.legion_object
+      ~name:"ChurnCounter"
+      ~units:[ H.counter_unit; Participant.unit_name ]
+      ()
+  in
+  let coord_cls =
+    Api.derive_class_exn sys ctx ~parent:Legion_core.Well_known.legion_object
+      ~name:"ChurnCoordinator" ~units:[ Coordinator.unit_name ] ()
+  in
+  let objects =
+    Array.init n_txn_participants (fun _ ->
+        Api.create_object_exn sys ctx ~cls:part_cls ~eager:true ())
+  in
+  let coords =
+    Array.init 2 (fun _ ->
+        Api.create_object_exn sys ctx ~cls:coord_cls ~eager:true ())
+  in
+  Array.iter
+    (fun co ->
+      match
+        Api.call sys ctx ~dst:co ~meth:"Configure"
+          ~args:[ Value.Record [ ("store", Value.Str "a") ] ]
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "Configure: %s" (Err.to_string e))
+    coords;
+  let t0 = System.now sys in
+  System.enable_recovery sys ~checkpoint_period:0.5 ~heartbeat_period:0.25
+    ~threshold:3
+    ~until:(t0 +. 300.0)
+    ();
+  System.run_for sys 2.0;
+  let prng = Prng.create ~seed:(Int64.add txn_seed 5L) in
+  let infra = List.map (fun s -> List.hd s.System.net_hosts) (System.sites sys) in
+  let submitted = ref [] in
+  let committed_ids = ref [] in
+  let crashes = ref 0 and partitions = ref 0 in
+  let step dst d =
+    Value.Record
+      [
+        ("dst", Loid.to_value dst);
+        ("meth", Value.Str "Increment");
+        ("args", Value.List [ Value.Int d ]);
+        ("cmeth", Value.Str "Increment");
+        ("cargs", Value.List [ Value.Int (-d) ]);
+      ]
+  in
+  for round = 1 to n_txn_rounds do
+    (* One transaction per round: random coordinator, mode, and two
+       distinct participants. *)
+    let co = coords.(Prng.int prng (Array.length coords)) in
+    let i = Prng.int prng n_txn_participants in
+    let j = (i + 1 + Prng.int prng (n_txn_participants - 1)) mod n_txn_participants in
+    let mode = if Prng.bernoulli prng ~p:0.5 then "2pc" else "saga" in
+    let d = 1 + Prng.int prng 5 in
+    Runtime.invoke ctx ~dst:co ~meth:"TxnRun"
+      ~args:[ Value.Str mode; Value.List [ step objects.(i) d; step objects.(j) d ] ]
+      (function
+        | Ok (Value.Str id) ->
+            submitted := id :: !submitted;
+            committed_ids := id :: !committed_ids
+        | Ok _ -> ()
+        | Error (Err.Txn_aborted { txn }) -> submitted := txn :: !submitted
+        | Error _ ->
+            (* Coordinator crashed before the outcome reached us; the
+               audit resolves the fate from the histories. *)
+            ());
+    (* Chaos: crash a random non-infrastructure host (rebooted later),
+       or briefly partition the two sites. *)
+    if Prng.bernoulli prng ~p:0.12 then begin
+      let candidates =
+        List.filter
+          (fun h -> (not (List.mem h infra)) && Network.host_is_up net h)
+          (Network.hosts net)
+      in
+      if candidates <> [] then begin
+        let victim = List.nth candidates (Prng.int prng (List.length candidates)) in
+        Runtime.power_fail rt victim;
+        incr crashes;
+        ignore
+          (Legion_sim.Engine.schedule (System.sim sys) ~delay:6.0 (fun () ->
+               Network.set_host_up net victim true))
+      end
+    end;
+    (* At least one partition per run regardless of the seed's luck:
+       round 30 always splits the sites. *)
+    if round = 30 || Prng.bernoulli prng ~p:0.05 then begin
+      Network.set_partitioned net 0 1 true;
+      incr partitions;
+      ignore
+        (Legion_sim.Engine.schedule (System.sim sys) ~delay:2.0 (fun () ->
+             Network.set_partitioned net 0 1 false))
+    end;
+    System.run_for sys 1.0
+  done;
+  (* Heal everything and let the recovery and redrive machinery drain:
+     reactivations, TxnResume, commit/compensation redrives. *)
+  List.iter (fun h -> Network.set_host_up net h true) (Network.hosts net);
+  Network.set_partitioned net 0 1 false;
+  System.run_for sys 60.0;
+  System.run sys;
+  Alcotest.(check bool)
+    (Printf.sprintf "chaos occurred (%d crashes, %d partitions)" !crashes
+       !partitions)
+    true
+    (!crashes > 0 && !partitions > 0);
+  Alcotest.(check bool) "transactions resolved" true (!submitted <> []);
+  (* The E20 audit, from the store histories alone. *)
+  let store = (System.site sys 0).System.storage in
+  let marks_of id =
+    List.concat_map
+      (fun loid ->
+        List.filter_map
+          (fun (e : Persistent.History.entry) ->
+            if e.txn = Some id then Some e.mark else None)
+          (Persistent.history store ~loid))
+      (Persistent.history_loids store)
+  in
+  let all_ids =
+    List.sort_uniq String.compare
+      (!submitted
+      @ List.concat_map
+          (fun loid ->
+            List.filter_map
+              (fun (e : Persistent.History.entry) -> e.txn)
+              (Persistent.history store ~loid))
+          (Persistent.history_loids store))
+  in
+  List.iter
+    (fun id ->
+      let marks = marks_of id in
+      let staged = List.filter (fun m -> m = Persistent.Staged) marks in
+      if staged <> [] then
+        Alcotest.failf "txn %s left %d staged entries (partial commit)" id
+          (List.length staged);
+      let committed = List.exists (fun m -> m = Persistent.Committed) marks in
+      let compensated =
+        List.exists (fun m -> m = Persistent.Compensated) marks
+      in
+      if committed && compensated then
+        Alcotest.failf "txn %s has mixed marks (partial commit)" id)
+    all_ids;
+  (* A commit acknowledged to the client is never recorded rolled back. *)
+  List.iter
+    (fun id ->
+      if List.exists (fun m -> m = Persistent.Compensated) (marks_of id) then
+        Alcotest.failf "acknowledged commit %s recorded as compensated" id)
+    !committed_ids;
+  (* No orphaned prepare locks anywhere. *)
+  Array.iteri
+    (fun i o ->
+      match Api.call sys ctx ~dst:o ~meth:"TxnHeld" ~args:[] with
+      | Ok (Value.List []) -> ()
+      | Ok (Value.List [ Value.Str t ]) ->
+          Alcotest.failf "participant %d still holds a lock for %s" i t
+      | Ok v -> Alcotest.failf "TxnHeld: odd reply %s" (Value.to_string v)
+      | Error e ->
+          Alcotest.failf "participant %d unreachable: %s" i (Err.to_string e))
+    objects;
+  (* No transaction remains in doubt on any live coordinator. *)
+  Array.iteri
+    (fun i co ->
+      match Api.call sys ctx ~dst:co ~meth:"TxnStats" ~args:[] with
+      | Ok (Value.Record fields) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "coordinator %d has nothing in doubt" i)
+            true
+            (List.assoc_opt "indoubt" fields = Some (Value.Int 0))
+      | Ok v -> Alcotest.failf "TxnStats: odd reply %s" (Value.to_string v)
+      | Error e ->
+          Alcotest.failf "coordinator %d unreachable: %s" i (Err.to_string e))
+    coords
+
 let () =
   Alcotest.run "soak"
     [
       ("day in the life", [ Alcotest.test_case "soak" `Slow test_soak ]);
       ( "recovery churn",
         [ Alcotest.test_case "churn" `Slow test_recovery_churn ] );
+      ( "txn churn",
+        [ Alcotest.test_case "atomicity under chaos" `Slow test_txn_churn ] );
     ]

@@ -184,6 +184,105 @@ let test_depth () =
   Alcotest.(check int) "nested" 3
     (Value.depth (Value.List [ Value.Record [ ("a", Value.Int 1) ] ]))
 
+(* --- the error taxonomy: every variant survives the wire --- *)
+
+module Err = Legion_rt.Err
+
+let err_t : Err.t Alcotest.testable =
+  Alcotest.testable (fun ppf e -> Err.pp ppf e) Err.equal
+
+(* A generator covering the ENTIRE taxonomy — adding a variant without
+   extending this generator is a compile error only if the match below
+   is kept total, so it enumerates constructors explicitly. *)
+let err_gen : Err.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let s = string_size (0 -- 16) in
+  (* retry hints travel as Float; keep them finite and exact. *)
+  let ra = map (fun i -> float_of_int i /. 8.0) (int_bound 800) in
+  oneof
+    [
+      return Err.No_such_object;
+      map (fun d -> Err.No_such_method d) s;
+      map (fun d -> Err.Refused d) s;
+      map (fun d -> Err.Bad_args d) s;
+      map (fun d -> Err.Not_bound d) s;
+      return Err.Timeout;
+      map (fun d -> Err.Unreachable d) s;
+      return Err.Stale_epoch;
+      map (fun r -> Err.Overloaded { retry_after = r }) ra;
+      map3
+        (fun h n e -> Err.No_quorum { have = h; need = n; epoch = e })
+        (int_bound 9) (int_bound 9) (int_bound 99);
+      map2
+        (fun h r -> Err.Txn_locked { holder = h; retry_after = r })
+        s ra;
+      map (fun x -> Err.Txn_aborted { txn = x }) s;
+      map (fun d -> Err.Internal d) s;
+    ]
+
+let arbitrary_err = QCheck.make ~print:Err.to_string err_gen
+
+let err_value_roundtrip =
+  QCheck.Test.make ~name:"Err.of_value (to_value e) = e" ~count:500
+    arbitrary_err (fun e ->
+      match Err.of_value (Err.to_value e) with
+      | Ok e' -> Err.equal e e'
+      | Error _ -> false)
+
+(* The full path a remote error reply actually takes: struct -> value ->
+   bytes -> value -> struct. *)
+let err_codec_roundtrip =
+  QCheck.Test.make ~name:"Err survives encode/decode" ~count:500
+    arbitrary_err (fun e ->
+      match Codec.decode (Codec.encode (Err.to_value e)) with
+      | Error _ -> false
+      | Ok v -> (
+          match Err.of_value v with
+          | Ok e' -> Err.equal e e'
+          | Error _ -> false))
+
+(* Pre-upgrade peers encode with fields missing; each legacy shape must
+   decode to the documented default, not fail the call. *)
+let test_err_legacy_decodes () =
+  let check name v expected =
+    match Err.of_value v with
+    | Ok e -> Alcotest.check err_t name expected e
+    | Error msg -> Alcotest.failf "%s failed to decode: %s" name msg
+  in
+  check "nqm without epoch"
+    (Value.Record
+       [ ("c", Value.Str "nqm"); ("h", Value.Int 1); ("n", Value.Int 3) ])
+    (Err.No_quorum { have = 1; need = 3; epoch = 0 });
+  check "tlk without holder or hint"
+    (Value.Record [ ("c", Value.Str "tlk") ])
+    (Err.Txn_locked { holder = ""; retry_after = 0.0 });
+  check "tlk with holder only"
+    (Value.Record [ ("c", Value.Str "tlk"); ("h", Value.Str "t9") ])
+    (Err.Txn_locked { holder = "t9"; retry_after = 0.0 });
+  check "txa without txn id"
+    (Value.Record [ ("c", Value.Str "txa") ])
+    (Err.Txn_aborted { txn = "" });
+  (* Unknown codes from a newer peer are an error, not a crash. *)
+  (match Err.of_value (Value.Record [ ("c", Value.Str "zzz") ]) with
+  | Error _ -> ()
+  | Ok e -> Alcotest.failf "unknown code decoded as %s" (Err.to_string e));
+  (* A non-record is an error, not a crash. *)
+  match Err.of_value (Value.Int 3) with
+  | Error _ -> ()
+  | Ok e -> Alcotest.failf "non-record decoded as %s" (Err.to_string e)
+
+let test_err_classification () =
+  Alcotest.(check bool) "lock rejection retryable" true
+    (Err.is_retryable (Err.Txn_locked { holder = "t"; retry_after = 0.1 }));
+  Alcotest.(check bool) "abort verdict not retryable" false
+    (Err.is_retryable (Err.Txn_aborted { txn = "t" }));
+  Alcotest.(check bool) "lock is not a delivery failure" false
+    (Err.is_delivery_failure
+       (Err.Txn_locked { holder = "t"; retry_after = 0.1 }));
+  Alcotest.(check (option (float 1e-9))) "lock carries its retry hint"
+    (Some 0.25)
+    (Err.retry_after (Err.Txn_locked { holder = "t"; retry_after = 0.25 }))
+
 let () =
   Alcotest.run "wire"
     [
@@ -208,5 +307,14 @@ let () =
           Alcotest.test_case "depth" `Quick test_depth;
           QCheck_alcotest.to_alcotest compare_consistent_with_equal;
           QCheck_alcotest.to_alcotest pp_total;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "legacy encodings decode" `Quick
+            test_err_legacy_decodes;
+          Alcotest.test_case "retryability classification" `Quick
+            test_err_classification;
+          QCheck_alcotest.to_alcotest err_value_roundtrip;
+          QCheck_alcotest.to_alcotest err_codec_roundtrip;
         ] );
     ]

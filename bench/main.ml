@@ -31,6 +31,7 @@ let experiments =
     ("e18", "planetary sweep: E2/E3/E4 at 10^5 objects, 10^3 hosts", Exp_planet.run);
     ("e19", "elastic load management under a Zipf flash crowd (3.8, 5.2.2)", Exp_elastic.run);
     ("e20", "atomic multi-object invocations under fault schedules", Exp_txn.run);
+    ("e21", "noisy neighbor: per-tenant quotas and fair queuing (2.4)", Exp_tenants.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

@@ -17,6 +17,9 @@
      txn      drive atomic multi-object invocations (2PC or sagas),
               optionally crashing the coordinator mid-run, and audit
               atomicity from the event-sourced version history
+     tenants  run the E21 noisy-neighbor scenario (quiet and noisy
+              arms) and gate on tenant isolation, shed attribution and
+              denied bindings; exits non-zero on a gate violation
      idl      parse an IDL file and echo the normalized interfaces *)
 
 module Value = Legion_wire.Value
@@ -1406,6 +1409,127 @@ let cmd_txn =
       const run $ sites_arg $ seed_arg $ rounds_arg $ mode_arg $ crash_arg
       $ json_arg)
 
+(* --- tenants --- *)
+
+let cmd_tenants =
+  let module Tenants = Legion.Tenants in
+  let baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Run and report only the quiet arm (every tenant inside its \
+             budget); no gates are evaluated.")
+  in
+  let json_arg =
+    let doc =
+      "Emit the deterministic report as JSON on stdout (same seed, same \
+       bytes) and nothing else."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let max_shift = 25.0 in
+  let print_lanes (r : Tenants.report) =
+    List.iter
+      (fun (l : Tenants.lane) ->
+        Format.printf
+          "  %-8s %5d sent, %5d ok, %5d shed, %3d errors; p50 %.2f ms, p99 \
+           %.2f ms@."
+          l.Tenants.tenant l.Tenants.sent l.Tenants.oks l.Tenants.quota_shed
+          l.Tenants.errors l.Tenants.p50_ms l.Tenants.p99_ms)
+      r.Tenants.lanes
+  in
+  let run seed baseline json =
+    let seed = Int64.of_int seed in
+    if baseline then begin
+      let r = Tenants.run_scenario ~seed ~noisy:false () in
+      if json then print_string (Tenants.scenario_json r ^ "\n")
+      else begin
+        Format.printf "E21 noisy neighbor, quiet arm@.";
+        print_lanes r
+      end
+    end
+    else begin
+      let quiet = Tenants.run_scenario ~seed ~noisy:false () in
+      let noisy = Tenants.run_scenario ~seed ~noisy:true () in
+      let noisy' = Tenants.run_scenario ~seed ~noisy:true () in
+      let deterministic =
+        String.equal (Tenants.scenario_json noisy)
+          (Tenants.scenario_json noisy')
+      in
+      let p99 r name =
+        match Tenants.find_lane r name with
+        | Some l -> l.Tenants.p99_ms
+        | None -> nan
+      in
+      let worst_shift =
+        List.fold_left
+          (fun acc name ->
+            Float.max acc (Float.abs (p99 noisy name -. p99 quiet name)))
+          0.0 Tenants.well_behaved
+      in
+      let attributed =
+        noisy.Tenants.shed_events >= 1
+        && noisy.Tenants.shed_by_offender = noisy.Tenants.shed_events
+        && noisy.Tenants.shed_unattributed = 0
+      in
+      let denied r =
+        r.Tenants.eve_probes >= 1
+        && r.Tenants.eve_denied = r.Tenants.eve_probes
+        && r.Tenants.eve_bindings = 0
+        && r.Tenants.deny_by_eve >= r.Tenants.eve_probes
+      in
+      let clean r =
+        List.for_all
+          (fun name ->
+            match Tenants.find_lane r name with
+            | Some l -> l.Tenants.quota_shed = 0 && l.Tenants.errors = 0
+            | None -> false)
+          Tenants.well_behaved
+      in
+      let ok =
+        deterministic && worst_shift <= max_shift && attributed
+        && denied quiet && denied noisy && clean quiet && clean noisy
+      in
+      if json then
+        Format.printf
+          "{\"seed\": %Ld, \"quiet\": %s, \"noisy\": %s, \
+           \"worst_p99_shift_ms\": %.4f, \"max_p99_shift_ms\": %.1f, \
+           \"deterministic\": %b, \"gates_ok\": %b}@."
+          seed
+          (Tenants.scenario_json quiet)
+          (Tenants.scenario_json noisy)
+          worst_shift max_shift deterministic ok
+      else begin
+        Format.printf "E21 noisy neighbor (quiet arm)@.";
+        print_lanes quiet;
+        Format.printf "E21 noisy neighbor (noisy arm: mallory at 10x budget)@.";
+        print_lanes noisy;
+        Format.printf
+          "worst well-behaved p99 shift %.2f ms (ceiling %.1f)@." worst_shift
+          max_shift;
+        Format.printf
+          "noisy sheds %d: %d attributed to %s, %d unattributed@."
+          noisy.Tenants.shed_events noisy.Tenants.shed_by_offender
+          Tenants.offender noisy.Tenants.shed_unattributed;
+        Format.printf "eve: %d/%d probes denied, %d bindings resolved@."
+          noisy.Tenants.eve_denied noisy.Tenants.eve_probes
+          noisy.Tenants.eve_bindings;
+        Format.printf "deterministic: %b; gates: %s@." deterministic
+          (if ok then "pass" else "FAIL")
+      end;
+      if not ok then exit 1
+    end
+  in
+  let info =
+    Cmd.info "tenants"
+      ~doc:
+        "Run the E21 noisy-neighbor scenario (quiet and noisy arms, same \
+         seed) and gate on tenant isolation, shed attribution and denied \
+         bindings; exits non-zero on a gate violation."
+  in
+  Cmd.v info Term.(const run $ seed_arg $ baseline_arg $ json_arg)
+
 let cmd_idl =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IDL source file.")
@@ -1465,5 +1589,5 @@ let () =
           [
             cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_overload;
             cmd_recover; cmd_replicate; cmd_scale; cmd_elastic; cmd_txn;
-            cmd_idl;
+            cmd_tenants; cmd_idl;
           ]))

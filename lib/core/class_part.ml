@@ -5,6 +5,7 @@ module Binding = Legion_naming.Binding
 module Interface = Legion_idl.Interface
 module Parser = Legion_idl.Parser
 module Env = Legion_sec.Env
+module Policy = Legion_sec.Policy
 module Runtime = Legion_rt.Runtime
 module Err = Legion_rt.Err
 module C = Convert
@@ -41,6 +42,10 @@ type state = {
          are "passed to the cloned object" — answered with a redirect
          into this ring instead of served here *)
   mutable clone_rr : int;  (* round-robin cursor over clones *)
+  mutable binding_policy : Policy.t;
+      (* §2.4 enforced on the binding path: judges every Create and
+         GetBinding before it is served, so an uncleared principal never
+         receives a binding from this class *)
   mutable table : (Loid.t * row) list;  (* Fig. 16, newest first *)
   (* Side index over [table]: GetBinding is the system's hottest read
      path, and the list (kept for its serialized "newest first" order)
@@ -93,6 +98,7 @@ let state_to_value st =
       ("rr", Value.Int st.rr);
       ("clones", C.vloids st.clones);
       ("crr", Value.Int st.clone_rr);
+      ("bpol", Policy.to_value st.binding_policy);
       ("table", Value.List (List.map row_to_value st.table));
     ]
 
@@ -115,6 +121,13 @@ let state_of_value st v =
   (* Absent in states serialized before autonomic cloning existed. *)
   let* clones = C.loid_list_field ~default:[] v "clones" in
   let clone_rr = match C.int_field v "crr" with Ok n -> n | Error _ -> 0 in
+  (* Absent in states serialized before binding-path enforcement: those
+     classes answered everyone, so the legacy default is Allow_all. *)
+  let* binding_policy =
+    match C.field v "bpol" with
+    | Error _ -> Ok Policy.Allow_all
+    | Ok pv -> Policy.of_value pv
+  in
   let* table_v = C.field v "table" in
   let* table =
     match table_v with
@@ -142,6 +155,7 @@ let state_of_value st v =
   st.rr <- rr;
   st.clones <- clones;
   st.clone_rr <- clone_rr;
+  st.binding_policy <- binding_policy;
   st.table <- table;
   let idx = Loid.Table.create () in
   List.iter (fun (l, r) -> Loid.Table.set idx l r) table;
@@ -151,7 +165,7 @@ let state_of_value st v =
 let init_state ?interface ?(instance_units = [ Well_known.unit_object ])
     ?(instance_kind = Well_known.kind_app) ?instance_cache_capacity ?superclass
     ?(flags = default_flags) ?(default_magistrates = []) ?default_scheduler
-    ~class_id () =
+    ?(binding_policy = Policy.Allow_all) ~class_id () =
   let interface =
     match interface with
     | Some i -> i
@@ -173,6 +187,7 @@ let init_state ?interface ?(instance_units = [ Well_known.unit_object ])
       rr = 0;
       clones = [];
       clone_rr = 0;
+      binding_policy;
       table = [];
       row_idx = Loid.Table.create ();
     }
@@ -226,6 +241,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
       rr = 0;
       clones = [];
       clone_rr = 0;
+      binding_policy = Policy.Allow_all;
       table = [];
       row_idx = Loid.Table.create ();
     }
@@ -235,6 +251,31 @@ let factory (ctx : Runtime.ctx) : Impl.part =
      Calling Agent (§2.4). *)
   let invoke_for env dst meth args k =
     Runtime.invoke ctx ~dst ~meth ~args ~env:(Env.delegate env ~calling:self) k
+  in
+
+  (* Binding-path MayI (§2.4): the class's own policy judges the call's
+     environment before Create or GetBinding is served, so an uncleared
+     principal is answered [Denied] and never receives a binding —
+     resolution itself is the first enforcement point, not the target
+     object's method dispatch. *)
+  let policy_gate ~meth env k serve =
+    match Policy.check st.binding_policy ~meth ~env with
+    | Policy.Allow -> serve ()
+    | Policy.Deny reason ->
+        k (Error (Runtime.deny_reply rt ctx.Runtime.self ~meth ~env ~reason))
+  in
+
+  (* Creates are the expensive contention point at a class: charge the
+     caller's tenant rate budget here too — unless this class runs under
+     an admission budget, in which case the admission path has already
+     charged the bucket for this call. *)
+  let charge_create env k serve =
+    match Runtime.admission_of ctx.Runtime.self with
+    | Some _ -> serve ()
+    | None -> (
+        match Runtime.charge_quota rt ctx.Runtime.self ~meth:"Create" ~env with
+        | Ok () -> serve ()
+        | Error e -> k (Error e))
   in
 
   (* Pick a Magistrate for a new object: explicit hint, else round-robin
@@ -335,6 +376,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   in
 
   let get_binding _ctx args env k =
+    policy_gate ~meth:"GetBinding" env k @@ fun () ->
     match args with
     | [ arg ] -> (
         match C.loid_arg arg with
@@ -372,6 +414,8 @@ let factory (ctx : Runtime.ctx) : Impl.part =
 
   (* Create(init_states, hints): the is-a relation (§2.1.1). *)
   let create _ctx args env k =
+    policy_gate ~meth:"Create" env k @@ fun () ->
+    charge_create env k @@ fun () ->
     match args with
     | [ init_states; hints ] -> (
         incr creates_seen;
@@ -569,7 +613,8 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                               ~superclass:self
                               ~flags:{ abstract; private_; fixed }
                               ~default_magistrates:st.default_magistrates
-                              ?default_scheduler:st.default_scheduler ~class_id:cid ()
+                              ?default_scheduler:st.default_scheduler
+                              ~binding_policy:st.binding_policy ~class_id:cid ()
                           in
                           let opr =
                             Opr.make
@@ -857,6 +902,22 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     | _ -> Impl.bad_args k "SetDefaults expects one record"
   in
 
+  (* SetBindingPolicy(policy): install the MayI judged on this class's
+     binding path (Create/GetBinding). Gated by the policy being
+     replaced, so once a class is locked down an uncleared principal
+     cannot simply reopen it. *)
+  let set_binding_policy _ctx args env k =
+    match args with
+    | [ pv ] -> (
+        policy_gate ~meth:"SetBindingPolicy" env k @@ fun () ->
+        match Policy.of_value pv with
+        | Ok p ->
+            st.binding_policy <- p;
+            k Impl.ok_unit
+        | Error msg -> Impl.bad_args k msg)
+    | _ -> Impl.bad_args k "SetBindingPolicy expects one policy value"
+  in
+
   let list_instances _ctx args _env k =
     match args with
     | [] ->
@@ -1067,6 +1128,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         ("NotifyMagistrates", notify_magistrates);
         ("NotifyDead", notify_dead);
         ("SetDefaults", set_defaults);
+        ("SetBindingPolicy", set_binding_policy);
         ("StartElastic", start_elastic);
         ("ListInstances", list_instances);
         ("ListSubclasses", list_subclasses);

@@ -56,13 +56,19 @@ val init_state :
   ?flags:flags ->
   ?default_magistrates:Loid.t list ->
   ?default_scheduler:Loid.t ->
+  ?binding_policy:Legion_sec.Policy.t ->
   class_id:int64 ->
   unit ->
   Value.t
 (** Initial unit state for a class object's OPR. [instance_units]
     defaults to [[Well_known.unit_object]]; [instance_kind] to
     {!Well_known.kind_app}; [interface] to an empty interface named
-    ["class<id>"]. *)
+    ["class<id>"]. [binding_policy] (default [Allow_all]) is the MayI
+    judged on the class's binding path: a [Create] or [GetBinding]
+    whose environment the policy denies is answered [Err.Denied] — the
+    caller never receives a binding. Derived classes (and autonomic
+    clones) inherit the parent's policy; [SetBindingPolicy(policy)]
+    replaces it at runtime, gated by the policy being replaced. *)
 
 val factory : Impl.factory
 val register : unit -> unit

@@ -154,7 +154,15 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   let check_policy ~meth call_env k yes =
     match Policy.check st.activation_policy ~meth ~env:call_env with
     | Policy.Allow -> yes ()
-    | Policy.Deny reason -> k (Error (Err.Refused reason))
+    | Policy.Deny reason ->
+        (* The error stays [Refused] — the Magistrate's historical §3.8
+           "requests rather than commands" answer — but the rejection is
+           attributed like any other policy denial: a tenant-tagged
+           [Deny] event for the per-tenant tables. *)
+        let (_tenant : string) =
+          Runtime.note_deny rt ctx.Runtime.self ~meth ~env:call_env
+        in
+        k (Error (Err.Refused reason))
   in
   let mint_binding loid address =
     let ttl = (Runtime.config rt).Runtime.binding_ttl in

@@ -1,0 +1,302 @@
+(* Multi-tenant hardening: the shared E21 noisy-neighbor scenario.
+
+   The runtime's tenancy layer (Legion_rt.Tenant + the deficit-round-
+   robin admission lanes in Legion_rt.Runtime) keys budgets off the
+   §2.4 Responsible Agent. This module is the experiment that gates it:
+   four registered tenants share a small pool of budgeted workers; one
+   of them (mallory) can be driven at 10x its token budget, and one
+   unauthorized principal (eve) probes from another site against a
+   class whose binding policy excludes her. The gates: the offender's
+   overload must not move the other tenants' p99, every shed must be
+   attributed to the offender, and eve must be answered [Err.Denied]
+   at GetBinding — she never receives a binding. *)
+
+module Value = Legion_wire.Value
+module Loid = Legion_naming.Loid
+module Engine = Legion_sim.Engine
+module Env = Legion_sec.Env
+module Policy = Legion_sec.Policy
+module Runtime = Legion_rt.Runtime
+module Err = Legion_rt.Err
+module Tenant = Legion_rt.Tenant
+module Impl = Legion_core.Impl
+module Well_known = Legion_core.Well_known
+module Recorder = Legion_obs.Recorder
+module Event = Legion_obs.Event
+module Ustats = Legion_util.Stats
+module Prng = Legion_util.Prng
+
+(* The application unit: [Work(d)] holds an inflight slot for [d]
+   virtual seconds, so concurrent demand contends for the workers'
+   admission slots and queuing shows up in caller latency. *)
+let work_unit = "legion.tenants.work"
+let work_idl = "interface TenantWorker { Work(d: float): int; }"
+
+let work_factory (_ctx : Runtime.ctx) : Impl.part =
+  let served = ref 0 in
+  let work wctx args _env k =
+    match args with
+    | [ Value.Float d ] when d >= 0.0 ->
+        incr served;
+        let eng = Runtime.sim wctx.Runtime.rt in
+        let n = !served in
+        ignore
+          (Engine.schedule_at eng ~time:(Engine.now eng +. d) (fun () ->
+               k (Ok (Value.Int n))))
+    | _ -> Impl.bad_args k "Work expects one non-negative float"
+  in
+  Impl.part
+    ~methods:[ ("Work", work) ]
+    ~save:(fun () -> Value.Int !served)
+    ~restore:(fun v ->
+      match v with
+      | Value.Int n ->
+          served := n;
+          Ok ()
+      | _ -> Error "work state must be an int")
+    work_unit
+
+let register_units () = Impl.register work_unit work_factory
+
+(* ------------------------------------------------------------------ *)
+(* Scenario shape.                                                     *)
+
+type lane = {
+  tenant : string;
+  sent : int;
+  oks : int;
+  quota_shed : int;  (** Caller-visible [Quota_exceeded] / [Overloaded]. *)
+  errors : int;  (** Anything else that was not Ok. *)
+  p50_ms : float;
+  p99_ms : float;
+}
+
+type report = {
+  noisy : bool;
+  seed : int64;
+  lanes : lane list;  (** alpha, beta, gamma, mallory — fixed order. *)
+  shed_events : int;  (** [Shed] events in the scenario window. *)
+  shed_by_offender : int;  (** ... attributed to mallory. *)
+  shed_unattributed : int;  (** ... carrying no tenant tag (must be 0). *)
+  deny_events : int;  (** [Deny] events in the window. *)
+  deny_by_eve : int;  (** ... attributed to eve. *)
+  eve_probes : int;
+  eve_denied : int;  (** Probes answered [Err.Denied]. *)
+  eve_bindings : int;  (** Probes that got a binding (must be 0). *)
+}
+
+let offender = "mallory"
+let well_behaved = [ "alpha"; "beta"; "gamma" ]
+let scenario_workers = 2
+let scenario_horizon = 30.0
+let scenario_work_d = 0.008
+let scenario_rate = 20.0 (* each tenant's driven arrivals per second *)
+let scenario_budget_rate = 25.0 (* the offender's token budget *)
+let scenario_noisy_factor = 10.0 (* offender drive = 10x its budget *)
+let scenario_probe_period = 0.5
+
+let worker_admission =
+  { Runtime.max_inflight = 1; max_queue = 16; retry_after_hint = 0.02 }
+
+let pct stats p = if Ustats.is_empty stats then 0.0 else Ustats.percentile stats p
+
+(* Pre-generate one tenant's Poisson arrivals (time, worker index) from
+   its own derived stream, so adding a tenant never perturbs another
+   tenant's draws and the schedule is independent of event interleaving. *)
+let arrivals_of ~seed ~salt ~rate ~start ~until =
+  let prng = Prng.create ~seed:(Int64.logxor seed salt) in
+  let rec gen t acc =
+    let t = t +. Prng.exponential prng ~mean:(1.0 /. rate) in
+    if t > until then List.rev acc
+    else gen t ((t, Prng.int prng scenario_workers) :: acc)
+  in
+  gen start []
+
+let run_scenario ?(seed = 7L) ~noisy () =
+  register_units ();
+  let sys =
+    System.boot ~seed
+      ~rt_config:
+        { Runtime.default_config with admission = Some worker_admission }
+      ~trace_capacity:(1 lsl 18)
+      ~sites:[ ("east", 3); ("west", 3) ]
+      ()
+  in
+  let rt = System.rt sys in
+  let eng = System.sim sys in
+  let s0 = System.site sys 0 in
+  let admin = System.client sys () in
+  let cls =
+    Api.derive_class_exn sys admin ~parent:Well_known.legion_object
+      ~name:"TenantWorker" ~units:[ work_unit ] ~idl:work_idl ()
+  in
+  let workers =
+    Array.init scenario_workers (fun _ ->
+        Api.create_object_exn sys admin ~cls ~eager:true
+          ~magistrate:s0.System.magistrate ())
+  in
+  (* One client per principal: the client LOID is the Responsible Agent
+     every call of that tenant runs under. eve lives on the west site so
+     her resolutions miss the east agent's cache and reach the class. *)
+  let mk_client site = System.client sys ~site () in
+  let cl_alpha = mk_client 0
+  and cl_beta = mk_client 0
+  and cl_gamma = mk_client 0
+  and cl_mallory = mk_client 0
+  and cl_eve = mk_client 1 in
+  let loid_of (c : Runtime.ctx) = Runtime.proc_loid c.Runtime.self in
+  let reg = Tenant.create () in
+  List.iter
+    (fun (name, c) ->
+      ignore
+        (Tenant.register reg ~name ~responsible:(loid_of c)
+           ~rate:(2.0 *. scenario_budget_rate) ()))
+    [ ("alpha", cl_alpha); ("beta", cl_beta); ("gamma", cl_gamma) ];
+  ignore
+    (Tenant.register reg ~name:offender ~responsible:(loid_of cl_mallory)
+       ~rate:scenario_budget_rate ());
+  ignore (Tenant.register reg ~name:"eve" ~responsible:(loid_of cl_eve) ());
+  Runtime.set_tenants rt (Some reg);
+  (* Close the binding path: only the four cleared principals (and the
+     operator that owns the class) may resolve or instantiate. *)
+  let cleared =
+    Loid.Set.of_list
+      (List.map loid_of [ admin; cl_alpha; cl_beta; cl_gamma; cl_mallory ])
+  in
+  ignore
+    (Api.call_exn sys admin ~dst:cls ~meth:"SetBindingPolicy"
+       ~args:[ Policy.to_value (Policy.Allow_responsible cleared) ]);
+  let mark = Recorder.total (System.obs sys) in
+  let start = System.now sys in
+  let until = start +. scenario_horizon in
+  (* Per-tenant drive + measurement. *)
+  let tenants =
+    [
+      ("alpha", cl_alpha, scenario_rate, 0x5f1a_0001L);
+      ("beta", cl_beta, scenario_rate, 0x5f1a_0002L);
+      ("gamma", cl_gamma, scenario_rate, 0x5f1a_0003L);
+      ( offender,
+        cl_mallory,
+        (if noisy then scenario_noisy_factor *. scenario_budget_rate
+         else scenario_rate),
+        0x5f1a_0004L );
+    ]
+  in
+  let measured =
+    List.map
+      (fun (name, ctx, rate, salt) ->
+        let sent = ref 0
+        and oks = ref 0
+        and quota = ref 0
+        and errors = ref 0 in
+        let lat = Ustats.create () in
+        List.iter
+          (fun (t, w) ->
+            ignore
+              (Engine.schedule_at eng ~time:t (fun () ->
+                   incr sent;
+                   let t0 = Engine.now eng in
+                   Runtime.invoke ctx ~dst:workers.(w) ~meth:"Work"
+                     ~args:[ Value.Float scenario_work_d ]
+                     (fun r ->
+                       match r with
+                       | Ok _ ->
+                           incr oks;
+                           let dt = Engine.now eng -. t0 in
+                           Ustats.add lat dt;
+                           Recorder.observe_tenant (System.obs sys)
+                             ~tenant:name dt
+                       | Error (Err.Quota_exceeded _ | Err.Overloaded _) ->
+                           incr quota
+                       | Error _ -> incr errors))))
+          (arrivals_of ~seed ~salt ~rate ~start ~until);
+        (name, sent, oks, quota, errors, lat))
+      tenants
+  in
+  (* eve's probes: each must die at GetBinding with [Denied] — never a
+     binding, never a Work reply. *)
+  let eve_probes = ref 0
+  and eve_denied = ref 0
+  and eve_bindings = ref 0 in
+  let n_probes = int_of_float (scenario_horizon /. scenario_probe_period) - 1 in
+  for i = 1 to n_probes do
+    let t = start +. (float_of_int i *. scenario_probe_period) in
+    ignore
+      (Engine.schedule_at eng ~time:t (fun () ->
+           incr eve_probes;
+           Runtime.invoke cl_eve
+             ~dst:workers.(i mod scenario_workers)
+             ~meth:"Work"
+             ~args:[ Value.Float scenario_work_d ]
+             (fun r ->
+               match r with
+               | Error (Err.Denied _) -> incr eve_denied
+               | Error _ -> ()
+               | Ok _ -> incr eve_bindings)))
+  done;
+  System.run_for sys (scenario_horizon +. 10.0);
+  let shed_events = ref 0
+  and shed_by_offender = ref 0
+  and shed_unattributed = ref 0
+  and deny_events = ref 0
+  and deny_by_eve = ref 0 in
+  List.iter
+    (fun (ev : Event.t) ->
+      match ev.Event.kind with
+      | Event.Shed { tenant; _ } -> (
+          incr shed_events;
+          match tenant with
+          | Some t when String.equal t offender -> incr shed_by_offender
+          | Some _ -> ()
+          | None -> incr shed_unattributed)
+      | Event.Deny { tenant; _ } ->
+          incr deny_events;
+          if String.equal tenant "eve" then incr deny_by_eve
+      | _ -> ())
+    (Recorder.events_since (System.obs sys) mark);
+  let lanes =
+    List.map
+      (fun (name, sent, oks, quota, errors, lat) ->
+        {
+          tenant = name;
+          sent = !sent;
+          oks = !oks;
+          quota_shed = !quota;
+          errors = !errors;
+          p50_ms = pct lat 50.0 *. 1000.0;
+          p99_ms = pct lat 99.0 *. 1000.0;
+        })
+      measured
+  in
+  {
+    noisy;
+    seed;
+    lanes;
+    shed_events = !shed_events;
+    shed_by_offender = !shed_by_offender;
+    shed_unattributed = !shed_unattributed;
+    deny_events = !deny_events;
+    deny_by_eve = !deny_by_eve;
+    eve_probes = !eve_probes;
+    eve_denied = !eve_denied;
+    eve_bindings = !eve_bindings;
+  }
+
+let lane_json l =
+  Printf.sprintf
+    "{\"tenant\": \"%s\", \"sent\": %d, \"oks\": %d, \"quota_shed\": %d, \
+     \"errors\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f}"
+    l.tenant l.sent l.oks l.quota_shed l.errors l.p50_ms l.p99_ms
+
+let scenario_json r =
+  Printf.sprintf
+    "{\"noisy\": %b, \"seed\": %Ld, \"lanes\": [%s], \"shed_events\": %d, \
+     \"shed_by_offender\": %d, \"shed_unattributed\": %d, \"deny_events\": \
+     %d, \"deny_by_eve\": %d, \"eve_probes\": %d, \"eve_denied\": %d, \
+     \"eve_bindings\": %d}"
+    r.noisy r.seed
+    (String.concat ", " (List.map lane_json r.lanes))
+    r.shed_events r.shed_by_offender r.shed_unattributed r.deny_events
+    r.deny_by_eve r.eve_probes r.eve_denied r.eve_bindings
+
+let find_lane r name = List.find_opt (fun l -> String.equal l.tenant name) r.lanes

@@ -29,8 +29,19 @@ type kind =
   | Confirm_dead of { host_obj : Loid.t; objects : int }
   | Reactivate of { loid : Loid.t }
   | Fence of { loid : Loid.t; epoch : int; current : int }
-  | Admit of { loid : Loid.t; meth : string; queued : bool }
-  | Shed of { loid : Loid.t; meth : string; queue : int }
+  | Admit of {
+      loid : Loid.t;
+      meth : string;
+      queued : bool;
+      tenant : string option;
+    }
+  | Shed of {
+      loid : Loid.t;
+      meth : string;
+      queue : int;
+      tenant : string option;
+    }
+  | Deny of { loid : Loid.t; meth : string; tenant : string }
   | Breaker_open of { host : int; failures : int }
   | Breaker_probe of { host : int }
   | Breaker_close of { host : int }
@@ -77,6 +88,7 @@ let name = function
   | Fence _ -> "Fence"
   | Admit _ -> "Admit"
   | Shed _ -> "Shed"
+  | Deny _ -> "Deny"
   | Breaker_open _ -> "BreakerOpen"
   | Breaker_probe _ -> "BreakerProbe"
   | Breaker_close _ -> "BreakerClose"
@@ -125,6 +137,7 @@ let owner e =
   | Fence { loid; _ }
   | Admit { loid; _ }
   | Shed { loid; _ }
+  | Deny { loid; _ }
   | Replica_lost { loid; _ }
   | Replica_repair { loid; _ }
   | No_quorum { loid; _ }
@@ -159,7 +172,7 @@ let target e =
       Some participant
   | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
   | Cancel _ | Activate _ | Deactivate _ | Checkpoint _ | Suspect _
-  | Confirm_dead _ | Reactivate _ | Fence _ | Admit _ | Shed _
+  | Confirm_dead _ | Reactivate _ | Fence _ | Admit _ | Shed _ | Deny _
   | Breaker_open _ | Breaker_probe _ | Breaker_close _ | Replica_lost _
   | Replica_repair _ | No_quorum _ | Reconcile _ | Txn_commit _ | Txn_abort _
   | Resume _ ->
@@ -223,10 +236,20 @@ let fields = function
         ("epoch", Value.Int epoch);
         ("current", Value.Int current);
       ]
-  | Admit { loid = l; meth; queued } ->
+  (* [tenant] serialises only when tagged, so pre-tenancy streams stay
+     byte-identical. *)
+  | Admit { loid = l; meth; queued; tenant } ->
       [ ("loid", loid l); ("meth", Value.Str meth); ("queued", Value.Bool queued) ]
-  | Shed { loid = l; meth; queue } ->
+      @ (match tenant with
+        | Some tn -> [ ("tenant", Value.Str tn) ]
+        | None -> [])
+  | Shed { loid = l; meth; queue; tenant } ->
       [ ("loid", loid l); ("meth", Value.Str meth); ("queue", Value.Int queue) ]
+      @ (match tenant with
+        | Some tn -> [ ("tenant", Value.Str tn) ]
+        | None -> [])
+  | Deny { loid = l; meth; tenant } ->
+      [ ("loid", loid l); ("meth", Value.Str meth); ("tenant", Value.Str tenant) ]
   | Breaker_open { host; failures } ->
       [ ("dst", Value.Int host); ("failures", Value.Int failures) ]
   | Breaker_probe { host } -> [ ("dst", Value.Int host) ]

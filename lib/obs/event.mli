@@ -69,17 +69,39 @@ type kind =
       (** The runtime refused a stale placement: either a delivery to a
           placement whose [epoch] is below the LOID's [current] epoch,
           or the reaping of such a zombie when its host reboots. *)
-  | Admit of { loid : Loid.t; meth : string; queued : bool }
+  | Admit of {
+      loid : Loid.t;
+      meth : string;
+      queued : bool;
+      tenant : string option;
+    }
       (** Admission control accepted a call for an object running under
           an inflight/queue budget; [queued] means it waited in the
           object's admission queue first. Only emitted for budgeted
-          objects — unbudgeted delivery stays silent. *)
-  | Shed of { loid : Loid.t; meth : string; queue : int }
-      (** The call was rejected to protect the object: either the
-          admission queue was full ([queue] is its length at rejection)
-          or the object's implementation shed it by policy (a class
-          refusing creates under load). The caller sees
-          [Err.Overloaded] with a [retry_after] hint. *)
+          objects — unbudgeted delivery stays silent. [tenant] names the
+          call's Responsible-Agent tenant when the runtime serves a
+          tenant registry; the field is absent from the serialised event
+          otherwise, so pre-tenancy streams are unchanged. *)
+  | Shed of {
+      loid : Loid.t;
+      meth : string;
+      queue : int;
+      tenant : string option;
+    }
+      (** The call was rejected to protect the object: the admission
+          queue was full ([queue] is its length at rejection), the
+          caller's tenant budget was exhausted, or the object's
+          implementation shed it by policy (a class refusing creates
+          under load). The caller sees [Err.Overloaded] — or, for a
+          tenant-budget shed, [Err.Quota_exceeded] — with a
+          [retry_after] hint. [tenant] attributes the shed to the
+          charged tenant; serialised only when present. *)
+  | Deny of { loid : Loid.t; meth : string; tenant : string }
+      (** Binding-path policy enforcement refused [tenant] outright:
+          the target's policy does not clear the call's Responsible
+          Agent, so the request — including [GetBinding] resolution —
+          fails with the terminal [Err.Denied]. Always tenant-tagged;
+          the fallback lane is [~unregistered]. *)
   | Breaker_open of { host : int; failures : int }
       (** The per-destination circuit breaker tripped after [failures]
           consecutive call failures to [host]; calls now fail fast. *)

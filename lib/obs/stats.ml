@@ -1,0 +1,67 @@
+module Histogram = Legion_util.Stats.Histogram
+
+type tenant = {
+  name : string;
+  mutable admitted : int;
+  mutable queued : int;
+  mutable shed : int;
+  mutable denied : int;
+  latency : Histogram.h;
+}
+
+type t = {
+  buckets : float array;
+  tbl : (string, tenant) Hashtbl.t;  (* lookup only, never iterated *)
+  mutable order : string list;  (* first-seen order, newest first *)
+}
+
+(* Same log-spaced 10µs .. 10s span the recorder's component histograms
+   use, so per-tenant and per-component percentiles are comparable. *)
+let default_buckets =
+  [| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0 |]
+
+let create ?(buckets = default_buckets) () =
+  { buckets = Array.copy buckets; tbl = Hashtbl.create 16; order = [] }
+
+let tenant t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some row -> row
+  | None ->
+      let row =
+        {
+          name;
+          admitted = 0;
+          queued = 0;
+          shed = 0;
+          denied = 0;
+          latency = Histogram.create ~buckets:t.buckets;
+        }
+      in
+      Hashtbl.add t.tbl name row;
+      t.order <- name :: t.order;
+      row
+
+let find t name = Hashtbl.find_opt t.tbl name
+let tenants t = List.rev t.order
+
+let note_admit t ~tenant:name ~queued =
+  let row = tenant t name in
+  row.admitted <- row.admitted + 1;
+  if queued then row.queued <- row.queued + 1
+
+let note_shed t ~tenant:name =
+  let row = tenant t name in
+  row.shed <- row.shed + 1
+
+let note_deny t ~tenant:name =
+  let row = tenant t name in
+  row.denied <- row.denied + 1
+
+let observe t ~tenant:name x = Histogram.add (tenant t name).latency x
+
+let name row = row.name
+let admitted row = row.admitted
+let queued row = row.queued
+let shed row = row.shed
+let denied row = row.denied
+let latency row = row.latency

@@ -1,0 +1,45 @@
+(** Per-tenant serving attribution.
+
+    The multi-tenant admission path tags its [Admit]/[Shed]/[Deny]
+    events with the charged tenant; this module turns that stream into
+    per-tenant counters and latency histograms, so a gate can ask "whose
+    calls were shed?" and "did the noisy tenant move anyone else's p99?"
+    without re-walking the trace. {!Recorder.emit} tallies the tagged
+    events automatically; latency samples are fed by the caller (the
+    scenario driver observing round trips per tenant). *)
+
+type tenant
+(** One tenant's row: admit/queue/shed/deny counters and a latency
+    histogram. Rows are created on first mention. *)
+
+type t
+
+val create : ?buckets:float array -> unit -> t
+(** [buckets] are the latency-histogram upper bounds (default:
+    log-spaced 10µs…10s, matching {!Recorder}'s component histograms). *)
+
+val tenant : t -> string -> tenant
+(** The row for a tenant name, created on first use. *)
+
+val find : t -> string -> tenant option
+
+val tenants : t -> string list
+(** Tenant names in first-seen order — deterministic given a
+    deterministic event stream. *)
+
+val note_admit : t -> tenant:string -> queued:bool -> unit
+val note_shed : t -> tenant:string -> unit
+val note_deny : t -> tenant:string -> unit
+
+val observe : t -> tenant:string -> float -> unit
+(** Record one end-to-end latency sample (virtual seconds). *)
+
+val name : tenant -> string
+val admitted : tenant -> int
+
+val queued : tenant -> int
+(** How many of the admitted calls waited in a fair queue first. *)
+
+val shed : tenant -> int
+val denied : tenant -> int
+val latency : tenant -> Legion_util.Stats.Histogram.h

@@ -195,15 +195,28 @@ let fence ?loid ?epoch () e =
   | Event.Fence f -> opt_loid loid f.loid && opt_int epoch f.epoch
   | _ -> false
 
-let admit ?loid ?meth ?queued () e =
+let opt_tenant expected actual =
+  match expected with
+  | None -> true
+  | Some t -> ( match actual with Some a -> String.equal t a | None -> false)
+
+let admit ?loid ?meth ?queued ?tenant () e =
   match e.Event.kind with
   | Event.Admit f ->
       opt_loid loid f.loid && opt_str meth f.meth && opt_bool queued f.queued
+      && opt_tenant tenant f.tenant
   | _ -> false
 
-let shed ?loid ?meth () e =
+let shed ?loid ?meth ?tenant () e =
   match e.Event.kind with
-  | Event.Shed f -> opt_loid loid f.loid && opt_str meth f.meth
+  | Event.Shed f ->
+      opt_loid loid f.loid && opt_str meth f.meth && opt_tenant tenant f.tenant
+  | _ -> false
+
+let deny ?loid ?meth ?tenant () e =
+  match e.Event.kind with
+  | Event.Deny f ->
+      opt_loid loid f.loid && opt_str meth f.meth && opt_str tenant f.tenant
   | _ -> false
 
 let breaker_open ?host () e =

@@ -96,8 +96,12 @@ val suspect : ?host_obj:Loid.t -> unit -> pred
 val confirm_dead : ?host_obj:Loid.t -> unit -> pred
 val reactivate : ?loid:Loid.t -> unit -> pred
 val fence : ?loid:Loid.t -> ?epoch:int -> unit -> pred
-val admit : ?loid:Loid.t -> ?meth:string -> ?queued:bool -> unit -> pred
-val shed : ?loid:Loid.t -> ?meth:string -> unit -> pred
+val admit :
+  ?loid:Loid.t -> ?meth:string -> ?queued:bool -> ?tenant:string -> unit -> pred
+(** [?tenant] matches only tenant-tagged admits with that exact tenant. *)
+
+val shed : ?loid:Loid.t -> ?meth:string -> ?tenant:string -> unit -> pred
+val deny : ?loid:Loid.t -> ?meth:string -> ?tenant:string -> unit -> pred
 val breaker_open : ?host:int -> unit -> pred
 val breaker_probe : ?host:int -> unit -> pred
 val breaker_close : ?host:int -> unit -> pred

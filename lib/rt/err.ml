@@ -13,22 +13,29 @@ type t =
   | No_quorum of { have : int; need : int; epoch : int }
   | Txn_locked of { holder : string; retry_after : float }
   | Txn_aborted of { txn : string }
+  | Quota_exceeded of { tenant : string; retry_after : float }
+  | Denied of { tenant : string; reason : string }
   | Internal of string
 
 let is_delivery_failure = function
   | No_such_object | Timeout | Unreachable _ | Stale_epoch -> true
   | No_such_method _ | Refused _ | Bad_args _ | Not_bound _ | Overloaded _
-  | No_quorum _ | Txn_locked _ | Txn_aborted _ | Internal _ ->
+  | No_quorum _ | Txn_locked _ | Txn_aborted _ | Quota_exceeded _ | Denied _
+  | Internal _ ->
       false
 
-let is_overload = function Overloaded _ -> true | _ -> false
+let is_overload = function
+  | Overloaded _ | Quota_exceeded _ -> true
+  | _ -> false
 
 let is_retryable = function
-  | Overloaded _ | No_quorum _ | Txn_locked _ -> true
+  | Overloaded _ | No_quorum _ | Txn_locked _ | Quota_exceeded _ -> true
   | _ -> false
 
 let retry_after = function
-  | Overloaded { retry_after } | Txn_locked { retry_after; _ } ->
+  | Overloaded { retry_after }
+  | Txn_locked { retry_after; _ }
+  | Quota_exceeded { retry_after; _ } ->
       Some retry_after
   | _ -> None
 
@@ -50,9 +57,14 @@ let equal a b =
   | Txn_locked a, Txn_locked b ->
       String.equal a.holder b.holder && Float.equal a.retry_after b.retry_after
   | Txn_aborted a, Txn_aborted b -> String.equal a.txn b.txn
+  | Quota_exceeded a, Quota_exceeded b ->
+      String.equal a.tenant b.tenant && Float.equal a.retry_after b.retry_after
+  | Denied a, Denied b ->
+      String.equal a.tenant b.tenant && String.equal a.reason b.reason
   | ( ( No_such_object | No_such_method _ | Refused _ | Bad_args _ | Not_bound _
       | Timeout | Unreachable _ | Stale_epoch | Overloaded _ | No_quorum _
-      | Txn_locked _ | Txn_aborted _ | Internal _ ),
+      | Txn_locked _ | Txn_aborted _ | Quota_exceeded _ | Denied _ | Internal _
+        ),
       _ ) ->
       false
 
@@ -74,6 +86,11 @@ let pp ppf = function
       Format.fprintf ppf "prepare-locked by txn %s (retry after %.3fs)" holder
         retry_after
   | Txn_aborted { txn } -> Format.fprintf ppf "transaction %s aborted" txn
+  | Quota_exceeded { tenant; retry_after } ->
+      Format.fprintf ppf "tenant %s over budget (retry after %.3fs)" tenant
+        retry_after
+  | Denied { tenant; reason } ->
+      Format.fprintf ppf "tenant %s denied: %s" tenant reason
   | Internal r -> Format.fprintf ppf "internal error: %s" r
 
 let to_string t = Format.asprintf "%a" pp t
@@ -106,6 +123,20 @@ let to_value = function
         ]
   | Txn_aborted { txn } ->
       Value.Record [ ("c", Value.Str "txa"); ("x", Value.Str txn) ]
+  | Quota_exceeded { tenant; retry_after } ->
+      Value.Record
+        [
+          ("c", Value.Str "qex");
+          ("tn", Value.Str tenant);
+          ("ra", Value.Float retry_after);
+        ]
+  | Denied { tenant; reason } ->
+      Value.Record
+        [
+          ("c", Value.Str "dny");
+          ("tn", Value.Str tenant);
+          ("d", Value.Str reason);
+        ]
   | Internal r -> Value.Record [ ("c", Value.Str "int"); ("d", Value.Str r) ]
 
 let of_value v =
@@ -172,6 +203,32 @@ let of_value v =
         | Some xv -> Result.map_error err (Value.to_str xv)
       in
       Ok (Txn_aborted { txn })
+  | "qex" ->
+      (* Both fields default for forward/backward codec compatibility,
+         like "tlk": a bare quota rejection still decodes. *)
+      let* tenant =
+        match Value.field_opt v "tn" with
+        | None -> Ok ""
+        | Some tv -> Result.map_error err (Value.to_str tv)
+      in
+      let* ra =
+        match Value.field_opt v "ra" with
+        | None -> Ok 0.0
+        | Some rv -> Result.map_error err (Value.to_float rv)
+      in
+      Ok (Quota_exceeded { tenant; retry_after = ra })
+  | "dny" ->
+      let* tenant =
+        match Value.field_opt v "tn" with
+        | None -> Ok ""
+        | Some tv -> Result.map_error err (Value.to_str tv)
+      in
+      let* reason =
+        match Value.field_opt v "d" with
+        | None -> Ok ""
+        | Some dv -> Result.map_error err (Value.to_str dv)
+      in
+      Ok (Denied { tenant; reason })
   | "unr" ->
       let* d = detail () in
       Ok (Unreachable d)

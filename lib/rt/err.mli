@@ -60,6 +60,22 @@ type t =
           will be, after recovery) released and compensated; nothing
           remains partially applied. Definitive — not retryable as-is,
           though the caller may submit a fresh transaction. *)
+  | Quota_exceeded of { tenant : string; retry_after : float }
+      (** The destination shed the call because [tenant]'s own budget
+          (inflight or token-bucket rate) was exhausted, not because the
+          destination as a whole is overloaded — other tenants are still
+          being served. Like [Overloaded] this is {e not} a delivery
+          failure but {e is} retryable: back off at least [retry_after]
+          seconds and try again, which the comm layer does automatically
+          within the call budget. *)
+  | Denied of { tenant : string; reason : string }
+      (** A binding-path policy rejection: [tenant] is not cleared by the
+          target's policy, so the request — including [GetBinding], which
+          means an unauthorized tenant cannot even {e resolve} a binding
+          — is refused. Terminal: not retryable, not a delivery failure.
+          Distinct from [Refused] (a per-method MayI/activation-policy
+          answer) in that it carries the judged principal for per-tenant
+          attribution. *)
   | Internal of string
 
 val is_delivery_failure : t -> bool
@@ -69,16 +85,17 @@ val is_delivery_failure : t -> bool
     good, the destination just wants the caller to slow down. *)
 
 val is_overload : t -> bool
-(** True for [Overloaded]. *)
+(** True for the shed answers, [Overloaded] and [Quota_exceeded]. *)
 
 val is_retryable : t -> bool
-(** True for the typed backpressure answers — [Overloaded], [No_quorum]
-    and [Txn_locked] — where the destination is healthy and correctly
-    bound and the same call can succeed later without rebinding. *)
+(** True for the typed backpressure answers — [Overloaded], [No_quorum],
+    [Txn_locked] and [Quota_exceeded] — where the destination is healthy
+    and correctly bound and the same call can succeed later without
+    rebinding. *)
 
 val retry_after : t -> float option
-(** The backoff hint carried by [Overloaded] and [Txn_locked], [None]
-    otherwise. *)
+(** The backoff hint carried by [Overloaded], [Txn_locked] and
+    [Quota_exceeded]; [None] otherwise. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

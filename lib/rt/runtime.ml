@@ -42,6 +42,27 @@ let default_config =
 type call = { meth : string; args : Value.t list; env : Env.t }
 type reply = (Value.t, Err.t) result
 
+(* Per-tenant wait lanes under deficit round robin (DRR). When the
+   runtime serves a tenant registry, a budgeted process parks excess
+   arrivals in one bounded lane per tenant instead of the single shared
+   FIFO, and freed inflight slots are granted by cycling the ring of
+   backlogged lanes: each visit tops a lane's deficit up by its tenant's
+   weight and serves whole calls while the deficit lasts, so service is
+   weight-proportional and one flooding tenant can neither displace
+   other tenants' queued calls nor monopolise the dispatch order. *)
+type lane = {
+  l_tenant : Tenant.tenant;
+  l_q : (call * (reply -> unit)) Queue.t;
+  mutable l_deficit : float;
+  mutable l_linked : bool;  (* currently a member of the ring *)
+}
+
+type drr = {
+  d_lanes : (string, lane) Hashtbl.t;  (* lookup only, never iterated *)
+  d_ring : lane Queue.t;  (* service order; only backlogged lanes *)
+  mutable d_count : int;  (* calls parked across all lanes *)
+}
+
 type proc = {
   loid : Loid.t;
   host : Network.host_id;
@@ -51,6 +72,7 @@ type proc = {
   cache : Cache.t;
   counter : Counter.t;
   queue : (call * (reply -> unit)) Queue.t;  (* admission wait queue *)
+  mutable drr : drr option;  (* per-tenant lanes; replaces [queue] when tenancy is on *)
   mutable admission : admission option;
   mutable inflight : int;  (* handlers started, reply not yet sent *)
   mutable live : bool;
@@ -89,6 +111,7 @@ and t = {
       (* loid -> ConfirmDead time, until the first post-recovery delivery *)
   obs : Recorder.t;
   breakers : Breaker.t option;  (* per-destination circuit state *)
+  mutable tenants : Tenant.t option;  (* principal registry; None = untenanted *)
   mutable next_slot : int;
   mutable next_call : int;
   mutable delivered : int;
@@ -133,13 +156,25 @@ let kill rt proc =
     emit rt ~host:proc.host (Event.Deactivate { loid = proc.loid });
     (* Calls parked in the admission queue will never run; answer them
        rather than leaving their callers to time out. *)
-    Queue.iter
-      (fun (_call, reply_to) ->
-        ignore
-          (Engine.schedule rt.sim ~delay:0.0 (fun () ->
-               reply_to (Error Err.No_such_object))))
-      proc.queue;
+    let answer_parked (_call, reply_to) =
+      ignore
+        (Engine.schedule rt.sim ~delay:0.0 (fun () ->
+             reply_to (Error Err.No_such_object)))
+    in
+    Queue.iter answer_parked proc.queue;
     Queue.clear proc.queue;
+    (match proc.drr with
+    | Some d ->
+        (* Ring order is the deterministic flush order for the lanes. *)
+        Queue.iter
+          (fun lane ->
+            Queue.iter answer_parked lane.l_q;
+            Queue.clear lane.l_q;
+            lane.l_linked <- false)
+          d.d_ring;
+        Queue.clear d.d_ring;
+        d.d_count <- 0
+    | None -> ());
     rt.slot_tbl.(proc.slot) <- None;
     let remaining =
       List.filter
@@ -200,6 +235,7 @@ let create ~sim ~net ~registry ~prng ?(config = default_config) ?obs () =
       dead_since = Loid.Table.create ();
       obs;
       breakers = Option.map Breaker.create config.breaker;
+      tenants = None;
       next_slot = 0;
       next_call = 0;
       delivered = 0;
@@ -313,6 +349,10 @@ let breaker_outcome : reply -> Breaker.outcome = function
   | Ok _ -> Breaker.Success
   | Error (Err.Overloaded { retry_after }) -> Breaker.Saturated retry_after
   | Error (Err.Timeout | Err.Unreachable _) -> Breaker.Transport_failure
+  (* [Quota_exceeded] lands in the Success bucket deliberately: it means
+     one tenant's own budget ran dry while the destination keeps serving
+     everyone else, and a per-tenant shed must not open a circuit that
+     is shared by all tenants on the path. *)
   | Error _ -> Breaker.Success
 
 let breaker_note rt ~at_host ~dst_host outcome =
@@ -329,29 +369,85 @@ let breaker_note rt ~at_host ~dst_host outcome =
 (* ------------------------------------------------------------------ *)
 (* Delivery and admission control.                                     *)
 
-let overload_error a ~queued =
+let queue_depth proc =
+  Queue.length proc.queue
+  + match proc.drr with Some d -> d.d_count | None -> 0
+
+let overload_hint a ~queued =
   let fill = float_of_int queued /. float_of_int (max 1 a.max_queue) in
-  Err.Overloaded { retry_after = a.retry_after_hint *. (1.0 +. fill) }
+  a.retry_after_hint *. (1.0 +. fill)
+
+let overload_error a ~queued =
+  Err.Overloaded { retry_after = overload_hint a ~queued }
 
 (* Also the degradation hook for object implementations: a part that
    sheds by policy (a class refusing creates under load) uses the same
    event and error shape as the admission layer. *)
 let shed_reply rt proc ~meth =
-  let queued = Queue.length proc.queue in
+  let queued = queue_depth proc in
   rt.sheds <- rt.sheds + 1;
   emit rt ~host:proc.host
-    (Event.Shed { loid = proc.loid; meth; queue = queued });
+    (Event.Shed { loid = proc.loid; meth; queue = queued; tenant = None });
   let a = Option.value ~default:default_admission proc.admission in
   overload_error a ~queued
 
 let shed_call rt proc ~meth reply_to =
   reply_to (Error (shed_reply rt proc ~meth))
 
+(* A tenant-budget shed: attributed to the charged tenant in both the
+   event stream and the error, unlike the anonymous [Overloaded]. *)
+let quota_error rt proc tn ~meth ~retry_after =
+  rt.sheds <- rt.sheds + 1;
+  Tenant.note_shed tn;
+  emit rt ~host:proc.host
+    (Event.Shed
+       {
+         loid = proc.loid;
+         meth;
+         queue = queue_depth proc;
+         tenant = Some (Tenant.name tn);
+       });
+  Err.Quota_exceeded { tenant = Tenant.name tn; retry_after }
+
+let quota_shed rt proc tn ~meth ~retry_after reply_to =
+  reply_to (Error (quota_error rt proc tn ~meth ~retry_after))
+
+let drr_of proc =
+  match proc.drr with
+  | Some d -> d
+  | None ->
+      let d =
+        { d_lanes = Hashtbl.create 8; d_ring = Queue.create (); d_count = 0 }
+      in
+      proc.drr <- Some d;
+      d
+
+let lane_of d tn =
+  let key = Tenant.name tn in
+  match Hashtbl.find_opt d.d_lanes key with
+  | Some lane -> lane
+  | None ->
+      let lane =
+        { l_tenant = tn; l_q = Queue.create (); l_deficit = 0.0; l_linked = false }
+      in
+      Hashtbl.add d.d_lanes key lane;
+      lane
+
+(* A lane (re-)entering the ring starts with one quantum of deficit, so
+   a tenant returning from idle is served promptly without accumulating
+   credit while absent. *)
+let link_lane d lane =
+  if not lane.l_linked then begin
+    lane.l_linked <- true;
+    lane.l_deficit <- float_of_int (Tenant.weight lane.l_tenant);
+    Queue.add lane d.d_ring
+  end
+
 (* Run the handler for an admitted call. The caller has already counted
-   the inflight slot; the wrapped reply continuation releases it and
-   pulls the next queued call in, so the budget is conserved even if a
-   handler replies synchronously. *)
-let rec deliver_call rt proc ~queued call reply_to =
+   the inflight slot (and the tenant's, when tenancy is on); the wrapped
+   reply continuation releases both and pulls the next queued call in,
+   so the budget is conserved even if a handler replies synchronously. *)
+let rec deliver_call rt proc ~queued ?tn call reply_to =
   proc.counter |> Counter.incr;
   proc.last_delivery <- Engine.now rt.sim;
   rt.delivered <- rt.delivered + 1;
@@ -363,13 +459,20 @@ let rec deliver_call rt proc ~queued call reply_to =
   (match proc.admission with
   | Some _ ->
       emit rt ~host:proc.host
-        (Event.Admit { loid = proc.loid; meth = call.meth; queued })
+        (Event.Admit
+           {
+             loid = proc.loid;
+             meth = call.meth;
+             queued;
+             tenant = Option.map Tenant.name tn;
+           })
   | None -> ());
   let replied = ref false in
   let reply_once r =
     if not !replied then begin
       replied := true;
       proc.inflight <- proc.inflight - 1;
+      Option.iter Tenant.end_call tn;
       drain_queue rt proc;
       reply_to r
     end
@@ -378,20 +481,76 @@ let rec deliver_call rt proc ~queued call reply_to =
 
 and drain_queue rt proc =
   match proc.admission with
-  | Some a when proc.inflight < a.max_inflight && not (Queue.is_empty proc.queue)
-    ->
-      (* Reserve the freed slot now, dispatch from a fresh event so the
-         reply that released it finishes unwinding first. *)
-      let call, reply_to = Queue.pop proc.queue in
+  | Some a when proc.inflight < a.max_inflight -> (
+      match proc.drr with
+      | Some d -> drain_drr rt proc a d
+      | None -> drain_fifo rt proc a)
+  | _ -> ()
+
+and drain_fifo rt proc _a =
+  if not (Queue.is_empty proc.queue) then begin
+    (* Reserve the freed slot now, dispatch from a fresh event so the
+       reply that released it finishes unwinding first. *)
+    let call, reply_to = Queue.pop proc.queue in
+    proc.inflight <- proc.inflight + 1;
+    ignore
+      (Engine.schedule rt.sim ~delay:0.0 (fun () ->
+           if proc.live then deliver_call rt proc ~queued:true call reply_to
+           else begin
+             proc.inflight <- proc.inflight - 1;
+             reply_to (Error Err.No_such_object)
+           end))
+  end
+
+(* Grant the freed slot under deficit round robin: walk the ring, topping
+   deficits up by one weight-quantum per rotation, and serve the first
+   lane holding a whole quantum. A lane keeps the head (and its residual
+   deficit) until the quantum is spent, then rotates to the tail; empty
+   lanes leave the ring. The bound covers one full recharge rotation —
+   every backlogged lane gains >= 1 deficit per pass, so a servable head
+   is always reached within it. *)
+and drain_drr rt proc a d =
+  ignore a;
+  let rec pick rounds =
+    if rounds = 0 || Queue.is_empty d.d_ring then None
+    else
+      let lane = Queue.peek d.d_ring in
+      if Queue.is_empty lane.l_q then begin
+        ignore (Queue.pop d.d_ring);
+        lane.l_linked <- false;
+        pick (rounds - 1)
+      end
+      else if lane.l_deficit >= 1.0 then begin
+        lane.l_deficit <- lane.l_deficit -. 1.0;
+        let entry = Queue.pop lane.l_q in
+        d.d_count <- d.d_count - 1;
+        if Queue.is_empty lane.l_q then begin
+          ignore (Queue.pop d.d_ring);
+          lane.l_linked <- false
+        end;
+        Some (lane.l_tenant, entry)
+      end
+      else begin
+        lane.l_deficit <-
+          lane.l_deficit +. float_of_int (Tenant.weight lane.l_tenant);
+        ignore (Queue.pop d.d_ring);
+        Queue.add lane d.d_ring;
+        pick (rounds - 1)
+      end
+  in
+  match pick ((2 * Queue.length d.d_ring) + 1) with
+  | None -> ()
+  | Some (tn, (call, reply_to)) ->
       proc.inflight <- proc.inflight + 1;
+      Tenant.begin_call tn;
       ignore
         (Engine.schedule rt.sim ~delay:0.0 (fun () ->
-             if proc.live then deliver_call rt proc ~queued:true call reply_to
+             if proc.live then deliver_call rt proc ~queued:true ~tn call reply_to
              else begin
                proc.inflight <- proc.inflight - 1;
+               Tenant.end_call tn;
                reply_to (Error Err.No_such_object)
              end))
-  | _ -> ()
 
 let note_caller rt proc ~src_host =
   let site = Network.site_of rt.net src_host in
@@ -402,13 +561,103 @@ let note_caller rt proc ~src_host =
 
 let admit_call rt proc call reply_to =
   match proc.admission with
-  | Some a when proc.inflight >= a.max_inflight ->
-      if Queue.length proc.queue < a.max_queue then
-        Queue.add (call, reply_to) proc.queue
-      else shed_call rt proc ~meth:call.meth reply_to
-  | _ ->
+  | Some a -> (
+      match rt.tenants with
+      | Some reg ->
+          (* Tenanted admission: charge the caller's budgets first (a
+             failed charge is a shed attributed to that tenant), then
+             either take a free slot directly — only when no lane is
+             backlogged, so arrivals never overtake queued tenants — or
+             park in the tenant's own bounded lane. *)
+          let tn = Tenant.of_env reg call.env in
+          let nowt = Engine.now rt.sim in
+          if not (Tenant.try_take tn ~now:nowt) then
+            quota_shed rt proc tn ~meth:call.meth
+              ~retry_after:(Tenant.retry_hint tn ~now:nowt)
+              reply_to
+          else if not (Tenant.inflight_ok tn) then
+            quota_shed rt proc tn ~meth:call.meth ~retry_after:a.retry_after_hint
+              reply_to
+          else
+            let d = drr_of proc in
+            if proc.inflight < a.max_inflight && Queue.is_empty d.d_ring then begin
+              proc.inflight <- proc.inflight + 1;
+              Tenant.begin_call tn;
+              deliver_call rt proc ~queued:false ~tn call reply_to
+            end
+            else
+              let lane = lane_of d tn in
+              if Queue.length lane.l_q < a.max_queue then begin
+                Queue.add (call, reply_to) lane.l_q;
+                d.d_count <- d.d_count + 1;
+                link_lane d lane;
+                (* A slot may be free when the tenant's own lane was
+                   backlogged; grant it through the scheduler so lane
+                   order, not arrival order, decides. *)
+                if proc.inflight < a.max_inflight then drain_queue rt proc
+              end
+              else
+                quota_shed rt proc tn ~meth:call.meth
+                  ~retry_after:(overload_hint a ~queued:(Queue.length lane.l_q))
+                  reply_to
+      | None ->
+          if proc.inflight >= a.max_inflight then
+            if Queue.length proc.queue < a.max_queue then
+              Queue.add (call, reply_to) proc.queue
+            else shed_call rt proc ~meth:call.meth reply_to
+          else begin
+            proc.inflight <- proc.inflight + 1;
+            deliver_call rt proc ~queued:false call reply_to
+          end)
+  | None ->
       proc.inflight <- proc.inflight + 1;
       deliver_call rt proc ~queued:false call reply_to
+
+(* ------------------------------------------------------------------ *)
+(* Tenancy: registry plumbing and part-facing enforcement helpers.     *)
+
+let set_tenants rt reg = rt.tenants <- reg
+let tenants rt = rt.tenants
+
+let tenant_label rt env =
+  match rt.tenants with
+  | None -> Tenant.fallback_name
+  | Some reg -> Tenant.name (Tenant.of_env reg env)
+
+(* Parts that gate expensive methods by tenant budget (a class charging
+   Create) use the same bucket, shed accounting and error shape as the
+   admission layer. Free when no registry is armed. *)
+let charge_quota rt proc ~meth ~env =
+  match rt.tenants with
+  | None -> Ok ()
+  | Some reg ->
+      let tn = Tenant.of_env reg env in
+      let nowt = Engine.now rt.sim in
+      if Tenant.try_take tn ~now:nowt then Ok ()
+      else
+        Error
+          (quota_error rt proc tn ~meth
+             ~retry_after:(Tenant.retry_hint tn ~now:nowt))
+
+(* A policy rejection: count it against the caller's tenant and emit
+   the tenant-tagged [Deny]. Returns the judged tenant's name. *)
+let note_deny rt proc ~meth ~env =
+  let tenant =
+    match rt.tenants with
+    | None -> Tenant.fallback_name
+    | Some reg ->
+        let tn = Tenant.of_env reg env in
+        Tenant.note_denied tn;
+        Tenant.name tn
+  in
+  emit rt ~host:proc.host (Event.Deny { loid = proc.loid; meth; tenant });
+  tenant
+
+(* A binding-path policy rejection: [note_deny] plus the terminal error
+   for the handler to reply with. *)
+let deny_reply rt proc ~meth ~env ~reason =
+  let tenant = note_deny rt proc ~meth ~env in
+  Err.Denied { tenant; reason }
 
 let on_receive rt host ~src payload =
   ignore src;
@@ -504,6 +753,7 @@ let spawn rt ~host ~loid ~kind ?epoch ?cache_capacity ?binding_agent ?admission
       cache;
       counter;
       queue = Queue.create ();
+      drr = None;
       admission;
       inflight = 0;
       live = true;
@@ -576,7 +826,7 @@ let binding_agent p = p.ba
 let set_admission p a = p.admission <- a
 let admission_of p = p.admission
 let inflight p = p.inflight
-let queued_calls p = Queue.length p.queue
+let queued_calls p = queue_depth p
 
 (* 0 = idle or unbudgeted, 1 = the next call is shed. Parts use this to
    degrade by policy before the hard limit bites (Class_part sheds
@@ -585,7 +835,7 @@ let load_factor p =
   match p.admission with
   | None -> 0.0
   | Some a ->
-      float_of_int (p.inflight + Queue.length p.queue)
+      float_of_int (p.inflight + queue_depth p)
       /. float_of_int (max 1 (a.max_inflight + a.max_queue))
 
 (* ------------------------------------------------------------------ *)
@@ -715,7 +965,9 @@ let send_one ctx ?timeout ~dst_loid ~element c k =
         (* Runs after the pending entry is removed (reply delivered). *)
         match r with
         | Error
-            (Err.Overloaded { retry_after } | Err.Txn_locked { retry_after; _ })
+            ( Err.Overloaded { retry_after }
+            | Err.Txn_locked { retry_after; _ }
+            | Err.Quota_exceeded { retry_after; _ } )
           when p.attempts < policy.Retry.max_attempts ->
             (* Backpressure-aware backoff: the destination shed us and
                said when to come back; honour the hint (and the policy's

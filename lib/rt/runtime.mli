@@ -259,6 +259,46 @@ val shed_reply : t -> proc -> meth:string -> Err.t
     queue-scaled [retry_after] hint the admission layer uses) for the
     handler to reply with. *)
 
+(** {1 Tenancy}
+
+    Arming a {!Tenant.t} registry ({!set_tenants}) switches every
+    budgeted process from the shared FIFO to {e per-tenant} wait lanes
+    scheduled by deficit round robin: a call's tenant is derived from
+    its environment's Responsible Agent ([Env.responsible], §2.4), its
+    token-bucket and inflight budgets are charged at admission (a failed
+    charge is shed with the retryable [Err.Quota_exceeded], attributed
+    to the tenant in the [Shed] event), and freed inflight slots are
+    granted weight-proportionally across backlogged lanes, each bounded
+    by [max_queue] — so a flooding tenant exhausts only its own lane and
+    budget while everyone else's queue depth and dispatch share are
+    preserved. With no registry armed the admission path is byte-for-
+    byte the pre-tenancy FIFO behaviour. *)
+
+val set_tenants : t -> Tenant.t option -> unit
+val tenants : t -> Tenant.t option
+
+val tenant_label : t -> Env.t -> string
+(** The tenant name the registry attributes the environment to
+    ({!Tenant.fallback_name} when unregistered or no registry). *)
+
+val charge_quota : t -> proc -> meth:string -> env:Env.t -> (unit, Err.t) result
+(** Charge one call against the caller's tenant rate budget from inside
+    a handler — for parts gating expensive methods (a class charging
+    [Create]) with the same bucket, shed accounting, and
+    [Err.Quota_exceeded] shape as the admission layer. [Ok ()] when no
+    registry is armed or the tenant is unbudgeted. *)
+
+val note_deny : t -> proc -> meth:string -> env:Env.t -> string
+(** Record a policy rejection without choosing the error shape: counts
+    it against the caller's tenant, emits the tenant-tagged [Deny]
+    event, and returns the judged tenant's name — for parts that keep a
+    legacy error type (the Magistrate's [Refused]) on their own policy
+    path. *)
+
+val deny_reply : t -> proc -> meth:string -> env:Env.t -> reason:string -> Err.t
+(** A binding-path policy rejection: {!note_deny} plus the terminal
+    [Err.Denied] for the handler to reply with. *)
+
 (** {1 Addresses and bindings} *)
 
 val element_of : proc -> Address.element

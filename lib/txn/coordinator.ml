@@ -124,9 +124,9 @@ let txn_of_value v =
 let reason_of = function
   | Err.Stale_epoch -> "stale-epoch"
   | Err.Txn_locked _ -> "locked"
-  | Err.Overloaded _ -> "overloaded"
+  | Err.Overloaded _ | Err.Quota_exceeded _ -> "overloaded"
   | Err.Timeout -> "timeout"
-  | Err.Refused _ -> "refused"
+  | Err.Refused _ | Err.Denied _ -> "refused"
   | Err.No_quorum _ -> "no-quorum"
   | Err.No_such_object | Err.Unreachable _ -> "unreachable"
   | Err.Txn_aborted _ -> "nested-abort"

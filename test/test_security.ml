@@ -112,10 +112,116 @@ let test_policy_roundtrip_structured () =
         [ ("A", l 1); ("C", l 1); ("C", l 9) ]
   | Error e -> Alcotest.fail e
 
+(* --- Wire round-trips, property-style: any Env and any Policy built
+   from the public constructors must survive value encoding AND the
+   full byte codec. Custom policies travel by name; the property pins
+   a registered name, and the fail-closed path (an unknown name from a
+   peer with policies we do not have) is checked separately. --- *)
+
+module Codec = Legion_wire.Codec
+
+let () =
+  Policy.register_custom "qcheck-probe" (fun ~meth ~env:_ ->
+      if String.length meth mod 2 = 0 then Policy.Allow
+      else Policy.Deny "odd method")
+
+let loid_gen : Loid.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  map2
+    (fun c s ->
+      Loid.make ~class_id:(Int64.of_int c) ~class_specific:(Int64.of_int s) ())
+    (int_bound 99) (int_bound 999)
+
+let env_gen : Env.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  map3
+    (fun r s c -> Env.make ~responsible:r ~security:s ~calling:c)
+    loid_gen loid_gen loid_gen
+
+let policy_gen : Policy.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let set = map Loid.Set.of_list (list_size (0 -- 4) loid_gen) in
+  let base =
+    oneof
+      [
+        return Policy.Allow_all;
+        map (fun r -> Policy.Deny_all r) (string_size (0 -- 12));
+        map (fun s -> Policy.Allow_calling s) set;
+        map (fun s -> Policy.Allow_responsible s) set;
+        return
+          (Policy.Custom
+             ("qcheck-probe", Option.get (Policy.find_custom "qcheck-probe")));
+      ]
+  in
+  oneof
+    [
+      base;
+      map2
+        (fun ms p -> Policy.Deny_methods (ms, p))
+        (list_size (0 -- 3) (string_size (1 -- 8)))
+        base;
+      map (fun ps -> Policy.All_of ps) (list_size (0 -- 3) base);
+    ]
+
+let arbitrary_env =
+  QCheck.make ~print:(Format.asprintf "%a" Env.pp) env_gen
+
+let arbitrary_policy =
+  QCheck.make ~print:(Format.asprintf "%a" Policy.pp) policy_gen
+
+let env_wire_roundtrip =
+  QCheck.Test.make ~name:"Env survives value + codec round-trips" ~count:500
+    arbitrary_env (fun e ->
+      match Env.of_value (Env.to_value e) with
+      | Error _ -> false
+      | Ok e' -> (
+          Env.equal e e'
+          &&
+          match Codec.decode (Codec.encode (Env.to_value e)) with
+          | Error _ -> false
+          | Ok v -> (
+              match Env.of_value v with
+              | Ok e'' -> Env.equal e e''
+              | Error _ -> false)))
+
+(* Policies carry closures, so equality is on the serialized form: one
+   round trip must be a fixed point of [to_value]. *)
+let policy_wire_roundtrip =
+  QCheck.Test.make ~name:"Policy.to_value is a round-trip fixed point"
+    ~count:500 arbitrary_policy (fun p ->
+      let v = Policy.to_value p in
+      match Codec.decode (Codec.encode v) with
+      | Error _ -> false
+      | Ok v' -> (
+          match Policy.of_value v' with
+          | Error _ -> false
+          | Ok p' -> Value.equal (Policy.to_value p') v))
+
+let test_policy_unknown_custom_fails_closed () =
+  let v =
+    Value.Record
+      [ ("p", Value.Str "custom"); ("n", Value.Str "no-such-policy") ]
+  in
+  match Policy.of_value v with
+  | Ok (Policy.Deny_all _ as p) -> (
+      match Policy.check p ~meth:"Get" ~env:(env_from (l 1)) with
+      | Policy.Deny _ -> ()
+      | Policy.Allow -> Alcotest.fail "unknown custom policy allowed a call")
+  | Ok p ->
+      Alcotest.failf "unknown custom decoded open: %s"
+        (Format.asprintf "%a" Policy.pp p)
+  | Error e ->
+      Alcotest.failf "unknown custom must fail closed, not error: %s" e
+
 (* --- End-to-end: object-level MayI --- *)
 
+let sweep_seed =
+  match Sys.getenv_opt "LEGION_TRACE_SEED" with
+  | Some s -> ( match Int64.of_string_opt s with Some v -> v | None -> 42L)
+  | None -> 42L
+
 let test_object_allowlist () =
-  let sys = H.boot_two_sites () in
+  let sys = H.boot_two_sites ~seed:sweep_seed () in
   let ctx_friend = System.client sys ~site:0 () in
   let ctx_stranger = System.client sys ~site:1 () in
   let friend_loid = Runtime.proc_loid ctx_friend.Runtime.self in
@@ -145,7 +251,7 @@ let test_object_allowlist () =
 let test_magistrate_site_autonomy () =
   (* The DOE story (§2.1.3): a Jurisdiction whose Magistrate only
      accepts requests from Responsible Agents it trusts. *)
-  let sys = H.boot_two_sites () in
+  let sys = H.boot_two_sites ~seed:sweep_seed () in
   let ctx_trusted = System.client sys ~site:0 () in
   let ctx_outsider = System.client sys ~site:1 () in
   let trusted_loid = Runtime.proc_loid ctx_trusted.Runtime.self in
@@ -180,7 +286,7 @@ let test_magistrate_refuses_migration () =
      let its objects leave (Deny Copy/Move), while everything else
      works — "member function calls on Magistrates should be thought of
      as requests rather than commands" (§3.8). *)
-  let sys = H.boot_two_sites () in
+  let sys = H.boot_two_sites ~seed:sweep_seed () in
   let ctx = System.client sys () in
   let m0 = (System.site sys 0).System.magistrate in
   let m1 = (System.site sys 1).System.magistrate in
@@ -217,7 +323,7 @@ let test_magistrate_refuses_migration () =
 (* --- LOID public keys (§3.2) --- *)
 
 let test_public_key_identity () =
-  let sys = H.boot_two_sites () in
+  let sys = H.boot_two_sites ~seed:sweep_seed () in
   let ctx = System.client sys () in
   let cls = H.make_counter_class sys ctx () in
   let loid =
@@ -271,6 +377,10 @@ let () =
           Alcotest.test_case "custom registry" `Quick test_policy_custom_registry;
           Alcotest.test_case "structured roundtrip" `Quick
             test_policy_roundtrip_structured;
+          Alcotest.test_case "unknown custom fails closed" `Quick
+            test_policy_unknown_custom_fails_closed;
+          QCheck_alcotest.to_alcotest env_wire_roundtrip;
+          QCheck_alcotest.to_alcotest policy_wire_roundtrip;
         ] );
       ( "end-to-end",
         [

@@ -217,6 +217,10 @@ let err_gen : Err.t QCheck.Gen.t =
         (fun h r -> Err.Txn_locked { holder = h; retry_after = r })
         s ra;
       map (fun x -> Err.Txn_aborted { txn = x }) s;
+      map2
+        (fun t r -> Err.Quota_exceeded { tenant = t; retry_after = r })
+        s ra;
+      map2 (fun t d -> Err.Denied { tenant = t; reason = d }) s s;
       map (fun d -> Err.Internal d) s;
     ]
 
@@ -262,6 +266,12 @@ let test_err_legacy_decodes () =
   check "txa without txn id"
     (Value.Record [ ("c", Value.Str "txa") ])
     (Err.Txn_aborted { txn = "" });
+  check "qex without tenant or hint"
+    (Value.Record [ ("c", Value.Str "qex") ])
+    (Err.Quota_exceeded { tenant = ""; retry_after = 0.0 });
+  check "dny without tenant or reason"
+    (Value.Record [ ("c", Value.Str "dny") ])
+    (Err.Denied { tenant = ""; reason = "" });
   (* Unknown codes from a newer peer are an error, not a crash. *)
   (match Err.of_value (Value.Record [ ("c", Value.Str "zzz") ]) with
   | Error _ -> ()
@@ -281,7 +291,20 @@ let test_err_classification () =
        (Err.Txn_locked { holder = "t"; retry_after = 0.1 }));
   Alcotest.(check (option (float 1e-9))) "lock carries its retry hint"
     (Some 0.25)
-    (Err.retry_after (Err.Txn_locked { holder = "t"; retry_after = 0.25 }))
+    (Err.retry_after (Err.Txn_locked { holder = "t"; retry_after = 0.25 }));
+  Alcotest.(check bool) "quota shed retryable" true
+    (Err.is_retryable (Err.Quota_exceeded { tenant = "m"; retry_after = 0.1 }));
+  Alcotest.(check bool) "quota shed is overload, not delivery failure" true
+    (Err.is_overload (Err.Quota_exceeded { tenant = "m"; retry_after = 0.1 })
+    && not
+         (Err.is_delivery_failure
+            (Err.Quota_exceeded { tenant = "m"; retry_after = 0.1 })));
+  Alcotest.(check (option (float 1e-9))) "quota shed carries its retry hint"
+    (Some 0.5)
+    (Err.retry_after (Err.Quota_exceeded { tenant = "m"; retry_after = 0.5 }));
+  Alcotest.(check bool) "policy denial terminal" false
+    (Err.is_retryable (Err.Denied { tenant = "e"; reason = "policy" })
+    || Err.is_delivery_failure (Err.Denied { tenant = "e"; reason = "policy" }))
 
 let () =
   Alcotest.run "wire"

@@ -32,6 +32,7 @@ let experiments =
     ("e19", "elastic load management under a Zipf flash crowd (3.8, 5.2.2)", Exp_elastic.run);
     ("e20", "atomic multi-object invocations under fault schedules", Exp_txn.run);
     ("e21", "noisy neighbor: per-tenant quotas and fair queuing (2.4)", Exp_tenants.run);
+    ("e22", "adversarial chaos exploration with exactly-once effects", Exp_chaos.run);
     ("micro", "substrate micro-benchmarks", Micro.run);
   ]
 

@@ -5,6 +5,10 @@
      drive    run a synthetic workload and report per-component load
      trace    run one binding resolution with full message accounting
      faults   run an open-loop workload under a scripted fault schedule
+     chaos    run seeded adversarial schedules (E22) against the
+              composed ledger/txn/group workload, audit exactly-once
+              and atomicity invariants, shrink any failure to a
+              replayable artifact; exits non-zero on a violation
      overload drive a serial bottleneck past saturation and report
               shedding and circuit-breaker activity
      replicate run a self-healing replica set through a kill sweep and
@@ -362,6 +366,23 @@ let cmd_faults =
          & info [ "crash" ] ~docv:"T"
              ~doc:"Crash a non-infrastructure host at T; it reboots 5 s later.")
   in
+  let duplicate_arg =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate" ] ~docv:"P"
+             ~doc:"Probability that a delivered message is delivered twice.")
+  in
+  let corrupt_arg =
+    Arg.(value & opt float 0.0
+         & info [ "corrupt" ] ~docv:"P"
+             ~doc:"Probability that a payload is byte-mutated in flight \
+                   (dropped at the receiver by the integrity check).")
+  in
+  let reorder_arg =
+    Arg.(value & opt (some string) None
+         & info [ "reorder" ] ~docv:"P:W"
+             ~doc:"Hold back messages with probability P for up to W extra \
+                   seconds, letting later traffic overtake them.")
+  in
   let parse_window spec =
     match String.split_on_char ':' spec with
     | [ t; w ] -> (float_of_string t, float_of_string w)
@@ -370,9 +391,10 @@ let cmd_faults =
   let json_arg =
     Arg.(value & flag & info [ "json" ]
          ~doc:"Emit the report as one JSON object (goodput windows, retry \
-               counters, MTTR percentiles).")
+               counters, per-cause drop split, MTTR percentiles).")
   in
-  let run sites seed ramp duration period partition crash json =
+  let run sites seed ramp duration period partition crash duplicate corrupt
+      reorder json =
     let sys = boot_system ~sites ~seed in
     let ctx = System.client sys () in
     let cls =
@@ -394,6 +416,13 @@ let cmd_faults =
     let t_end = t0 +. duration in
     Script.ramp sim ~start:t0 ~until:t_end ~steps ~values
       (Network.set_drop_rate net);
+    if duplicate > 0.0 then Network.set_duplicate_rate net duplicate;
+    if corrupt > 0.0 then Network.set_corrupt_rate net corrupt;
+    (match reorder with
+    | None -> ()
+    | Some spec ->
+        let rate, window = parse_window spec in
+        Network.set_reorder net ~rate ~window);
     (match partition with
     | None -> ()
     | Some spec ->
@@ -465,16 +494,26 @@ let cmd_faults =
         |> List.mapi window_json |> String.concat ","
       in
       let ih, is_, ws = Network.messages_by_tier net in
+      let causes = Network.drop_causes net in
       Format.printf
         "{\"windows\":[%s],\"retries\":%d,\"giveups\":%d,\"cancels\":%d,\
          \"failed\":%d,\"sheds\":%d,%s,%s,\"messages\":{\"intra_host\":%d,\
-         \"intra_site\":%d,\"wide_area\":%d,\"messages_dropped\":%d}}@."
+         \"intra_site\":%d,\"wide_area\":%d,\"messages_dropped\":%d,\
+         \"duplicated\":%d,\"reordered\":%d,\"corrupted\":%d},\
+         \"drops\":{\"by_rate\":%d,\"by_down_host\":%d,\"by_partition\":%d,\
+         \"by_no_receiver\":%d,\"by_corruption\":%d}}@."
         windows retries giveups cancels !giveup_errors
         (Runtime.total_sheds (System.rt sys))
         (hist_json "recovery" (Recorder.latency obs ~component:"rt.recovery"))
         (hist_json "mttr" (Recorder.latency obs ~component:"rt.mttr"))
         ih is_ ws
         (Network.messages_dropped net)
+        (Network.messages_duplicated net)
+        (Network.messages_reordered net)
+        (Network.messages_corrupted net)
+        causes.Network.by_rate causes.Network.by_down_host
+        causes.Network.by_partition causes.Network.by_no_receiver
+        causes.Network.by_corruption
     end
     else begin
       Format.printf "%-10s %-10s %-8s %-8s %-8s@." "window s" "drop" "issued" "ok" "goodput";
@@ -505,7 +544,18 @@ let cmd_faults =
       let ih, is_, ws = Network.messages_by_tier net in
       Format.printf "messages: %d intra-host, %d intra-site, %d wide-area (%d dropped)@."
         ih is_ ws
-        (Network.messages_dropped net)
+        (Network.messages_dropped net);
+      let dup = Network.messages_duplicated net
+      and reord = Network.messages_reordered net
+      and corr = Network.messages_corrupted net in
+      if dup + reord + corr > 0 then
+        Format.printf "adversary: %d duplicated, %d reordered, %d corrupted@."
+          dup reord corr;
+      let c = Network.drop_causes net in
+      Format.printf
+        "drops: %d rate, %d down host, %d partition, %d no receiver, %d corruption@."
+        c.Network.by_rate c.Network.by_down_host c.Network.by_partition
+        c.Network.by_no_receiver c.Network.by_corruption
     end
   in
   let info =
@@ -517,7 +567,127 @@ let cmd_faults =
   Cmd.v info
     Term.(
       const run $ sites_arg $ seed_arg $ ramp_arg $ duration_arg $ period_arg
-      $ partition_arg $ crash_arg $ json_arg)
+      $ partition_arg $ crash_arg $ duplicate_arg $ corrupt_arg $ reorder_arg
+      $ json_arg)
+
+(* --- chaos --- *)
+
+let cmd_chaos =
+  let module Schedule = Legion_chaos.Schedule in
+  let module Explorer = Legion_chaos.Explorer in
+  let schedules_arg =
+    Arg.(value & opt int 25
+         & info [ "schedules" ] ~docv:"N"
+             ~doc:"Seeded schedules to generate and run (ignored with \
+                   $(b,--replay)).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 16
+         & info [ "rounds" ] ~docv:"N" ~doc:"Workload rounds per schedule.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay one schedule from its serialized artifact instead \
+                   of generating a fleet.")
+  in
+  let no_dedup_arg =
+    Arg.(value & flag & info [ "no-dedup" ]
+         ~doc:"Disable the runtime's exactly-once dedup cache (a \
+               duplication-heavy schedule is then expected to detect double \
+               applies).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit one JSON report row per schedule.")
+  in
+  (* A failing schedule is shrunk to a locally minimal replayable
+     artifact; the exit code is the gate. *)
+  let artifact = "E22_FAILING_SCHEDULE.txt" in
+  let fail_schedule ~dedup ~json sch rep =
+    let min_sch, min_rep = Explorer.shrink ~dedup sch rep in
+    Out_channel.with_open_text artifact (fun oc ->
+        output_string oc (Schedule.to_string min_sch));
+    if json then
+      print_endline (Explorer.report_json min_sch min_rep)
+    else begin
+      Format.printf "schedule (seed %Ld) violated invariants:@."
+        sch.Schedule.seed;
+      List.iter (Format.printf "  %s@.") min_rep.Explorer.violations;
+      Format.printf
+        "minimized to %d steps; replay with  legion-sim chaos --replay %s@."
+        (List.length min_sch.Schedule.steps)
+        artifact
+    end;
+    exit 1
+  in
+  let run seed schedules rounds replay no_dedup json =
+    let dedup = not no_dedup in
+    match replay with
+    | Some file -> (
+        let text = In_channel.with_open_text file In_channel.input_all in
+        match Schedule.of_string text with
+        | Error msg ->
+            Format.eprintf "%s: %s@." file msg;
+            exit 2
+        | Ok sch ->
+            let rep = Explorer.run ~dedup sch in
+            if json then print_endline (Explorer.report_json sch rep)
+            else begin
+              Format.printf "%a@." Schedule.pp sch;
+              Format.printf
+                "ledger: %d acked, %d recorded, %d double applies, %d dedup \
+                 hits@."
+                rep.Explorer.ledger_acked rep.Explorer.ledger_recorded
+                rep.Explorer.double_applies rep.Explorer.dedup_hits;
+              Format.printf
+                "txns: %d acked, %d committed, %d compensated; group: %d \
+                 acked@."
+                rep.Explorer.txns_acked rep.Explorer.txns_committed
+                rep.Explorer.txns_compensated rep.Explorer.group_acked;
+              Format.printf
+                "adversary: %d duplicated, %d reordered, %d corrupted, %d \
+                 dropped (%d by corruption), %d crashes@."
+                rep.Explorer.duplicated rep.Explorer.reordered
+                rep.Explorer.corrupted rep.Explorer.dropped
+                rep.Explorer.drops_corrupt rep.Explorer.crashes;
+              if rep.Explorer.violations = [] then
+                Format.printf "all invariants held@."
+              else
+                List.iter
+                  (Format.printf "violation: %s@.")
+                  rep.Explorer.violations
+            end;
+            if Explorer.failed rep then exit 1)
+    | None ->
+        let base = Int64.of_int seed in
+        for i = 1 to schedules do
+          let sch =
+            Schedule.generate ~rounds ~seed:(Int64.add base (Int64.of_int i)) ()
+          in
+          let rep = Explorer.run ~dedup sch in
+          if json then print_endline (Explorer.report_json sch rep)
+          else
+            Format.printf "schedule %3d/%d (seed %Ld): %s@." i schedules
+              sch.Schedule.seed
+              (if Explorer.failed rep then "FAIL" else "ok");
+          if Explorer.failed rep then fail_schedule ~dedup ~json sch rep
+        done;
+        if not json then
+          Format.printf "%d schedules, zero invariant violations@." schedules
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:
+        "Run seeded adversarial fault schedules against the composed ledger + \
+         transaction + fenced-group workload and audit exactly-once and \
+         atomicity invariants (E22). A failing schedule is shrunk to a \
+         replayable artifact and the command exits non-zero."
+  in
+  Cmd.v info
+    Term.(
+      const run $ seed_arg $ schedules_arg $ rounds_arg $ replay_arg
+      $ no_dedup_arg $ json_arg)
 
 (* --- overload --- *)
 
@@ -1587,7 +1757,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_overload;
-            cmd_recover; cmd_replicate; cmd_scale; cmd_elastic; cmd_txn;
-            cmd_tenants; cmd_idl;
+            cmd_boot; cmd_drive; cmd_trace; cmd_soak; cmd_faults; cmd_chaos;
+            cmd_overload; cmd_recover; cmd_replicate; cmd_scale; cmd_elastic;
+            cmd_txn; cmd_tenants; cmd_idl;
           ]))

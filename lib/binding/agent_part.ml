@@ -106,8 +106,8 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                               | Some b -> Binding.to_value b
                               | None -> Loid.to_value cls
                             in
-                            call_binding renv creator_b "GetBinding" [ arg ]
-                              (fun r ->
+                            ask_class renv ~owner:creator ~owner_b:creator_b
+                              ~depth:(depth + 1) arg (fun r ->
                                 match r with
                                 | Error e -> k (Error e)
                                 | Ok bv -> (
@@ -116,6 +116,32 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                                     | Ok b ->
                                         Cache.add st.cache ~now:(now ()) b;
                                         k (Ok b))))))
+
+  (* GetBinding on a class object whose own binding [owner_b] came from
+     this agent's cache. Bindings are invoked directly (no rebind
+     machinery up here), so if the placement [owner_b] names is gone —
+     the class object crashed and has not been reactivated — the cached
+     entry would pin every resolution that routes through it to the
+     same dead address forever. On a delivery failure: drop the entry,
+     re-resolve the class through the stale-binding refresh path (which
+     reaches its creator and can reactivate the crashed class object
+     via its Magistrates), and retry the lookup once. *)
+  and ask_class renv ~owner ~owner_b ~depth arg k =
+    call_binding renv owner_b "GetBinding" [ arg ] (fun r ->
+        match r with
+        | Error e
+          when Err.is_delivery_failure e
+               && not (Loid.equal owner Well_known.legion_class) ->
+            Cache.invalidate_exact st.cache owner_b;
+            resolve_class renv owner ~stale:(Some owner_b) depth (fun r ->
+                match r with
+                | Error _ ->
+                    (* Report the original failure: the refresh is a
+                       repair attempt, not the caller's question. *)
+                    k (Error e)
+                | Ok owner_b' ->
+                    call_binding renv owner_b' "GetBinding" [ arg ] k)
+        | r -> k r)
 
   (* An instance target: the responsible class is the LOID with the
      Class Specific field zeroed (§4.1.3). [stale] is passed through to
@@ -131,7 +157,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
               | Some b -> Binding.to_value b
               | None -> Loid.to_value target
             in
-            call_binding renv cls_b "GetBinding" [ arg ] (fun r ->
+            ask_class renv ~owner:cls ~owner_b:cls_b ~depth:0 arg (fun r ->
                 match r with
                 | Error e -> k (Error e)
                 | Ok bv -> (

@@ -1,0 +1,65 @@
+(** The chaos explorer: run seeded fault schedules against a composed
+    workload and audit global invariants (E22).
+
+    Every run boots a fresh two-site Legion, populates it with three
+    concurrent workloads — non-idempotent {e ledger} objects (each
+    [Apply] records its op id, so a double-applied effect is visible as
+    a multiplicity), an E20-style transaction mix (2PC + saga over
+    participant pairs), and an E17-style fenced quorum group — then
+    executes the {!Schedule} round by round, heals everything, drains,
+    and audits:
+
+    - no double-applied effect: every op id appears at most once in
+      every ledger (callers never rebind, so the network's at-least-once
+      retransmission plus injected duplicates are the only duplicate
+      sources — exactly what the runtime's dedup cache must absorb);
+    - transactional atomicity: no staged residue, no mixed
+      commit/compensate marks, no acknowledged commit later
+      compensated (the E20 gates);
+    - no orphaned prepare locks ([TxnHeld] empty everywhere) and no
+      in-doubt transactions ([TxnStats]);
+    - no split-brain drift: after the post-heal [Reconcile], every
+      fenced group member holds the same value;
+    - epoch monotonicity: no tracked object's binding epoch ever
+      decreases;
+    - post-heal liveness: every object answers a final probe.
+
+    Violations are collected as strings (never raised) so the
+    {!shrink}er can minimize a failing schedule by re-running it. *)
+
+type report = {
+  violations : string list;  (** Empty iff every invariant held. *)
+  ledger_acked : int;  (** Ledger ops acknowledged to the client. *)
+  ledger_recorded : int;  (** Distinct op ids found in the ledgers. *)
+  double_applies : int;  (** Op ids recorded more than once. *)
+  dedup_hits : int;  (** Runtime dedup-cache absorptions. *)
+  txns_acked : int;
+  txns_committed : int;
+  txns_compensated : int;
+  group_acked : int;  (** Fenced group writes acknowledged. *)
+  duplicated : int;  (** Network-injected duplicate copies. *)
+  reordered : int;
+  corrupted : int;
+  dropped : int;
+  drops_corrupt : int;  (** Fail-closed integrity drops. *)
+  crashes : int;  (** Crash + power-fail actions applied. *)
+}
+
+val run : ?dedup:bool -> Schedule.t -> report
+(** Execute one schedule. [dedup] (default [true]) controls the
+    runtime's exactly-once cache; with it off, a duplication-heavy
+    schedule is expected to produce [double_applies > 0] — the
+    detection half of the E22 gate. Deterministic per schedule. *)
+
+val failed : report -> bool
+(** [violations <> []]. *)
+
+val shrink : ?dedup:bool -> Schedule.t -> report -> Schedule.t * report
+(** Greedy delta-debugging: repeatedly drop single steps from a failing
+    schedule while {!run} keeps failing, returning a locally minimal
+    schedule and its report. A schedule whose report passes is returned
+    unchanged. *)
+
+val report_json : Schedule.t -> report -> string
+(** One deterministic JSON row (schedule seed, workload, fault counts,
+    audit counters, violations) — the byte-determinism unit for E22. *)

@@ -1,0 +1,199 @@
+(* Seeded fault programs over the adversary vocabulary, with a small
+   line-oriented text format so minimized failing schedules replay. *)
+
+module Prng = Legion_util.Prng
+
+type action =
+  | Crash of int
+  | Power_fail of int
+  | Partition of bool
+  | Drop of float
+  | Duplicate of float
+  | Corrupt of float
+  | Reorder of float * float
+  | Delay_spike of float * float
+
+type step = { at : int; action : action }
+type workload = Uniform | Zipf
+
+type t = {
+  seed : int64;
+  workload : workload;
+  rounds : int;
+  steps : step list;
+}
+
+let sort_steps steps = List.stable_sort (fun a b -> compare a.at b.at) steps
+
+let generate ?(rounds = 16) ~seed () =
+  let prng = Prng.create ~seed in
+  let workload = if Prng.bernoulli prng ~p:0.5 then Zipf else Uniform in
+  let steps = ref [] in
+  let add at action = steps := { at; action } :: !steps in
+  (* Faults land in the middle rounds so every schedule has a warm-up
+     and a tail of clean rounds before the final heal-and-drain. *)
+  let mid () = 2 + Prng.int prng (max 1 (rounds - 6)) in
+  let n = 3 + Prng.int prng 6 in
+  for _ = 1 to n do
+    let r = mid () in
+    match Prng.int prng 8 with
+    | 0 -> add r (Crash (Prng.int prng 64))
+    | 1 -> add r (Power_fail (Prng.int prng 64))
+    | 2 ->
+        add r (Partition true);
+        add (r + 2 + Prng.int prng 4) (Partition false)
+    | 3 ->
+        (* A loss ramp: up, then back down a few rounds later. *)
+        add r (Drop (0.05 +. Prng.float prng 0.2));
+        add (r + 2 + Prng.int prng 5) (Drop 0.0)
+    | 4 -> add r (Duplicate (0.1 +. Prng.float prng 0.3))
+    | 5 -> add r (Corrupt (0.02 +. Prng.float prng 0.08))
+    | 6 ->
+        add r
+          (Reorder (0.2 +. Prng.float prng 0.4, 0.005 +. Prng.float prng 0.03))
+    | _ ->
+        add r (Delay_spike (2.0 +. Prng.float prng 6.0, 0.5 +. Prng.float prng 2.0))
+  done;
+  { seed; workload; rounds; steps = sort_steps (List.rev !steps) }
+
+(* --- Text format. ------------------------------------------------- *)
+
+let fl = Printf.sprintf "%.17g"
+
+let action_to_string = function
+  | Crash i -> Printf.sprintf "crash %d" i
+  | Power_fail i -> Printf.sprintf "power %d" i
+  | Partition true -> "partition cut"
+  | Partition false -> "partition heal"
+  | Drop r -> "drop " ^ fl r
+  | Duplicate r -> "dup " ^ fl r
+  | Corrupt r -> "corrupt " ^ fl r
+  | Reorder (r, w) -> Printf.sprintf "reorder %s %s" (fl r) (fl w)
+  | Delay_spike (f, d) -> Printf.sprintf "spike %s %s" (fl f) (fl d)
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# legion chaos schedule\n";
+  Buffer.add_string b (Printf.sprintf "seed %Ld\n" t.seed);
+  Buffer.add_string b
+    (Printf.sprintf "workload %s\n"
+       (match t.workload with Uniform -> "uniform" | Zipf -> "zipf"));
+  Buffer.add_string b (Printf.sprintf "rounds %d\n" t.rounds);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "step %d %s\n" s.at (action_to_string s.action)))
+    t.steps;
+  Buffer.contents b
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f when Float.is_nan f -> Error (what ^ ": NaN")
+  | Some f -> Ok f
+  | None -> Error (what ^ ": bad float " ^ s)
+
+let parse_rate what s =
+  match parse_float what s with
+  | Ok f when f < 0.0 || f > 1.0 ->
+      Error (Printf.sprintf "%s: rate %s outside [0,1]" what s)
+  | r -> r
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (what ^ ": bad int " ^ s)
+
+let ( let* ) = Result.bind
+
+let parse_action = function
+  | [ "crash"; i ] ->
+      let* i = parse_int "crash" i in
+      Ok (Crash i)
+  | [ "power"; i ] ->
+      let* i = parse_int "power" i in
+      Ok (Power_fail i)
+  | [ "partition"; "cut" ] -> Ok (Partition true)
+  | [ "partition"; "heal" ] -> Ok (Partition false)
+  | [ "drop"; r ] ->
+      let* r = parse_rate "drop" r in
+      Ok (Drop r)
+  | [ "dup"; r ] ->
+      let* r = parse_rate "dup" r in
+      Ok (Duplicate r)
+  | [ "corrupt"; r ] ->
+      let* r = parse_rate "corrupt" r in
+      Ok (Corrupt r)
+  | [ "reorder"; r; w ] ->
+      let* r = parse_rate "reorder" r in
+      let* w = parse_float "reorder window" w in
+      if w < 0.0 then Error "reorder window: negative" else Ok (Reorder (r, w))
+  | [ "spike"; f; d ] ->
+      let* f = parse_float "spike factor" f in
+      let* d = parse_float "spike duration" d in
+      if f < 1.0 then Error "spike factor: below 1"
+      else if d < 0.0 then Error "spike duration: negative"
+      else Ok (Delay_spike (f, d))
+  | toks -> Error ("unknown action: " ^ String.concat " " toks)
+
+let of_string text =
+  let seed = ref None and workload = ref None and rounds = ref None in
+  let steps = ref [] in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go (lineno + 1) rest
+        else
+          let err m = Error (Printf.sprintf "line %d: %s" lineno m) in
+          match
+            String.split_on_char ' ' line
+            |> List.filter (fun s -> s <> "")
+          with
+          | [ "seed"; s ] -> (
+              match Int64.of_string_opt s with
+              | Some v ->
+                  seed := Some v;
+                  go (lineno + 1) rest
+              | None -> err ("bad seed " ^ s))
+          | [ "workload"; "uniform" ] ->
+              workload := Some Uniform;
+              go (lineno + 1) rest
+          | [ "workload"; "zipf" ] ->
+              workload := Some Zipf;
+              go (lineno + 1) rest
+          | [ "rounds"; s ] -> (
+              match int_of_string_opt s with
+              | Some v when v > 0 ->
+                  rounds := Some v;
+                  go (lineno + 1) rest
+              | _ -> err ("bad rounds " ^ s))
+          | "step" :: at :: action -> (
+              match int_of_string_opt at with
+              | Some at when at >= 1 -> (
+                  match parse_action action with
+                  | Ok a ->
+                      steps := { at; action = a } :: !steps;
+                      go (lineno + 1) rest
+                  | Error m -> err m)
+              | _ -> err ("bad step round " ^ at))
+          | _ -> err ("unparseable: " ^ line))
+  in
+  let* () = go 1 lines in
+  match (!seed, !rounds) with
+  | None, _ -> Error "missing seed line"
+  | _, None -> Error "missing rounds line"
+  | Some seed, Some rounds ->
+      Ok
+        {
+          seed;
+          workload = Option.value !workload ~default:Uniform;
+          rounds;
+          steps = sort_steps (List.rev !steps);
+        }
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b =
+  Int64.equal a.seed b.seed && a.workload = b.workload && a.rounds = b.rounds
+  && a.steps = b.steps

@@ -1,0 +1,61 @@
+(** Chaos schedules: seeded fault programs over the adversary vocabulary.
+
+    A schedule is a deterministic program of fault actions applied at
+    round boundaries of an {!Explorer} scenario: host crashes and power
+    failures (with automatic revival), site partitions, uniform-loss
+    ramps, duplication, reordering, payload corruption, and wide-area
+    delay spikes. Schedules are values — generated from a seed,
+    serialized to a small line-oriented text format, and parsed back —
+    so a failing schedule minimized by the shrinker is a replayable
+    artifact ([legion-sim chaos --replay FILE]). *)
+
+type action =
+  | Crash of int
+      (** Take a work host down cleanly (index into the scenario's
+          non-infrastructure hosts, modulo their count); it revives
+          automatically 6 s later. *)
+  | Power_fail of int
+      (** Like [Crash], but through {!Legion_rt.Runtime.power_fail}:
+          the host's processes die abruptly, exercising the zombie /
+          stale-epoch fencing paths on revival. *)
+  | Partition of bool  (** Cut ([true]) or heal the inter-site link. *)
+  | Drop of float  (** Set the uniform loss rate (a ramp when paired). *)
+  | Duplicate of float  (** Set the duplication rate. *)
+  | Corrupt of float  (** Set the payload-corruption rate. *)
+  | Reorder of float * float  (** Set (rate, window) reordering. *)
+  | Delay_spike of float * float
+      (** (factor, duration): multiply inter-site latency by [factor]
+          for [duration] seconds of virtual time. *)
+
+type step = { at : int; action : action }
+(** [action] fires at the start of round [at] (1-based). *)
+
+type workload = Uniform | Zipf
+(** How the scenario's ledger traffic picks targets: uniformly, or
+    Zipf-skewed (s = 1.1) so one object soaks most duplicates. *)
+
+type t = {
+  seed : int64;  (** Seeds the boot PRNG and the workload PRNG. *)
+  workload : workload;
+  rounds : int;
+  steps : step list;  (** Sorted by [at], stable. *)
+}
+
+val generate : ?rounds:int -> seed:int64 -> unit -> t
+(** Draw a schedule from the seed: 3–8 primary faults over the full
+    vocabulary, placed in the middle rounds, with partitions paired
+    with heals and loss ramps paired with resets. Deterministic per
+    seed. Default [rounds] is 16. *)
+
+val to_string : t -> string
+(** Render the line-oriented replay format ([seed]/[workload]/[rounds]/
+    [step] lines; [#] comments). Floats are printed to full precision
+    so [of_string (to_string t)] round-trips exactly. *)
+
+val of_string : string -> (t, string) result
+(** Parse the replay format. Unknown directives, malformed numbers,
+    out-of-range rates and missing headers are reported, never raised. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

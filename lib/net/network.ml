@@ -32,11 +32,32 @@ type hostvec = { mutable ids : int array; mutable n : int }
 
 (* In-flight message, pooled: the engine carries only the slot index
    (see Engine.post_token), so a delivery costs no closure and no
-   fresh record. *)
+   fresh record. [d_raw] is the sealed-and-mutated byte form a payload
+   selected for the corruption fault travels as; [None] — the fast
+   path — carries the value unserialized. *)
 type delivery = {
   mutable d_src : host_id;
   mutable d_dst : host_id;
   mutable d_payload : Value.t;
+  mutable d_raw : string option;
+}
+
+type drop_causes = {
+  by_rate : int;
+  by_down_host : int;
+  by_partition : int;
+  by_no_receiver : int;
+  by_corruption : int;
+}
+
+(* A transient per-link latency multiplier: messages between [sp_a] and
+   [sp_b] (a normalised site pair) are slowed by [sp_factor] until
+   virtual time [sp_until]; expired spikes are pruned lazily. *)
+type spike = {
+  sp_a : site_id;
+  sp_b : site_id;
+  sp_factor : float;
+  sp_until : float;
 }
 
 type t = {
@@ -53,6 +74,11 @@ type t = {
   mutable free_len : int;
   mutable n_deliveries : int;  (* slots ever handed out *)
   mutable drop_rate : float;
+  mutable duplicate_rate : float;
+  mutable reorder_rate : float;
+  mutable reorder_window : float;
+  mutable corrupt_rate : float;
+  mutable delay_spikes : spike list;
   mutable partitions : (site_id * site_id) list;
   mutable tap : (src:host_id -> dst:host_id -> Value.t -> unit) option;
   mutable host_watcher : (host_id -> up:bool -> unit) option;
@@ -64,6 +90,10 @@ type t = {
   mutable sent : int;
   mutable bytes : int;
   mutable dropped : int;
+  mutable drop_causes : drop_causes;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable corrupted : int;
   mutable tier_host : int;
   mutable tier_site : int;
   mutable tier_wan : int;
@@ -84,7 +114,9 @@ let hostvec_add v h =
 let rec deliver_token t tok =
   let d = t.deliveries.(tok) in
   let src = d.d_src and dst = d.d_dst and payload = d.d_payload in
+  let raw = d.d_raw in
   d.d_payload <- Value.Unit;
+  d.d_raw <- None;
   (* drop the reference *)
   if t.free_len = Array.length t.free_slots then begin
     let bigger = Array.make (Stdlib.max 8 (2 * t.free_len)) 0 in
@@ -98,12 +130,33 @@ let rec deliver_token t tok =
   else
     match h.receiver with
     | None -> drop_msg t ~src ~dst ~at:dst Event.No_receiver
-    | Some f ->
-        emit t ~host:dst (Event.Deliver { src; dst });
-        f ~src payload
+    | Some f -> (
+        match raw with
+        | None ->
+            emit t ~host:dst (Event.Deliver { src; dst });
+            f ~src payload
+        | Some bytes -> (
+            (* End-to-end integrity check on a payload that travelled as
+               real (adversary-mutated) bytes: verify fail-closed —
+               a checksum mismatch or undecodable body is a counted
+               drop, never an exception or a garbled delivery. *)
+            match Legion_wire.Envelope.unseal bytes with
+            | Ok v ->
+                emit t ~host:dst (Event.Deliver { src; dst });
+                f ~src v
+            | Error _ -> drop_msg t ~src ~dst ~at:dst Event.Corrupted))
 
 and drop_msg t ~src ~dst ~at reason =
   t.dropped <- t.dropped + 1;
+  let c = t.drop_causes in
+  t.drop_causes <-
+    (match reason with
+    | Event.Random_loss -> { c with by_rate = c.by_rate + 1 }
+    | Event.Src_down | Event.Dst_down ->
+        { c with by_down_host = c.by_down_host + 1 }
+    | Event.Partitioned -> { c with by_partition = c.by_partition + 1 }
+    | Event.No_receiver -> { c with by_no_receiver = c.by_no_receiver + 1 }
+    | Event.Corrupted -> { c with by_corruption = c.by_corruption + 1 });
   emit t ~host:at (Event.Drop { src; dst; reason })
 
 and emit t ~host kind =
@@ -127,6 +180,11 @@ let create ~sim ~prng ?(latency = default_latency) ?obs () =
     free_len = 0;
     n_deliveries = 0;
     drop_rate = 0.0;
+    duplicate_rate = 0.0;
+    reorder_rate = 0.0;
+    reorder_window = 0.0;
+    corrupt_rate = 0.0;
+    delay_spikes = [];
     partitions = [];
     tap = None;
     host_watcher = None;
@@ -137,6 +195,17 @@ let create ~sim ~prng ?(latency = default_latency) ?obs () =
     sent = 0;
     bytes = 0;
     dropped = 0;
+    drop_causes =
+      {
+        by_rate = 0;
+        by_down_host = 0;
+        by_partition = 0;
+        by_no_receiver = 0;
+        by_corruption = 0;
+      };
+    duplicated = 0;
+    reordered = 0;
+    corrupted = 0;
     tier_host = 0;
     tier_site = 0;
     tier_wan = 0;
@@ -235,13 +304,65 @@ let host_is_up t h =
   check_host t h;
   t.host_tbl.(h).up
 
+let norm_pair a b = if a <= b then (a, b) else (b, a)
+
+(* NaN compares false against everything, so the naive [r < 0. || r > 1.]
+   check silently accepted it; a probability knob must reject it. *)
+let check_rate name r =
+  if Float.is_nan r || r < 0.0 || r > 1.0 then invalid_arg name
+
 let set_drop_rate t r =
-  if r < 0.0 || r > 1.0 then invalid_arg "Network.set_drop_rate";
+  check_rate "Network.set_drop_rate" r;
   t.drop_rate <- r
 
 let drop_rate t = t.drop_rate
 
-let norm_pair a b = if a <= b then (a, b) else (b, a)
+let set_duplicate_rate t r =
+  check_rate "Network.set_duplicate_rate" r;
+  t.duplicate_rate <- r
+
+let duplicate_rate t = t.duplicate_rate
+
+let set_corrupt_rate t r =
+  check_rate "Network.set_corrupt_rate" r;
+  t.corrupt_rate <- r
+
+let corrupt_rate t = t.corrupt_rate
+
+let set_reorder t ~rate ~window =
+  check_rate "Network.set_reorder: rate" rate;
+  if (not (Float.is_finite window)) || window < 0.0 then
+    invalid_arg "Network.set_reorder: window";
+  t.reorder_rate <- rate;
+  t.reorder_window <- window
+
+let reorder t = (t.reorder_rate, t.reorder_window)
+
+let set_delay_spike t ~a ~b ~factor ~until_ =
+  if a < 0 || a >= t.n_sites || b < 0 || b >= t.n_sites then
+    invalid_arg "Network.set_delay_spike: bad site id";
+  if (not (Float.is_finite factor)) || factor < 1.0 then
+    invalid_arg "Network.set_delay_spike: factor";
+  if Float.is_nan until_ then invalid_arg "Network.set_delay_spike: until";
+  let sp_a, sp_b = norm_pair a b in
+  t.delay_spikes <-
+    { sp_a; sp_b; sp_factor = factor; sp_until = until_ } :: t.delay_spikes
+
+let clear_delay_spikes t = t.delay_spikes <- []
+
+(* The spike factor for a site pair at [now], pruning expired entries
+   while walking; overlapping spikes on one link compound. *)
+let spike_factor t ~now a b =
+  match t.delay_spikes with
+  | [] -> 1.0
+  | spikes ->
+      let pa, pb = norm_pair a b in
+      let live = List.filter (fun sp -> sp.sp_until > now) spikes in
+      if List.compare_lengths live spikes <> 0 then t.delay_spikes <- live;
+      List.fold_left
+        (fun acc sp ->
+          if sp.sp_a = pa && sp.sp_b = pb then acc *. sp.sp_factor else acc)
+        1.0 live
 
 let set_partitioned t a b cut =
   if a < 0 || a >= t.n_sites || b < 0 || b >= t.n_sites then
@@ -280,7 +401,7 @@ let set_obs t obs = t.obs <- obs
 let obs t = t.obs
 
 (* Grab a pooled in-flight slot; returns its token. *)
-let alloc_delivery t ~src ~dst payload =
+let alloc_delivery ?raw t ~src ~dst payload =
   if t.free_len > 0 then begin
     t.free_len <- t.free_len - 1;
     let tok = t.free_slots.(t.free_len) in
@@ -288,10 +409,11 @@ let alloc_delivery t ~src ~dst payload =
     d.d_src <- src;
     d.d_dst <- dst;
     d.d_payload <- payload;
+    d.d_raw <- raw;
     tok
   end
   else begin
-    let d = { d_src = src; d_dst = dst; d_payload = payload } in
+    let d = { d_src = src; d_dst = dst; d_payload = payload; d_raw = raw } in
     if t.n_deliveries = Array.length t.deliveries then begin
       let cap = Stdlib.max 8 (2 * t.n_deliveries) in
       let bigger = Array.make cap d in
@@ -302,6 +424,60 @@ let alloc_delivery t ~src ~dst payload =
     t.n_deliveries <- t.n_deliveries + 1;
     t.n_deliveries - 1
   end
+
+(* One transmission: a delay draw (base latency, jitter, any delay
+   spike on the link, any adversarial reorder hold-back) and a posted
+   delivery token. Shared by the original send and injected duplicates,
+   so each copy races under its own independent latency. *)
+let transmit t ~src ~dst ?raw payload =
+  let base = latency_between t src dst in
+  let base =
+    match t.delay_spikes with
+    | [] -> base
+    | _ ->
+        base
+        *. spike_factor t
+             ~now:(Legion_sim.Engine.now t.sim)
+             t.host_tbl.(src).site t.host_tbl.(dst).site
+  in
+  let delay = base *. (1.0 +. Prng.float t.prng t.latency.jitter) in
+  let delay =
+    if
+      t.reorder_rate > 0.0 && t.reorder_window > 0.0
+      && Prng.bernoulli t.prng ~p:t.reorder_rate
+    then begin
+      (* Hold this datagram back so later sends overtake it: an
+         adversarial permutation of deliveries within the window. *)
+      let extra = Prng.float t.prng t.reorder_window in
+      t.reordered <- t.reordered + 1;
+      emit t ~host:src (Event.Reorder { src; dst; extra });
+      delay +. extra
+    end
+    else delay
+  in
+  (match t.obs with
+  | None -> ()
+  | Some r -> Recorder.observe r ~component:"net.delay" delay);
+  (* Zero-allocation fast path: the engine carries a bare token into
+     [deliver_token]; no closure, no handle, pooled in-flight slot. *)
+  Legion_sim.Engine.post_token t.sim ~delay (alloc_delivery ?raw t ~src ~dst payload)
+
+(* Seed byte mutation: serialise through the checksummed envelope, then
+   flip 1–3 bytes anywhere in the frame (header included). The receiver
+   side of [deliver_token] verifies and fail-closed-drops it. *)
+let corrupt_bytes t payload ~src ~dst =
+  let sealed = Legion_wire.Envelope.seal payload in
+  let n = String.length sealed in
+  let b = Bytes.of_string sealed in
+  let mutations = 1 + Prng.int t.prng 3 in
+  for _ = 1 to mutations do
+    let pos = Prng.int t.prng n in
+    let flip = 1 + Prng.int t.prng 255 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip))
+  done;
+  t.corrupted <- t.corrupted + 1;
+  emit t ~host:src (Event.Corrupt_inject { src; dst; mutations });
+  Bytes.to_string b
 
 let send t ~src ~dst payload =
   check_host t src;
@@ -331,17 +507,29 @@ let send t ~src ~dst payload =
   else if t.drop_rate > 0.0 && Prng.bernoulli t.prng ~p:t.drop_rate then
     drop_msg t ~src ~dst ~at:src Event.Random_loss
   else begin
-    let base = latency_between t src dst in
-    let delay = base *. (1.0 +. Prng.float t.prng t.latency.jitter) in
-    (match t.obs with
-    | None -> ()
-    | Some r -> Recorder.observe r ~component:"net.delay" delay);
-    (* Zero-allocation fast path: the engine carries a bare token into
-       [deliver_token]; no closure, no handle, pooled in-flight slot. *)
-    Legion_sim.Engine.post_token t.sim ~delay (alloc_delivery t ~src ~dst payload)
+    let raw =
+      if t.corrupt_rate > 0.0 && Prng.bernoulli t.prng ~p:t.corrupt_rate then
+        Some (corrupt_bytes t payload ~src ~dst)
+      else None
+    in
+    transmit t ~src ~dst ?raw payload;
+    if t.duplicate_rate > 0.0 && Prng.bernoulli t.prng ~p:t.duplicate_rate
+    then begin
+      (* The adversary re-injects a faithful copy (corruption applies to
+         the original transmission only); it draws its own latency, so
+         it may arrive before or after — or be reordered against — the
+         original. *)
+      t.duplicated <- t.duplicated + 1;
+      emit t ~host:src (Event.Duplicate { src; dst });
+      transmit t ~src ~dst payload
+    end
   end
 
 let messages_sent t = t.sent
 let bytes_sent t = t.bytes
 let messages_by_tier t = (t.tier_host, t.tier_site, t.tier_wan)
 let messages_dropped t = t.dropped
+let drop_causes t = t.drop_causes
+let messages_duplicated t = t.duplicated
+let messages_reordered t = t.reordered
+let messages_corrupted t = t.corrupted

@@ -87,10 +87,63 @@ val watcher_count : t -> int
     leak regression tests. *)
 
 val set_drop_rate : t -> float -> unit
-(** Fraction of messages lost uniformly at random; default [0.]. *)
+(** Fraction of messages lost uniformly at random; default [0.].
+    @raise Invalid_argument on NaN or a value outside [0,1]. *)
 
 val drop_rate : t -> float
 (** The currently configured uniform loss fraction. *)
+
+(** {2 Adversarial faults}
+
+    Beyond loss, a real internet duplicates, reorders, delays, and
+    corrupts datagrams. Each adversarial fault is PRNG-driven (so runs
+    stay deterministic per seed), emits its own event
+    ([Duplicate]/[Reorder]/[CorruptInject]), and keeps its own counter.
+    All default off, leaving the pre-adversary behaviour untouched. *)
+
+val set_duplicate_rate : t -> float -> unit
+(** Probability that a successfully transmitted message is re-injected
+    as a second, independent copy with its own latency draw — so the
+    copy may overtake the original. The RPC layer's at-least-once
+    retransmission means callers must already tolerate duplicates; this
+    makes the network itself produce them.
+    @raise Invalid_argument on NaN or a value outside [0,1]. *)
+
+val duplicate_rate : t -> float
+
+val set_reorder : t -> rate:float -> window:float -> unit
+(** With probability [rate], hold a transmission back by an extra
+    uniform draw from [0, window) seconds beyond its modelled latency —
+    an adversarial permutation of deliveries within the window. [rate]
+    of [0.] or a [window] of [0.] disables it.
+    @raise Invalid_argument on a NaN/out-of-range rate or a negative or
+    non-finite window. *)
+
+val reorder : t -> float * float
+(** The configured (rate, window). *)
+
+val set_corrupt_rate : t -> float -> unit
+(** Probability that a transmitted message's payload is serialised
+    through the checksummed {!Legion_wire.Envelope} and has 1–3 seeded
+    bytes flipped in flight. The receiving side verifies the envelope
+    on delivery: any mismatch or decode failure is a counted,
+    fail-closed drop ([Drop] with reason [Corrupted]) — never an
+    exception, never a garbled delivery.
+    @raise Invalid_argument on NaN or a value outside [0,1]. *)
+
+val corrupt_rate : t -> float
+
+val set_delay_spike :
+  t -> a:site_id -> b:site_id -> factor:float -> until_:float -> unit
+(** Multiply the base latency of messages between sites [a] and [b]
+    (either direction; [a = b] slows that site's intra-site and
+    intra-host traffic) by [factor] until virtual time [until_].
+    Overlapping spikes on one link compound; expired spikes are pruned
+    lazily.
+    @raise Invalid_argument on a bad site id, a [factor] below 1 or
+    non-finite, or a NaN [until_]. *)
+
+val clear_delay_spikes : t -> unit
 
 val set_partitioned : t -> site_id -> site_id -> bool -> unit
 (** Sever (or heal) the link between two sites: messages crossing it in
@@ -140,4 +193,27 @@ val messages_by_tier : t -> int * int * int
 (** (intra-host, intra-site, inter-site) message counts. *)
 
 val messages_dropped : t -> int
-(** Messages lost to drop rate, down hosts, or missing receivers. *)
+(** Messages lost for any reason — the sum of the {!drop_causes}. *)
+
+type drop_causes = {
+  by_rate : int;  (** Uniform random loss ({!set_drop_rate}). *)
+  by_down_host : int;  (** Source or destination host was down. *)
+  by_partition : int;  (** The site pair was partitioned. *)
+  by_no_receiver : int;  (** The destination had no receiver installed. *)
+  by_corruption : int;
+      (** Failed the end-to-end integrity check after in-flight byte
+          corruption ({!set_corrupt_rate}). *)
+}
+
+val drop_causes : t -> drop_causes
+(** Per-cause split of {!messages_dropped}. *)
+
+val messages_duplicated : t -> int
+(** Extra copies injected by {!set_duplicate_rate}. *)
+
+val messages_reordered : t -> int
+(** Transmissions held back by {!set_reorder}. *)
+
+val messages_corrupted : t -> int
+(** Payloads byte-mutated in flight by {!set_corrupt_rate} (counted at
+    injection; the resulting receive-side drops are [by_corruption]). *)

@@ -3,12 +3,22 @@ module Value = Legion_wire.Value
 
 type tier = Intra_host | Intra_site | Inter_site
 
-type drop_reason = Src_down | Dst_down | Partitioned | Random_loss | No_receiver
+type drop_reason =
+  | Src_down
+  | Dst_down
+  | Partitioned
+  | Random_loss
+  | No_receiver
+  | Corrupted
 
 type kind =
   | Send of { src : int; dst : int; bytes : int; tier : tier }
   | Deliver of { src : int; dst : int }
   | Drop of { src : int; dst : int; reason : drop_reason }
+  | Duplicate of { src : int; dst : int }
+  | Reorder of { src : int; dst : int; extra : float }
+  | Corrupt_inject of { src : int; dst : int; mutations : int }
+  | Dedup_hit of { loid : Loid.t; id : int; meth : string }
   | Call of { id : int; src : Loid.t; dst : Loid.t; meth : string }
   | Reply of { id : int; ok : bool }
   | Timeout of { id : int }
@@ -66,6 +76,10 @@ let name = function
   | Send _ -> "Send"
   | Deliver _ -> "Deliver"
   | Drop _ -> "Drop"
+  | Duplicate _ -> "Duplicate"
+  | Reorder _ -> "Reorder"
+  | Corrupt_inject _ -> "CorruptInject"
+  | Dedup_hit _ -> "DedupHit"
   | Call _ -> "Call"
   | Reply _ -> "Reply"
   | Timeout _ -> "Timeout"
@@ -118,6 +132,7 @@ let drop_reason_name = function
   | Partitioned -> "partitioned"
   | Random_loss -> "loss"
   | No_receiver -> "no-receiver"
+  | Corrupted -> "corrupt"
 
 let owner e =
   match e.kind with
@@ -147,10 +162,11 @@ let owner e =
   | Clone { cls; _ } | Merge { cls; _ } -> Some cls
   | Split { magistrate; _ } -> Some magistrate
   | Probe_fail { agent; _ } -> Some agent
-  | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
-  | Cancel _ | Replica_fanout _ | Breaker_open _ | Breaker_probe _
-  | Breaker_close _ | Prepare _ | Txn_commit _ | Txn_abort _ | Compensate _
-  | Resume _ ->
+  | Dedup_hit { loid; _ } -> Some loid
+  | Send _ | Deliver _ | Drop _ | Duplicate _ | Reorder _ | Corrupt_inject _
+  | Reply _ | Timeout _ | Retry _ | Giveup _ | Cancel _ | Replica_fanout _
+  | Breaker_open _ | Breaker_probe _ | Breaker_close _ | Prepare _
+  | Txn_commit _ | Txn_abort _ | Compensate _ | Resume _ ->
       None
 
 let target e =
@@ -170,12 +186,12 @@ let target e =
   | Probe_fail { host_obj; _ } -> Some host_obj
   | Prepare { participant; _ } | Compensate { participant; _ } ->
       Some participant
-  | Send _ | Deliver _ | Drop _ | Reply _ | Timeout _ | Retry _ | Giveup _
-  | Cancel _ | Activate _ | Deactivate _ | Checkpoint _ | Suspect _
-  | Confirm_dead _ | Reactivate _ | Fence _ | Admit _ | Shed _ | Deny _
-  | Breaker_open _ | Breaker_probe _ | Breaker_close _ | Replica_lost _
-  | Replica_repair _ | No_quorum _ | Reconcile _ | Txn_commit _ | Txn_abort _
-  | Resume _ ->
+  | Send _ | Deliver _ | Drop _ | Duplicate _ | Reorder _ | Corrupt_inject _
+  | Dedup_hit _ | Reply _ | Timeout _ | Retry _ | Giveup _ | Cancel _
+  | Activate _ | Deactivate _ | Checkpoint _ | Suspect _ | Confirm_dead _
+  | Reactivate _ | Fence _ | Admit _ | Shed _ | Deny _ | Breaker_open _
+  | Breaker_probe _ | Breaker_close _ | Replica_lost _ | Replica_repair _
+  | No_quorum _ | Reconcile _ | Txn_commit _ | Txn_abort _ | Resume _ ->
       None
 
 let loid l = Value.Str (Loid.to_string l)
@@ -195,6 +211,21 @@ let fields = function
         ("dst", Value.Int dst);
         ("reason", Value.Str (drop_reason_name reason));
       ]
+  | Duplicate { src; dst } -> [ ("src", Value.Int src); ("dst", Value.Int dst) ]
+  | Reorder { src; dst; extra } ->
+      [
+        ("src", Value.Int src);
+        ("dst", Value.Int dst);
+        ("extra", Value.Float extra);
+      ]
+  | Corrupt_inject { src; dst; mutations } ->
+      [
+        ("src", Value.Int src);
+        ("dst", Value.Int dst);
+        ("mutations", Value.Int mutations);
+      ]
+  | Dedup_hit { loid = l; id; meth } ->
+      [ ("loid", loid l); ("id", Value.Int id); ("meth", Value.Str meth) ]
   | Call { id; src; dst; meth } ->
       [
         ("id", Value.Int id);

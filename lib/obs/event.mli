@@ -12,7 +12,16 @@ module Value := Legion_wire.Value
 
 type tier = Intra_host | Intra_site | Inter_site
 
-type drop_reason = Src_down | Dst_down | Partitioned | Random_loss | No_receiver
+type drop_reason =
+  | Src_down
+  | Dst_down
+  | Partitioned
+  | Random_loss
+  | No_receiver
+  | Corrupted
+      (** The payload failed end-to-end integrity verification at the
+          receiving host — a checksum mismatch or undecodable envelope
+          after in-flight byte corruption — and was dropped fail-closed. *)
 
 type kind =
   | Send of { src : int; dst : int; bytes : int; tier : tier }
@@ -21,7 +30,23 @@ type kind =
       (** The datagram reached a live receiver. *)
   | Drop of { src : int; dst : int; reason : drop_reason }
       (** The datagram was lost; exactly one of [Deliver]/[Drop] follows
-          every [Send]. *)
+          every [Send] — except that a [Duplicate] adds extra
+          [Deliver]/[Drop] outcomes for the same [Send]. *)
+  | Duplicate of { src : int; dst : int }
+      (** The network adversary injected an extra copy of the datagram;
+          the copy draws its own latency and takes the normal delivery
+          path, so it produces its own [Deliver]/[Drop]. *)
+  | Reorder of { src : int; dst : int; extra : float }
+      (** The adversary held the datagram back by [extra] seconds beyond
+          its drawn latency, letting later sends overtake it. *)
+  | Corrupt_inject of { src : int; dst : int; mutations : int }
+      (** The adversary flipped [mutations] byte(s) of the encoded
+          payload in flight; the receiving host's integrity check is
+          expected to turn this into a [Drop] with reason [Corrupted]. *)
+  | Dedup_hit of { loid : Loid.t; id : int; meth : string }
+      (** The runtime recognised call [id] as already executed (or
+          executing) at [loid] — a retransmitted or duplicated request —
+          and replayed the recorded reply instead of re-running [meth]. *)
   | Call of { id : int; src : Loid.t; dst : Loid.t; meth : string }
       (** The comm layer dispatched one method-call attempt. *)
   | Reply of { id : int; ok : bool }  (** A reply reached the caller. *)
@@ -192,7 +217,7 @@ val tier_name : tier -> string
 
 val drop_reason_name : drop_reason -> string
 (** ["src-down"], ["dst-down"], ["partitioned"], ["loss"],
-    ["no-receiver"]. *)
+    ["no-receiver"], ["corrupt"]. *)
 
 val owner : t -> Loid.t option
 (** The acting object, when the event names one ([owner], [src] of a

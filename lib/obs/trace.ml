@@ -99,6 +99,27 @@ let drop ?src ?dst ?reason () e =
       && (match reason with None -> true | Some r -> r = f.reason)
   | _ -> false
 
+let duplicate ?src ?dst () e =
+  match e.Event.kind with
+  | Event.Duplicate f -> opt_int src f.src && opt_int dst f.dst
+  | _ -> false
+
+let reorder ?src ?dst () e =
+  match e.Event.kind with
+  | Event.Reorder f -> opt_int src f.src && opt_int dst f.dst
+  | _ -> false
+
+let corrupt_inject ?src ?dst () e =
+  match e.Event.kind with
+  | Event.Corrupt_inject f -> opt_int src f.src && opt_int dst f.dst
+  | _ -> false
+
+let dedup_hit ?loid ?id ?meth () e =
+  match e.Event.kind with
+  | Event.Dedup_hit f ->
+      opt_loid loid f.loid && opt_int id f.id && opt_str meth f.meth
+  | _ -> false
+
 let call ?src ?dst ?meth () e =
   match e.Event.kind with
   | Event.Call f -> opt_loid src f.src && opt_loid dst f.dst && opt_str meth f.meth

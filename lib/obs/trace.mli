@@ -76,6 +76,10 @@ val not_ : pred -> pred
 val send : ?src:int -> ?dst:int -> unit -> pred
 val deliver : ?src:int -> ?dst:int -> unit -> pred
 val drop : ?src:int -> ?dst:int -> ?reason:Event.drop_reason -> unit -> pred
+val duplicate : ?src:int -> ?dst:int -> unit -> pred
+val reorder : ?src:int -> ?dst:int -> unit -> pred
+val corrupt_inject : ?src:int -> ?dst:int -> unit -> pred
+val dedup_hit : ?loid:Loid.t -> ?id:int -> ?meth:string -> unit -> pred
 val call : ?src:Loid.t -> ?dst:Loid.t -> ?meth:string -> unit -> pred
 val reply : ?ok:bool -> unit -> pred
 val timeout : unit -> pred

@@ -245,11 +245,12 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   in
 
   (* Anti-entropy: pull a [SaveState] digest from every reachable
-     member, elect the freshest (highest acked write sequence; ties
-     break toward the plurality digest, then member order), push it to
-     every divergent member via [RestoreState], and report how many
-     diverged and how many were repaired. Repeated sweeps drain the
-     divergence count to zero once the partition heals. *)
+     member, elect a winner — in quorum mode the plurality digest
+     (acked sequence breaks ties), otherwise the freshest by acked
+     write sequence (plurality breaks ties, then member order) — push
+     it to every divergent member via [RestoreState], and report how
+     many diverged and how many were repaired. Repeated sweeps drain
+     the divergence count to zero once the partition heals. *)
   let reconcile _ctx args env k =
     match args with
     | [] -> (
@@ -272,10 +273,21 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                   let winner, wdigest =
                     List.fold_left
                       (fun (bm, bd) (m, d) ->
-                        let a = get_ack m and ba = get_ack bm in
-                        if a > ba || (a = ba && count_of d > count_of bd) then
-                          (m, d)
-                        else (bm, bd))
+                        let better =
+                          if st.mode = Quorum then
+                            (* A quorum-acked write lives on a majority
+                               of members, so the plurality digest can
+                               never miss one — while a member restored
+                               from a stale checkpoint can carry a
+                               misleadingly high ack and would roll the
+                               group back if the ack decided alone. *)
+                            let c = count_of d and bc = count_of bd in
+                            c > bc || (c = bc && get_ack m > get_ack bm)
+                          else
+                            let a = get_ack m and ba = get_ack bm in
+                            a > ba || (a = ba && count_of d > count_of bd)
+                        in
+                        if better then (m, d) else (bm, bd))
                       (m0, d0) rest
                   in
                   let divergent =

@@ -76,13 +76,21 @@ type t =
           Distinct from [Refused] (a per-method MayI/activation-policy
           answer) in that it carries the judged principal for per-tenant
           attribution. *)
+  | Corrupt of string
+      (** The payload failed end-to-end integrity verification — a
+          checksum mismatch or an undecodable envelope, counted and
+          dropped fail-closed by the receiver. Classified as a delivery
+          failure: the message never reached the destination object, so
+          retransmission (and, at the comm layer, rebind-and-retry)
+          is the correct response, exactly as for a lost datagram. *)
   | Internal of string
 
 val is_delivery_failure : t -> bool
-(** True for [No_such_object], [Timeout], [Unreachable] and
-    [Stale_epoch] — failures where refreshing the binding and retrying
-    is meaningful. [Overloaded] is deliberately excluded: the binding is
-    good, the destination just wants the caller to slow down. *)
+(** True for [No_such_object], [Timeout], [Unreachable], [Stale_epoch]
+    and [Corrupt] — failures where the call never executed, so
+    retrying (after a rebind if needed) is meaningful. [Overloaded] is
+    deliberately excluded: the binding is good, the destination just
+    wants the caller to slow down. *)
 
 val is_overload : t -> bool
 (** True for the shed answers, [Overloaded] and [Quota_exceeded]. *)

@@ -27,6 +27,7 @@ type config = {
   retry : Retry.t;
   admission : admission option;
   breaker : Breaker.config option;
+  dedup_capacity : int option;
 }
 
 let default_config =
@@ -37,10 +38,25 @@ let default_config =
     retry = Retry.default;
     admission = None;
     breaker = None;
+    dedup_capacity = Some 4096;
   }
 
 type call = { meth : string; args : Value.t list; env : Env.t }
 type reply = (Value.t, Err.t) result
+
+(* Exactly-once effects: one entry per (caller host, call id) the
+   runtime has started executing. [de_reply = None] while the handler
+   runs — a duplicate arriving then is absorbed (the original's reply
+   will reach the caller); [Some r] afterwards replays [r] for
+   retransmissions whose reply was lost. Retryable sheds (Overloaded,
+   Txn_locked, Quota_exceeded, No_quorum) are evicted instead of
+   recorded: the caller backs off and retries the {e same} id expecting
+   re-evaluation. *)
+type dedup_entry = {
+  de_loid : Loid.t;
+  de_meth : string;
+  mutable de_reply : reply option;
+}
 
 (* Per-tenant wait lanes under deficit round robin (DRR). When the
    runtime serves a tenant registry, a budgeted process parks excess
@@ -112,10 +128,13 @@ and t = {
   obs : Recorder.t;
   breakers : Breaker.t option;  (* per-destination circuit state *)
   mutable tenants : Tenant.t option;  (* principal registry; None = untenanted *)
+  dedup : (int * int, dedup_entry) Dedup.t option;
+      (* (caller host, call id) -> exactly-once entry; None = disabled *)
   mutable next_slot : int;
   mutable next_call : int;
   mutable delivered : int;
   mutable sheds : int;  (* calls rejected by admission control *)
+  mutable dedup_hits : int;  (* duplicate deliveries absorbed or replayed *)
 }
 
 let emit rt ~host kind =
@@ -236,10 +255,14 @@ let create ~sim ~net ~registry ~prng ?(config = default_config) ?obs () =
       obs;
       breakers = Option.map Breaker.create config.breaker;
       tenants = None;
+      dedup =
+        Option.map (fun capacity -> Dedup.create ~capacity)
+          config.dedup_capacity;
       next_slot = 0;
       next_call = 0;
       delivered = 0;
       sheds = 0;
+      dedup_hits = 0;
     }
   in
   Network.set_host_watcher net
@@ -298,6 +321,9 @@ type incoming =
       call : call;
     }
   | In_reply of { id : int; reply : reply }
+  | In_bounce of { id : int; src_host : int; err : Err.t }
+      (* A recognisable call whose body would not decode: bounce the
+         typed error back instead of leaving the caller to time out. *)
   | In_garbage of string
 
 let ( let* ) r f = Result.bind r f
@@ -335,7 +361,28 @@ let decode_incoming v : incoming =
           Ok (In_reply { id; reply = Error e })
     | other -> Error (Printf.sprintf "unknown message kind %S" other)
   in
-  match parse with Ok msg -> msg | Error e -> In_garbage e
+  match parse with
+  | Ok msg -> msg
+  | Error e -> (
+      (* Fail-closed salvage of a partially-decodable frame: when the
+         kind and correlation id still parse, surface the typed
+         [Err.Corrupt] — a reply-shaped frame fails the caller's
+         pending call promptly, a call-shaped frame is bounced back —
+         instead of silently burning the caller's timeout. Anything
+         less is garbage and is ignored (never an exception). *)
+      let int_field name =
+        match Value.field_opt v name with
+        | Some f -> Result.to_option (Value.to_int f)
+        | None -> None
+      in
+      match (Value.field_opt v "k", int_field "id") with
+      | Some (Value.Str "r"), Some id ->
+          In_reply { id; reply = Error (Err.Corrupt e) }
+      | Some (Value.Str "c"), Some id -> (
+          match int_field "sh" with
+          | Some src_host -> In_bounce { id; src_host; err = Err.Corrupt e }
+          | None -> In_garbage e)
+      | _ -> In_garbage e)
 
 (* ------------------------------------------------------------------ *)
 (* Breaker bookkeeping.                                                *)
@@ -663,6 +710,8 @@ let on_receive rt host ~src payload =
   ignore src;
   match decode_incoming payload with
   | In_garbage _ -> ()
+  | In_bounce { id; src_host; err } ->
+      Network.send rt.net ~src:host ~dst:src_host (encode_reply ~id (Error err))
   | In_reply { id; reply } -> (
       match Hashtbl.find_opt rt.pending id with
       | None -> () (* late duplicate (racing replica) or post-timeout reply *)
@@ -682,30 +731,80 @@ let on_receive rt host ~src payload =
       let reply_to r =
         Network.send rt.net ~src:host ~dst:src_host (encode_reply ~id r)
       in
-      (* The zero LOID is a wildcard: calls routed purely by Object
-         Address (e.g. an object talking to its Binding Agent, whose
-         address — not LOID — is in its persistent state, §3.6). *)
-      let is_wildcard =
-        Int64.equal (Loid.class_id dst_loid) 0L
-        && Int64.equal (Loid.class_specific dst_loid) 0L
+      let dedup_key = (src_host, id) in
+      let dedup_seen =
+        match rt.dedup with
+        | None -> None
+        | Some c -> Dedup.find c dedup_key
       in
-      match slot_get rt dst_slot with
-      | Some proc
-        when proc.live && proc.host = host
-             && (is_wildcard || Loid.equal proc.loid dst_loid) ->
-          let cur = current_epoch rt proc.loid in
-          if proc.epoch < cur then begin
-            (* A superseded incarnation must never answer: fence it so
-               the caller's rebind machinery finds the current one. *)
-            emit rt ~host
-              (Event.Fence { loid = proc.loid; epoch = proc.epoch; current = cur });
-            reply_to (Error Err.Stale_epoch)
-          end
-          else begin
-            note_caller rt proc ~src_host;
-            admit_call rt proc call reply_to
-          end
-      | Some _ | None -> reply_to (Error Err.No_such_object))
+      match dedup_seen with
+      | Some entry -> (
+          (* Exactly-once: this (caller, id) already started executing
+             here — a retransmission or a network-injected duplicate.
+             Replay the recorded reply (its original may have been
+             lost) or, while the handler still runs, absorb the copy:
+             the original execution's reply will reach the caller. The
+             check runs before the slot and fence checks so a completed
+             call replays even after its placement died or was
+             superseded. *)
+          rt.dedup_hits <- rt.dedup_hits + 1;
+          emit rt ~host
+            (Event.Dedup_hit { loid = entry.de_loid; id; meth = entry.de_meth });
+          match entry.de_reply with
+          | Some r -> reply_to r
+          | None -> ())
+      | None -> (
+          (* The zero LOID is a wildcard: calls routed purely by Object
+             Address (e.g. an object talking to its Binding Agent, whose
+             address — not LOID — is in its persistent state, §3.6). *)
+          let is_wildcard =
+            Int64.equal (Loid.class_id dst_loid) 0L
+            && Int64.equal (Loid.class_specific dst_loid) 0L
+          in
+          match slot_get rt dst_slot with
+          | Some proc
+            when proc.live && proc.host = host
+                 && (is_wildcard || Loid.equal proc.loid dst_loid) ->
+              let cur = current_epoch rt proc.loid in
+              if proc.epoch < cur then begin
+                (* A superseded incarnation must never answer: fence it
+                   so the caller's rebind machinery finds the current
+                   one. *)
+                emit rt ~host
+                  (Event.Fence
+                     { loid = proc.loid; epoch = proc.epoch; current = cur });
+                reply_to (Error Err.Stale_epoch)
+              end
+              else begin
+                note_caller rt proc ~src_host;
+                let reply_to =
+                  match rt.dedup with
+                  | None -> reply_to
+                  | Some c ->
+                      (* Mark the call executing before admission so a
+                         duplicate arriving while it is parked in an
+                         admission queue cannot be enqueued a second
+                         time. Retryable sheds un-mark: the caller
+                         re-sends the same id expecting
+                         re-evaluation. *)
+                      let entry =
+                        {
+                          de_loid = proc.loid;
+                          de_meth = call.meth;
+                          de_reply = None;
+                        }
+                      in
+                      Dedup.set c dedup_key entry;
+                      fun r ->
+                        (match r with
+                        | Error e when Err.is_retryable e ->
+                            Dedup.remove c dedup_key
+                        | _ -> entry.de_reply <- Some r);
+                        reply_to r
+                in
+                admit_call rt proc call reply_to
+              end
+          | Some _ | None -> reply_to (Error Err.No_such_object)))
 
 let attach_host rt host =
   if not (Hashtbl.mem rt.attached host) then begin
@@ -1178,6 +1277,8 @@ let describe_message payload =
   | In_reply { id; reply = Ok _ } -> Some (Printf.sprintf "reply#%d ok" id)
   | In_reply { id; reply = Error e } ->
       Some (Printf.sprintf "reply#%d error: %s" id (Err.to_string e))
+  | In_bounce { id; err; _ } ->
+      Some (Printf.sprintf "bounce#%d %s" id (Err.to_string err))
   | In_garbage _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -1185,6 +1286,10 @@ let describe_message payload =
 
 let total_calls_delivered rt = rt.delivered
 let total_sheds rt = rt.sheds
+let dedup_hits rt = rt.dedup_hits
+
+let dedup_stats rt =
+  Option.map (fun c -> (Dedup.length c, Dedup.evictions c)) rt.dedup
 let requests_of p = Counter.value p.counter
 let caller_sites p = p.caller_sites
 

@@ -75,11 +75,27 @@ type config = {
           the default — disables them). See {!Breaker}: consecutive
           failures open the circuit, sends then fail fast until a
           cooldown admits a HalfOpen probe. *)
+  dedup_capacity : int option;
+      (** Exactly-once effects: size of the runtime's (caller host,
+          call id) dedup cache, [None] to disable. A retransmitted or
+          network-duplicated request whose call already executed (or is
+          executing) is answered from the recorded reply — a
+          [DedupHit] event — instead of re-running the method, so
+          at-least-once transmission no longer means at-least-once
+          {e execution}. Entries are LRU-evicted past the capacity.
+          Retryable sheds ([Overloaded], [Txn_locked],
+          [Quota_exceeded], [No_quorum]) are never cached: their
+          protocol retries the same id expecting re-evaluation.
+          Scope: the cache keys on call ids, so it cannot recognise a
+          re-execution carrying a {e fresh} id — a rebind after a
+          delivery failure re-invokes under a new id, which is the
+          documented at-least-once residue ([max_rebinds = 0] closes
+          it for strictly-exactly-once workloads). *)
 }
 
 val default_config : config
 (** 5 s timeout, 3 rebinds, no expiry, {!Retry.default} retransmission,
-    no admission budgets, no breakers. *)
+    no admission budgets, no breakers, a 4096-entry dedup cache. *)
 
 val create :
   sim:Legion_sim.Engine.t ->
@@ -391,6 +407,14 @@ val total_calls_delivered : t -> int
 val total_sheds : t -> int
 (** Calls rejected with [Overloaded] — by admission queues and by
     parts shedding through {!shed_reply}. *)
+
+val dedup_hits : t -> int
+(** Duplicate call deliveries absorbed or replayed by the exactly-once
+    cache ([0] when [dedup_capacity] is [None]). *)
+
+val dedup_stats : t -> (int * int) option
+(** (live entries, LRU evictions) of the dedup cache; [None] when
+    disabled. *)
 
 val requests_of : proc -> int
 (** Method calls delivered to this instance. *)

@@ -44,6 +44,12 @@ type t = {
   mutable version : int;
   hist : History.entry list ref Loid.Table.t;  (* newest first *)
   committed_mark : int Loid.Table.t;  (* newest committed-txn version *)
+  verdicts : (string, mark) Hashtbl.t;
+      (* (loid/txn) -> resolved verdict. Survives the case where the
+         resolution arrives before any write for the pair has landed
+         (the coordinator's outcome mark racing a delayed prepare-time
+         snapshot): a later [put ~txn] must still inherit the verdict
+         instead of staging forever. *)
 }
 
 let create ?(keep = 2) ?(hist_cap = 64) ~disks () =
@@ -58,7 +64,10 @@ let create ?(keep = 2) ?(hist_cap = 64) ~disks () =
     version = 0;
     hist = Loid.Table.create ();
     committed_mark = Loid.Table.create ();
+    verdicts = Hashtbl.create 64;
   }
+
+let verdict_key loid txn = Loid.to_string loid ^ "/" ^ txn
 
 let disks t = t.disks
 
@@ -181,7 +190,10 @@ let put ?txn t ~loid blob =
             !entries
         with
         | Some e -> e.History.mark
-        | None -> Staged)
+        | None -> (
+            match Hashtbl.find_opt t.verdicts (verdict_key loid id) with
+            | Some ((Committed | Compensated) as m) -> m
+            | _ -> Staged))
   in
   entries :=
     { History.version = t.version; opa; txn; mark; available = true }
@@ -228,6 +240,15 @@ let history_loids t =
     ls
 
 let mark_txn t ~loid ~txn mark =
+  (* Remember the verdict even if no write for the pair has landed yet:
+     the coordinator's outcome mark can race a delayed prepare-time
+     snapshot, and the late [put ~txn] must find something to inherit.
+     First verdict sticks (resolution is one-way). *)
+  (match mark with
+  | Committed | Compensated ->
+      let key = verdict_key loid txn in
+      if not (Hashtbl.mem t.verdicts key) then Hashtbl.add t.verdicts key mark
+  | Applied | Staged -> ());
   match Loid.Table.find t.hist loid with
   | None -> ()
   | Some entries ->

@@ -128,7 +128,7 @@ let reason_of = function
   | Err.Timeout -> "timeout"
   | Err.Refused _ | Err.Denied _ -> "refused"
   | Err.No_quorum _ -> "no-quorum"
-  | Err.No_such_object | Err.Unreachable _ -> "unreachable"
+  | Err.No_such_object | Err.Unreachable _ | Err.Corrupt _ -> "unreachable"
   | Err.Txn_aborted _ -> "nested-abort"
   | Err.No_such_method _ | Err.Bad_args _ -> "bad-call"
   | Err.Not_bound _ | Err.Internal _ -> "error"
@@ -168,31 +168,59 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   in
   let store () = Option.bind st.store_name Magistrate_part.find_storage in
   let wal_name = "wal." ^ Loid.to_string self in
+  let my_epoch = Runtime.proc_epoch ctx.Runtime.self in
+
+  (* Fencing token against coordinator split-brain. A false-dead
+     verdict (probe lost in a drop window) can reactivate the
+     coordinator elsewhere while this incarnation is still running; the
+     recovered incarnation resumes the shared WAL and may abort a
+     transaction this one would go on to commit. The WAL therefore
+     names the newest incarnation that has folded it, and an
+     incarnation that finds a newer owner must neither decide nor drive
+     nor mark — its successor owns every in-doubt transaction. *)
+  let am_owner () =
+    match store () with
+    | None -> true
+    | Some s -> (
+        match Persistent.get_named s ~name:wal_name with
+        | None -> true
+        | Some blob -> (
+            match Codec.decode blob with
+            | Error _ -> true
+            | Ok v -> (
+                match Value.field_opt v "owner" with
+                | Some (Value.Int e) -> my_epoch >= e
+                | _ -> true)))
+  in
 
   (* The write-ahead log: every unfinished transaction, re-serialised
      on each state change and overwritten in place. The commit decision
      is durable exactly when the Committing phase hits this record —
-     recovery never rolls back work the log says was decided. *)
+     recovery never rolls back work the log says was decided. A fenced
+     incarnation's write is suppressed so it cannot clobber the new
+     owner's log. *)
   let wal_write () =
     match store () with
     | None -> ()
     | Some s ->
-        let open_txns =
-          Hashtbl.fold
-            (fun _ t acc ->
-              match t.phase with
-              | Running | Committing | Compensating -> txn_to_value t :: acc
-              | Committed | Compensated -> acc)
-            st.txns []
-        in
-        let v =
-          Value.Record
-            [
-              ("seq", Value.Int st.seq);
-              ("txns", Value.List open_txns);
-            ]
-        in
-        Persistent.put_named s ~name:wal_name (Codec.encode v)
+        if am_owner () then
+          let open_txns =
+            Hashtbl.fold
+              (fun _ t acc ->
+                match t.phase with
+                | Running | Committing | Compensating -> txn_to_value t :: acc
+                | Committed | Compensated -> acc)
+              st.txns []
+          in
+          let v =
+            Value.Record
+              [
+                ("seq", Value.Int st.seq);
+                ("owner", Value.Int my_epoch);
+                ("txns", Value.List open_txns);
+              ]
+          in
+          Persistent.put_named s ~name:wal_name (Codec.encode v)
   in
 
   (* Tag the participant's history with the txn outcome: snapshot its
@@ -204,6 +232,9 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     match store () with
     | None -> ()
     | Some s ->
+        (* No ownership guard here: a mark always follows a decision
+           that was durable while this incarnation owned the WAL, so a
+           successor re-driving the txn reaches the same verdict. *)
         Runtime.invoke ctx ~dst:loid ~meth:"SaveState" ~args:[] ~env (fun r ->
             (match r with
             | Ok v -> ignore (Persistent.put ~txn:txnid s ~loid (Codec.encode v))
@@ -218,6 +249,22 @@ let factory (ctx : Runtime.ctx) : Impl.part =
             match r with
             | Ok v -> ignore (Persistent.put ~txn:txnid s ~loid (Codec.encode v))
             | Error _ -> ())
+  in
+  (* Resolve the verdict in the store for every participant the moment
+     the decision falls. The prepare-time snapshots are asynchronous:
+     one may still be in flight when the decision is made (or when a
+     recovered incarnation decides from an incomplete history), and a
+     snapshot landing after this call inherits the verdict instead of
+     staging forever. The per-participant [record_mark] calls that
+     follow the acks re-mark with the same verdict, which is the
+     idempotent case. *)
+  let resolve_all (t : txn) mark =
+    match store () with
+    | None -> ()
+    | Some s ->
+        Array.iter
+          (fun step -> Persistent.mark_txn s ~loid:step.dst ~txn:t.id mark)
+          t.steps
   in
 
   let rec drive (t : txn) =
@@ -246,7 +293,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     wal_write ()
 
   and commit_drive t =
-    if t.phase = Committing then
+    if t.phase = Committing && am_owner () then
       match t.pending with
       | [] -> finish_commit t
       | idxs ->
@@ -279,7 +326,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
      the participant side, so retransmissions after a redrive are
      harmless. *)
   and abort_drive t =
-    if t.phase = Compensating then
+    if t.phase = Compensating && am_owner () then
       match t.pending with
       | [] -> finish_abort t
       | idxs ->
@@ -309,7 +356,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
      application order, one at a time (a compensation may depend on the
      later steps already being undone). *)
   and comp_drive t =
-    if t.phase = Compensating then
+    if t.phase = Compensating && am_owner () then
       match t.pending with
       | [] -> finish_abort t
       | i :: rest ->
@@ -356,29 +403,40 @@ let factory (ctx : Runtime.ctx) : Impl.part =
             | Error e -> if !veto = None then veto := Some (reason_of e));
             incr votes;
             if !votes = n then
-              match !veto with
-              | None ->
-                  t.phase <- Committing;
-                  wal_write ();
-                  k (Ok (Value.Str t.id));
-                  commit_drive t
-              | Some reason ->
-                  emit (Event.Txn_abort { txn = t.id; reason });
-                  t.phase <- Compensating;
-                  t.pending <- all_idxs t;
-                  wal_write ();
-                  k (Error (Err.Txn_aborted { txn = t.id }));
-                  abort_drive t))
+              if not (am_owner ()) then
+                (* A recovered incarnation took over mid-prepare; it
+                   folded this txn as Running and is aborting it. Do
+                   not promise a commit the successor will roll back. *)
+                k (Error Err.Stale_epoch)
+              else
+                match !veto with
+                | None ->
+                    t.phase <- Committing;
+                    wal_write ();
+                    resolve_all t Persistent.Committed;
+                    k (Ok (Value.Str t.id));
+                    commit_drive t
+                | Some reason ->
+                    emit (Event.Txn_abort { txn = t.id; reason });
+                    t.phase <- Compensating;
+                    t.pending <- all_idxs t;
+                    wal_write ();
+                    resolve_all t Persistent.Compensated;
+                    k (Error (Err.Txn_aborted { txn = t.id }));
+                    abort_drive t))
       t.steps
   in
 
   (* Saga forward path: steps apply sequentially and immediately; a
      failure turns the applied prefix around. *)
   let rec saga_forward (t : txn) k =
-    match t.pending with
+    if not (am_owner ()) then k (Error Err.Stale_epoch)
+    else
+      match t.pending with
     | [] ->
         t.phase <- Committed;
         st.committed <- st.committed + 1;
+        resolve_all t Persistent.Committed;
         Array.iter
           (fun s -> record_mark ~loid:s.dst ~txnid:t.id Persistent.Committed)
           t.steps;
@@ -401,6 +459,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                 t.phase <- Compensating;
                 t.pending <- List.rev (List.init i Fun.id);
                 wal_write ();
+                resolve_all t Persistent.Compensated;
                 k (Error (Err.Txn_aborted { txn = t.id }));
                 comp_drive t)
   in
@@ -422,6 +481,7 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         emit (Event.Resume { txn = t.id; decision = "abort" });
         emit (Event.Txn_abort { txn = t.id; reason = "crash-recovery" });
         t.phase <- Compensating;
+        resolve_all t Persistent.Compensated;
         match t.mode with
         | Two_phase ->
             t.pending <- all_idxs t;
@@ -490,17 +550,31 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                           resume_txn t
                         end)
                   tvs;
+                (* Claim ownership durably, even when nothing needed a
+                   resume: any older incarnation still running is
+                   fenced from this point on. *)
+                wal_write ();
                 Ok !n))
   in
   let try_recover () =
-    if st.needs_recovery then ignore (recover_from_wal ())
+    if st.needs_recovery then ignore (recover_from_wal ());
+    (* Kick every in-doubt transaction. The redrive chain is a linked
+       list of timers — deactivation or a transient ownership loss can
+       break a link, and a Committing/Compensating txn would then hang
+       silently. Any poke at the coordinator re-drives them; [drive] is
+       idempotent and no-ops on finished phases. *)
+    Hashtbl.iter (fun _ t -> if not t.redrive_armed then drive t) st.txns
   in
 
   let txn_resume _ctx args _env k =
     match args with
     | [] -> (
         match recover_from_wal () with
-        | Ok n -> k (Ok (Value.Int n))
+        | Ok n ->
+            Hashtbl.iter
+              (fun _ t -> if not t.redrive_armed then drive t)
+              st.txns;
+            k (Ok (Value.Int n))
         | Error msg -> k (Error (Err.Internal msg)))
     | _ -> Impl.bad_args k "TxnResume takes no arguments"
   in

@@ -5,6 +5,7 @@ module Runtime = Legion_rt.Runtime
 module Err = Legion_rt.Err
 module Impl = Legion_core.Impl
 module C = Legion_core.Convert
+module Script = Legion_sim.Script
 
 let unit_name = "legion.txn.participant"
 
@@ -47,11 +48,99 @@ let factory (ctx : Runtime.ctx) : Impl.part =
   let retry_hint () =
     (Runtime.config ctx.Runtime.rt).Runtime.call_timeout /. 8.
   in
+  let verify_armed = ref false in
+
+  (* TxnVerify(): crash-recovery for the lock itself. A reactivated
+     participant restores the checkpoint's lock — which may belong to a
+     transaction that finished while the checkpoint aged (the classic
+     stale-lock resurrection). The state snapshot is atomic across
+     units, so a restored lock means the staged method was NOT applied
+     as of the restored state; asking the coordinator for the verdict
+     makes the resolution safe: a decided commit applies now (the
+     redriven TxnCommit then acknowledges idempotently), a dead or
+     rolled-back transaction releases, and an undecided one leaves the
+     lock for the coordinator's own recovery to drive. *)
+  let rec txn_verify _ctx args _env k =
+    match args with
+    | [] -> (
+        match !lock with
+        | None -> k (Ok (Value.Int 0))
+        | Some { coord = None; _ } -> k (Ok (Value.Int 0))
+        | Some ({ coord = Some co; _ } as l) ->
+            Runtime.invoke ctx ~dst:co ~meth:"TxnStatus"
+              ~args:[ Value.Str l.txn ] ~env (fun r ->
+                (* The verdict round-trip races the coordinator's own
+                   redrive: a TxnCommit/TxnAbort may have resolved this
+                   lock (and possibly a new txn taken it) while the
+                   TxnStatus call was in flight. Act only if the lock
+                   is still the one sampled above — otherwise the
+                   resolution already happened and acting again would
+                   double-apply the staged method. *)
+                let still_held () =
+                  match !lock with
+                  | Some l' when String.equal l'.txn l.txn -> true
+                  | _ -> false
+                in
+                match r with
+                | Ok (Value.Str ("committing" | "committed")) ->
+                    if still_held () then begin
+                      lock := None;
+                      Runtime.invoke ctx ~dst:self ~meth:l.meth ~args:l.args
+                        ~env (fun r ->
+                          match r with
+                          | Ok _ -> k (Ok (Value.Int 1))
+                          | Error e -> k (Error e))
+                    end
+                    else k (Ok (Value.Int 0))
+                | Ok (Value.Str ("compensating" | "compensated" | "unknown"))
+                  ->
+                    if still_held () then lock := None;
+                    k (Ok (Value.Int 1))
+                | Ok _ ->
+                    (* Undecided ("running"): the coordinator answered
+                       and will normally drive the verdict here — but
+                       keep watching in case that incarnation dies
+                       before it does. *)
+                    rearm_verify ();
+                    k (Ok (Value.Int 0))
+                | Error _ ->
+                    (* Coordinator unreachable. Keep the vote standing,
+                       but re-ask later: the activation-time TxnVerify
+                       poke is fire-and-forget, so a verdict round-trip
+                       lost to a fault window would otherwise orphan a
+                       resurrected lock forever — the coordinator has
+                       already collected its acks and believes every
+                       lock is released. *)
+                    rearm_verify ();
+                    k (Ok (Value.Int 0))))
+    | _ -> Impl.bad_args k "TxnVerify takes no arguments"
+
+  (* The lock watchdog: one outstanding timer at a time; it no-ops when
+     the lock resolved meanwhile or this incarnation was deactivated,
+     and txn_verify re-arms it for every keep-standing outcome, so a
+     held lock is re-validated until someone resolves it. *)
+  and rearm_verify () =
+    if not !verify_armed then begin
+      verify_armed := true;
+      let rt = ctx.Runtime.rt in
+      let delay = 2.0 *. (Runtime.config rt).Runtime.call_timeout in
+      Script.at (Runtime.sim rt) ~time:(Runtime.now rt +. delay) (fun () ->
+          verify_armed := false;
+          if Runtime.is_live ctx.Runtime.self && !lock <> None then
+            txn_verify ctx [] env (fun _ -> ()))
+    end
+  in
 
   (* TxnPrepare(txn, meth, args): take the prepare lock and vote. The
      staged method is validated now (via the composite's own
      GetMethodNames) so that the later TxnCommit cannot fail with
-     No_such_method — a yes vote is a promise the commit will apply. *)
+     No_such_method — a yes vote is a promise the commit will apply.
+
+     Every lock with a named coordinator also arms the verification
+     watchdog (below): the runtime's dedup cache is per-incarnation, so
+     a crash on this host can let a retransmitted prepare re-execute
+     after the transaction was already resolved — a lock nobody will
+     ever release unless this participant re-validates it itself. *)
   let do_prepare ~txn ~meth ~margs ~coord k =
     match !lock with
     | Some l when not (String.equal l.txn txn) ->
@@ -82,7 +171,10 @@ let factory (ctx : Runtime.ctx) : Impl.part =
                     names
               | _ -> false
             in
-            if known then k Impl.ok_unit
+            if known then begin
+              if coord <> None then rearm_verify ();
+              k Impl.ok_unit
+            end
             else begin
               (match !lock with
               | Some l when String.equal l.txn txn -> lock := None
@@ -141,59 +233,6 @@ let factory (ctx : Runtime.ctx) : Impl.part =
     | _ -> Impl.bad_args k "TxnHeld takes no arguments"
   in
 
-  (* TxnVerify(): crash-recovery for the lock itself. A reactivated
-     participant restores the checkpoint's lock — which may belong to a
-     transaction that finished while the checkpoint aged (the classic
-     stale-lock resurrection). The state snapshot is atomic across
-     units, so a restored lock means the staged method was NOT applied
-     as of the restored state; asking the coordinator for the verdict
-     makes the resolution safe: a decided commit applies now (the
-     redriven TxnCommit then acknowledges idempotently), a dead or
-     rolled-back transaction releases, and an undecided one leaves the
-     lock for the coordinator's own recovery to drive. *)
-  let txn_verify _ctx args _env k =
-    match args with
-    | [] -> (
-        match !lock with
-        | None -> k (Ok (Value.Int 0))
-        | Some { coord = None; _ } -> k (Ok (Value.Int 0))
-        | Some ({ coord = Some co; _ } as l) ->
-            Runtime.invoke ctx ~dst:co ~meth:"TxnStatus"
-              ~args:[ Value.Str l.txn ] ~env (fun r ->
-                (* The verdict round-trip races the coordinator's own
-                   redrive: a TxnCommit/TxnAbort may have resolved this
-                   lock (and possibly a new txn taken it) while the
-                   TxnStatus call was in flight. Act only if the lock
-                   is still the one sampled above — otherwise the
-                   resolution already happened and acting again would
-                   double-apply the staged method. *)
-                let still_held () =
-                  match !lock with
-                  | Some l' when String.equal l'.txn l.txn -> true
-                  | _ -> false
-                in
-                match r with
-                | Ok (Value.Str ("committing" | "committed")) ->
-                    if still_held () then begin
-                      lock := None;
-                      Runtime.invoke ctx ~dst:self ~meth:l.meth ~args:l.args
-                        ~env (fun r ->
-                          match r with
-                          | Ok _ -> k (Ok (Value.Int 1))
-                          | Error e -> k (Error e))
-                    end
-                    else k (Ok (Value.Int 0))
-                | Ok (Value.Str ("compensating" | "compensated" | "unknown"))
-                  ->
-                    if still_held () then lock := None;
-                    k (Ok (Value.Int 1))
-                | Ok _ | Error _ ->
-                    (* Undecided ("running") or coordinator unreachable:
-                       keep the vote standing. *)
-                    k (Ok (Value.Int 0))))
-    | _ -> Impl.bad_args k "TxnVerify takes no arguments"
-  in
-
   let save () =
     Value.Record [ ("lk", C.vopt lock_to_value !lock) ]
   in
@@ -203,7 +242,14 @@ let factory (ctx : Runtime.ctx) : Impl.part =
         lock := None;
         Ok ()
     | Some (Value.List [ lv ]) ->
-        Result.map (fun l -> lock := Some l) (lock_of_value lv)
+        Result.map
+          (fun l ->
+            lock := Some l;
+            (* A resurrected lock must be re-validated even if the
+               class's activation-time TxnVerify poke is lost in
+               flight — arm the participant's own retry chain now. *)
+            if l.coord <> None then rearm_verify ())
+          (lock_of_value lv)
     | Some _ -> Error "participant: malformed lock field"
   in
 

@@ -324,6 +324,12 @@ let test_txn_churn () =
     ~threshold:3
     ~until:(t0 +. 300.0)
     ();
+  (* Message-level adversity on top of the crash/partition churn:
+     delivered duplicates (which the runtime's exactly-once cache must
+     absorb — a prepare or commit executing twice would corrupt the
+     protocol state the audit below checks) and bounded reordering. *)
+  Network.set_duplicate_rate net 0.08;
+  Network.set_reorder net ~rate:0.15 ~window:0.05;
   System.run_for sys 2.0;
   let prng = Prng.create ~seed:(Int64.add txn_seed 5L) in
   let infra = List.map (fun s -> List.hd s.System.net_hosts) (System.sites sys) in
@@ -399,6 +405,10 @@ let test_txn_churn () =
        !partitions)
     true
     (!crashes > 0 && !partitions > 0);
+  Alcotest.(check bool) "duplicates were injected" true
+    (Network.messages_duplicated net > 0);
+  Alcotest.(check bool) "dedup cache absorbed duplicates" true
+    (Runtime.dedup_hits rt > 0);
   Alcotest.(check bool) "transactions resolved" true (!submitted <> []);
   (* The E20 audit, from the store histories alone. *)
   let store = (System.site sys 0).System.storage in

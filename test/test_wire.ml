@@ -224,6 +224,57 @@ let err_gen : Err.t QCheck.Gen.t =
       map (fun d -> Err.Internal d) s;
     ]
 
+(* --- checksummed envelope (CRC-32 framing) --- *)
+
+module Envelope = Legion_wire.Envelope
+
+let envelope_roundtrip =
+  QCheck.Test.make ~name:"unseal (seal v) = Ok v" ~count:500 arbitrary_value
+    (fun v ->
+      match Envelope.unseal (Envelope.seal v) with
+      | Ok v' -> Value.equal v v'
+      | Error _ -> false)
+
+(* The integrity guarantee behind the corruption fault: ANY single-byte
+   change — header or body — must be rejected, fail-closed, without an
+   exception. (CRC-32 detects all single-byte errors; a flip in the
+   stored checksum itself just mismatches the recomputed one.) *)
+let envelope_rejects_mutation =
+  QCheck.Test.make ~name:"unseal rejects any single-byte mutation" ~count:500
+    QCheck.(triple arbitrary_value small_nat (int_bound 255))
+    (fun (v, pos, byte) ->
+      let sealed = Bytes.of_string (Envelope.seal v) in
+      let pos = pos mod Bytes.length sealed in
+      if Bytes.get sealed pos = Char.chr byte then true
+      else begin
+        Bytes.set sealed pos (Char.chr byte);
+        match Envelope.unseal (Bytes.to_string sealed) with
+        | Error _ -> true
+        | Ok _ -> false
+      end)
+
+let envelope_rejects_truncation =
+  QCheck.Test.make ~name:"unseal rejects any truncation" ~count:500
+    QCheck.(pair arbitrary_value small_nat)
+    (fun (v, cut) ->
+      let sealed = Envelope.seal v in
+      let keep = cut mod String.length sealed in
+      match Envelope.unseal (String.sub sealed 0 keep) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let envelope_garbage_total =
+  QCheck.Test.make ~name:"unseal of garbage never raises" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> match Envelope.unseal s with Ok _ | Error _ -> true)
+
+let test_envelope_crc_vector () =
+  (* The classic IEEE 802.3 check vector pins the polynomial and
+     reflection conventions. *)
+  Alcotest.(check int32) "crc32(\"123456789\")" 0xCBF43926l
+    (Envelope.crc32 "123456789");
+  Alcotest.(check int) "header size" 4 Envelope.header_bytes
+
 let arbitrary_err = QCheck.make ~print:Err.to_string err_gen
 
 let err_value_roundtrip =
@@ -330,6 +381,15 @@ let () =
           Alcotest.test_case "depth" `Quick test_depth;
           QCheck_alcotest.to_alcotest compare_consistent_with_equal;
           QCheck_alcotest.to_alcotest pp_total;
+        ] );
+      ( "envelope",
+        [
+          Alcotest.test_case "CRC-32 check vector" `Quick
+            test_envelope_crc_vector;
+          QCheck_alcotest.to_alcotest envelope_roundtrip;
+          QCheck_alcotest.to_alcotest envelope_rejects_mutation;
+          QCheck_alcotest.to_alcotest envelope_rejects_truncation;
+          QCheck_alcotest.to_alcotest envelope_garbage_total;
         ] );
       ( "errors",
         [
